@@ -1,0 +1,84 @@
+// Ablation — Apriori support-counting backends.
+//
+// Step 4 of Algorithm 9 ("evaluate q against the database") dominates the
+// cost of levelwise mining; this sweep compares the three backends on the
+// same candidates:
+//   * tidsets    — per-candidate bitmap AND of the join parents' covers;
+//   * hash-tree  — the original [2] backend: one database scan per level
+//                  through the candidate hash tree;
+//   * horizontal — one database scan per candidate (naive).
+// All three produce identical theories (asserted), so the table is purely
+// about time, swept over database size and density.
+
+#include <iostream>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/theory.h"
+#include "mining/apriori.h"
+#include "mining/generators.h"
+
+int main() {
+  using namespace hgm;
+  std::cout << "=== ablation: Apriori support counting "
+               "(tidsets / hash-tree / horizontal) ===\n";
+  TablePrinter t({"|D|", "n", "minsup", "|Th|", "tidsets ms",
+                  "hashtree ms", "horizontal ms", "agree"});
+  Rng rng(41);
+  int failures = 0;
+
+  struct Case {
+    size_t rows, items;
+    double avg_size;
+    size_t minsup;
+  };
+  for (const Case& c :
+       {Case{500, 40, 6, 15}, Case{2000, 60, 8, 60},
+        Case{5000, 80, 8, 150}, Case{10000, 100, 10, 300},
+        Case{20000, 150, 10, 600}}) {
+    QuestParams params;
+    params.num_transactions = c.rows;
+    params.num_items = c.items;
+    params.avg_transaction_size = c.avg_size;
+    TransactionDatabase db = GenerateQuest(params, &rng);
+
+    auto run = [&](SupportCountingMode mode, double* ms) {
+      AprioriOptions opts;
+      opts.counting = mode;
+      StopWatch sw;
+      AprioriResult r = MineFrequentSets(&db, c.minsup, opts);
+      *ms = sw.Millis();
+      return r;
+    };
+    double tid_ms, tree_ms, hor_ms;
+    AprioriResult tid = run(SupportCountingMode::kTidsets, &tid_ms);
+    AprioriResult tree = run(SupportCountingMode::kHashTree, &tree_ms);
+    AprioriResult hor = run(SupportCountingMode::kHorizontal, &hor_ms);
+    bool agree = tid.frequent.size() == tree.frequent.size() &&
+                 tid.frequent.size() == hor.frequent.size() &&
+                 SameFamily(tid.maximal, tree.maximal) &&
+                 SameFamily(tid.maximal, hor.maximal);
+    if (!agree) ++failures;
+    t.NewRow()
+        .Add(c.rows)
+        .Add(c.items)
+        .Add(c.minsup)
+        .Add(tid.frequent.size())
+        .Add(tid_ms, 2)
+        .Add(tree_ms, 2)
+        .Add(hor_ms, 2)
+        .Add(agree ? "yes" : "NO");
+  }
+  t.Print();
+  std::cout << "\nshape: tidset intersection wins by a wide margin — "
+               "word-parallel bitmap\nANDs beat per-row work.  The hash "
+               "tree (the 1994 design point, built for\ndisk-resident "
+               "data and sparse id-list rows) loses to the plain "
+               "horizontal\nscan here because our rows are packed "
+               "bitsets, making the naive subset\ntest itself "
+               "word-parallel while tree traversal pays per-item "
+               "overhead.\n";
+  std::cout << (failures == 0 ? "ALL BACKENDS AGREE\n" : "MISMATCH\n");
+  return failures == 0 ? 0 : 1;
+}

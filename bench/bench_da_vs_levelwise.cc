@@ -1,0 +1,70 @@
+// E7 — the Section 5 applicability claim + Corollary 22.
+//
+// "This algorithm is far more applicable than the levelwise method, as
+//  this does not investigate all interesting statements, but rather jumps
+//  more or less directly to maximal ones.  Thus it can be used even in
+//  the cases where not all interesting sentences are small."
+//
+// Sweep the planted maximal-set size k with everything else fixed:
+// levelwise pays ~|MTh| * 2^k queries (it walks the whole theory), while
+// Dualize and Advance pays ~|MTh| * (|Bd-| + rank*n).  The table shows the
+// crossover: levelwise wins for small k, D&A wins — by orders of
+// magnitude — once the maximal sets are long.
+
+#include <iostream>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "mining/generators.h"
+#include "mining/max_miner.h"
+
+int main() {
+  using namespace hgm;
+  std::cout << "=== E7: levelwise vs Dualize and Advance across pattern "
+               "size k ===\n";
+  TablePrinter t({"k", "|MTh|", "|Bd-|", "lw queries", "da queries",
+                  "lw/da", "lw ms", "da ms", "winner"});
+  Rng rng(7);
+  const size_t n = 24;
+  int failures = 0;
+
+  for (size_t k : {2, 4, 6, 8, 10, 12, 14, 16}) {
+    auto patterns = RandomPatterns(n, 3, k, &rng);
+    TransactionDatabase db = PlantedDatabase(n, patterns, 3, 5, 2, &rng);
+
+    StopWatch sw1;
+    MaxMinerResult lw =
+        MineMaximalFrequentSets(&db, 3, MaxMinerAlgorithm::kLevelwise);
+    double lw_ms = sw1.Millis();
+    StopWatch sw2;
+    MaxMinerResult da = MineMaximalFrequentSets(
+        &db, 3, MaxMinerAlgorithm::kDualizeAdvance);
+    double da_ms = sw2.Millis();
+
+    // Correctness invariant: both compute the same MaxTh.
+    bool same = lw.maximal.size() == da.maximal.size() &&
+                lw.negative_border.size() == da.negative_border.size();
+    if (!same) ++failures;
+
+    double speedup = static_cast<double>(lw.queries) /
+                     static_cast<double>(da.queries);
+    t.NewRow()
+        .Add(k)
+        .Add(lw.maximal.size())
+        .Add(lw.negative_border.size())
+        .Add(lw.queries)
+        .Add(da.queries)
+        .Add(speedup, 2)
+        .Add(lw_ms, 2)
+        .Add(da_ms, 2)
+        .Add(speedup > 1.0 ? "D&A" : "levelwise");
+  }
+  t.Print();
+  std::cout << "\nshape check: levelwise queries grow ~2^k; D&A queries "
+               "stay near\n|MTh|*(|Bd-|+k*n) — the crossover sits at small "
+               "k, and the gap at k=16\nis several orders of magnitude "
+               "(Corollary 22's regime).\n";
+  std::cout << (failures == 0 ? "ALL CHECKS PASS\n" : "MISMATCH\n");
+  return failures == 0 ? 0 : 1;
+}

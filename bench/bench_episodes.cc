@@ -1,0 +1,103 @@
+// E13 — episode mining as a levelwise instance ([21], Section 2).
+//
+// Parallel episodes reduce to frequent-set mining over the window
+// database (a language representable as sets); serial episodes do not
+// (the paper's non-representable example), yet the levelwise algorithm
+// still applies with episode-specific candidate generation.  The tables
+// reproduce the classic candidates-vs-frequent level profile and show
+// both miners recovering a planted pattern as the sequence grows.
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "episodes/event_sequence.h"
+#include "episodes/winepi.h"
+
+int main() {
+  using namespace hgm;
+  std::cout << "=== E13: WINEPI levelwise episode mining ===\n";
+  Rng rng(13);
+  std::vector<size_t> pattern{2, 0, 3, 1};
+  int failures = 0;
+
+  std::cout << "--- level profile (4000 events, 12 types, planted "
+            << FormatSerialEpisode(pattern) << ") ---\n";
+  EventSequence seq =
+      SequenceWithPlantedPattern(4000, 12, pattern, 14, &rng);
+  WinepiParams params;
+  params.window_width = 14;
+  params.min_frequency = 0.25;
+
+  ParallelWinepiResult par = MineParallelEpisodes(seq, params);
+  SerialWinepiResult ser = MineSerialEpisodes(seq, params);
+
+  TablePrinter t({"size", "par candidates", "par frequent",
+                  "ser candidates", "ser frequent"});
+  size_t levels = std::max(par.candidates_per_level.size(),
+                           ser.candidates_per_level.size());
+  for (size_t k = 1; k < levels; ++k) {
+    t.NewRow()
+        .Add(k)
+        .Add(k < par.candidates_per_level.size()
+                 ? par.candidates_per_level[k]
+                 : 0)
+        .Add(k < par.frequent_per_level.size() ? par.frequent_per_level[k]
+                                               : 0)
+        .Add(k < ser.candidates_per_level.size()
+                 ? ser.candidates_per_level[k]
+                 : 0)
+        .Add(k < ser.frequent_per_level.size() ? ser.frequent_per_level[k]
+                                               : 0);
+  }
+  t.Print();
+
+  bool serial_found =
+      std::any_of(ser.frequent.begin(), ser.frequent.end(),
+                  [&](const FrequentSerialEpisode& F) {
+                    return F.types == pattern;
+                  });
+  Bitset parallel_pattern = Bitset::FromIndices(12, pattern);
+  bool parallel_found =
+      std::any_of(par.frequent.begin(), par.frequent.end(),
+                  [&](const FrequentParallelEpisode& F) {
+                    return F.types == parallel_pattern;
+                  });
+  if (!serial_found || !parallel_found) ++failures;
+  std::cout << "planted pattern found: parallel="
+            << (parallel_found ? "yes" : "NO")
+            << " serial=" << (serial_found ? "yes" : "NO") << "\n";
+
+  std::cout << "\n--- scaling in sequence length ---\n";
+  TablePrinter s({"events", "windows", "par freq evals", "par ms",
+                  "ser freq evals", "ser ms", "|par|", "|ser|"});
+  for (size_t len : {500, 1000, 2000, 4000, 8000}) {
+    Rng lr(14);
+    EventSequence sq =
+        SequenceWithPlantedPattern(len, 10, {1, 4, 7}, 12, &lr);
+    WinepiParams p2;
+    p2.window_width = 12;
+    p2.min_frequency = 0.3;
+    StopWatch sw1;
+    ParallelWinepiResult pr = MineParallelEpisodes(sq, p2);
+    double par_ms = sw1.Millis();
+    StopWatch sw2;
+    SerialWinepiResult sr = MineSerialEpisodes(sq, p2);
+    double ser_ms = sw2.Millis();
+    s.NewRow()
+        .Add(len)
+        .Add(sq.NumWindows(p2.window_width))
+        .Add(pr.frequency_evaluations)
+        .Add(par_ms, 2)
+        .Add(sr.frequency_evaluations)
+        .Add(ser_ms, 2)
+        .Add(pr.frequent.size())
+        .Add(sr.frequent.size());
+  }
+  s.Print();
+  std::cout << (failures == 0 ? "\nALL CHECKS PASS\n"
+                              : "\nPATTERN NOT RECOVERED\n");
+  return failures == 0 ? 0 : 1;
+}

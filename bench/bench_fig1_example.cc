@@ -1,0 +1,89 @@
+// E1 — Figure 1 / Examples 8, 11, 17, 25.
+//
+// The paper's only figure is the subset lattice of R = {A,B,C,D} with
+// Th = downward closure of {ABC, BD}.  This bench re-derives every number
+// the paper states about that instance and prints paper-vs-measured rows:
+//
+//   Example 8:  S = {ABC,BD}  ->  H(S) = {D, AC},  Tr(H(S)) = {AD, CD}
+//   Example 11: levelwise walk (candidates per level: 4, 6, 1)
+//   Example 17: Dualize and Advance trace (3 iterations)
+//   Example 25: f = AD | CD = (A | C)(D)
+
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/dualize_advance.h"
+#include "core/levelwise.h"
+#include "core/set_language.h"
+#include "core/theory.h"
+#include "core/verification.h"
+#include "hypergraph/transversal_berge.h"
+#include "learning/learners.h"
+#include "learning/membership_oracle.h"
+#include "mining/frequency_oracle.h"
+#include "mining/transaction_db.h"
+
+int main() {
+  using namespace hgm;
+  SetLanguage lang(4);
+  TransactionDatabase db = TransactionDatabase::FromRows(
+      4, {{0, 1, 2}, {0, 1, 2}, {1, 3}, {1, 3}, {0, 3}});
+  FrequencyOracle oracle(&db, 2);
+
+  int failures = 0;
+  TablePrinter table({"artifact", "paper", "measured", "ok"});
+  auto check = [&](const std::string& what, const std::string& paper,
+                   const std::string& measured) {
+    bool ok = paper == measured;
+    if (!ok) ++failures;
+    table.NewRow().Add(what).Add(paper).Add(measured).Add(ok ? "yes" : "NO");
+  };
+
+  // Example 8 / Theorem 7.
+  std::vector<Bitset> mth{Bitset(4, {0, 1, 2}), Bitset(4, {1, 3})};
+  Hypergraph hs(4);
+  for (const auto& m : mth) hs.AddEdge(~m);
+  check("H(S) (Ex. 8)", "{D, AC}", hs.Format(lang.names()));
+  BergeTransversals berge;
+  check("Tr(H(S)) (Ex. 8)", "{AD, CD}",
+        berge.Compute(hs).Format(lang.names()));
+
+  // Example 11: the levelwise walk.
+  LevelwiseResult lw = RunLevelwise(&oracle);
+  check("MTh (Fig. 1)", "{BD, ABC}", lang.Format(lw.positive_border));
+  check("Bd- (Fig. 1)", "{AD, CD}", lang.Format(lw.negative_border));
+  check("|Th| (Fig. 1)", "10", std::to_string(lw.theory.size()));
+  check("levelwise queries (Thm 10)", "12", std::to_string(lw.queries));
+  check("C2 candidates (Ex. 11)", "6",
+        std::to_string(lw.candidates_per_level[2]));
+  check("L2 frequent (Ex. 11)", "4",
+        std::to_string(lw.interesting_per_level[2]));
+  check("C3 candidates (Ex. 11)", "1",
+        std::to_string(lw.candidates_per_level[3]));
+
+  // Example 17: Dualize and Advance.
+  DualizeAdvanceResult da = RunDualizeAdvance(&oracle);
+  check("D&A MTh (Ex. 17)", "{BD, ABC}", lang.Format(da.positive_border));
+  check("D&A Bd- (Ex. 17)", "{AD, CD}", lang.Format(da.negative_border));
+  check("D&A iterations (Ex. 17)", "3", std::to_string(da.iterations));
+
+  // Corollary 4: verification in exactly |Bd(S)| queries.
+  VerificationResult v = VerifyMaxTheory(mth, &oracle);
+  check("verification (Cor. 4)", "4 queries, verified",
+        std::to_string(v.queries) + " queries, " +
+            (v.verified ? "verified" : "REFUTED"));
+
+  // Example 25: the learning view.
+  MembershipOracle mq(4, [&](const Bitset& x) {
+    return !oracle.IsInteresting(x);  // f = NOT frequent
+  });
+  LearnResult learned = LearnMonotoneDualize(&mq);
+  check("DNF(f) (Ex. 25)", "x0 x3 | x2 x3", learned.dnf.ToString());
+  check("CNF(f) (Ex. 25)", "(x3) (x0 | x2)", learned.cnf.ToString());
+
+  std::cout << "=== E1: Figure 1 worked example, paper vs measured ===\n";
+  table.Print();
+  std::cout << (failures == 0 ? "\nALL CHECKS PASS\n"
+                              : "\nSOME CHECKS FAILED\n");
+  return failures == 0 ? 0 : 1;
+}

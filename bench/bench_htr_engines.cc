@@ -1,0 +1,114 @@
+// E9 — HTR engine comparison (Problem 5), as a google-benchmark binary.
+//
+// Times the three real engines (Berge, Fredman-Khachiyan, levelwise) and
+// the brute-force reference on the structured families used throughout
+// the paper:
+//   * matching M_n        — output-exponential (2^{n/2} transversals);
+//   * complete graph K_n  — n transversals of size n-1;
+//   * random k-uniform    — the generic case;
+//   * co-small            — Corollary 15's regime (levelwise's home turf).
+//
+// Counters: output size |Tr| and per-engine work measures.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "hypergraph/generators.h"
+#include "hypergraph/transversal_berge.h"
+#include "hypergraph/transversal_brute.h"
+#include "hypergraph/transversal_fk.h"
+#include "hypergraph/transversal_levelwise.h"
+#include "hypergraph/transversal_mmcs.h"
+
+namespace hgm {
+namespace {
+
+Hypergraph MakeFamily(const std::string& family, size_t n) {
+  Rng rng(1234 + n);
+  if (family == "matching") return MatchingHypergraph(n);
+  if (family == "complete") return CompleteGraph(n);
+  if (family == "uniform") return RandomUniform(n, 10, 3, &rng);
+  if (family == "cosmall") return RandomCoSmall(n, 10, 3, &rng);
+  return Hypergraph(n);
+}
+
+template <typename Engine>
+void RunEngine(benchmark::State& state, const std::string& family) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Hypergraph h = MakeFamily(family, n);
+  size_t tr_size = 0;
+  for (auto _ : state) {
+    Engine engine;
+    Hypergraph tr = engine.Compute(h);
+    tr_size = tr.num_edges();
+    benchmark::DoNotOptimize(tr);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["edges"] = static_cast<double>(h.num_edges());
+  state.counters["Tr"] = static_cast<double>(tr_size);
+}
+
+void BM_Berge_Matching(benchmark::State& s) {
+  RunEngine<BergeTransversals>(s, "matching");
+}
+void BM_Mmcs_Matching(benchmark::State& s) {
+  RunEngine<MmcsTransversals>(s, "matching");
+}
+void BM_Fk_Matching(benchmark::State& s) {
+  RunEngine<FkTransversals>(s, "matching");
+}
+void BM_Berge_Complete(benchmark::State& s) {
+  RunEngine<BergeTransversals>(s, "complete");
+}
+void BM_Fk_Complete(benchmark::State& s) {
+  RunEngine<FkTransversals>(s, "complete");
+}
+void BM_Levelwise_Complete(benchmark::State& s) {
+  RunEngine<LevelwiseTransversals>(s, "complete");
+}
+void BM_Berge_Uniform(benchmark::State& s) {
+  RunEngine<BergeTransversals>(s, "uniform");
+}
+void BM_Fk_Uniform(benchmark::State& s) {
+  RunEngine<FkTransversals>(s, "uniform");
+}
+void BM_Brute_Uniform(benchmark::State& s) {
+  RunEngine<BruteForceTransversals>(s, "uniform");
+}
+void BM_Mmcs_Uniform(benchmark::State& s) {
+  RunEngine<MmcsTransversals>(s, "uniform");
+}
+void BM_Berge_CoSmall(benchmark::State& s) {
+  RunEngine<BergeTransversals>(s, "cosmall");
+}
+void BM_Mmcs_CoSmall(benchmark::State& s) {
+  RunEngine<MmcsTransversals>(s, "cosmall");
+}
+void BM_Fk_CoSmall(benchmark::State& s) {
+  RunEngine<FkTransversals>(s, "cosmall");
+}
+void BM_Levelwise_CoSmall(benchmark::State& s) {
+  RunEngine<LevelwiseTransversals>(s, "cosmall");
+}
+
+BENCHMARK(BM_Berge_Matching)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+BENCHMARK(BM_Mmcs_Matching)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+BENCHMARK(BM_Fk_Matching)->Arg(8)->Arg(12)->Arg(16);
+BENCHMARK(BM_Berge_Complete)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Fk_Complete)->Arg(8)->Arg(16)->Arg(32);
+// Levelwise on K_n is the infeasible regime (it must walk all 2^n - n - 1
+// non-transversals); keep n small to document the contrast.
+BENCHMARK(BM_Levelwise_Complete)->Arg(8)->Arg(12);
+BENCHMARK(BM_Berge_Uniform)->Arg(10)->Arg(14)->Arg(18);
+BENCHMARK(BM_Fk_Uniform)->Arg(10)->Arg(14)->Arg(18);
+BENCHMARK(BM_Brute_Uniform)->Arg(10)->Arg(14)->Arg(18);
+BENCHMARK(BM_Mmcs_Uniform)->Arg(10)->Arg(14)->Arg(18);
+BENCHMARK(BM_Berge_CoSmall)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Fk_CoSmall)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Levelwise_CoSmall)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Mmcs_CoSmall)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace hgm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// E5 — Corollary 15: the paper's new polynomial HTR special case.
+//
+// Input: hypergraphs whose every edge has size >= n - k, k = ceil(log2 n).
+// Claim: the levelwise algorithm solves HTR in input-polynomial time
+// (improving Eiter-Gottlob, who needed constant k).  The table sweeps n,
+// reports wall-clock for levelwise / Berge / FK and the number of
+// Is-transversal queries; levelwise's queries should track
+// sum_{i<=k+1} C(n,i) (polynomial), not 2^n.
+//
+// Note the structural point the paper makes: levelwise never reads the
+// edge list itself — it only asks "is X a transversal?".
+
+#include <cmath>
+#include <iostream>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "hypergraph/generators.h"
+#include "hypergraph/transversal_berge.h"
+#include "hypergraph/transversal_fk.h"
+#include "hypergraph/transversal_levelwise.h"
+
+int main() {
+  using namespace hgm;
+  std::cout << "=== E5: HTR with edges >= n-k, k = ceil(lg n) "
+               "(Corollary 15) ===\n";
+  TablePrinter t({"n", "k", "edges", "|Tr|", "lw queries", "lw ms",
+                  "berge ms", "fk ms", "agree"});
+  Rng rng(5);
+  int failures = 0;
+
+  for (size_t n : {16, 24, 32, 48, 64, 96, 128}) {
+    size_t k = static_cast<size_t>(
+        std::ceil(std::log2(static_cast<double>(n))));
+    Hypergraph h = RandomCoSmall(n, 12, k, &rng);
+
+    LevelwiseTransversals lw;
+    StopWatch sw1;
+    Hypergraph tr_lw = lw.Compute(h);
+    double lw_ms = sw1.Millis();
+
+    BergeTransversals berge;
+    StopWatch sw2;
+    Hypergraph tr_berge = berge.Compute(h);
+    double berge_ms = sw2.Millis();
+
+    FkTransversals fk;
+    StopWatch sw3;
+    Hypergraph tr_fk = fk.Compute(h);
+    double fk_ms = sw3.Millis();
+
+    bool agree = tr_lw.SameEdgeSet(tr_berge) && tr_lw.SameEdgeSet(tr_fk);
+    if (!agree) ++failures;
+    t.NewRow()
+        .Add(n)
+        .Add(k)
+        .Add(h.num_edges())
+        .Add(tr_lw.num_edges())
+        .Add(lw.queries())
+        .Add(lw_ms, 2)
+        .Add(berge_ms, 2)
+        .Add(fk_ms, 2)
+        .Add(agree ? "yes" : "NO");
+  }
+  t.Print();
+  std::cout << "\nlevelwise query growth is polynomial in n (compare the "
+               "2^n brute-force\nenumeration the previous result needed); "
+               "all engines agree on Tr.\n";
+  std::cout << (failures == 0 ? "ALL CHECKS PASS\n" : "DISAGREEMENT\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Ablation — the [11] randomized variant of Dualize and Advance.
+//
+// Algorithm 16 pays one dualization per maximal set.  The original
+// empirical study it was distilled from ([11], Gunopulos-Mannila-Saluja)
+// interleaves cheap random walks: most of MTh is discovered by walks, and
+// dualizations are only needed to certify completeness or to escape into
+// unexplored regions.  The sweep grows |MTh| and reports dualizations and
+// queries for both variants; the randomized one should need dramatically
+// fewer dualizations as |MTh| grows.
+
+#include <iostream>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/dualize_advance.h"
+#include "core/random_walk.h"
+#include "core/theory.h"
+#include "mining/frequency_oracle.h"
+#include "mining/generators.h"
+
+int main() {
+  using namespace hgm;
+  std::cout << "=== ablation: deterministic vs randomized ([11]) "
+               "Dualize and Advance ===\n";
+  TablePrinter t({"|MTh|", "|Bd-|", "det dualizations", "det queries",
+                  "rw dualizations", "rw walks", "rw by-walk",
+                  "rw queries", "same"});
+  Rng rng(51);
+  int failures = 0;
+
+  for (size_t pats : {2, 5, 10, 20, 35}) {
+    auto patterns = RandomPatterns(26, pats, 8, &rng);
+    TransactionDatabase db = PlantedDatabase(26, patterns, 3, 0, 0, &rng);
+    FrequencyOracle det_oracle(&db, 3);
+    DualizeAdvanceResult det = RunDualizeAdvance(&det_oracle);
+
+    FrequencyOracle rw_oracle(&db, 3);
+    Rng walk_rng(777 + pats);
+    RandomWalkOptions opts;
+    opts.walks_per_round = 16;
+    opts.stale_walk_limit = 6;
+    RandomWalkResult rw =
+        RunRandomizedDualizeAdvance(&rw_oracle, &walk_rng, opts);
+
+    bool same = SameFamily(det.positive_border, rw.positive_border) &&
+                SameFamily(det.negative_border, rw.negative_border);
+    if (!same) ++failures;
+    t.NewRow()
+        .Add(det.positive_border.size())
+        .Add(det.negative_border.size())
+        .Add(det.iterations)
+        .Add(det.queries)
+        .Add(rw.dualizations)
+        .Add(rw.walks)
+        .Add(rw.found_by_walks)
+        .Add(rw.queries)
+        .Add(same ? "yes" : "NO");
+  }
+  t.Print();
+  std::cout << "\nshape: deterministic D&A needs |MTh|+1 dualizations; "
+               "the randomized\nvariant needs a handful, because random "
+               "walks harvest most maximal sets\nbetween dualizations — "
+               "at the price of extra (cheap) walk queries.\n";
+  std::cout << (failures == 0 ? "ALL CHECKS PASS\n" : "MISMATCH\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Extension bench — the negative border at work: Toivonen-style sampling.
+//
+// The paper's central object, Bd-, is exactly the certificate Toivonen's
+// sampling miner (VLDB'96) evaluates to guarantee exactness from one full
+// pass: mine a sample at a lowered threshold, then check S ∪ Bd-(S)
+// against the full database.  The sweep varies sample size and the
+// lowering factor and reports full-database support evaluations (the
+// expensive currency) against exact Apriori on the full data, plus the
+// empirical miss rate.  Results are exact on every row by construction.
+
+#include <iostream>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "mining/generators.h"
+#include "mining/sampling.h"
+
+int main() {
+  using namespace hgm;
+  std::cout << "=== sampling with negative-border verification "
+               "(Toivonen'96 on this paper's borders) ===\n";
+  Rng rng(31);
+  QuestParams params;
+  params.num_transactions = 5000;
+  params.num_items = 60;
+  params.avg_transaction_size = 8;
+  params.num_patterns = 15;
+  TransactionDatabase db = GenerateQuest(params, &rng);
+  const size_t minsup = 250;  // 5%
+
+  // Baseline: exact Apriori on the full database.
+  StopWatch base_sw;
+  AprioriResult exact = MineFrequentSets(&db, minsup);
+  double base_ms = base_sw.Millis();
+  std::cout << "full-db Apriori: " << exact.frequent.size()
+            << " frequent sets, " << exact.support_counts
+            << " full-db support counts, " << base_ms << " ms\n\n";
+
+  TablePrinter t({"sample", "lowering", "full-db evals", "vs apriori",
+                  "misses detected", "repair passes", "ms", "exact"});
+  int failures = 0;
+  for (size_t sample : {100, 250, 500, 1000, 2000}) {
+    for (double lowering : {1.0, 0.75, 0.5}) {
+      SamplingOptions opts;
+      opts.sample_size = sample;
+      opts.threshold_lowering = lowering;
+      Rng srng(1000 + sample + static_cast<uint64_t>(lowering * 10));
+      StopWatch sw;
+      SamplingResult r = MineWithSampling(&db, minsup, opts, &srng);
+      double ms = sw.Millis();
+      bool is_exact = r.frequent.size() == exact.frequent.size();
+      for (size_t i = 0; is_exact && i < r.frequent.size(); ++i) {
+        is_exact = r.frequent[i].items == exact.frequent[i].items &&
+                   r.frequent[i].support == exact.frequent[i].support;
+      }
+      if (!is_exact) ++failures;
+      t.NewRow()
+          .Add(sample)
+          .Add(lowering, 2)
+          .Add(r.full_db_evaluations)
+          .Add(static_cast<double>(r.full_db_evaluations) /
+                   static_cast<double>(exact.support_counts),
+               2)
+          .Add(r.missed_sets.size())
+          .Add(r.repair_passes)
+          .Add(ms, 2)
+          .Add(is_exact ? "yes" : "NO");
+    }
+  }
+  t.Print();
+  std::cout << "\nshape: larger samples / lower thresholds push misses to "
+               "zero while the\nfull-db evaluation count stays in the "
+               "|Th|+|Bd-| ballpark — the border\ncheck is what makes the "
+               "one-pass guarantee possible.\n";
+  std::cout << (failures == 0 ? "ALL RESULTS EXACT\n" : "INEXACT RESULT\n");
+  return failures == 0 ? 0 : 1;
+}

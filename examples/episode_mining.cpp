@@ -1,0 +1,76 @@
+// Episode mining from event sequences ([21]; Section 2's example of a
+// language that is NOT representable as sets).
+//
+// Plants the serial pattern 2 -> 0 -> 3 into a noisy event stream, then
+// mines frequent parallel episodes (a set-lattice instance — the window
+// database makes it frequent-set mining) and frequent serial episodes
+// (order-sensitive; levelwise still works, Dualize and Advance does not
+// apply because the subsequence lattice is not a powerset).
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "episodes/event_sequence.h"
+#include "episodes/winepi.h"
+
+int main() {
+  using namespace hgm;
+
+  Rng rng(2025);
+  std::vector<size_t> pattern{2, 0, 3};
+  EventSequence seq = SequenceWithPlantedPattern(
+      /*length=*/2000, /*num_types=*/10, pattern, /*period=*/12, &rng);
+
+  WinepiParams params;
+  params.window_width = 12;
+  params.min_frequency = 0.2;
+
+  std::cout << "=== episode mining: 2000 events, 10 types, planted "
+            << FormatSerialEpisode(pattern) << " every 12 ticks ===\n\n";
+
+  ParallelWinepiResult par = MineParallelEpisodes(seq, params);
+  std::cout << "[parallel] frequent episodes: " << par.frequent.size()
+            << ", maximal: " << par.maximal.size()
+            << ", frequency evaluations: " << par.frequency_evaluations
+            << "\n";
+  TablePrinter plevels({"size", "candidates", "frequent"});
+  for (size_t k = 1; k < par.candidates_per_level.size(); ++k) {
+    plevels.NewRow()
+        .Add(k)
+        .Add(par.candidates_per_level[k])
+        .Add(k < par.frequent_per_level.size() ? par.frequent_per_level[k]
+                                               : 0);
+  }
+  plevels.Print();
+
+  SerialWinepiResult ser = MineSerialEpisodes(seq, params);
+  std::cout << "\n[serial] frequent episodes: " << ser.frequent.size()
+            << ", frequency evaluations: " << ser.frequency_evaluations
+            << "\n";
+  // The longest, most frequent serial episodes.
+  auto sorted = ser.frequent;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FrequentSerialEpisode& a,
+               const FrequentSerialEpisode& b) {
+              if (a.types.size() != b.types.size()) {
+                return a.types.size() > b.types.size();
+              }
+              return a.frequency > b.frequency;
+            });
+  std::cout << "top serial episodes:\n";
+  for (size_t i = 0; i < std::min<size_t>(6, sorted.size()); ++i) {
+    std::cout << "  " << FormatSerialEpisode(sorted[i].types) << "  (freq "
+              << sorted[i].frequency << ")\n";
+  }
+  std::cout << "\nplanted pattern recovered: "
+            << (std::any_of(ser.frequent.begin(), ser.frequent.end(),
+                            [&](const FrequentSerialEpisode& f) {
+                              return f.types == pattern;
+                            })
+                    ? "yes"
+                    : "NO")
+            << "\n";
+  return 0;
+}

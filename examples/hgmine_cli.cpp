@@ -1,0 +1,138 @@
+// hgmine_cli: command-line frequent-set / maximal-set / rule miner.
+//
+// Usage:
+//   hgmine_cli mine <basket-file> <min-support> [--rules <min-conf>]
+//                   [--maximal] [--closed] [--algo levelwise|dualize|dfs]
+//   hgmine_cli demo
+//
+// Basket format: one transaction per line, whitespace-separated item ids;
+// '#' comments.  `demo` writes a small file and mines it, so the tool is
+// runnable with no inputs.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/table_printer.h"
+#include "mining/apriori.h"
+#include "mining/closed.h"
+#include "mining/max_miner.h"
+#include "mining/rules.h"
+#include "mining/transaction_db.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: hgmine_cli mine <basket-file> <min-support>\n"
+         "                  [--rules <min-conf>] [--maximal] [--closed]\n"
+         "                  [--algo levelwise|dualize|dfs]\n"
+         "       hgmine_cli demo\n";
+  return 2;
+}
+
+std::vector<std::string> ItemNames(size_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) names.push_back("i" + std::to_string(i));
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hgm;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+
+  std::string path;
+  size_t min_support = 2;
+  if (args[0] == "demo") {
+    path = "/tmp/hgmine_demo.basket";
+    std::ofstream out(path);
+    out << "# Figure 1 of Gunopulos/Khardon/Mannila/Toivonen, PODS'97\n"
+        << "0 1 2\n0 1 2\n1 3\n1 3\n0 3\n";
+    args = {"mine", path, "2", "--rules", "0.6", "--maximal", "--closed"};
+  }
+  if (args.size() < 3 || args[0] != "mine") return Usage();
+  path = args[1];
+  min_support = static_cast<size_t>(std::strtoull(args[2].c_str(),
+                                                  nullptr, 10));
+  bool want_maximal = false, want_closed = false, want_rules = false;
+  double min_conf = 0.5;
+  MaxMinerAlgorithm algo = MaxMinerAlgorithm::kDualizeAdvance;
+  for (size_t i = 3; i < args.size(); ++i) {
+    if (args[i] == "--maximal") {
+      want_maximal = true;
+    } else if (args[i] == "--closed") {
+      want_closed = true;
+    } else if (args[i] == "--rules" && i + 1 < args.size()) {
+      want_rules = true;
+      min_conf = std::strtod(args[++i].c_str(), nullptr);
+    } else if (args[i] == "--algo" && i + 1 < args.size()) {
+      const std::string& a = args[++i];
+      if (a == "levelwise") {
+        algo = MaxMinerAlgorithm::kLevelwise;
+      } else if (a == "dualize") {
+        algo = MaxMinerAlgorithm::kDualizeAdvance;
+      } else if (a == "dfs") {
+        algo = MaxMinerAlgorithm::kDepthFirst;
+      } else {
+        return Usage();
+      }
+    } else {
+      return Usage();
+    }
+  }
+
+  auto loaded = TransactionDatabase::LoadBasketFile(path);
+  if (!loaded.ok()) {
+    std::cerr << "error: " << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  TransactionDatabase db = std::move(loaded.value());
+  std::cout << "loaded " << db.num_transactions() << " transactions over "
+            << db.num_items() << " items from " << path << "\n";
+
+  AprioriResult mined = MineFrequentSets(&db, min_support);
+  std::cout << mined.frequent.size() << " frequent itemsets at support >= "
+            << min_support << " (" << mined.support_counts
+            << " support counts)\n";
+  TablePrinter levels({"size", "candidates", "frequent"});
+  for (size_t k = 0; k < mined.candidates_per_level.size(); ++k) {
+    levels.NewRow().Add(k).Add(mined.candidates_per_level[k]).Add(
+        k < mined.frequent_per_level.size() ? mined.frequent_per_level[k]
+                                            : 0);
+  }
+  levels.Print();
+
+  auto names = ItemNames(db.num_items());
+  if (want_maximal) {
+    MaxMinerResult mx = MineMaximalFrequentSets(&db, min_support, algo);
+    std::cout << "\nmaximal itemsets (" << ToString(algo) << ", "
+              << mx.queries << " queries):\n";
+    for (const auto& m : mx.maximal) {
+      std::cout << "  " << m.Format(names, " ") << "\n";
+    }
+  }
+  if (want_closed) {
+    auto closed = MineClosedFrequentSets(&db, min_support);
+    std::cout << "\n" << closed.size() << " closed itemsets (vs "
+              << mined.frequent.size() << " frequent)\n";
+  }
+  if (want_rules) {
+    auto rules = GenerateRules(mined, db.num_transactions(), min_conf);
+    std::cout << "\n" << rules.size() << " rules at confidence >= "
+              << min_conf << ":\n";
+    size_t shown = 0;
+    for (const auto& rule : rules) {
+      if (++shown > 20) {
+        std::cout << "  ... (" << rules.size() - 20 << " more)\n";
+        break;
+      }
+      std::cout << "  " << FormatRule(rule, names) << "\n";
+    }
+  }
+  return 0;
+}

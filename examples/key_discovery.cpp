@@ -1,0 +1,73 @@
+// Key and functional-dependency discovery from a relation instance
+// (Section 2's [17] instance and Section 5's agree-set remark).
+//
+// Shows the three equivalent routes to the minimal keys:
+//   1. agree sets + one hypergraph-transversal run (zero oracle queries),
+//   2. the levelwise algorithm over the "is X a non-key?" oracle,
+//   3. Dualize and Advance over the same oracle,
+// and then mines all minimal functional dependencies.
+
+#include <iostream>
+
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "core/set_language.h"
+#include "fd/fd_miner.h"
+#include "fd/key_miner.h"
+#include "fd/relation.h"
+
+int main() {
+  using namespace hgm;
+
+  // A small personnel relation: (emp, dept, mgr, office).
+  // emp is unique; dept determines mgr; office = dept here.
+  RelationInstance r = RelationInstance::FromRows(4, {
+                                                         {0, 10, 100, 1},
+                                                         {1, 10, 100, 1},
+                                                         {2, 11, 101, 2},
+                                                         {3, 12, 101, 3},
+                                                         {4, 12, 101, 3},
+                                                     });
+  std::vector<std::string> names{"emp", "dept", "mgr", "office"};
+  SetLanguage lang(names);
+
+  std::cout << "=== key discovery on a 5-row personnel relation ===\n\n";
+
+  auto agree = MaximalAgreeSets(r);
+  std::cout << "maximal agree sets: " << lang.Format(agree) << "\n\n";
+
+  TablePrinter table({"route", "minimal keys", "queries"});
+  KeyMiningResult via_agree = KeysViaAgreeSets(r);
+  KeyMiningResult via_lw = KeysLevelwise(r);
+  KeyMiningResult via_da = KeysDualizeAdvance(r);
+  table.NewRow()
+      .Add("agree sets + HTR")
+      .Add(lang.Format(via_agree.minimal_keys))
+      .Add(via_agree.queries);
+  table.NewRow()
+      .Add("levelwise")
+      .Add(lang.Format(via_lw.minimal_keys))
+      .Add(via_lw.queries);
+  table.NewRow()
+      .Add("dualize-and-advance")
+      .Add(lang.Format(via_da.minimal_keys))
+      .Add(via_da.queries);
+  table.Print();
+
+  std::cout << "\nminimal functional dependencies:\n";
+  for (const auto& fd : MineAllFds(r)) {
+    std::cout << "  " << FormatFd(fd, names) << "\n";
+  }
+
+  // A larger random instance to show scale.
+  Rng rng(11);
+  RelationInstance big = RandomRelationWithId(500, 8, 4, &rng);
+  KeyMiningResult k = KeysViaAgreeSets(big);
+  std::cout << "\nrandom 500x8 relation (id column + domain-4 columns): "
+            << k.minimal_keys.size() << " minimal keys, e.g. ";
+  if (!k.minimal_keys.empty()) {
+    std::cout << k.minimal_keys.front().ToString();
+  }
+  std::cout << "\n";
+  return 0;
+}

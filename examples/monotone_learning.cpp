@@ -1,0 +1,65 @@
+// Exact learning of a monotone Boolean function with membership queries
+// (Section 6, Theorem 24, Corollaries 26-29).
+//
+// An "adversary" fixes a hidden monotone function; the learner may only
+// ask point-value queries MQ(f).  The Dualize-and-Advance learner recovers
+// both the minimal DNF and the minimal CNF, with query cost sandwiched
+// between the Corollary 27 lower bound |DNF|+|CNF| and the Corollary 28
+// upper bound |CNF|*(|DNF|+n^2).
+
+#include <iostream>
+
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "learning/learners.h"
+#include "learning/membership_oracle.h"
+#include "learning/monotone_function.h"
+
+int main() {
+  using namespace hgm;
+
+  std::cout << "=== exact learning with membership queries ===\n\n";
+
+  // The paper's Example 25 first.
+  {
+    MonotoneDnf hidden(4, {Bitset(4, {0, 3}), Bitset(4, {2, 3})});
+    MembershipOracle oracle(
+        4, [&](const Bitset& x) { return hidden.Eval(x); });
+    LearnResult r = LearnMonotoneDualize(&oracle);
+    std::cout << "[example 25] hidden f = AD | CD over {A,B,C,D}\n";
+    std::cout << "  learned DNF: " << r.dnf.ToString()
+              << "   (x0=A ... x3=D)\n";
+    std::cout << "  learned CNF: " << r.cnf.ToString() << "\n";
+    std::cout << "  queries " << r.queries << " in [" << r.lower_bound
+              << ", " << r.upper_bound << "]\n\n";
+  }
+
+  // Random hidden functions of growing size.
+  TablePrinter table({"n", "|DNF|", "|CNF|", "MQ(dualize)", "MQ(levelwise)",
+                      "lower", "upper(Cor28)", "exact?"});
+  Rng rng(7);
+  for (size_t n : {6, 8, 10, 12, 14}) {
+    MonotoneDnf hidden = RandomDnf(n, 4, 3, &rng);
+    MembershipOracle o1(n, [&](const Bitset& x) { return hidden.Eval(x); });
+    MembershipOracle o2(n, [&](const Bitset& x) { return hidden.Eval(x); });
+    LearnResult da = LearnMonotoneDualize(&o1);
+    LearnResult lw = LearnMonotoneLevelwise(&o2);
+    bool exact = EquivalentBrute(
+        [&](const Bitset& x) { return hidden.Eval(x); },
+        [&](const Bitset& x) { return da.dnf.Eval(x); }, n);
+    table.NewRow()
+        .Add(n)
+        .Add(da.dnf.size())
+        .Add(da.cnf.size())
+        .Add(da.queries)
+        .Add(lw.queries)
+        .Add(da.lower_bound)
+        .Add(da.upper_bound)
+        .Add(exact ? "yes" : "NO");
+  }
+  table.Print();
+  std::cout << "\nNote the Corollary 26 regime (small prime implicants, "
+               "large clauses)\nfavors the levelwise learner; "
+               "bench_learn_dualize sweeps the opposite regime.\n";
+  return 0;
+}

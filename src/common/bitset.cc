@@ -1,0 +1,43 @@
+#include "common/bitset.h"
+
+#include <sstream>
+
+namespace hgm {
+
+std::string Bitset::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  ForEach([&](size_t i) {
+    if (!first) os << ", ";
+    first = false;
+    os << i;
+  });
+  os << "}";
+  return os.str();
+}
+
+std::string Bitset::ToDenseString() const {
+  std::string s(nbits_, '0');
+  ForEach([&](size_t i) { s[i] = '1'; });
+  return s;
+}
+
+std::string Bitset::Format(const std::vector<std::string>& names,
+                           const std::string& sep) const {
+  std::ostringstream os;
+  bool first = true;
+  ForEach([&](size_t i) {
+    if (!first) os << sep;
+    first = false;
+    if (i < names.size()) {
+      os << names[i];
+    } else {
+      os << "#" << i;
+    }
+  });
+  if (first) os << "{}";
+  return os.str();
+}
+
+}  // namespace hgm

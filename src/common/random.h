@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file random.h
+/// \brief Deterministic, seedable randomness for generators and tests.
+///
+/// All synthetic workloads (transaction databases, hypergraphs, monotone
+/// functions, event sequences) are driven by Rng so that every experiment
+/// in EXPERIMENTS.md is reproducible from a seed.
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hgm {
+
+/// SplitMix64; used to expand a single seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// \brief xoshiro256** PRNG.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also drive <random>
+/// distributions, but the convenience members below cover everything the
+/// library needs without pulling in distribution state.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Next raw 64 random bits.
+  uint64_t operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    uint64_t range = hi - lo + 1;
+    if (range == 0) return (*this)();  // full 64-bit range
+    // Lemire-style rejection-free-in-expectation bounded generation.
+    uint64_t threshold = (0 - range) % range;
+    while (true) {
+      uint64_t r = (*this)();
+      if (r >= threshold) return lo + (r % range);
+    }
+  }
+
+  /// Uniform index in [0, n).  Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    assert(n > 0);
+    return static_cast<size_t>(UniformInt(0, n - 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability \p p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Poisson variate via Knuth's method; adequate for the small means used
+  /// by the Quest-style workload generator.
+  size_t Poisson(double mean) {
+    assert(mean >= 0.0);
+    if (mean <= 0.0) return 0;
+    double l = std::exp(-mean);
+    size_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= UniformDouble();
+    } while (p > l);
+    return k - 1;
+  }
+
+  /// Geometric-ish "corruption" trial count used by the Quest generator.
+  double Exponential(double mean) {
+    double u = UniformDouble();
+    if (u <= 0.0) u = 1e-18;
+    return -mean * std::log(u);
+  }
+
+  /// Fisher-Yates shuffle of \p v.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = UniformIndex(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct values sampled uniformly from {0, ..., n-1} (k <= n),
+  /// returned in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k) {
+    assert(k <= n);
+    // Floyd's algorithm.
+    std::vector<size_t> out;
+    out.reserve(k);
+    for (size_t j = n - k; j < n; ++j) {
+      size_t t = UniformInt(0, j);
+      bool seen = false;
+      for (size_t x : out) {
+        if (x == t) {
+          seen = true;
+          break;
+        }
+      }
+      out.push_back(seen ? j : t);
+    }
+    Shuffle(out);
+    return out;
+  }
+
+  /// Derives an independent child generator; useful for parallel streams.
+  Rng Fork() { return Rng((*this)()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace hgm

@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file status.h
+/// \brief RocksDB-style error propagation without exceptions.
+///
+/// Algorithms in hgmine are total functions and do not fail; fallible
+/// operations (file IO, parsing, user-supplied configuration) return a
+/// Status or a Result<T>.  Exceptions are never thrown on hot paths.
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hgm {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// \brief The outcome of a fallible operation: success, or a code plus a
+/// human-readable message.
+///
+/// Statuses are cheap to copy in the OK case (empty message) and are
+/// explicitly convertible to bool for terse checks:
+/// \code
+///   Status s = db.LoadBasketFile(path);
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kIOError:
+        return "IOError";
+      case StatusCode::kFailedPrecondition:
+        return "FailedPrecondition";
+      case StatusCode::kOutOfRange:
+        return "OutOfRange";
+      case StatusCode::kInternal:
+        return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing value() on an error Result aborts in debug builds; callers
+/// must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status.  The status must not be OK.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error, or OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace hgm

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file stopwatch.h
+/// \brief Wall-clock timing for the experiment harnesses.
+
+#include <chrono>
+
+namespace hgm {
+
+/// Monotonic stopwatch; starts running on construction.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hgm

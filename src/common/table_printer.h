@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file table_printer.h
+/// \brief Aligned ASCII tables for the experiment harnesses.
+///
+/// Every bench binary in bench/ prints its result rows through TablePrinter
+/// so that EXPERIMENTS.md can quote the output verbatim.
+
+#include <cctype>
+#include <cstdint>
+#include <type_traits>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hgm {
+
+/// Collects rows of heterogeneous cells and renders them with aligned
+/// columns; optionally also as CSV.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column \p headers.
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Starts a new row; cells are appended with Add*().
+  TablePrinter& NewRow() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  TablePrinter& Add(const std::string& cell) {
+    rows_.back().push_back(cell);
+    return *this;
+  }
+  TablePrinter& Add(const char* cell) { return Add(std::string(cell)); }
+
+  /// Adds any integral cell.
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  TablePrinter& Add(T v) {
+    return Add(std::to_string(v));
+  }
+
+  /// Adds a floating-point cell with \p precision decimals.
+  TablePrinter& Add(double v, int precision = 3) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return Add(os.str());
+  }
+
+  /// Renders the table, right-aligning numeric-looking cells.
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        if (row[c].size() > width[c]) width[c] = row[c].size();
+      }
+    }
+    PrintRow(os, headers_, width);
+    std::string rule;
+    for (size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c], '-');
+      if (c + 1 < width.size()) rule += "-+-";
+    }
+    os << rule << "\n";
+    for (const auto& row : rows_) PrintRow(os, row, width);
+  }
+
+  /// Renders the table as CSV (no quoting; cells must not contain commas).
+  void PrintCsv(std::ostream& os) const {
+    PrintCsvRow(os, headers_);
+    for (const auto& row : rows_) PrintCsvRow(os, row);
+  }
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static void PrintCsvRow(std::ostream& os,
+                          const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  }
+
+  void PrintRow(std::ostream& os, const std::vector<std::string>& row,
+                const std::vector<size_t>& width) const {
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      size_t pad = width[c] - cell.size();
+      // Right-align numbers, left-align text.
+      bool numeric = !cell.empty() && (std::isdigit(cell[0]) ||
+                                       cell[0] == '-' || cell[0] == '+');
+      if (numeric) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+      if (c + 1 < width.size()) os << " | ";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hgm

@@ -1,0 +1,87 @@
+#include "core/dualize_advance.h"
+
+#include <algorithm>
+
+#include "core/theory.h"
+#include "hypergraph/transversal_berge.h"
+#include "hypergraph/transversal_fk.h"
+
+namespace hgm {
+
+DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
+                                       const DualizeAdvanceOptions& options) {
+  DualizeAdvanceResult result;
+  const size_t n = oracle->num_items();
+
+  auto make_enumerator = options.make_enumerator
+                             ? options.make_enumerator
+                             : []() -> std::unique_ptr<TransversalEnumerator> {
+                                 return std::make_unique<
+                                     FkTransversalEnumerator>();
+                               };
+
+  auto ask = [&](const Bitset& x) {
+    ++result.queries;
+    return oracle->IsInteresting(x);
+  };
+
+  // Greedy extension (Step 9): add one attribute at a time while the set
+  // stays interesting; at most width(L) = n queries per rank level.
+  auto extend_to_maximal = [&](Bitset x) {
+    for (size_t v = 0; v < n; ++v) {
+      if (x.Test(v)) continue;
+      Bitset candidate = x.WithBit(v);
+      if (ask(candidate)) x = std::move(candidate);
+    }
+    return x;
+  };
+
+  std::vector<Bitset> maximal;  // C_i
+  while (true) {
+    ++result.iterations;
+    // Step 3: complements of C_i; Tr of that hypergraph is Bd-(C_i).
+    Hypergraph complements(n);
+    for (const auto& m : maximal) complements.AddEdge(~m);
+
+    if (options.measure_intermediate_borders) {
+      BergeTransversals berge;
+      result.intermediate_border_sizes.push_back(
+          berge.Compute(complements).num_edges());
+    }
+
+    auto enumerator = make_enumerator();
+    enumerator->Reset(complements);
+
+    std::vector<Bitset> non_interesting;
+    Bitset x(n);
+    bool advanced = false;
+    size_t enumerated_this_iteration = 0;
+    while (enumerator->Next(&x)) {
+      ++result.transversals_enumerated;
+      ++enumerated_this_iteration;
+      if (ask(x)) {
+        // Counterexample (Step 6): extend to a new maximal set.
+        maximal.push_back(extend_to_maximal(std::move(x)));
+        advanced = true;
+        break;
+      }
+      non_interesting.push_back(x);
+    }
+    result.max_enumerated_one_iteration =
+        std::max(result.max_enumerated_one_iteration,
+                 enumerated_this_iteration);
+    if (!advanced) {
+      // Step 8: every minimal transversal is non-interesting, so
+      // C_i = MTh and the enumerated transversals are exactly Bd-(MTh).
+      result.negative_border = std::move(non_interesting);
+      break;
+    }
+  }
+
+  CanonicalSort(&maximal);
+  result.positive_border = std::move(maximal);
+  CanonicalSort(&result.negative_border);
+  return result;
+}
+
+}  // namespace hgm

@@ -1,0 +1,103 @@
+#include "core/levelwise.h"
+
+#include <unordered_set>
+
+#include "common/apriori_gen.h"
+#include "core/theory.h"
+
+namespace hgm {
+
+LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
+                             const LevelwiseOptions& options) {
+  LevelwiseResult result;
+  const size_t n = oracle->num_items();
+
+  auto ask = [&](const Bitset& x) {
+    ++result.queries;
+    return oracle->IsInteresting(x);
+  };
+
+  // Level 0: the unique most general sentence, ∅.
+  ++result.candidates;
+  result.candidates_per_level.push_back(1);
+  if (!ask(Bitset(n))) {
+    // Nothing is interesting; Th = ∅ and Bd- = {∅}.
+    result.negative_border.push_back(Bitset(n));
+    result.interesting_per_level.push_back(0);
+    return result;
+  }
+  result.interesting_per_level.push_back(1);
+  if (options.record_theory) result.theory.push_back(Bitset(n));
+
+  std::vector<ItemVec> level;  // interesting sets of the current size
+  level.push_back(ItemVec{});
+  std::unordered_set<Bitset, BitsetHash> level_set;
+  std::vector<Bitset> maximal_candidates;  // interesting sets that spawned
+                                           // no interesting successor
+
+  for (size_t k = 0; !level.empty() && k < options.max_level; ++k) {
+    result.levels = k + 1;
+    std::vector<ItemVec> candidates;
+    if (k == 0) {
+      candidates = SingletonCandidates(n);
+    } else {
+      level_set.clear();
+      for (const auto& s : level) {
+        level_set.insert(Bitset::FromIndices(n, s));
+      }
+      candidates = AprioriGen(level, level_set, n);
+    }
+    result.candidates += candidates.size();
+    result.candidates_per_level.push_back(candidates.size());
+
+    std::vector<ItemVec> next;
+    for (auto& cand : candidates) {
+      Bitset x = Bitset::FromIndices(n, cand);
+      if (ask(x)) {
+        if (options.record_theory) result.theory.push_back(x);
+        next.push_back(std::move(cand));
+      } else {
+        result.negative_border.push_back(std::move(x));
+      }
+    }
+    result.interesting_per_level.push_back(next.size());
+
+    // An interesting k-set is maximal iff it has no interesting
+    // (k+1)-superset; apriori-gen completeness guarantees every interesting
+    // (k+1)-set appears in `next`, so diffing against it is exact.
+    std::vector<Bitset> next_sets;
+    next_sets.reserve(next.size());
+    for (const auto& s : next) {
+      next_sets.push_back(Bitset::FromIndices(n, s));
+    }
+    for (const auto& s : level) {
+      Bitset x = Bitset::FromIndices(n, s);
+      bool extended = false;
+      for (const auto& sup : next_sets) {
+        if (x.IsSubsetOf(sup)) {
+          extended = true;
+          break;
+        }
+      }
+      if (!extended) maximal_candidates.push_back(std::move(x));
+    }
+    level = std::move(next);
+  }
+  // Whatever remains in `level` when the loop exits on the max_level cap is
+  // maximal within the truncated lattice.
+  for (const auto& s : level) {
+    maximal_candidates.push_back(Bitset::FromIndices(n, s));
+  }
+
+  // The per-level diff already guarantees maximality for untruncated runs,
+  // but a final antichain pass keeps the contract unconditional.
+  AntichainMaximize(&maximal_candidates);
+  CanonicalSort(&maximal_candidates);
+  result.positive_border = std::move(maximal_candidates);
+
+  CanonicalSort(&result.negative_border);
+  if (options.record_theory) CanonicalSort(&result.theory);
+  return result;
+}
+
+}  // namespace hgm

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file levelwise.h
+/// \brief The levelwise algorithm (Algorithm 9) for languages representable
+/// as sets.
+///
+/// Walks the subset lattice bottom-up, alternating candidate generation
+/// (which never touches the data) with evaluation of the quality predicate
+/// q.  On termination:
+///
+///  * theory          = Th(L, r, q)            (all interesting sentences)
+///  * positive_border = MTh = Bd+(Th)          (maximal interesting)
+///  * negative_border = Bd-(Th)                (minimal non-interesting
+///                                              among generated candidates)
+///  * queries         = |Th| + |Bd-(Th)|       (Theorem 10, exactly)
+///
+/// Theorem 12 bounds queries by dc(k) * width(L) * |MTh|; for frequent
+/// sets this is 2^k * n * |MTh| (Corollary 13).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "core/oracle.h"
+
+namespace hgm {
+
+/// Output of a levelwise run.
+struct LevelwiseResult {
+  /// Th(L, r, q): every interesting sentence, canonically sorted.
+  std::vector<Bitset> theory;
+  /// MTh(L, r, q) = Bd+(Th): the maximal interesting sentences.
+  std::vector<Bitset> positive_border;
+  /// Bd-(Th): the minimal non-interesting sentences.
+  std::vector<Bitset> negative_border;
+  /// Evaluations of q performed; equals theory.size() +
+  /// negative_border.size() (Theorem 10).
+  uint64_t queries = 0;
+  /// Candidates generated across all levels (= queries: every candidate is
+  /// evaluated exactly once).
+  uint64_t candidates = 0;
+  /// Number of candidate-generation/evaluation iterations executed
+  /// (the largest i with C_i nonempty).
+  size_t levels = 0;
+
+  /// Per-level bookkeeping, index = set size: candidates and interesting
+  /// counts, as in the classic association-mining tables of [2].
+  std::vector<size_t> candidates_per_level;
+  std::vector<size_t> interesting_per_level;
+};
+
+/// Options controlling a levelwise run.
+struct LevelwiseOptions {
+  /// Stop after this lattice level (sets of this size are still evaluated).
+  /// Bitset::npos means no cap.  With a cap the returned borders are the
+  /// borders of the truncated theory.
+  size_t max_level = Bitset::npos;
+  /// If false, `theory` is left empty to save memory on large runs
+  /// (borders and counters are still filled in).
+  bool record_theory = true;
+};
+
+/// Runs Algorithm 9 against \p oracle (which must be monotone downward).
+LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
+                             const LevelwiseOptions& options = {});
+
+}  // namespace hgm

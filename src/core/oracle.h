@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file oracle.h
+/// \brief The Is-interesting query model of Section 3.
+///
+/// The paper's model of computation charges only for questions of the form
+/// "does q(r, phi) hold?".  Every mining / learning algorithm in this
+/// library accesses its data exclusively through an InterestingnessOracle,
+/// and CountingOracle implements the cost accounting used by Theorem 2,
+/// Corollary 4, Theorem 10, Theorem 21 and the benches.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/bitset.h"
+
+namespace hgm {
+
+/// Abstract Is-interesting oracle over sentences represented as sets.
+///
+/// Implementations must be *monotone downward*: if IsInteresting(x) and
+/// y ⊆ x then IsInteresting(y) (the quality predicate q is monotone with
+/// respect to the specialization relation; Section 2).
+class InterestingnessOracle {
+ public:
+  virtual ~InterestingnessOracle() = default;
+
+  /// Evaluates q(r, phi) for the sentence represented by \p x.
+  virtual bool IsInteresting(const Bitset& x) = 0;
+
+  /// Universe size of the representing set lattice.
+  virtual size_t num_items() const = 0;
+};
+
+/// Adapts a callable to the oracle interface.
+class FunctionOracle : public InterestingnessOracle {
+ public:
+  FunctionOracle(size_t num_items, std::function<bool(const Bitset&)> fn)
+      : num_items_(num_items), fn_(std::move(fn)) {}
+
+  bool IsInteresting(const Bitset& x) override { return fn_(x); }
+  size_t num_items() const override { return num_items_; }
+
+ private:
+  size_t num_items_;
+  std::function<bool(const Bitset&)> fn_;
+};
+
+/// \brief Counts queries issued to an underlying oracle.
+///
+/// Tracks both raw query count (the paper's cost measure: every evaluation
+/// of q is charged) and the number of *distinct* sentences queried, which
+/// separates algorithmic redundancy from inherent cost.  Can optionally
+/// memoize so repeated questions are answered from cache while still being
+/// counted as raw queries.
+class CountingOracle : public InterestingnessOracle {
+ public:
+  /// Wraps \p inner (not owned).  If \p memoize is set, repeated queries
+  /// do not re-evaluate the inner oracle.
+  explicit CountingOracle(InterestingnessOracle* inner, bool memoize = false)
+      : inner_(inner), memoize_(memoize) {}
+
+  bool IsInteresting(const Bitset& x) override {
+    ++raw_queries_;
+    if (memoize_) {
+      auto it = cache_.find(x);
+      if (it != cache_.end()) return it->second;
+      bool v = inner_->IsInteresting(x);
+      cache_.emplace(x, v);
+      ++distinct_queries_;
+      return v;
+    }
+    if (seen_.insert(x).second) ++distinct_queries_;
+    return inner_->IsInteresting(x);
+  }
+
+  size_t num_items() const override { return inner_->num_items(); }
+
+  /// Total evaluations of q charged (the paper's measure).
+  uint64_t raw_queries() const { return raw_queries_; }
+
+  /// Number of distinct sentences ever asked about.
+  uint64_t distinct_queries() const { return distinct_queries_; }
+
+  /// Resets all counters (and the memo cache).
+  void ResetCounters() {
+    raw_queries_ = 0;
+    distinct_queries_ = 0;
+    cache_.clear();
+    seen_.clear();
+  }
+
+ private:
+  InterestingnessOracle* inner_;
+  bool memoize_;
+  uint64_t raw_queries_ = 0;
+  uint64_t distinct_queries_ = 0;
+  std::unordered_map<Bitset, bool, BitsetHash> cache_;
+  std::unordered_set<Bitset, BitsetHash> seen_;
+};
+
+/// \brief Debug wrapper that checks the monotonicity precondition.
+///
+/// Every algorithm in core/ assumes the predicate is monotone downward
+/// (Section 2); feeding a non-monotone predicate silently yields wrong
+/// borders.  This wrapper records all answers and flags the first pair
+/// (x interesting, y ⊆ x not interesting) it witnesses.  O(history) per
+/// query — for tests and debugging, not production runs.
+class MonotonicityCheckingOracle : public InterestingnessOracle {
+ public:
+  explicit MonotonicityCheckingOracle(InterestingnessOracle* inner)
+      : inner_(inner) {}
+
+  bool IsInteresting(const Bitset& x) override {
+    bool answer = inner_->IsInteresting(x);
+    if (!violation_found_) {
+      for (const auto& [y, y_answer] : history_) {
+        // Downward monotone: interesting sets have interesting subsets.
+        bool bad = (answer && y.IsSubsetOf(x) && !y_answer) ||
+                   (!answer && x.IsSubsetOf(y) && y_answer);
+        if (bad) {
+          violation_found_ = true;
+          violation_interesting_ = answer ? x : y;
+          violation_subset_ = answer ? y : x;
+          break;
+        }
+      }
+      history_.emplace_back(x, answer);
+    }
+    return answer;
+  }
+
+  size_t num_items() const override { return inner_->num_items(); }
+
+  /// True iff a monotonicity violation was witnessed.
+  bool violation_found() const { return violation_found_; }
+
+  /// The witnessing pair: an interesting set whose recorded subset was
+  /// reported non-interesting.  Meaningful only if violation_found().
+  const Bitset& violation_interesting() const {
+    return violation_interesting_;
+  }
+  const Bitset& violation_subset() const { return violation_subset_; }
+
+ private:
+  InterestingnessOracle* inner_;
+  std::vector<std::pair<Bitset, bool>> history_;
+  bool violation_found_ = false;
+  Bitset violation_interesting_{0};
+  Bitset violation_subset_{0};
+};
+
+}  // namespace hgm

@@ -1,0 +1,97 @@
+#include "core/random_walk.h"
+
+#include <unordered_set>
+
+#include "core/theory.h"
+#include "hypergraph/transversal_mmcs.h"
+
+namespace hgm {
+
+Bitset RandomMaximalExtension(InterestingnessOracle* oracle,
+                              const Bitset& start, Rng* rng) {
+  const size_t n = oracle->num_items();
+  std::vector<size_t> order;
+  order.reserve(n);
+  for (size_t v = 0; v < n; ++v) {
+    if (!start.Test(v)) order.push_back(v);
+  }
+  rng->Shuffle(order);
+  Bitset current = start;
+  for (size_t v : order) {
+    Bitset candidate = current.WithBit(v);
+    if (oracle->IsInteresting(candidate)) current = std::move(candidate);
+  }
+  return current;
+}
+
+RandomWalkResult RunRandomizedDualizeAdvance(
+    InterestingnessOracle* oracle, Rng* rng,
+    const RandomWalkOptions& options) {
+  RandomWalkResult result;
+  const size_t n = oracle->num_items();
+  CountingOracle counter(oracle);
+
+  // The empty sentence decides whether the theory is empty.
+  if (!counter.IsInteresting(Bitset(n))) {
+    result.negative_border.push_back(Bitset(n));
+    result.queries = counter.raw_queries();
+    return result;
+  }
+
+  std::vector<Bitset> maximal;
+  std::unordered_set<Bitset, BitsetHash> seen;
+  auto add_maximal = [&](Bitset m) -> bool {
+    if (!seen.insert(m).second) return false;
+    maximal.push_back(std::move(m));
+    return true;
+  };
+
+  // Walk rounds alternate with certification dualizations.
+  while (true) {
+    // --- random-walk phase -------------------------------------------
+    size_t stale = 0;
+    for (size_t w = 0;
+         w < options.walks_per_round && stale < options.stale_walk_limit;
+         ++w) {
+      ++result.walks;
+      Bitset m = RandomMaximalExtension(&counter, Bitset(n), rng);
+      if (add_maximal(m)) {
+        ++result.found_by_walks;
+        stale = 0;
+      } else {
+        ++stale;
+      }
+    }
+
+    // --- dualization phase --------------------------------------------
+    ++result.dualizations;
+    Hypergraph complements(n);
+    for (const auto& m : maximal) complements.AddEdge(~m);
+    MmcsEnumerator enumerator;
+    enumerator.Reset(complements);
+    std::vector<Bitset> non_interesting;
+    Bitset x(n);
+    bool advanced = false;
+    while (enumerator.Next(&x)) {
+      if (counter.IsInteresting(x)) {
+        // Unexplored region: extend (randomly) and continue walking.
+        add_maximal(RandomMaximalExtension(&counter, x, rng));
+        advanced = true;
+        break;
+      }
+      non_interesting.push_back(x);
+    }
+    if (!advanced) {
+      result.negative_border = std::move(non_interesting);
+      break;
+    }
+  }
+
+  CanonicalSort(&maximal);
+  result.positive_border = std::move(maximal);
+  CanonicalSort(&result.negative_border);
+  result.queries = counter.raw_queries();
+  return result;
+}
+
+}  // namespace hgm

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file random_walk.h
+/// \brief The randomized Dualize-and-Advance variant of [11]
+/// (Gunopulos, Mannila, Saluja, ICDT'97).
+///
+/// The paper's Algorithm 16 finds one new maximal set per dualization.
+/// [11] — the empirical study Algorithm 16 was distilled from — instead
+/// interleaves cheap RANDOM WALKS to maximal sets with the expensive
+/// dualizations: walk up from ∅ along random interesting extensions until
+/// stuck (each walk costs at most rank * width queries), collect several
+/// distinct maximal sets per round, and only then dualize to either find
+/// an unexplored region (a counterexample transversal to restart walks
+/// from) or certify completeness.  Fewer dualizations are needed when
+/// |MTh| is large; bench_random_walk quantifies the trade.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/random.h"
+#include "core/dualize_advance.h"
+#include "core/oracle.h"
+
+namespace hgm {
+
+/// Extends \p start to a maximal interesting set, trying the missing
+/// items in uniformly random order (one query per item tried).
+/// \p start must be interesting.
+Bitset RandomMaximalExtension(InterestingnessOracle* oracle,
+                              const Bitset& start, Rng* rng);
+
+/// Options for the randomized algorithm.
+struct RandomWalkOptions {
+  /// Random walks attempted per round before dualizing.
+  size_t walks_per_round = 8;
+  /// Stop a round early once this many consecutive walks rediscover
+  /// already-known maximal sets.
+  size_t stale_walk_limit = 4;
+};
+
+/// Result of the randomized run; dualizations counts the transversal-
+/// subroutine invocations (the quantity the walks are meant to save).
+struct RandomWalkResult {
+  std::vector<Bitset> positive_border;
+  std::vector<Bitset> negative_border;
+  uint64_t queries = 0;
+  size_t dualizations = 0;
+  size_t walks = 0;
+  /// Maximal sets discovered by walks (the rest came from
+  /// counterexample extensions).
+  size_t found_by_walks = 0;
+};
+
+/// Runs the [11]-style randomized MaxTh computation.
+RandomWalkResult RunRandomizedDualizeAdvance(
+    InterestingnessOracle* oracle, Rng* rng,
+    const RandomWalkOptions& options = {});
+
+}  // namespace hgm

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file set_language.h
+/// \brief Representing a language as sets (Definition 6).
+///
+/// A language L with specialization relation ⪯ is *representable as sets*
+/// if there is a bijection f : L -> P(R) with theta ⪯ phi  <=>
+/// f(theta) ⊆ f(phi).  All lattice algorithms in core/ operate on the
+/// image P(R); SetLanguage carries R's size and human-readable item names
+/// so instances (itemsets, attribute sets, variable sets) can render their
+/// sentences.
+
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+
+namespace hgm {
+
+/// The representation target P(R): |R| items with optional names.
+class SetLanguage {
+ public:
+  /// Items named "A", "B", ..., "Z", "#26", ... by default.
+  explicit SetLanguage(size_t num_items) : names_(num_items) {
+    for (size_t i = 0; i < num_items; ++i) {
+      if (i < 26) {
+        names_[i] = std::string(1, static_cast<char>('A' + i));
+      } else {
+        names_[i] = "#" + std::to_string(i);
+      }
+    }
+  }
+
+  /// Items with explicit names.
+  explicit SetLanguage(std::vector<std::string> names)
+      : names_(std::move(names)) {}
+
+  size_t num_items() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::string& name(size_t i) const { return names_[i]; }
+
+  /// Renders a sentence: "ABD" for single-character item names, or
+  /// "dept,mgr" when any name is longer.
+  std::string Format(const Bitset& x) const {
+    return x.Format(names_, separator());
+  }
+
+  /// Renders a family, e.g. "{ABC, BD}".
+  std::string Format(const std::vector<Bitset>& family) const {
+    std::string out = "{";
+    for (size_t i = 0; i < family.size(); ++i) {
+      if (i) out += ", ";
+      out += Format(family[i]);
+    }
+    out += "}";
+    return out;
+  }
+
+  /// width(L, ⪯) for a subset lattice: every set has at most n immediate
+  /// successors (Theorem 12's width factor).
+  size_t width() const { return names_.size(); }
+
+ private:
+  std::string separator() const {
+    for (const auto& name : names_) {
+      if (name.size() > 1) return ",";
+    }
+    return "";
+  }
+
+  std::vector<std::string> names_;
+};
+
+}  // namespace hgm

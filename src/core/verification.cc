@@ -1,0 +1,56 @@
+#include "core/verification.h"
+
+#include "core/theory.h"
+#include "hypergraph/transversal_berge.h"
+
+namespace hgm {
+
+VerificationResult VerifyMaxTheory(const std::vector<Bitset>& s,
+                                   InterestingnessOracle* oracle,
+                                   TransversalAlgorithm* engine,
+                                   bool exhaustive) {
+  VerificationResult result;
+  const size_t n = oracle->num_items();
+
+  // Syntactic precondition (no data access): MTh is an antichain.
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t j = 0; j < s.size(); ++j) {
+      if (i != j && s[i].IsSubsetOf(s[j])) {
+        result.failures.push_back(s[i]);
+        return result;
+      }
+    }
+  }
+
+  BergeTransversals default_engine;
+  if (engine == nullptr) engine = &default_engine;
+
+  // Bd-(S) from S alone, via Theorem 7.
+  std::vector<Bitset> bd_minus = NegativeBorderViaTransversals(s, n, engine);
+  result.border_size = s.size() + bd_minus.size();
+
+  bool ok = true;
+  // Positive side: every maximal element must be interesting.
+  for (const auto& x : s) {
+    ++result.queries;
+    if (!oracle->IsInteresting(x)) {
+      ok = false;
+      result.failures.push_back(x);
+      if (!exhaustive) return result;
+    }
+  }
+  // Negative side: every element of Bd-(S) must be non-interesting.  By
+  // monotonicity this certifies Th = downward-closure(S).
+  for (const auto& x : bd_minus) {
+    ++result.queries;
+    if (oracle->IsInteresting(x)) {
+      ok = false;
+      result.failures.push_back(x);
+      if (!exhaustive) return result;
+    }
+  }
+  result.verified = ok;
+  return result;
+}
+
+}  // namespace hgm

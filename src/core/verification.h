@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file verification.h
+/// \brief The verification problem (Problem 3) and Corollary 4.
+///
+/// Given a candidate family S, decide whether S = MTh(L, r, q).  Corollary 4
+/// states the problem needs at least |Bd(S)| evaluations of q in the worst
+/// case and is solvable with exactly that many:
+///
+///   * every element of Bd+(S) (= max(S)) must be interesting, and
+///   * every element of Bd-(S) (computed from S alone, via Theorem 7 and a
+///     transversal subroutine — no data access) must be non-interesting.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitset.h"
+#include "core/oracle.h"
+#include "hypergraph/transversal.h"
+
+namespace hgm {
+
+/// Outcome of a verification run.
+struct VerificationResult {
+  /// True iff S = MTh(L, r, q).
+  bool verified = false;
+  /// Evaluations of q used; exactly |Bd+(S)| + |Bd-(S)| when S is an
+  /// antichain (fewer if an early mismatch short-circuits, unless
+  /// exhaustive checking is requested).
+  uint64_t queries = 0;
+  /// Size of the border |Bd(S)| = |Bd+(S)| + |Bd-(S)| (the Corollary 4
+  /// lower bound for this instance).
+  size_t border_size = 0;
+  /// The sentences that disproved S, if any: interesting members of
+  /// Bd-(S) or non-interesting members of Bd+(S).
+  std::vector<Bitset> failures;
+};
+
+/// Verifies S = MTh against \p oracle.  \p engine computes the transversals
+/// for Theorem 7 (Berge by default if null).  If \p exhaustive is set, all
+/// border sentences are checked even after the first failure (making
+/// queries exactly |Bd(S)| always).
+VerificationResult VerifyMaxTheory(const std::vector<Bitset>& s,
+                                   InterestingnessOracle* oracle,
+                                   TransversalAlgorithm* engine = nullptr,
+                                   bool exhaustive = false);
+
+}  // namespace hgm

@@ -1,0 +1,58 @@
+#include "episodes/event_sequence.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hgm {
+
+void EventSequence::AddEvent(int64_t time, size_t type) {
+  assert(type < num_types_);
+  assert(events_.empty() || time >= events_.back().time);
+  events_.push_back(Event{time, type});
+}
+
+size_t EventSequence::NumWindows(int64_t width) const {
+  assert(width >= 1);
+  if (events_.empty()) return 0;
+  // Starts from min_time - width + 1 to max_time inclusive.
+  return static_cast<size_t>(max_time() - (min_time() - width + 1) + 1);
+}
+
+std::pair<size_t, size_t> EventSequence::WindowRange(int64_t start,
+                                                     int64_t width) const {
+  auto lo = std::lower_bound(
+      events_.begin(), events_.end(), start,
+      [](const Event& e, int64_t t) { return e.time < t; });
+  auto hi = std::lower_bound(
+      events_.begin(), events_.end(), start + width,
+      [](const Event& e, int64_t t) { return e.time < t; });
+  return {static_cast<size_t>(lo - events_.begin()),
+          static_cast<size_t>(hi - events_.begin())};
+}
+
+EventSequence RandomSequence(size_t length, size_t num_types, Rng* rng) {
+  EventSequence seq(num_types);
+  for (size_t t = 0; t < length; ++t) {
+    seq.AddEvent(static_cast<int64_t>(t), rng->UniformIndex(num_types));
+  }
+  return seq;
+}
+
+EventSequence SequenceWithPlantedPattern(size_t length, size_t num_types,
+                                         const std::vector<size_t>& pattern,
+                                         size_t period, Rng* rng) {
+  assert(period >= pattern.size() && period > 0);
+  EventSequence seq(num_types);
+  size_t in_pattern = 0;
+  for (size_t t = 0; t < length; ++t) {
+    if (t % period < pattern.size()) {
+      in_pattern = t % period;
+      seq.AddEvent(static_cast<int64_t>(t), pattern[in_pattern]);
+    } else {
+      seq.AddEvent(static_cast<int64_t>(t), rng->UniformIndex(num_types));
+    }
+  }
+  return seq;
+}
+
+}  // namespace hgm

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file event_sequence.h
+/// \brief Event sequences for episode mining ([21], Section 2).
+///
+/// Episodes are the paper's example of a MaxTh instance whose language is
+/// *not* representable as sets (serial episodes order their events, so the
+/// specialization relation is not a subset lattice; Section 3).  The
+/// levelwise algorithm still applies; Dualize and Advance does not.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/random.h"
+
+namespace hgm {
+
+/// A timestamped event.
+struct Event {
+  int64_t time = 0;
+  size_t type = 0;
+};
+
+/// A time-ordered sequence of events over a fixed alphabet of event types.
+class EventSequence {
+ public:
+  explicit EventSequence(size_t num_types = 0) : num_types_(num_types) {}
+
+  size_t num_types() const { return num_types_; }
+  size_t size() const { return events_.size(); }
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Appends an event; times must be non-decreasing.
+  void AddEvent(int64_t time, size_t type);
+
+  int64_t min_time() const { return events_.empty() ? 0 : events_.front().time; }
+  int64_t max_time() const { return events_.empty() ? 0 : events_.back().time; }
+
+  /// Number of sliding windows of \p width considered by WINEPI: every
+  /// window [t, t+width) that overlaps the sequence, i.e. t from
+  /// min_time - width + 1 to max_time (inclusive).  0 for empty sequences.
+  size_t NumWindows(int64_t width) const;
+
+  /// Events with time in [start, start+width), in time order, as indices
+  /// into events().
+  std::pair<size_t, size_t> WindowRange(int64_t start, int64_t width) const;
+
+ private:
+  size_t num_types_;
+  std::vector<Event> events_;
+};
+
+/// Uniform random sequence: one event per time unit, types uniform.
+EventSequence RandomSequence(size_t length, size_t num_types, Rng* rng);
+
+/// Random sequence with a planted serial pattern injected every
+/// \p period time units (pattern events at consecutive times), creating
+/// frequent serial and parallel episodes.
+EventSequence SequenceWithPlantedPattern(size_t length, size_t num_types,
+                                         const std::vector<size_t>& pattern,
+                                         size_t period, Rng* rng);
+
+}  // namespace hgm

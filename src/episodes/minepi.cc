@@ -1,0 +1,158 @@
+#include "episodes/minepi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+
+namespace hgm {
+
+std::vector<MinimalOccurrence> FindMinimalOccurrences(
+    const EventSequence& seq, const SerialEpisode& episode,
+    int64_t max_width) {
+  std::vector<MinimalOccurrence> anchored;
+  if (episode.empty() || seq.size() == 0) return anchored;
+  const auto& events = seq.events();
+
+  // For every anchor (match of the first symbol), the earliest completion
+  // within the width bound.
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type != episode[0]) continue;
+    int64_t start = events[i].time;
+    size_t matched = 1;
+    size_t j = i + 1;
+    while (matched < episode.size() && j < events.size() &&
+           events[j].time - start + 1 <= max_width) {
+      if (events[j].type == episode[matched]) ++matched;
+      if (matched == episode.size()) break;
+      ++j;
+    }
+    if (matched == episode.size()) {
+      int64_t end = episode.size() == 1 ? start : events[j].time;
+      anchored.push_back({start, end});
+    }
+  }
+
+  // Reduce to one interval per start (anchors at equal times keep the
+  // earliest end; starts are non-decreasing because events are sorted).
+  std::vector<MinimalOccurrence> per_start;
+  for (const auto& mo : anchored) {
+    if (!per_start.empty() && per_start.back().start == mo.start) {
+      per_start.back().end = std::min(per_start.back().end, mo.end);
+    } else {
+      per_start.push_back(mo);
+    }
+  }
+  // Minimality: with strictly increasing starts, [s, e] is minimal iff no
+  // later interval ends at or before e.  Scan right-to-left tracking the
+  // smallest end seen so far.
+  std::vector<MinimalOccurrence> minimal;
+  int64_t best_later_end = std::numeric_limits<int64_t>::max();
+  for (size_t idx = per_start.size(); idx-- > 0;) {
+    const MinimalOccurrence& mo = per_start[idx];
+    if (mo.end < best_later_end) {
+      minimal.push_back(mo);
+      best_later_end = mo.end;
+    }
+  }
+  std::reverse(minimal.begin(), minimal.end());
+  return minimal;
+}
+
+MinepiResult MineMinimalOccurrences(const EventSequence& seq,
+                                    const MinepiParams& params) {
+  MinepiResult result;
+  if (seq.size() == 0) return result;
+  const size_t num_types = seq.num_types();
+
+  auto count = [&](const SerialEpisode& e) {
+    ++result.occurrence_scans;
+    return FindMinimalOccurrences(seq, e, params.max_width).size();
+  };
+
+  // Level 1.
+  std::vector<SerialEpisode> level;
+  result.candidates_per_level.assign(2, 0);
+  result.frequent_per_level.assign(2, 0);
+  result.candidates_per_level[1] = num_types;
+  for (size_t type = 0; type < num_types; ++type) {
+    SerialEpisode e{type};
+    size_t occ = count(e);
+    if (occ >= params.min_occurrences) {
+      result.frequent.push_back({e, occ});
+      level.push_back(std::move(e));
+    }
+  }
+  result.frequent_per_level[1] = level.size();
+
+  // Levels k -> k+1 via the prefix/suffix join.  Monotonicity of the
+  // minimal-occurrence count under prefix and suffix deletion (each
+  // minimal occurrence of the longer episode injects into one of the
+  // shorter's) makes the join complete; middle deletions are not used.
+  for (size_t k = 1; !level.empty() && k < params.max_size; ++k) {
+    std::vector<SerialEpisode> candidates;
+    for (const auto& alpha : level) {
+      for (const auto& beta : level) {
+        if (!std::equal(alpha.begin() + 1, alpha.end(), beta.begin())) {
+          continue;
+        }
+        SerialEpisode cand = alpha;
+        cand.push_back(beta.back());
+        candidates.push_back(std::move(cand));
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    result.candidates_per_level.push_back(candidates.size());
+
+    std::vector<SerialEpisode> next;
+    for (auto& cand : candidates) {
+      size_t occ = count(cand);
+      if (occ >= params.min_occurrences) {
+        result.frequent.push_back({cand, occ});
+        next.push_back(std::move(cand));
+      }
+    }
+    result.frequent_per_level.push_back(next.size());
+    level = std::move(next);
+  }
+  return result;
+}
+
+std::vector<EpisodeRule> GenerateEpisodeRules(const MinepiResult& mined,
+                                              double min_confidence) {
+  std::vector<EpisodeRule> rules;
+  // Index mo-counts by episode.
+  std::map<SerialEpisode, size_t> occurrences;
+  for (const auto& f : mined.frequent) occurrences[f.types] = f.occurrences;
+  for (const auto& f : mined.frequent) {
+    if (f.types.size() < 2) continue;
+    for (size_t prefix_len = 1; prefix_len < f.types.size();
+         ++prefix_len) {
+      SerialEpisode alpha(f.types.begin(),
+                          f.types.begin() + prefix_len);
+      auto it = occurrences.find(alpha);
+      if (it == occurrences.end() || it->second == 0) continue;
+      double confidence = static_cast<double>(f.occurrences) /
+                          static_cast<double>(it->second);
+      if (confidence + 1e-12 < min_confidence) continue;
+      rules.push_back({std::move(alpha), f.types, f.occurrences,
+                       confidence});
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const EpisodeRule& a, const EpisodeRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.support != b.support) return a.support > b.support;
+              if (a.consequent != b.consequent) {
+                return a.consequent < b.consequent;
+              }
+              return a.antecedent < b.antecedent;
+            });
+  return rules;
+}
+
+}  // namespace hgm

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file minepi.h
+/// \brief MINEPI: episode mining by minimal occurrences
+/// (Mannila & Toivonen, KDD'96 — the companion of [21]'s WINEPI).
+///
+/// A *minimal occurrence* of a serial episode is a time interval
+/// [ts, te] containing an occurrence such that no proper sub-interval
+/// does.  MINEPI counts minimal occurrences of width <= a bound W instead
+/// of sliding windows; the count is monotone under sub-episodes (every
+/// minimal occurrence of an episode contains one of each sub-episode), so
+/// the levelwise algorithm applies — another instance of the paper's
+/// framework, and another language that is NOT representable as sets.
+///
+/// Episode rules "alpha => gamma" (gamma extends alpha) get confidence
+/// |mo(gamma)| / |mo(alpha)|: when the prefix is seen, how often does the
+/// whole episode complete within the bound?
+
+#include <cstdint>
+#include <vector>
+
+#include "episodes/event_sequence.h"
+#include "episodes/winepi.h"
+
+namespace hgm {
+
+/// A minimal occurrence interval (inclusive endpoints).
+struct MinimalOccurrence {
+  int64_t start = 0;
+  int64_t end = 0;
+};
+
+/// All minimal occurrences of \p episode with width <= \p max_width
+/// (width = end - start + 1), in increasing start order.
+std::vector<MinimalOccurrence> FindMinimalOccurrences(
+    const EventSequence& seq, const SerialEpisode& episode,
+    int64_t max_width);
+
+/// Parameters of a MINEPI run.
+struct MinepiParams {
+  /// Maximum minimal-occurrence width considered.
+  int64_t max_width = 10;
+  /// Minimum number of minimal occurrences for an episode to be frequent.
+  size_t min_occurrences = 5;
+  /// Stop after episodes of this size.
+  size_t max_size = 8;
+};
+
+/// A frequent serial episode with its minimal-occurrence count.
+struct MinepiEpisode {
+  SerialEpisode types;
+  size_t occurrences = 0;
+};
+
+/// An episode rule alpha => gamma, with gamma a proper extension of alpha.
+struct EpisodeRule {
+  SerialEpisode antecedent;
+  SerialEpisode consequent;  // the full episode gamma
+  size_t support = 0;        // |mo(gamma)|
+  double confidence = 0.0;   // |mo(gamma)| / |mo(antecedent)|
+};
+
+/// Output of MINEPI mining.
+struct MinepiResult {
+  std::vector<MinepiEpisode> frequent;
+  std::vector<size_t> candidates_per_level;
+  std::vector<size_t> frequent_per_level;
+  uint64_t occurrence_scans = 0;
+};
+
+/// Levelwise MINEPI over serial episodes.
+MinepiResult MineMinimalOccurrences(const EventSequence& seq,
+                                    const MinepiParams& params);
+
+/// Episode rules from a MINEPI result: for every frequent episode gamma
+/// of size >= 2 and every proper prefix alpha, emit alpha => gamma when
+/// confidence >= \p min_confidence.  Sorted by descending confidence.
+std::vector<EpisodeRule> GenerateEpisodeRules(const MinepiResult& mined,
+                                              double min_confidence);
+
+}  // namespace hgm

@@ -1,0 +1,175 @@
+#include "episodes/winepi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "core/theory.h"
+#include "mining/apriori.h"
+#include "mining/transaction_db.h"
+
+namespace hgm {
+
+namespace {
+
+/// Materializes the WINEPI window database: one row per sliding window,
+/// items = event types present in the window.  Parallel-episode mining is
+/// exactly frequent-set mining over this relation — the reduction that
+/// makes [21]'s parallel case an instance of the paper's framework.
+TransactionDatabase WindowDatabase(const EventSequence& seq,
+                                   int64_t window_width) {
+  TransactionDatabase db(seq.num_types());
+  if (seq.size() == 0) return db;
+  const int64_t base = seq.min_time() - window_width + 1;
+  const size_t num_windows = seq.NumWindows(window_width);
+  for (size_t w = 0; w < num_windows; ++w) {
+    int64_t start = base + static_cast<int64_t>(w);
+    auto [lo, hi] = seq.WindowRange(start, window_width);
+    Bitset row(seq.num_types());
+    for (size_t i = lo; i < hi; ++i) row.Set(seq.events()[i].type);
+    db.AddTransaction(std::move(row));
+  }
+  return db;
+}
+
+/// True iff \p episode occurs in order among events [lo, hi).
+bool SerialOccursInRange(const EventSequence& seq, size_t lo, size_t hi,
+                         const SerialEpisode& episode) {
+  size_t matched = 0;
+  for (size_t i = lo; i < hi && matched < episode.size(); ++i) {
+    if (seq.events()[i].type == episode[matched]) ++matched;
+  }
+  return matched == episode.size();
+}
+
+size_t MinSupportFor(double min_frequency, size_t num_windows) {
+  double target = min_frequency * static_cast<double>(num_windows);
+  auto support = static_cast<size_t>(std::ceil(target - 1e-9));
+  return support;
+}
+
+}  // namespace
+
+double ParallelEpisodeFrequency(const EventSequence& seq,
+                                const Bitset& types, int64_t window_width) {
+  if (seq.size() == 0) return 0.0;
+  TransactionDatabase db = WindowDatabase(seq, window_width);
+  return db.Frequency(types);
+}
+
+double SerialEpisodeFrequency(const EventSequence& seq,
+                              const SerialEpisode& episode,
+                              int64_t window_width) {
+  if (seq.size() == 0) return 0.0;
+  const int64_t base = seq.min_time() - window_width + 1;
+  const size_t num_windows = seq.NumWindows(window_width);
+  size_t hits = 0;
+  for (size_t w = 0; w < num_windows; ++w) {
+    int64_t start = base + static_cast<int64_t>(w);
+    auto [lo, hi] = seq.WindowRange(start, window_width);
+    if (SerialOccursInRange(seq, lo, hi, episode)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(num_windows);
+}
+
+ParallelWinepiResult MineParallelEpisodes(const EventSequence& seq,
+                                          const WinepiParams& params) {
+  ParallelWinepiResult result;
+  if (seq.size() == 0) return result;
+  TransactionDatabase db = WindowDatabase(seq, params.window_width);
+  const size_t num_windows = db.num_transactions();
+  AprioriOptions opts;
+  opts.max_level = params.max_size;
+  AprioriResult mined = MineFrequentSets(
+      &db, MinSupportFor(params.min_frequency, num_windows), opts);
+  for (const auto& f : mined.frequent) {
+    if (f.items.None()) continue;  // the empty episode is not reported
+    result.frequent.push_back(
+        {f.items, static_cast<double>(f.support) /
+                      static_cast<double>(num_windows)});
+  }
+  result.maximal = std::move(mined.maximal);
+  result.candidates_per_level = std::move(mined.candidates_per_level);
+  result.frequent_per_level = std::move(mined.frequent_per_level);
+  result.frequency_evaluations = mined.support_counts;
+  return result;
+}
+
+SerialWinepiResult MineSerialEpisodes(const EventSequence& seq,
+                                      const WinepiParams& params) {
+  SerialWinepiResult result;
+  if (seq.size() == 0) return result;
+  const size_t num_types = seq.num_types();
+
+  // Level 1: single event types.
+  std::vector<SerialEpisode> level;
+  result.candidates_per_level.assign(2, 0);
+  result.frequent_per_level.assign(2, 0);
+  result.candidates_per_level[1] = num_types;
+  for (size_t type = 0; type < num_types; ++type) {
+    SerialEpisode e{type};
+    ++result.frequency_evaluations;
+    double freq = SerialEpisodeFrequency(seq, e, params.window_width);
+    if (freq + 1e-12 >= params.min_frequency) {
+      result.frequent.push_back({e, freq});
+      level.push_back(std::move(e));
+    }
+  }
+  result.frequent_per_level[1] = level.size();
+
+  for (size_t k = 1; !level.empty() && k < params.max_size; ++k) {
+    // Join: alpha + beta.back() when alpha's suffix equals beta's prefix.
+    std::set<SerialEpisode> level_set(level.begin(), level.end());
+    std::vector<SerialEpisode> candidates;
+    for (const auto& alpha : level) {
+      for (const auto& beta : level) {
+        if (!std::equal(alpha.begin() + 1, alpha.end(), beta.begin())) {
+          continue;
+        }
+        SerialEpisode cand = alpha;
+        cand.push_back(beta.back());
+        // Prune: every delete-one subsequence must be frequent.
+        bool ok = true;
+        for (size_t drop = 0; ok && drop < cand.size(); ++drop) {
+          SerialEpisode sub;
+          sub.reserve(cand.size() - 1);
+          for (size_t i = 0; i < cand.size(); ++i) {
+            if (i != drop) sub.push_back(cand[i]);
+          }
+          ok = level_set.contains(sub);
+        }
+        if (ok) candidates.push_back(std::move(cand));
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    result.candidates_per_level.push_back(candidates.size());
+
+    std::vector<SerialEpisode> next;
+    for (auto& cand : candidates) {
+      ++result.frequency_evaluations;
+      double freq = SerialEpisodeFrequency(seq, cand, params.window_width);
+      if (freq + 1e-12 >= params.min_frequency) {
+        result.frequent.push_back({cand, freq});
+        next.push_back(std::move(cand));
+      }
+    }
+    result.frequent_per_level.push_back(next.size());
+    level = std::move(next);
+  }
+  return result;
+}
+
+std::string FormatSerialEpisode(const SerialEpisode& episode) {
+  std::ostringstream os;
+  for (size_t i = 0; i < episode.size(); ++i) {
+    if (i) os << " -> ";
+    os << episode[i];
+  }
+  return os.str();
+}
+
+}  // namespace hgm

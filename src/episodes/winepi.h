@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file winepi.h
+/// \brief WINEPI-style levelwise episode mining ([21]).
+///
+/// An episode is frequent if it occurs in at least a min_frequency
+/// fraction of the width-W sliding windows.  Two episode classes:
+///
+///  * parallel episodes — a set of event types, all of which must appear
+///    in the window.  Representable as sets, so this is a direct instance
+///    of Algorithm 9 over the subset lattice.
+///  * serial episodes — a *sequence* of event types (repeats allowed)
+///    that must appear in order inside the window.  The specialization
+///    relation (subsequence) is NOT a subset lattice — the paper's example
+///    of a language not representable as sets — so Dualize and Advance
+///    does not apply, but the levelwise algorithm still does, with
+///    episode-specific candidate generation (prefix/suffix join).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "episodes/event_sequence.h"
+
+namespace hgm {
+
+/// A serial episode: event types in required order (repeats allowed).
+using SerialEpisode = std::vector<size_t>;
+
+/// Parameters of a WINEPI run.
+struct WinepiParams {
+  /// Sliding-window width (time units).
+  int64_t window_width = 10;
+  /// Minimum fraction of windows that must contain the episode.
+  double min_frequency = 0.1;
+  /// Stop after episodes of this size.
+  size_t max_size = 8;
+};
+
+/// A frequent parallel episode with its window frequency.
+struct FrequentParallelEpisode {
+  Bitset types;
+  double frequency = 0.0;
+};
+
+/// A frequent serial episode with its window frequency.
+struct FrequentSerialEpisode {
+  SerialEpisode types;
+  double frequency = 0.0;
+};
+
+/// Output of parallel-episode mining.
+struct ParallelWinepiResult {
+  std::vector<FrequentParallelEpisode> frequent;
+  std::vector<Bitset> maximal;
+  std::vector<size_t> candidates_per_level;
+  std::vector<size_t> frequent_per_level;
+  uint64_t frequency_evaluations = 0;
+};
+
+/// Output of serial-episode mining.
+struct SerialWinepiResult {
+  std::vector<FrequentSerialEpisode> frequent;
+  std::vector<size_t> candidates_per_level;
+  std::vector<size_t> frequent_per_level;
+  uint64_t frequency_evaluations = 0;
+};
+
+/// Fraction of windows containing every type of \p types.
+double ParallelEpisodeFrequency(const EventSequence& seq, const Bitset& types,
+                                int64_t window_width);
+
+/// Fraction of windows containing \p episode as an in-order subsequence.
+double SerialEpisodeFrequency(const EventSequence& seq,
+                              const SerialEpisode& episode,
+                              int64_t window_width);
+
+/// Levelwise mining of frequent parallel episodes.
+ParallelWinepiResult MineParallelEpisodes(const EventSequence& seq,
+                                          const WinepiParams& params);
+
+/// Levelwise mining of frequent serial episodes (prefix/suffix join).
+SerialWinepiResult MineSerialEpisodes(const EventSequence& seq,
+                                      const WinepiParams& params);
+
+/// Renders a serial episode as "3 -> 1 -> 4".
+std::string FormatSerialEpisode(const SerialEpisode& episode);
+
+}  // namespace hgm

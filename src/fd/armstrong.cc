@@ -1,0 +1,27 @@
+#include "fd/armstrong.h"
+
+#include <cassert>
+
+namespace hgm {
+
+RelationInstance ArmstrongRelationForAgreeSets(
+    size_t num_attributes, const std::vector<Bitset>& agree_sets) {
+  RelationInstance r(num_attributes);
+  // Base row of zeros.
+  r.AddRow(std::vector<uint64_t>(num_attributes, 0));
+  // One row per member: zeros on the member, globally fresh values
+  // elsewhere so no accidental agreement arises between witness rows.
+  uint64_t fresh = 1;
+  for (const auto& m : agree_sets) {
+    assert(m.size() == num_attributes);
+    assert(!m.AllSet() && "the full set cannot be a maximal agree set");
+    std::vector<uint64_t> row(num_attributes, 0);
+    for (size_t a = 0; a < num_attributes; ++a) {
+      if (!m.Test(a)) row[a] = fresh++;
+    }
+    r.AddRow(std::move(row));
+  }
+  return r;
+}
+
+}  // namespace hgm

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file armstrong.h
+/// \brief Armstrong relations for key sets ([16]; Section 3's remark).
+///
+/// The paper notes that translating between a set of functional
+/// dependencies and their Armstrong relation is "at least as hard as
+/// [HTR] and equivalent to it in special cases".  This module implements
+/// the key-oriented special case constructively: given an antichain A of
+/// attribute sets, build a relation whose MAXIMAL AGREE SETS are exactly
+/// A — hence whose minimal keys are exactly Tr({complements of A}).
+///
+/// Construction: one base row of zeros; for each member M of A, one row
+/// that agrees with the base row exactly on M (fresh values elsewhere).
+/// Rows for distinct members agree on the intersection of their members,
+/// which lies below A in the subset order, so A survives maximization.
+///
+/// Round-tripping KeysViaAgreeSets over ArmstrongRelationForAgreeSets is
+/// the executable form of the paper's equivalence remark.
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "fd/relation.h"
+
+namespace hgm {
+
+/// Builds a relation whose maximal agree sets equal the antichain
+/// \p agree_sets.  Members must be proper subsets of the universe (the
+/// full set would force duplicate rows, i.e. no keys at all).  The empty
+/// family yields a single-row relation, for which every attribute set —
+/// including ∅ — is a key, matching Tr(edge-free hypergraph) = {∅}.
+RelationInstance ArmstrongRelationForAgreeSets(
+    size_t num_attributes, const std::vector<Bitset>& agree_sets);
+
+}  // namespace hgm

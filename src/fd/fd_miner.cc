@@ -1,0 +1,80 @@
+#include "fd/fd_miner.h"
+
+#include <sstream>
+
+#include "core/levelwise.h"
+#include "core/theory.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/transversal_berge.h"
+
+namespace hgm {
+
+FdMiningResult FdsForRhsViaHypergraph(const RelationInstance& r,
+                                      size_t rhs) {
+  FdMiningResult result;
+  const size_t n = r.num_attributes();
+  // Difference sets of row pairs that disagree on rhs.
+  std::vector<Bitset> difference_sets;
+  for (size_t t = 0; t < r.num_rows(); ++t) {
+    for (size_t u = t + 1; u < r.num_rows(); ++u) {
+      if (r.row(t)[rhs] == r.row(u)[rhs]) continue;
+      Bitset diff = ~r.AgreeSet(t, u);
+      diff.Reset(rhs);
+      difference_sets.push_back(std::move(diff));
+    }
+  }
+  Hypergraph h(n);
+  AntichainMinimize(&difference_sets);
+  for (auto& d : difference_sets) h.AddEdge(std::move(d));
+  BergeTransversals berge;
+  result.minimal_lhs = berge.Compute(h).SortedEdges();
+  CanonicalSort(&result.minimal_lhs);
+  return result;
+}
+
+FdMiningResult FdsForRhsLevelwise(const RelationInstance& r, size_t rhs) {
+  FdViolationOracle oracle(&r, rhs);
+  CountingOracle counter(&oracle);
+  LevelwiseOptions opts;
+  opts.record_theory = false;
+  LevelwiseResult lw = RunLevelwise(&counter, opts);
+  FdMiningResult result;
+  // Bd- = minimal determining sets; drop the trivial {rhs} -> rhs.
+  for (auto& x : lw.negative_border) {
+    if (x.Count() == 1 && x.Test(rhs)) continue;
+    result.minimal_lhs.push_back(std::move(x));
+  }
+  CanonicalSort(&result.minimal_lhs);
+  result.queries = counter.raw_queries();
+  return result;
+}
+
+std::vector<FunctionalDependency> MineAllFds(const RelationInstance& r) {
+  std::vector<FunctionalDependency> fds;
+  for (size_t a = 0; a < r.num_attributes(); ++a) {
+    FdMiningResult res = FdsForRhsViaHypergraph(r, a);
+    for (auto& lhs : res.minimal_lhs) {
+      fds.push_back({std::move(lhs), a});
+    }
+  }
+  return fds;
+}
+
+std::string FormatFd(const FunctionalDependency& fd,
+                     const std::vector<std::string>& names) {
+  std::ostringstream os;
+  if (fd.lhs.None()) {
+    os << "{}";
+  } else {
+    os << fd.lhs.Format(names);
+  }
+  os << " -> ";
+  if (fd.rhs < names.size()) {
+    os << names[fd.rhs];
+  } else {
+    os << "#" << fd.rhs;
+  }
+  return os.str();
+}
+
+}  // namespace hgm

@@ -1,0 +1,132 @@
+#include "fd/ind_miner.h"
+
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/levelwise.h"
+#include "core/oracle.h"
+#include "core/theory.h"
+
+namespace hgm {
+
+namespace {
+
+/// FNV-1a over a projected tuple.
+uint64_t TupleHash(const std::vector<uint64_t>& row,
+                   const std::vector<size_t>& attrs) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t a : attrs) {
+    h ^= row[a] + 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool SatisfiesInd(const RelationInstance& r, const RelationInstance& s,
+                  const std::vector<size_t>& lhs,
+                  const std::vector<size_t>& rhs) {
+  assert(lhs.size() == rhs.size());
+  if (lhs.empty()) return true;
+  // Hash every projection of s onto rhs, then probe with r's projections
+  // onto lhs.  Hash collisions are resolved by exact comparison.
+  std::unordered_multimap<uint64_t, size_t> s_tuples;
+  s_tuples.reserve(s.num_rows());
+  for (size_t j = 0; j < s.num_rows(); ++j) {
+    s_tuples.emplace(TupleHash(s.row(j), rhs), j);
+  }
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    uint64_t h = TupleHash(r.row(i), lhs);
+    auto [lo, hi] = s_tuples.equal_range(h);
+    bool found = false;
+    for (auto it = lo; it != hi && !found; ++it) {
+      found = true;
+      for (size_t k = 0; k < lhs.size(); ++k) {
+        if (r.row(i)[lhs[k]] != s.row(it->second)[rhs[k]]) {
+          found = false;
+          break;
+        }
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::vector<UnaryInd> FindUnaryInds(const RelationInstance& r,
+                                    const RelationInstance& s) {
+  std::vector<UnaryInd> out;
+  for (size_t a = 0; a < r.num_attributes(); ++a) {
+    for (size_t b = 0; b < s.num_attributes(); ++b) {
+      if (SatisfiesInd(r, s, {a}, {b})) out.push_back({a, b});
+    }
+  }
+  return out;
+}
+
+IndMiningResult MineInclusionDependencies(const RelationInstance& r,
+                                          const RelationInstance& s) {
+  IndMiningResult result;
+  result.unary = FindUnaryInds(r, s);
+  const size_t m = result.unary.size();
+
+  // The set representation: a subset of the m valid unary INDs.
+  auto to_pairing = [&](const Bitset& x, std::vector<size_t>* lhs,
+                        std::vector<size_t>* rhs) -> bool {
+    lhs->clear();
+    rhs->clear();
+    std::unordered_set<size_t> used_l, used_r;
+    bool well_formed = true;
+    x.ForEach([&](size_t item) {
+      const UnaryInd& u = result.unary[item];
+      if (!used_l.insert(u.lhs).second || !used_r.insert(u.rhs).second) {
+        well_formed = false;  // attribute reused on one side
+      }
+      lhs->push_back(u.lhs);
+      rhs->push_back(u.rhs);
+    });
+    return well_formed;
+  };
+
+  FunctionOracle oracle(m, [&](const Bitset& x) {
+    std::vector<size_t> lhs, rhs;
+    if (!to_pairing(x, &lhs, &rhs)) return false;  // ill-formed pairing
+    return SatisfiesInd(r, s, lhs, rhs);
+  });
+  CountingOracle counter(&oracle);
+  LevelwiseOptions opts;
+  opts.record_theory = false;
+  LevelwiseResult lw = RunLevelwise(&counter, opts);
+  result.queries = counter.raw_queries();
+
+  for (const auto& x : lw.positive_border) {
+    InclusionDependency ind;
+    std::vector<size_t> lhs, rhs;
+    to_pairing(x, &lhs, &rhs);
+    ind.lhs = std::move(lhs);
+    ind.rhs = std::move(rhs);
+    if (!ind.lhs.empty()) result.maximal.push_back(std::move(ind));
+  }
+  return result;
+}
+
+std::string FormatInd(const InclusionDependency& ind) {
+  std::ostringstream os;
+  os << "r[";
+  for (size_t i = 0; i < ind.lhs.size(); ++i) {
+    if (i) os << ",";
+    os << ind.lhs[i];
+  }
+  os << "] <= s[";
+  for (size_t i = 0; i < ind.rhs.size(); ++i) {
+    if (i) os << ",";
+    os << ind.rhs[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace hgm

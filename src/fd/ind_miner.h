@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file ind_miner.h
+/// \brief Inclusion-dependency discovery — the third database instance the
+/// paper lists for its framework ("finding keys or inclusion dependencies
+/// from relation instances", Section 1/2, [17]).
+///
+/// An n-ary IND r[A1..Ak] ⊆ s[B1..Bk] holds when every projection of r
+/// onto (A1..Ak) appears among s's projections onto (B1..Bk).  The
+/// representation as sets: items are the *valid unary INDs* (a, b); a set
+/// of items encodes the combined IND pairing each a with its b.  If the
+/// combined IND holds, every sub-pairing holds (project away columns), so
+/// the satisfaction predicate is monotone downward and the levelwise
+/// algorithm computes the maximal INDs.  Sets whose pairing reuses a left
+/// or right attribute are ill-formed; they and all their supersets are
+/// simply "not interesting", which respects monotonicity.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "fd/relation.h"
+
+namespace hgm {
+
+/// A unary inclusion dependency r[lhs] ⊆ s[rhs].
+struct UnaryInd {
+  size_t lhs = 0;
+  size_t rhs = 0;
+};
+
+/// An n-ary inclusion dependency as parallel attribute lists.
+struct InclusionDependency {
+  std::vector<size_t> lhs;
+  std::vector<size_t> rhs;
+};
+
+/// Result of IND discovery.
+struct IndMiningResult {
+  /// The valid unary INDs (the item universe of the set representation).
+  std::vector<UnaryInd> unary;
+  /// The maximal INDs (every valid IND is a sub-pairing of one of these).
+  std::vector<InclusionDependency> maximal;
+  /// Satisfaction-predicate evaluations performed by the levelwise walk.
+  uint64_t queries = 0;
+};
+
+/// True iff r[lhs] ⊆ s[rhs] (componentwise pairing, positional).
+bool SatisfiesInd(const RelationInstance& r, const RelationInstance& s,
+                  const std::vector<size_t>& lhs,
+                  const std::vector<size_t>& rhs);
+
+/// All valid unary INDs from \p r into \p s.
+std::vector<UnaryInd> FindUnaryInds(const RelationInstance& r,
+                                    const RelationInstance& s);
+
+/// Levelwise discovery of the maximal INDs from \p r into \p s.
+IndMiningResult MineInclusionDependencies(const RelationInstance& r,
+                                          const RelationInstance& s);
+
+/// Renders "r[0,2] <= s[1,3]".
+std::string FormatInd(const InclusionDependency& ind);
+
+}  // namespace hgm

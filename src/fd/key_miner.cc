@@ -1,0 +1,75 @@
+#include "fd/key_miner.h"
+
+#include "core/dualize_advance.h"
+#include "core/levelwise.h"
+#include "core/theory.h"
+#include "hypergraph/transversal_berge.h"
+
+namespace hgm {
+
+std::vector<Bitset> MaximalAgreeSets(const RelationInstance& r) {
+  std::vector<Bitset> agree;
+  for (size_t t = 0; t < r.num_rows(); ++t) {
+    for (size_t u = t + 1; u < r.num_rows(); ++u) {
+      agree.push_back(r.AgreeSet(t, u));
+    }
+  }
+  AntichainMaximize(&agree);
+  CanonicalSort(&agree);
+  return agree;
+}
+
+KeyMiningResult KeysViaAgreeSets(const RelationInstance& r) {
+  KeyMiningResult result;
+  result.maximal_non_keys = MaximalAgreeSets(r);
+  const size_t n = r.num_attributes();
+  // Minimal keys = Tr(complements of maximal agree sets).  With < 2 rows
+  // there are no agree sets, the hypergraph is edge-free, and Tr = {∅}:
+  // the empty set is a key, correctly.
+  Hypergraph disagreements(n);
+  for (const auto& a : result.maximal_non_keys) {
+    disagreements.AddEdge(~a);
+  }
+  BergeTransversals berge;
+  result.minimal_keys = berge.Compute(disagreements).SortedEdges();
+  CanonicalSort(&result.minimal_keys);
+  return result;
+}
+
+namespace {
+
+KeyMiningResult PackageBorders(std::vector<Bitset> positive_border,
+                               std::vector<Bitset> negative_border,
+                               uint64_t queries) {
+  KeyMiningResult result;
+  result.maximal_non_keys = std::move(positive_border);
+  result.minimal_keys = std::move(negative_border);
+  result.queries = queries;
+  return result;
+}
+
+}  // namespace
+
+KeyMiningResult KeysLevelwise(const RelationInstance& r) {
+  NonKeyOracle oracle(&r);
+  CountingOracle counter(&oracle);
+  LevelwiseOptions opts;
+  opts.record_theory = false;
+  LevelwiseResult lw = RunLevelwise(&counter, opts);
+  // MTh = maximal non-keys; Bd- = minimal keys.  With <= 1 row nothing is
+  // interesting and RunLevelwise already returns MTh = {} and Bd- = {∅}.
+  return PackageBorders(std::move(lw.positive_border),
+                        std::move(lw.negative_border),
+                        counter.raw_queries());
+}
+
+KeyMiningResult KeysDualizeAdvance(const RelationInstance& r) {
+  NonKeyOracle oracle(&r);
+  CountingOracle counter(&oracle);
+  DualizeAdvanceResult da = RunDualizeAdvance(&counter);
+  return PackageBorders(std::move(da.positive_border),
+                        std::move(da.negative_border),
+                        counter.raw_queries());
+}
+
+}  // namespace hgm

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file key_miner.h
+/// \brief Minimal-key discovery: the MaxTh instance of [17] (Section 2)
+/// and the agree-set + HTR shortcut of Section 5 ([16, 12]).
+///
+/// X is a key iff no two rows agree on all of X, iff X intersects the
+/// complement of every agree set.  Hence
+///
+///   minimal keys = Tr( { R \ ag(t,u) : maximal agree sets ag } ).
+///
+/// Three routes are provided:
+///  * KeysViaAgreeSets     — compute agree sets from the data, one HTR run
+///                           (no Is-interesting queries at all);
+///  * KeysLevelwise        — Algorithm 9 with q(X) = "X is NOT a key"
+///                           (MTh = maximal non-keys = maximal agree sets;
+///                           Bd- = minimal keys);
+///  * KeysDualizeAdvance   — Algorithm 16 with the same oracle.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "core/oracle.h"
+#include "fd/relation.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hgm {
+
+/// Result of a key-discovery run.
+struct KeyMiningResult {
+  /// The minimal keys of the instance (empty if duplicate rows exist).
+  std::vector<Bitset> minimal_keys;
+  /// The maximal non-key attribute sets (= maximal agree sets, when the
+  /// relation has >= 2 rows); MTh in the framework's terms.
+  std::vector<Bitset> maximal_non_keys;
+  /// Is-interesting (non-key) predicate evaluations; 0 for the agree-set
+  /// route, which reads the data directly.
+  uint64_t queries = 0;
+};
+
+/// All pairwise agree sets of \p r, maximized to an antichain.
+std::vector<Bitset> MaximalAgreeSets(const RelationInstance& r);
+
+/// Agree sets + one HTR run; touches the data only to build agree sets.
+KeyMiningResult KeysViaAgreeSets(const RelationInstance& r);
+
+/// Levelwise key mining (walks all non-key sets bottom-up).
+KeyMiningResult KeysLevelwise(const RelationInstance& r);
+
+/// Dualize-and-Advance key mining.
+KeyMiningResult KeysDualizeAdvance(const RelationInstance& r);
+
+/// The non-key Is-interesting oracle (exposed for experiments):
+/// IsInteresting(X) = "some two rows agree on all of X".
+class NonKeyOracle : public InterestingnessOracle {
+ public:
+  explicit NonKeyOracle(const RelationInstance* r) : r_(r) {}
+
+  bool IsInteresting(const Bitset& x) override { return !r_->IsKey(x); }
+  size_t num_items() const override { return r_->num_attributes(); }
+
+ private:
+  const RelationInstance* r_;
+};
+
+}  // namespace hgm

@@ -1,0 +1,176 @@
+#include "fd/partitions.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/apriori_gen.h"
+#include "core/theory.h"
+
+namespace hgm {
+
+StrippedPartition StrippedPartition::ForAttribute(const RelationInstance& r,
+                                                  size_t attribute) {
+  std::unordered_map<uint64_t, std::vector<size_t>> groups;
+  for (size_t row = 0; row < r.num_rows(); ++row) {
+    groups[r.row(row)[attribute]].push_back(row);
+  }
+  StrippedPartition p;
+  for (auto& [value, rows] : groups) {
+    if (rows.size() >= 2) p.classes_.push_back(std::move(rows));
+  }
+  return p;
+}
+
+StrippedPartition StrippedPartition::ForSet(const RelationInstance& r,
+                                            const Bitset& attributes) {
+  StrippedPartition p;
+  if (attributes.None()) {
+    // One class with every row (if at least two exist).
+    if (r.num_rows() >= 2) {
+      std::vector<size_t> all(r.num_rows());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+      p.classes_.push_back(std::move(all));
+    }
+    return p;
+  }
+  bool first = true;
+  attributes.ForEach([&](size_t a) {
+    StrippedPartition pa = ForAttribute(r, a);
+    p = first ? std::move(pa) : p.Product(pa, r.num_rows());
+    first = false;
+  });
+  return p;
+}
+
+StrippedPartition StrippedPartition::Product(const StrippedPartition& other,
+                                             size_t num_rows) const {
+  // Probe table: row -> index of its class in *this (or npos).
+  std::vector<size_t> probe(num_rows, Bitset::npos);
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    for (size_t row : classes_[c]) probe[row] = c;
+  }
+  StrippedPartition result;
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+  for (const auto& oc : other.classes_) {
+    buckets.clear();
+    for (size_t row : oc) {
+      if (probe[row] != Bitset::npos) buckets[probe[row]].push_back(row);
+    }
+    for (auto& [c, rows] : buckets) {
+      if (rows.size() >= 2) result.classes_.push_back(std::move(rows));
+    }
+  }
+  return result;
+}
+
+size_t StrippedPartition::num_stripped_rows() const {
+  size_t total = 0;
+  for (const auto& c : classes_) total += c.size();
+  return total;
+}
+
+bool StrippedPartition::RefinesAttribute(const RelationInstance& r,
+                                         size_t rhs) const {
+  for (const auto& c : classes_) {
+    uint64_t value = r.row(c.front())[rhs];
+    for (size_t row : c) {
+      if (r.row(row)[rhs] != value) return false;
+    }
+  }
+  return true;
+}
+
+KeyMiningResult KeysLevelwisePartitions(const RelationInstance& r) {
+  KeyMiningResult result;
+  const size_t n = r.num_attributes();
+  const size_t rows = r.num_rows();
+
+  // Level 0: ∅ is a key only for relations with <= 1 row.
+  ++result.queries;
+  if (rows <= 1) {
+    result.minimal_keys.push_back(Bitset(n));
+    return result;
+  }
+
+  struct LevelEntry {
+    ItemVec items;
+    StrippedPartition partition;
+  };
+  // Level 1.
+  std::vector<LevelEntry> level;
+  for (size_t a = 0; a < n; ++a) {
+    ++result.queries;
+    StrippedPartition p = StrippedPartition::ForAttribute(r, a);
+    if (p.IsSuperkeyPartition()) {
+      result.minimal_keys.push_back(Bitset::Singleton(n, a));
+    } else {
+      level.push_back({ItemVec{static_cast<uint32_t>(a)}, std::move(p)});
+    }
+  }
+  if (level.empty() && result.minimal_keys.empty()) {
+    // No attributes at all; with >= 2 rows there is no key.
+    return result;
+  }
+  if (level.empty()) {
+    CanonicalSort(&result.minimal_keys);
+    return result;
+  }
+
+  std::vector<Bitset> maximal_non_keys;
+  for (size_t k = 1; !level.empty(); ++k) {
+    std::unordered_set<Bitset, BitsetHash> level_set;
+    for (const auto& e : level) {
+      level_set.insert(Bitset::FromIndices(n, e.items));
+    }
+    std::vector<LevelEntry> next;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        if (!std::equal(level[i].items.begin(), level[i].items.end() - 1,
+                        level[j].items.begin())) {
+          break;
+        }
+        ItemVec cand = level[i].items;
+        cand.push_back(level[j].items.back());
+        if (cand[k - 1] > cand[k]) std::swap(cand[k - 1], cand[k]);
+        bool ok = true;
+        for (size_t drop = 0; ok && drop + 2 <= cand.size(); ++drop) {
+          ItemVec sub;
+          for (size_t t = 0; t < cand.size(); ++t) {
+            if (t != drop) sub.push_back(cand[t]);
+          }
+          ok = level_set.contains(Bitset::FromIndices(n, sub));
+        }
+        if (!ok) continue;
+        ++result.queries;
+        StrippedPartition p =
+            level[i].partition.Product(level[j].partition, rows);
+        Bitset x = Bitset::FromIndices(n, cand);
+        if (p.IsSuperkeyPartition()) {
+          result.minimal_keys.push_back(std::move(x));
+        } else {
+          next.push_back({std::move(cand), std::move(p)});
+        }
+      }
+    }
+    // Maximal non-key collection (mirrors RunLevelwise's diff sweep).
+    for (size_t i = 0; i < level.size(); ++i) {
+      Bitset x = Bitset::FromIndices(n, level[i].items);
+      bool covered = false;
+      for (const auto& e : next) {
+        if (x.IsSubsetOf(Bitset::FromIndices(n, e.items))) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) maximal_non_keys.push_back(std::move(x));
+    }
+    level = std::move(next);
+  }
+  AntichainMaximize(&maximal_non_keys);
+  CanonicalSort(&maximal_non_keys);
+  result.maximal_non_keys = std::move(maximal_non_keys);
+  CanonicalSort(&result.minimal_keys);
+  return result;
+}
+
+}  // namespace hgm

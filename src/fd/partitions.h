@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file partitions.h
+/// \brief Stripped partitions (TANE-style) for key and FD checking.
+///
+/// The partition of a relation under an attribute set X groups rows that
+/// agree on X; *stripped* means singleton classes are dropped.  Two facts
+/// make this the classic fast substrate for dependency discovery:
+///
+///   * X is a superkey  <=>  the stripped partition of X is empty;
+///   * X -> A holds     <=>  every class of X's partition is constant
+///                           on A  (equivalently error(X) = error(X∪A)).
+///
+/// Partitions compose level-by-level exactly like Apriori's tidsets: the
+/// partition of a (k+1)-set is the product of its two join parents' —
+/// which is how KeysLevelwisePartitions avoids per-query row hashing.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "fd/key_miner.h"
+#include "fd/relation.h"
+
+namespace hgm {
+
+/// A stripped partition: equivalence classes (row-id lists) of size >= 2.
+class StrippedPartition {
+ public:
+  StrippedPartition() = default;
+
+  /// Partition under a single attribute.
+  static StrippedPartition ForAttribute(const RelationInstance& r,
+                                        size_t attribute);
+
+  /// Partition under an attribute set (product of the singletons).
+  static StrippedPartition ForSet(const RelationInstance& r,
+                                  const Bitset& attributes);
+
+  /// Product: the partition of X ∪ Y from those of X and Y.
+  /// \p num_rows is the relation's row count.
+  StrippedPartition Product(const StrippedPartition& other,
+                            size_t num_rows) const;
+
+  const std::vector<std::vector<size_t>>& classes() const {
+    return classes_;
+  }
+
+  /// Number of non-singleton classes.
+  size_t num_classes() const { return classes_.size(); }
+
+  /// Rows appearing in non-singleton classes.
+  size_t num_stripped_rows() const;
+
+  /// The TANE error measure e(X) = stripped rows - classes; 0 iff the
+  /// attribute set is a superkey.
+  size_t Error() const { return num_stripped_rows() - num_classes(); }
+
+  /// True iff the generating attribute set is a superkey (no two rows
+  /// agree, i.e. the stripped partition is empty).
+  bool IsSuperkeyPartition() const { return classes_.empty(); }
+
+  /// True iff every class is constant on \p rhs — the FD "X -> rhs".
+  bool RefinesAttribute(const RelationInstance& r, size_t rhs) const;
+
+ private:
+  std::vector<std::vector<size_t>> classes_;
+};
+
+/// Key mining via levelwise search with partition products (the fast
+/// engine; results identical to KeysLevelwise / KeysViaAgreeSets).
+KeyMiningResult KeysLevelwisePartitions(const RelationInstance& r);
+
+}  // namespace hgm

@@ -1,0 +1,114 @@
+#include "fd/relation.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hgm {
+
+namespace {
+
+/// FNV-1a hash of the projection of \p row onto \p x.
+uint64_t ProjectionHash(const std::vector<uint64_t>& row, const Bitset& x) {
+  uint64_t h = 1469598103934665603ull;
+  x.ForEach([&](size_t a) {
+    h ^= row[a] + 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
+  });
+  return h;
+}
+
+bool ProjectionsEqual(const std::vector<uint64_t>& a,
+                      const std::vector<uint64_t>& b, const Bitset& x) {
+  bool equal = true;
+  x.ForEach([&](size_t attr) {
+    if (a[attr] != b[attr]) equal = false;
+  });
+  return equal;
+}
+
+}  // namespace
+
+RelationInstance RelationInstance::FromRows(
+    size_t num_attributes,
+    const std::vector<std::vector<uint64_t>>& rows) {
+  RelationInstance r(num_attributes);
+  for (const auto& row : rows) r.AddRow(row);
+  return r;
+}
+
+void RelationInstance::AddRow(std::vector<uint64_t> values) {
+  assert(values.size() == num_attributes_);
+  rows_.push_back(std::move(values));
+}
+
+Bitset RelationInstance::AgreeSet(size_t t, size_t u) const {
+  Bitset agree(num_attributes_);
+  for (size_t a = 0; a < num_attributes_; ++a) {
+    if (rows_[t][a] == rows_[u][a]) agree.Set(a);
+  }
+  return agree;
+}
+
+bool RelationInstance::IsKey(const Bitset& x) const {
+  // Hash rows by projection; a bucket collision that projects equal means
+  // two rows agree on all of x.
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  buckets.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    uint64_t h = ProjectionHash(rows_[i], x);
+    auto& bucket = buckets[h];
+    for (size_t j : bucket) {
+      if (ProjectionsEqual(rows_[i], rows_[j], x)) return false;
+    }
+    bucket.push_back(i);
+  }
+  return true;
+}
+
+bool RelationInstance::SatisfiesFd(const Bitset& lhs, size_t rhs) const {
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  buckets.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    uint64_t h = ProjectionHash(rows_[i], lhs);
+    auto& bucket = buckets[h];
+    for (size_t j : bucket) {
+      if (ProjectionsEqual(rows_[i], rows_[j], lhs) &&
+          rows_[i][rhs] != rows_[j][rhs]) {
+        return false;
+      }
+    }
+    bucket.push_back(i);
+  }
+  return true;
+}
+
+RelationInstance RandomRelation(size_t num_rows, size_t num_attributes,
+                                uint64_t domain, Rng* rng) {
+  assert(domain > 0);
+  RelationInstance r(num_attributes);
+  for (size_t i = 0; i < num_rows; ++i) {
+    std::vector<uint64_t> row(num_attributes);
+    for (auto& v : row) v = rng->UniformInt(0, domain - 1);
+    r.AddRow(std::move(row));
+  }
+  return r;
+}
+
+RelationInstance RandomRelationWithId(size_t num_rows,
+                                      size_t num_attributes,
+                                      uint64_t domain, Rng* rng) {
+  assert(num_attributes >= 1 && domain > 0);
+  RelationInstance r(num_attributes);
+  for (size_t i = 0; i < num_rows; ++i) {
+    std::vector<uint64_t> row(num_attributes);
+    row[0] = i;  // unique id column
+    for (size_t a = 1; a < num_attributes; ++a) {
+      row[a] = rng->UniformInt(0, domain - 1);
+    }
+    r.AddRow(std::move(row));
+  }
+  return r;
+}
+
+}  // namespace hgm

@@ -1,0 +1,73 @@
+#include "hypergraph/generators.h"
+
+#include <cassert>
+
+namespace hgm {
+
+Hypergraph MatchingHypergraph(size_t n) {
+  assert(n % 2 == 0);
+  Hypergraph h(n);
+  for (size_t i = 0; i + 1 < n; i += 2) {
+    h.AddEdgeIndices({i, i + 1});
+  }
+  return h;
+}
+
+Hypergraph CompleteGraph(size_t n) {
+  Hypergraph h(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      h.AddEdgeIndices({i, j});
+    }
+  }
+  return h;
+}
+
+Hypergraph RandomUniform(size_t n, size_t num_edges, size_t k, Rng* rng) {
+  assert(k <= n);
+  Hypergraph h(n);
+  for (size_t e = 0; e < num_edges; ++e) {
+    h.AddEdge(Bitset::FromIndices(n, rng->SampleWithoutReplacement(n, k)));
+  }
+  h.Minimize();
+  return h;
+}
+
+Hypergraph RandomCoSmall(size_t n, size_t num_edges, size_t k, Rng* rng) {
+  assert(k >= 1 && k <= n);
+  Hypergraph h(n);
+  for (size_t e = 0; e < num_edges; ++e) {
+    size_t size = rng->UniformInt(1, k);
+    Bitset small =
+        Bitset::FromIndices(n, rng->SampleWithoutReplacement(n, size));
+    h.AddEdge(~small);
+  }
+  h.Minimize();
+  return h;
+}
+
+Hypergraph RandomBernoulli(size_t n, size_t num_edges, double p, Rng* rng) {
+  Hypergraph h(n);
+  for (size_t e = 0; e < num_edges; ++e) {
+    Bitset edge(n);
+    do {
+      edge.ResetAll();
+      for (size_t v = 0; v < n; ++v) {
+        if (rng->Bernoulli(p)) edge.Set(v);
+      }
+    } while (edge.None());
+    h.AddEdge(std::move(edge));
+  }
+  h.Minimize();
+  return h;
+}
+
+Hypergraph PathGraph(size_t n) {
+  Hypergraph h(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    h.AddEdgeIndices({i, i + 1});
+  }
+  return h;
+}
+
+}  // namespace hgm

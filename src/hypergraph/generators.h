@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file generators.h
+/// \brief Synthetic hypergraph families for tests and experiments.
+
+#include "common/random.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hgm {
+
+/// The matching hypergraph M_n of Example 19: n even, edges
+/// {x_{2i-1}, x_{2i}} for i = 1..n/2.  |Tr(M_n)| = 2^{n/2}: a minimal
+/// transversal picks one endpoint per edge.  This is the family whose
+/// intermediate negative border blows up inside Dualize and Advance.
+Hypergraph MatchingHypergraph(size_t n);
+
+/// The complete graph K_n as a 2-uniform hypergraph (all vertex pairs).
+/// Tr(K_n) = the n subsets of size n-1 (complements of single vertices).
+Hypergraph CompleteGraph(size_t n);
+
+/// Random hypergraph with \p num_edges edges drawn uniformly from the
+/// k-subsets of {0..n-1}; minimized, so the result may have fewer edges.
+Hypergraph RandomUniform(size_t n, size_t num_edges, size_t k, Rng* rng);
+
+/// Random hypergraph whose edges all have size >= n - k ("co-small"): the
+/// Corollary 15 regime.  Each edge is the complement of a uniformly random
+/// non-empty subset of size <= k.
+Hypergraph RandomCoSmall(size_t n, size_t num_edges, size_t k, Rng* rng);
+
+/// Random hypergraph where each vertex joins each edge independently with
+/// probability \p p; empty edges are re-drawn.  Minimized.
+Hypergraph RandomBernoulli(size_t n, size_t num_edges, double p, Rng* rng);
+
+/// A path P_n: edges {i, i+1}.  |Tr| follows a Fibonacci-like recurrence;
+/// useful as a structured small-degree family.
+Hypergraph PathGraph(size_t n);
+
+}  // namespace hgm

@@ -1,0 +1,202 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace hgm {
+
+namespace {
+
+/// Sort key: cardinality first, then word order; gives deterministic,
+/// human-friendly edge listings.
+bool CanonicalLess(const Bitset& a, const Bitset& b) {
+  size_t ca = a.Count(), cb = b.Count();
+  if (ca != cb) return ca < cb;
+  return a < b;
+}
+
+}  // namespace
+
+size_t Hypergraph::TotalEdgeSize() const {
+  size_t total = 0;
+  for (const auto& e : edges_) total += e.Count();
+  return total;
+}
+
+size_t Hypergraph::MinEdgeSize() const {
+  size_t best = Bitset::npos;
+  for (const auto& e : edges_) best = std::min(best, e.Count());
+  return best;
+}
+
+size_t Hypergraph::MaxEdgeSize() const {
+  size_t best = 0;
+  for (const auto& e : edges_) best = std::max(best, e.Count());
+  return best;
+}
+
+bool Hypergraph::HasEmptyEdge() const {
+  for (const auto& e : edges_) {
+    if (e.None()) return true;
+  }
+  return false;
+}
+
+bool Hypergraph::IsSimple() const {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].None()) return false;
+    for (size_t j = 0; j < edges_.size(); ++j) {
+      // Any containment between distinct positions (including duplicates)
+      // violates the antichain property.
+      if (i != j && edges_[i].IsSubsetOf(edges_[j])) return false;
+    }
+  }
+  return true;
+}
+
+void Hypergraph::Minimize(bool drop_empty) {
+  AntichainMinimize(&edges_);
+  if (drop_empty) {
+    std::erase_if(edges_, [](const Bitset& e) { return e.None(); });
+  }
+}
+
+bool Hypergraph::IsTransversal(const Bitset& x) const {
+  for (const auto& e : edges_) {
+    if (!x.Intersects(e)) return false;
+  }
+  return true;
+}
+
+bool Hypergraph::IsMinimalTransversal(const Bitset& x) const {
+  if (!IsTransversal(x)) return false;
+  // Every v in x needs a private edge E with x ∩ E = {v}.
+  std::vector<bool> has_private(num_vertices_, false);
+  for (const auto& e : edges_) {
+    if (x.IntersectionCount(e) == 1) {
+      Bitset hit = x & e;
+      has_private[hit.FindFirst()] = true;
+    }
+  }
+  bool minimal = true;
+  x.ForEach([&](size_t v) {
+    if (!has_private[v]) minimal = false;
+  });
+  return minimal;
+}
+
+size_t Hypergraph::FindMissedEdge(const Bitset& x) const {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (!x.Intersects(edges_[i])) return i;
+  }
+  return Bitset::npos;
+}
+
+Bitset Hypergraph::MinimizeTransversal(Bitset x) const {
+  assert(IsTransversal(x));
+  for (size_t v = x.FindFirst(); v != Bitset::npos; v = x.FindNext(v)) {
+    Bitset candidate = x.WithoutBit(v);
+    if (IsTransversal(candidate)) x = std::move(candidate);
+  }
+  return x;
+}
+
+Hypergraph Hypergraph::ComplementEdges() const {
+  Hypergraph out(num_vertices_);
+  for (const auto& e : edges_) out.AddEdge(~e);
+  return out;
+}
+
+std::vector<size_t> Hypergraph::VertexDegrees() const {
+  std::vector<size_t> deg(num_vertices_, 0);
+  for (const auto& e : edges_) {
+    e.ForEach([&](size_t v) { ++deg[v]; });
+  }
+  return deg;
+}
+
+bool Hypergraph::SameEdgeSet(const Hypergraph& other) const {
+  if (num_vertices_ != other.num_vertices_) return false;
+  std::unordered_set<Bitset, BitsetHash> mine(edges_.begin(), edges_.end());
+  std::unordered_set<Bitset, BitsetHash> theirs(other.edges_.begin(),
+                                                other.edges_.end());
+  return mine == theirs;
+}
+
+std::vector<Bitset> Hypergraph::SortedEdges() const {
+  std::vector<Bitset> out = edges_;
+  std::sort(out.begin(), out.end(), CanonicalLess);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Hypergraph::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& e : SortedEdges()) {
+    if (!first) os << ", ";
+    first = false;
+    os << e.ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string Hypergraph::Format(const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& e : SortedEdges()) {
+    if (!first) os << ", ";
+    first = false;
+    os << e.Format(names);
+  }
+  os << "}";
+  return os.str();
+}
+
+void AntichainMinimize(std::vector<Bitset>* sets) {
+  auto& v = *sets;
+  // Sort by cardinality so any superset appears after its subset, then a
+  // quadratic-in-the-antichain filter keeps only minimal, unique sets.
+  std::sort(v.begin(), v.end(), CanonicalLess);
+  std::vector<Bitset> kept;
+  kept.reserve(v.size());
+  for (const auto& s : v) {
+    bool dominated = false;
+    for (const auto& k : kept) {
+      if (k.IsSubsetOf(s)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(s);
+  }
+  v = std::move(kept);
+}
+
+void AntichainMaximize(std::vector<Bitset>* sets) {
+  auto& v = *sets;
+  std::sort(v.begin(), v.end(), [](const Bitset& a, const Bitset& b) {
+    size_t ca = a.Count(), cb = b.Count();
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  std::vector<Bitset> kept;
+  kept.reserve(v.size());
+  for (const auto& s : v) {
+    bool dominated = false;
+    for (const auto& k : kept) {
+      if (s.IsSubsetOf(k)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(s);
+  }
+  v = std::move(kept);
+}
+
+}  // namespace hgm

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file transversal.h
+/// \brief Interfaces for the hypergraph transversal problem (Problem 5, HTR).
+///
+/// Given a simple hypergraph H, compute Tr(H), the hypergraph of minimal
+/// transversals.  The paper cares about two calling conventions:
+///
+///  * batch:       Tr(H) all at once (TransversalAlgorithm), and
+///  * incremental: minimal transversals one by one, with per-item cost
+///    measured against the number already emitted (TransversalEnumerator).
+///    The Dualize and Advance algorithm (Section 5) consumes this form.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bitset.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hgm {
+
+/// Counters shared by all transversal engines; used by the benches.
+struct TransversalStats {
+  /// Candidate sets generated/examined (engine-specific meaning).
+  uint64_t candidates = 0;
+  /// Minimality / transversality tests performed.
+  uint64_t checks = 0;
+  /// Recursive calls (Fredman-Khachiyan) or levels (levelwise).
+  uint64_t recursion_nodes = 0;
+};
+
+/// Batch interface: computes Tr(H) in one call.
+class TransversalAlgorithm {
+ public:
+  virtual ~TransversalAlgorithm() = default;
+
+  /// Human-readable engine name ("berge", "fk", ...).
+  virtual std::string name() const = 0;
+
+  /// Computes the simple hypergraph of all minimal transversals of \p h.
+  /// \p h need not be simple; it is minimized internally (transversals are
+  /// invariant under minimization).  A hypergraph with an empty edge has no
+  /// transversals (result has no edges); an edge-free hypergraph has the
+  /// single minimal transversal ∅ (result is {∅}).
+  virtual Hypergraph Compute(const Hypergraph& h) = 0;
+
+  /// Counters from the most recent Compute() call.
+  const TransversalStats& stats() const { return stats_; }
+
+ protected:
+  TransversalStats stats_;
+};
+
+/// Incremental interface: yields minimal transversals one at a time.
+///
+/// Usage:
+/// \code
+///   enumerator->Reset(h);
+///   Bitset t;
+///   while (enumerator->Next(&t)) Consume(t);
+/// \endcode
+class TransversalEnumerator {
+ public:
+  virtual ~TransversalEnumerator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Binds the enumerator to hypergraph \p h and rewinds it.
+  virtual void Reset(const Hypergraph& h) = 0;
+
+  /// Produces the next minimal transversal; returns false when exhausted.
+  /// The order is engine-specific but deterministic.
+  virtual bool Next(Bitset* out) = 0;
+};
+
+/// Wraps a batch algorithm as an enumerator (computes everything on the
+/// first Next() and then replays).  This is the "lazy Berge" used when an
+/// incremental engine is not required for the complexity claim under test.
+class BatchEnumerator : public TransversalEnumerator {
+ public:
+  explicit BatchEnumerator(std::unique_ptr<TransversalAlgorithm> algo)
+      : algo_(std::move(algo)) {}
+
+  std::string name() const override { return algo_->name() + "-batch"; }
+
+  void Reset(const Hypergraph& h) override {
+    hypergraph_ = h;
+    computed_ = false;
+    next_ = 0;
+  }
+
+  bool Next(Bitset* out) override {
+    if (!computed_) {
+      result_ = algo_->Compute(hypergraph_).SortedEdges();
+      computed_ = true;
+    }
+    if (next_ >= result_.size()) return false;
+    *out = result_[next_++];
+    return true;
+  }
+
+ private:
+  std::unique_ptr<TransversalAlgorithm> algo_;
+  Hypergraph hypergraph_{0};
+  std::vector<Bitset> result_;
+  bool computed_ = false;
+  size_t next_ = 0;
+};
+
+}  // namespace hgm

@@ -1,0 +1,89 @@
+#include "hypergraph/transversal_berge.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hgm {
+
+namespace {
+
+/// True iff \p x is a minimal transversal of the first \p prefix_len edges:
+/// x intersects each of them and every vertex of x owns a private edge.
+bool IsMinimalForPrefix(const std::vector<Bitset>& edges, size_t prefix_len,
+                        const Bitset& x, std::vector<uint8_t>* scratch) {
+  scratch->assign(x.size(), 0);
+  for (size_t i = 0; i < prefix_len; ++i) {
+    const Bitset& e = edges[i];
+    size_t hits = x.IntersectionCount(e);
+    if (hits == 0) return false;
+    if (hits == 1) (*scratch)[(x & e).FindFirst()] = 1;
+  }
+  bool minimal = true;
+  x.ForEach([&](size_t v) {
+    if (!(*scratch)[v]) minimal = false;
+  });
+  return minimal;
+}
+
+}  // namespace
+
+Hypergraph BergeTransversals::Compute(const Hypergraph& h) {
+  stats_ = TransversalStats();
+  peak_intermediate_size_ = 0;
+
+  Hypergraph input = h;
+  input.Minimize();
+  const size_t n = input.num_vertices();
+
+  Hypergraph result(n);
+  if (input.HasEmptyEdge()) return result;
+  if (input.empty()) {
+    result.AddEdge(Bitset(n));  // Tr(edge-free H) = {∅}
+    return result;
+  }
+
+  const std::vector<Bitset>& edges = input.edges();
+  // Minimal transversals of the empty prefix: just ∅.
+  std::vector<Bitset> current;
+  current.push_back(Bitset(n));
+  std::vector<uint8_t> scratch;
+
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const Bitset& e = edges[i];
+    std::vector<Bitset> next;
+    next.reserve(current.size());
+    std::unordered_set<Bitset, BitsetHash> seen;
+    for (const Bitset& t : current) {
+      if (t.Intersects(e)) {
+        // Still a transversal of the longer prefix, and still minimal:
+        // private edges only gain candidates as the prefix grows... they
+        // may in fact be lost for OTHER vertices?  No: adding an edge never
+        // removes a private edge.  Minimality could only break if t became
+        // non-minimal, i.e. some v in t lost all private edges -- adding
+        // edges cannot cause that.  So t survives untouched.
+        if (seen.insert(t).second) next.push_back(t);
+        continue;
+      }
+      // t misses e: extend by each vertex of e, keep the minimal ones.
+      for (size_t v = e.FindFirst(); v != Bitset::npos; v = e.FindNext(v)) {
+        Bitset cand = t.WithBit(v);
+        ++stats_.candidates;
+        if (seen.contains(cand)) continue;
+        ++stats_.checks;
+        if (IsMinimalForPrefix(edges, i + 1, cand, &scratch)) {
+          seen.insert(cand);
+          next.push_back(std::move(cand));
+        }
+      }
+    }
+    current = std::move(next);
+    peak_intermediate_size_ = std::max(peak_intermediate_size_,
+                                       current.size());
+    ++stats_.recursion_nodes;  // one "level" per edge
+  }
+
+  for (auto& t : current) result.AddEdge(std::move(t));
+  return result;
+}
+
+}  // namespace hgm

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file transversal_berge.h
+/// \brief Berge's sequential-multiplication algorithm for Tr(H).
+///
+/// Classic algorithm (Berge 1973, [4] in the paper): process edges one at a
+/// time, maintaining the minimal transversals of the prefix processed so
+/// far.  For a new edge E, transversals already intersecting E survive;
+/// every other transversal T spawns candidates T ∪ {v}, v ∈ E, which are
+/// kept only if minimal with respect to the processed prefix.
+///
+/// Minimality is tested with the private-edge criterion against the prefix,
+/// which avoids pairwise subset filtering of the candidate pool.
+///
+/// Worst-case exponential in intermediate stages (see Example 19 /
+/// bench_example19_blowup) but a strong practical baseline.
+
+#include "hypergraph/transversal.h"
+
+namespace hgm {
+
+/// Sequential Berge multiplication with private-edge minimality filtering.
+class BergeTransversals : public TransversalAlgorithm {
+ public:
+  std::string name() const override { return "berge"; }
+
+  Hypergraph Compute(const Hypergraph& h) override;
+
+  /// Peak number of minimal transversals held for any edge prefix during
+  /// the most recent Compute(); this is the quantity Example 19 blows up.
+  size_t peak_intermediate_size() const { return peak_intermediate_size_; }
+
+ private:
+  size_t peak_intermediate_size_ = 0;
+};
+
+}  // namespace hgm

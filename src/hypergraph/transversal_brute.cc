@@ -1,0 +1,30 @@
+#include "hypergraph/transversal_brute.h"
+
+#include <cassert>
+
+namespace hgm {
+
+Hypergraph BruteForceTransversals::Compute(const Hypergraph& h) {
+  stats_ = TransversalStats();
+  const size_t n = h.num_vertices();
+  assert(n <= 26 && "brute-force transversal enumeration needs small n");
+
+  Hypergraph input = h;
+  input.Minimize();
+  Hypergraph result(n);
+  if (input.HasEmptyEdge()) return result;  // no transversals at all
+
+  const uint64_t limit = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    Bitset x(n);
+    for (size_t v = 0; v < n; ++v) {
+      if ((mask >> v) & 1) x.Set(v);
+    }
+    ++stats_.candidates;
+    ++stats_.checks;
+    if (input.IsMinimalTransversal(x)) result.AddEdge(std::move(x));
+  }
+  return result;
+}
+
+}  // namespace hgm

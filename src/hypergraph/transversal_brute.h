@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file transversal_brute.h
+/// \brief Exhaustive reference implementation of HTR for small universes.
+///
+/// Enumerates all 2^n subsets and keeps the minimal transversals.  Used as
+/// the ground-truth oracle in tests and as the "brute force enumeration"
+/// baseline that Corollary 15 improves upon.
+
+#include "hypergraph/transversal.h"
+
+namespace hgm {
+
+/// O(2^n · |H|) reference algorithm; intended for n <= ~24.
+class BruteForceTransversals : public TransversalAlgorithm {
+ public:
+  std::string name() const override { return "brute"; }
+
+  Hypergraph Compute(const Hypergraph& h) override;
+};
+
+}  // namespace hgm

@@ -1,0 +1,261 @@
+#include "hypergraph/transversal_fk.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hypergraph/transversal_berge.h"
+
+namespace hgm {
+
+namespace {
+
+bool ContainsEmpty(const std::vector<Bitset>& terms) {
+  for (const auto& t : terms) {
+    if (t.None()) return true;
+  }
+  return false;
+}
+
+/// Evaluates the monotone DNF with the given \p terms at point \p x:
+/// true iff some term is a subset of x.
+bool EvalDnf(const std::vector<Bitset>& terms, const Bitset& x) {
+  for (const auto& t : terms) {
+    if (t.IsSubsetOf(x)) return true;
+  }
+  return false;
+}
+
+/// Exact minimal transversals of a small antichain (<= 2 sets) restricted
+/// to the free variables, via Berge on a throwaway hypergraph.
+std::vector<Bitset> SmallTransversals(const std::vector<Bitset>& terms,
+                                      size_t n) {
+  Hypergraph h(n);
+  for (const auto& t : terms) h.AddEdge(t);
+  BergeTransversals berge;
+  return berge.Compute(h).SortedEdges();
+}
+
+/// Set equality of two antichains.
+bool SameAntichain(std::vector<Bitset> a, std::vector<Bitset> b) {
+  auto less = [](const Bitset& x, const Bitset& y) { return x < y; };
+  std::sort(a.begin(), a.end(), less);
+  std::sort(b.begin(), b.end(), less);
+  return a == b;
+}
+
+}  // namespace
+
+DualityResult FkDualityTester::Check(const Hypergraph& f,
+                                     const Hypergraph& g) {
+  assert(f.num_vertices() == g.num_vertices());
+  recursion_nodes_ = 0;
+  max_depth_ = 0;
+  Hypergraph fm = f, gm = g;
+  fm.Minimize();
+  gm.Minimize();
+  return CheckRec(fm.edges(), gm.edges(),
+                  Bitset::Full(f.num_vertices()), 0);
+}
+
+DualityResult FkDualityTester::CheckRec(std::vector<Bitset> f,
+                                        std::vector<Bitset> g,
+                                        const Bitset& free, size_t depth) {
+  ++recursion_nodes_;
+  max_depth_ = std::max(max_depth_, depth);
+  const size_t n = free.size();
+
+  // ---- Constant base cases -------------------------------------------
+  // f == 0: dual is the constant 1, whose unique antichain form is {∅}.
+  if (f.empty()) {
+    if (g.size() == 1 && g[0].None()) return {true, Bitset(n)};
+    // Witness x = ∅: g(∅) is 0 (g is either empty or has only non-empty
+    // terms here), while ¬f(¬∅) = ¬0 = 1.
+    return {false, Bitset(n)};
+  }
+  // f == 1: dual is the constant 0, i.e. g must have no terms.
+  if (ContainsEmpty(f)) {
+    if (g.empty()) return {true, Bitset(n)};
+    // Witness: any point where g is 1; a term of g works (g(s)=1,
+    // ¬f(¬s)=¬1=0).  If g = {∅} use x = ∅.
+    return {false, g[0]};
+  }
+  // g == 0 (and f is non-constant): witness x = free; g(x)=0 but
+  // f(¬x)=f(∅)=0 so ¬f(¬x)=1.
+  if (g.empty()) return {false, free};
+  // g == 1 (and f nonempty, no empty term): witness x = free \ t for any
+  // term t of f: f(¬x)=f(t)=1 so ¬f=0, but g(x)=1.
+  if (ContainsEmpty(g)) return {false, free - f[0]};
+
+  // ---- Pairwise intersection test ------------------------------------
+  // Duality requires every term of f to intersect every term of g.
+  for (const auto& t : f) {
+    for (const auto& s : g) {
+      if (!t.Intersects(s)) {
+        // Witness x = s: g(s) = 1; t ⊆ free \ s, so f(¬s) = 1, ¬f = 0.
+        return {false, s};
+      }
+    }
+  }
+
+  // ---- Small subproblems solved exactly ------------------------------
+  if (f.size() <= 2 || g.size() <= 2) {
+    const bool f_small = f.size() <= g.size();
+    const std::vector<Bitset>& small = f_small ? f : g;
+    const std::vector<Bitset>& big = f_small ? g : f;
+    std::vector<Bitset> tr = SmallTransversals(small, n);
+    if (SameAntichain(tr, big)) return {true, Bitset(n)};
+    // Mismatch; construct a witness for dual(small, big), then transform
+    // if the roles were swapped.
+    Bitset w(n);
+    bool found = false;
+    // A minimal transversal missing from `big` is itself a witness: at
+    // that point small's dual is 1 but big evaluates to 0 (no big-term can
+    // be a proper subset of a minimal transversal of small, because the
+    // pairwise test above made every big-term a transversal of small).
+    for (const auto& t : tr) {
+      if (std::find(big.begin(), big.end(), t) == big.end() &&
+          !EvalDnf(big, t)) {
+        w = t;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // Then big contains a non-minimal transversal s; shrink it one step.
+      // s \ {v} is still a transversal (¬small(¬x) = 1) but no big-term
+      // fits inside it (that term would be a proper subset of s,
+      // contradicting the antichain property).
+      Hypergraph sh(n);
+      for (const auto& t : small) sh.AddEdge(t);
+      for (const auto& s : big) {
+        if (std::find(tr.begin(), tr.end(), s) != tr.end()) continue;
+        for (size_t v = s.FindFirst(); v != Bitset::npos;
+             v = s.FindNext(v)) {
+          Bitset cand = s.WithoutBit(v);
+          if (sh.IsTransversal(cand)) {
+            w = cand;
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+    }
+    assert(found && "small-case mismatch must yield a witness");
+    if (!f_small) {
+      // w witnesses dual(g, f); dual(f, g)'s witness is its complement
+      // within the free variables.
+      w = free - w;
+    }
+    return {false, w};
+  }
+
+  // ---- Recursive step on a most frequent variable --------------------
+  std::vector<uint32_t> freq(n, 0);
+  for (const auto& t : f) t.ForEach([&](size_t v) { ++freq[v]; });
+  for (const auto& s : g) s.ForEach([&](size_t v) { ++freq[v]; });
+  size_t best_v = Bitset::npos;
+  uint32_t best_f = 0;
+  free.ForEach([&](size_t v) {
+    if (freq[v] > best_f) {
+      best_f = freq[v];
+      best_v = v;
+    }
+  });
+  assert(best_v != Bitset::npos &&
+         "non-constant antichains must use a free variable");
+
+  auto split = [&](const std::vector<Bitset>& terms, size_t v,
+                   std::vector<Bitset>* without_v,
+                   std::vector<Bitset>* shortened) {
+    for (const auto& t : terms) {
+      if (t.Test(v)) {
+        shortened->push_back(t.WithoutBit(v));
+      } else {
+        without_v->push_back(t);
+      }
+    }
+  };
+
+  std::vector<Bitset> f0, f1, g0, g1;
+  split(f, best_v, &f0, &f1);
+  split(g, best_v, &g0, &g1);
+
+  Bitset sub_free = free.WithoutBit(best_v);
+
+  // (1) dual(f_{v=0}, g_{v=1}) — the v=1 half-space.
+  {
+    std::vector<Bitset> gv1 = g0;
+    gv1.insert(gv1.end(), g1.begin(), g1.end());
+    AntichainMinimize(&gv1);
+    DualityResult r = CheckRec(f0, std::move(gv1), sub_free, depth + 1);
+    if (!r.dual) {
+      r.witness.Set(best_v);
+      return r;
+    }
+  }
+  // (2) dual(f_{v=1}, g_{v=0}) — the v=0 half-space.
+  {
+    std::vector<Bitset> fv1 = f0;
+    fv1.insert(fv1.end(), f1.begin(), f1.end());
+    AntichainMinimize(&fv1);
+    DualityResult r = CheckRec(std::move(fv1), g0, sub_free, depth + 1);
+    if (!r.dual) return r;
+  }
+  return {true, Bitset(n)};
+}
+
+void FkTransversalEnumerator::Reset(const Hypergraph& h) {
+  input_ = h;
+  input_.Minimize();
+  found_.clear();
+  emitted_empty_ = false;
+  done_ = false;
+  recursion_nodes_ = 0;
+  if (input_.HasEmptyEdge()) done_ = true;  // no transversals exist
+}
+
+bool FkTransversalEnumerator::Next(Bitset* out) {
+  if (done_) return false;
+  const size_t n = input_.num_vertices();
+  if (input_.empty()) {
+    // Tr of the edge-free hypergraph is {∅}.
+    if (emitted_empty_) return false;
+    emitted_empty_ = true;
+    done_ = true;
+    *out = Bitset(n);
+    return true;
+  }
+  Hypergraph g(n);
+  for (const auto& t : found_) g.AddEdge(t);
+  FkDualityTester tester;
+  DualityResult r = tester.Check(input_, g);
+  recursion_nodes_ += tester.recursion_nodes();
+  if (r.dual) {
+    done_ = true;
+    return false;
+  }
+  // Every member of found_ is a genuine minimal transversal, so the
+  // witness must satisfy g(x)=0 and f(¬x)=0; i.e. x is a transversal
+  // containing none of the transversals found so far.
+  assert(input_.IsTransversal(r.witness));
+  found_.push_back(input_.MinimizeTransversal(std::move(r.witness)));
+  *out = found_.back();
+  return true;
+}
+
+Hypergraph FkTransversals::Compute(const Hypergraph& h) {
+  stats_ = TransversalStats();
+  FkTransversalEnumerator en;
+  en.Reset(h);
+  Hypergraph result(h.num_vertices());
+  Bitset t;
+  while (en.Next(&t)) {
+    result.AddEdge(t);
+    ++stats_.candidates;
+  }
+  stats_.recursion_nodes = en.recursion_nodes();
+  return result;
+}
+
+}  // namespace hgm

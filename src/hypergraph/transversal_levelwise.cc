@@ -1,0 +1,70 @@
+#include "hypergraph/transversal_levelwise.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "common/apriori_gen.h"
+
+namespace hgm {
+
+Hypergraph LevelwiseTransversals::Compute(const Hypergraph& h) {
+  stats_ = TransversalStats();
+  queries_ = 0;
+  levels_ = 0;
+  const size_t n = h.num_vertices();
+  Hypergraph result(n);
+
+  Hypergraph input = h;
+  input.Minimize();
+  if (input.HasEmptyEdge()) return result;  // no transversals
+
+  auto is_interesting = [&](const Bitset& x) {
+    ++queries_;
+    ++stats_.checks;
+    return !input.IsTransversal(x);
+  };
+
+  // Level 0.
+  if (!is_interesting(Bitset(n))) {
+    result.AddEdge(Bitset(n));  // ∅ is a (the) minimal transversal
+    return result;
+  }
+
+  std::vector<ItemVec> level;  // interesting sets of the current size
+  level.push_back(ItemVec{});
+  std::unordered_set<Bitset, BitsetHash> level_set;
+
+  for (size_t k = 0; !level.empty(); ++k) {
+    assert(k <= max_level_ && "levelwise exceeded max_level cap");
+    levels_ = k;
+    // Generate candidates of size k+1.
+    std::vector<ItemVec> candidates;
+    if (k == 0) {
+      candidates = SingletonCandidates(n);
+    } else {
+      level_set.clear();
+      for (const auto& s : level) {
+        level_set.insert(Bitset::FromIndices(n, s));
+      }
+      candidates = AprioriGen(level, level_set, n);
+    }
+    stats_.candidates += candidates.size();
+    ++stats_.recursion_nodes;
+
+    std::vector<ItemVec> next;
+    for (auto& cand : candidates) {
+      Bitset x = Bitset::FromIndices(n, cand);
+      if (is_interesting(x)) {
+        next.push_back(std::move(cand));
+      } else {
+        // A transversal whose every immediate subset is a non-transversal:
+        // by downward closure of non-transversality, x is minimal.
+        result.AddEdge(std::move(x));
+      }
+    }
+    level = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace hgm

@@ -1,0 +1,146 @@
+#include "hypergraph/transversal_mmcs.h"
+
+#include <cassert>
+
+namespace hgm {
+
+void MmcsEnumerator::Reset(const Hypergraph& h) {
+  num_vertices_ = h.num_vertices();
+  Hypergraph input = h;
+  input.Minimize();
+  done_ = false;
+  emit_empty_ = false;
+  nodes_ = 0;
+  stack_.clear();
+  partial_.clear();
+  edges_.clear();
+
+  if (input.HasEmptyEdge()) {
+    done_ = true;  // no transversals
+    return;
+  }
+  if (input.empty()) {
+    emit_empty_ = true;  // Tr = {∅}
+    return;
+  }
+  edges_ = input.edges();
+  const size_t m = edges_.size();
+  incidence_.assign(num_vertices_, Bitset(m));
+  for (size_t e = 0; e < m; ++e) {
+    edges_[e].ForEach([&](size_t v) { incidence_[v].Set(e); });
+  }
+  uncov_ = Bitset::Full(m);
+  cand_ = Bitset::Full(num_vertices_);
+  crit_.assign(num_vertices_, Bitset(m));
+  PushFrame();
+}
+
+void MmcsEnumerator::PushFrame() {
+  // Choose the uncovered edge with the fewest candidate vertices (the
+  // MMCS branching rule); its candidate vertices are the branch set.
+  size_t best_edge = Bitset::npos;
+  size_t best_count = Bitset::npos;
+  for (size_t e = uncov_.FindFirst(); e != Bitset::npos;
+       e = uncov_.FindNext(e)) {
+    size_t c = edges_[e].IntersectionCount(cand_);
+    if (c < best_count) {
+      best_count = c;
+      best_edge = e;
+    }
+  }
+  assert(best_edge != Bitset::npos);
+  Frame f;
+  Bitset branch_set = edges_[best_edge] & cand_;
+  f.branch = branch_set.Indices();
+  cand_ -= branch_set;  // restored when the frame exits
+  stack_.push_back(std::move(f));
+  ++nodes_;
+}
+
+void MmcsEnumerator::Apply(Frame* f, size_t v) {
+  f->has_applied = true;
+  f->applied_v = v;
+  f->saved_uncov = uncov_;
+  f->saved_crit.clear();
+  for (size_t u : partial_) f->saved_crit.emplace_back(u, crit_[u]);
+  // v's private edges are the uncovered edges it hits; members of S lose
+  // any private edge v also hits.
+  crit_[v] = uncov_ & incidence_[v];
+  for (size_t u : partial_) crit_[u] -= incidence_[v];
+  uncov_ -= incidence_[v];
+  partial_.push_back(v);
+}
+
+void MmcsEnumerator::Undo(Frame* f) {
+  assert(f->has_applied);
+  partial_.pop_back();
+  uncov_ = f->saved_uncov;
+  for (auto& [u, saved] : f->saved_crit) crit_[u] = std::move(saved);
+  crit_[f->applied_v].ResetAll();
+  // The tried vertex returns to cand for the frame's later branches
+  // (the MMCS "CAND <- CAND ∪ {v}" step).
+  cand_.Set(f->applied_v);
+  f->has_applied = false;
+}
+
+bool MmcsEnumerator::Next(Bitset* out) {
+  if (done_) return false;
+  if (emit_empty_) {
+    emit_empty_ = false;
+    done_ = true;
+    *out = Bitset(num_vertices_);
+    return true;
+  }
+  while (!stack_.empty()) {
+    Frame& f = stack_.back();
+    if (f.has_applied) {
+      Undo(&f);
+      continue;
+    }
+    if (f.next_branch >= f.branch.size()) {
+      // Frame exhausted: restore its branch vertices to cand and pop.
+      for (size_t v : f.branch) cand_.Set(v);
+      // The applied vertex of the parent is undone on the next loop turn.
+      stack_.pop_back();
+      continue;
+    }
+    size_t v = f.branch[f.next_branch++];
+    // Tentatively remove v from cand while its subtree is explored; it
+    // was already removed at frame entry (v ∈ branch ⊆ removed set), and
+    // Undo() re-adds it afterwards.
+    Apply(&f, v);
+    // Minimality: every member of S must keep a private edge.
+    bool ok = true;
+    for (size_t u : partial_) {
+      if (crit_[u].None()) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;  // Undo happens on the next loop turn
+    if (uncov_.None()) {
+      // S is a minimal transversal: emit and resume (undo) on re-entry.
+      *out = Bitset::FromIndices(num_vertices_, partial_);
+      return true;
+    }
+    PushFrame();
+  }
+  done_ = true;
+  return false;
+}
+
+Hypergraph MmcsTransversals::Compute(const Hypergraph& h) {
+  stats_ = TransversalStats();
+  MmcsEnumerator en;
+  en.Reset(h);
+  Hypergraph result(h.num_vertices());
+  Bitset t;
+  while (en.Next(&t)) {
+    result.AddEdge(t);
+    ++stats_.candidates;
+  }
+  stats_.recursion_nodes = en.nodes();
+  return result;
+}
+
+}  // namespace hgm

@@ -1,0 +1,75 @@
+#include "learning/learners.h"
+
+#include <algorithm>
+
+#include "core/dualize_advance.h"
+#include "core/levelwise.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hgm {
+
+namespace {
+
+/// Packages MTh / Bd- into the two normal forms (Example 25):
+/// DNF terms = Bd- (minimal true points), CNF clauses = complements of
+/// MTh (maximal false points).
+LearnResult PackageBorders(size_t n, std::vector<Bitset> positive_border,
+                           std::vector<Bitset> negative_border,
+                           uint64_t queries) {
+  LearnResult result;
+  std::vector<Bitset> clauses;
+  clauses.reserve(positive_border.size());
+  for (const auto& m : positive_border) clauses.push_back(~m);
+  result.cnf = MonotoneCnf(n, std::move(clauses));
+  result.dnf = MonotoneDnf(n, std::move(negative_border));
+  result.queries = queries;
+  result.lower_bound = result.dnf.size() + result.cnf.size();
+  result.upper_bound =
+      std::max<uint64_t>(1, result.cnf.size()) *
+      (static_cast<uint64_t>(result.dnf.size()) +
+       static_cast<uint64_t>(n) * static_cast<uint64_t>(n));
+  return result;
+}
+
+}  // namespace
+
+LearnResult LearnMonotoneDualize(MembershipOracle* oracle) {
+  const uint64_t start = oracle->queries();
+  MembershipAdapter adapter(oracle);
+  DualizeAdvanceResult r = RunDualizeAdvance(&adapter);
+  return PackageBorders(oracle->num_vars(), std::move(r.positive_border),
+                        std::move(r.negative_border),
+                        oracle->queries() - start);
+}
+
+Hypergraph TransversalsViaLearning(const Hypergraph& h,
+                                   uint64_t* queries) {
+  Hypergraph input = h;
+  input.Minimize();
+  MembershipOracle oracle(
+      input.num_vertices(),
+      [&input](const Bitset& x) { return input.IsTransversal(x); });
+  LearnResult learned = LearnMonotoneDualize(&oracle);
+  if (queries != nullptr) *queries = learned.queries;
+  Hypergraph tr(input.num_vertices());
+  // Prime implicants of the transversality function = Tr(h).  The
+  // constant-true DNF ({∅}) corresponds to the edge-free hypergraph,
+  // whose Tr is {∅}; constant-false (no terms) to an infeasible one.
+  for (const auto& term : learned.dnf.terms()) tr.AddEdge(term);
+  return tr;
+}
+
+LearnResult LearnMonotoneLevelwise(MembershipOracle* oracle,
+                                   size_t max_level) {
+  const uint64_t start = oracle->queries();
+  MembershipAdapter adapter(oracle);
+  LevelwiseOptions opts;
+  opts.record_theory = false;
+  opts.max_level = max_level;
+  LevelwiseResult r = RunLevelwise(&adapter, opts);
+  return PackageBorders(oracle->num_vars(), std::move(r.positive_border),
+                        std::move(r.negative_border),
+                        oracle->queries() - start);
+}
+
+}  // namespace hgm

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file learners.h
+/// \brief Exact learners for monotone functions with membership queries.
+///
+/// Two learners, mirroring Sections 4-6:
+///
+///  * LearnMonotoneDualize (Corollaries 28-29): Dualize and Advance through
+///    the Theorem 24 reduction.  Produces BOTH the minimal DNF and the
+///    minimal CNF of the hidden function; with the Fredman-Khachiyan
+///    subroutine the running time is m^{O(log m)} for
+///    m = |DNF(f)| + |CNF(f)|, and the number of MQs is at most
+///    |CNF(f)| * (|DNF(f)| + n^2).
+///
+///  * LearnMonotoneLevelwise (Corollary 26): the levelwise algorithm,
+///    polynomial whenever every CNF clause has at least n - k variables
+///    with k = O(log n) (equivalently: every maximal false point is
+///    small).
+///
+/// Corollary 27 gives the matching lower bound: any MQ learner needs at
+/// least |DNF(f)| + |CNF(f)| queries.
+
+#include <cstdint>
+
+#include "learning/membership_oracle.h"
+#include "learning/monotone_function.h"
+
+namespace hgm {
+
+/// What a learner returns: both canonical representations plus cost.
+struct LearnResult {
+  MonotoneDnf dnf;
+  MonotoneCnf cnf;
+  /// Membership queries issued during learning.
+  uint64_t queries = 0;
+  /// The Corollary 27 lower bound for this target: |DNF| + |CNF|.
+  uint64_t lower_bound = 0;
+  /// The Corollary 28 upper bound for this target:
+  /// |CNF| * (|DNF| + n^2).
+  uint64_t upper_bound = 0;
+};
+
+/// Dualize-and-Advance learner (Corollaries 28-29).  Exact for any
+/// monotone target.
+LearnResult LearnMonotoneDualize(MembershipOracle* oracle);
+
+/// Levelwise learner (Corollary 26).  Exact for any monotone target, but
+/// the query count is only polynomial when the maximal false points are
+/// small (clauses of size >= n-k, k = O(log n)); \p max_level aborts runs
+/// that leave that regime (Bitset::npos = unbounded).
+LearnResult LearnMonotoneLevelwise(MembershipOracle* oracle,
+                                   size_t max_level = Bitset::npos);
+
+/// Corollary 30, executable: a DNF-producing monotone learner yields an
+/// output-polynomial hypergraph-transversal algorithm.  The function
+/// f(x) = "x is a transversal of h" is monotone with prime implicants
+/// exactly Tr(h); learning its DNF through membership queries (each
+/// query = one transversality test) therefore dualizes h.
+/// \p queries, if non-null, receives the number of membership queries.
+class Hypergraph;  // fwd (hypergraph/hypergraph.h)
+Hypergraph TransversalsViaLearning(const Hypergraph& h,
+                                   uint64_t* queries = nullptr);
+
+}  // namespace hgm

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file membership_oracle.h
+/// \brief Membership queries MQ(f) and the Theorem 24 correspondence.
+///
+/// A membership oracle answers f(x) for a hidden monotone f.  Theorem 24:
+/// learning monotone f with membership queries is *the same problem* as
+/// computing the interesting sentences of a set-represented language —
+/// a point x corresponds to the set of its 1-variables, and the quality
+/// predicate is the negation of the function value.  MembershipAdapter
+/// implements that reduction so core/ algorithms run unchanged on
+/// learning-theory instances.
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bitset.h"
+#include "core/oracle.h"
+
+namespace hgm {
+
+/// Counted access to a hidden Boolean function.
+class MembershipOracle {
+ public:
+  /// \param num_vars number of variables of f
+  /// \param f        the hidden function (must be monotone for the
+  ///                 learners' guarantees to hold)
+  MembershipOracle(size_t num_vars, std::function<bool(const Bitset&)> f)
+      : num_vars_(num_vars), f_(std::move(f)) {}
+
+  /// Asks MQ(f) for the value at \p x (as the set of true variables).
+  bool Query(const Bitset& x) {
+    ++queries_;
+    return f_(x);
+  }
+
+  size_t num_vars() const { return num_vars_; }
+
+  /// Membership queries issued so far.
+  uint64_t queries() const { return queries_; }
+
+  void ResetCounter() { queries_ = 0; }
+
+ private:
+  size_t num_vars_;
+  std::function<bool(const Bitset&)> f_;
+  uint64_t queries_ = 0;
+};
+
+/// Theorem 24 reduction: IsInteresting(S) := !f(S).  Monotone-increasing f
+/// yields a downward-monotone interestingness predicate, so the levelwise
+/// and Dualize-and-Advance machinery applies verbatim:
+///   MTh  = maximal false points  = complements of the minimal CNF clauses,
+///   Bd-  = minimal true points   = the minimal DNF terms (Example 25).
+class MembershipAdapter : public InterestingnessOracle {
+ public:
+  explicit MembershipAdapter(MembershipOracle* oracle) : oracle_(oracle) {}
+
+  bool IsInteresting(const Bitset& x) override { return !oracle_->Query(x); }
+  size_t num_items() const override { return oracle_->num_vars(); }
+
+ private:
+  MembershipOracle* oracle_;
+};
+
+}  // namespace hgm

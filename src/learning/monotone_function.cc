@@ -1,0 +1,156 @@
+#include "learning/monotone_function.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/transversal_berge.h"
+
+namespace hgm {
+
+namespace {
+
+std::string FormatNormalForm(const std::vector<Bitset>& parts,
+                             const char* joiner, const char* if_empty,
+                             const char* if_trivial) {
+  if (parts.empty()) return if_empty;
+  if (parts.size() == 1 && parts[0].None()) return if_trivial;
+  std::ostringstream os;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) os << " " << joiner << " ";
+    bool first = true;
+    parts[i].ForEach([&](size_t v) {
+      if (!first) os << " ";
+      first = false;
+      os << "x" << v;
+    });
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void MonotoneDnf::AddTerm(Bitset term) {
+  assert(term.size() == num_vars_);
+  terms_.push_back(std::move(term));
+  Minimize();
+}
+
+bool MonotoneDnf::Eval(const Bitset& x) const {
+  for (const auto& t : terms_) {
+    if (t.IsSubsetOf(x)) return true;
+  }
+  return false;
+}
+
+void MonotoneDnf::Minimize() { AntichainMinimize(&terms_); }
+
+MonotoneCnf MonotoneDnf::ToCnf() const {
+  // Minimal clauses = minimal transversals of the prime-implicant
+  // hypergraph: a clause must pick one variable from every term.
+  Hypergraph h(num_vars_);
+  for (const auto& t : terms_) h.AddEdge(t);
+  BergeTransversals berge;
+  return MonotoneCnf(num_vars_, berge.Compute(h).SortedEdges());
+}
+
+std::string MonotoneDnf::ToString() const {
+  return FormatNormalForm(terms_, "|", "false", "true");
+}
+
+void MonotoneCnf::AddClause(Bitset clause) {
+  assert(clause.size() == num_vars_);
+  clauses_.push_back(std::move(clause));
+  Minimize();
+}
+
+bool MonotoneCnf::Eval(const Bitset& x) const {
+  for (const auto& c : clauses_) {
+    if (!c.Intersects(x)) return false;
+  }
+  return true;
+}
+
+void MonotoneCnf::Minimize() { AntichainMinimize(&clauses_); }
+
+MonotoneDnf MonotoneCnf::ToDnf() const {
+  // Prime implicants = minimal transversals of the clause hypergraph.
+  Hypergraph h(num_vars_);
+  for (const auto& c : clauses_) h.AddEdge(c);
+  BergeTransversals berge;
+  return MonotoneDnf(num_vars_, berge.Compute(h).SortedEdges());
+}
+
+std::string MonotoneCnf::ToString() const {
+  if (clauses_.empty()) return "true";
+  if (clauses_.size() == 1 && clauses_[0].None()) return "false";
+  std::ostringstream os;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (i) os << " ";
+    os << "(";
+    bool first = true;
+    clauses_[i].ForEach([&](size_t v) {
+      if (!first) os << " | ";
+      first = false;
+      os << "x" << v;
+    });
+    os << ")";
+  }
+  return os.str();
+}
+
+bool EquivalentBrute(const std::function<bool(const Bitset&)>& f,
+                     const std::function<bool(const Bitset&)>& g,
+                     size_t n) {
+  assert(n <= 22 && "brute-force equivalence needs small n");
+  const uint64_t limit = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    Bitset x(n);
+    for (size_t v = 0; v < n; ++v) {
+      if ((mask >> v) & 1) x.Set(v);
+    }
+    if (f(x) != g(x)) return false;
+  }
+  return true;
+}
+
+bool EquivalentOnSamples(const std::function<bool(const Bitset&)>& f,
+                         const std::function<bool(const Bitset&)>& g,
+                         size_t n, size_t samples, Rng* rng) {
+  for (size_t i = 0; i < samples; ++i) {
+    Bitset x(n);
+    for (size_t v = 0; v < n; ++v) {
+      if (rng->Bernoulli(0.5)) x.Set(v);
+    }
+    if (f(x) != g(x)) return false;
+  }
+  return true;
+}
+
+MonotoneDnf RandomDnf(size_t num_vars, size_t num_terms, size_t term_size,
+                      Rng* rng) {
+  assert(term_size <= num_vars);
+  std::vector<Bitset> terms;
+  terms.reserve(num_terms);
+  for (size_t i = 0; i < num_terms; ++i) {
+    terms.push_back(Bitset::FromIndices(
+        num_vars, rng->SampleWithoutReplacement(num_vars, term_size)));
+  }
+  return MonotoneDnf(num_vars, std::move(terms));
+}
+
+MonotoneCnf RandomCoSmallCnf(size_t num_vars, size_t num_clauses, size_t k,
+                             Rng* rng) {
+  assert(k >= 1 && k <= num_vars);
+  std::vector<Bitset> clauses;
+  clauses.reserve(num_clauses);
+  for (size_t i = 0; i < num_clauses; ++i) {
+    size_t missing = rng->UniformInt(1, k);
+    Bitset small = Bitset::FromIndices(
+        num_vars, rng->SampleWithoutReplacement(num_vars, missing));
+    clauses.push_back(~small);
+  }
+  return MonotoneCnf(num_vars, std::move(clauses));
+}
+
+}  // namespace hgm

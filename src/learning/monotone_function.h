@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file monotone_function.h
+/// \brief Monotone Boolean functions with DNF/CNF representations
+/// (Section 6).
+///
+/// Monotone functions have unique minimum-size DNF and CNF forms: the DNF
+/// contains every prime implicant (minimal term), the CNF every minimal
+/// clause, and the two are connected by hypergraph dualization — the
+/// minimal clauses are exactly the minimal transversals of the prime
+/// implicants, viewed as edge sets.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/random.h"
+
+namespace hgm {
+
+/// Monotone DNF: disjunction of positive terms.  A term is the set of its
+/// variables; the empty term is the constant true, no terms is false.
+class MonotoneDnf {
+ public:
+  /// The constant-false function on \p num_vars variables.
+  explicit MonotoneDnf(size_t num_vars = 0) : num_vars_(num_vars) {}
+
+  MonotoneDnf(size_t num_vars, std::vector<Bitset> terms)
+      : num_vars_(num_vars), terms_(std::move(terms)) {
+    Minimize();
+  }
+
+  size_t num_vars() const { return num_vars_; }
+  const std::vector<Bitset>& terms() const { return terms_; }
+  size_t size() const { return terms_.size(); }
+
+  /// Adds a term and re-minimizes.
+  void AddTerm(Bitset term);
+
+  /// True iff some term is contained in \p x.
+  bool Eval(const Bitset& x) const;
+
+  bool IsConstantFalse() const { return terms_.empty(); }
+  bool IsConstantTrue() const {
+    return terms_.size() == 1 && terms_[0].None();
+  }
+
+  /// Removes redundant (superset) and duplicate terms; afterwards terms()
+  /// is the antichain of prime implicants.
+  void Minimize();
+
+  /// The equivalent minimal CNF, via dualization of the term hypergraph.
+  class MonotoneCnf ToCnf() const;
+
+  /// Renders e.g. "x1 x4 | x2 x3" ("false"/"true" for constants).
+  std::string ToString() const;
+
+ private:
+  size_t num_vars_;
+  std::vector<Bitset> terms_;
+};
+
+/// Monotone CNF: conjunction of positive clauses.  A clause is the set of
+/// its variables; the empty clause is the constant false, no clauses true.
+class MonotoneCnf {
+ public:
+  /// The constant-true function on \p num_vars variables.
+  explicit MonotoneCnf(size_t num_vars = 0) : num_vars_(num_vars) {}
+
+  MonotoneCnf(size_t num_vars, std::vector<Bitset> clauses)
+      : num_vars_(num_vars), clauses_(std::move(clauses)) {
+    Minimize();
+  }
+
+  size_t num_vars() const { return num_vars_; }
+  const std::vector<Bitset>& clauses() const { return clauses_; }
+  size_t size() const { return clauses_.size(); }
+
+  void AddClause(Bitset clause);
+
+  /// True iff every clause intersects \p x.
+  bool Eval(const Bitset& x) const;
+
+  bool IsConstantTrue() const { return clauses_.empty(); }
+  bool IsConstantFalse() const {
+    return clauses_.size() == 1 && clauses_[0].None();
+  }
+
+  /// Removes redundant (superset) and duplicate clauses.
+  void Minimize();
+
+  /// The equivalent minimal DNF, via dualization of the clause hypergraph.
+  MonotoneDnf ToDnf() const;
+
+  std::string ToString() const;
+
+ private:
+  size_t num_vars_;
+  std::vector<Bitset> clauses_;
+};
+
+/// Exhaustive equivalence test of two function objects on all 2^n points
+/// (n <= ~22).
+bool EquivalentBrute(const std::function<bool(const Bitset&)>& f,
+                     const std::function<bool(const Bitset&)>& g, size_t n);
+
+/// Monte-Carlo equivalence test on \p samples uniform points.
+bool EquivalentOnSamples(const std::function<bool(const Bitset&)>& f,
+                         const std::function<bool(const Bitset&)>& g,
+                         size_t n, size_t samples, Rng* rng);
+
+/// Random monotone DNF: \p num_terms terms of size exactly \p term_size
+/// (minimized, so possibly fewer survive).
+MonotoneDnf RandomDnf(size_t num_vars, size_t num_terms, size_t term_size,
+                      Rng* rng);
+
+/// Random monotone CNF whose every clause has >= num_vars - k variables:
+/// the Corollary 26 regime.
+MonotoneCnf RandomCoSmallCnf(size_t num_vars, size_t num_clauses, size_t k,
+                             Rng* rng);
+
+}  // namespace hgm

@@ -1,0 +1,234 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/apriori_gen.h"
+#include "core/theory.h"
+#include "mining/hash_tree.h"
+
+namespace hgm {
+
+namespace {
+
+/// A frequent set at the current level: sorted items + cover bitmap over
+/// rows (cover only maintained in tidset mode).
+struct LevelEntry {
+  ItemVec items;
+  Bitset cover;  // rows containing `items`
+  size_t support = 0;
+};
+
+}  // namespace
+
+AprioriResult MineFrequentSets(TransactionDatabase* db, size_t min_support,
+                               const AprioriOptions& options) {
+  AprioriResult result;
+  const size_t n = db->num_items();
+  const size_t num_rows = db->num_transactions();
+
+  // Level 0: the empty itemset.
+  ++result.support_counts;
+  result.candidates_per_level.push_back(1);
+  if (num_rows < min_support) {
+    result.negative_border.push_back(Bitset(n));
+    result.frequent_per_level.push_back(0);
+    return result;
+  }
+  result.frequent_per_level.push_back(1);
+  if (options.record_all) {
+    result.frequent.push_back({Bitset(n), num_rows});
+  }
+
+  const bool tidsets = options.counting == SupportCountingMode::kTidsets;
+
+  // Level 1: items.
+  std::vector<LevelEntry> level;
+  {
+    result.candidates_per_level.push_back(n);
+    size_t kept = 0;
+    for (size_t item = 0; item < n; ++item) {
+      ++result.support_counts;
+      Bitset cover = db->ItemCover(item);
+      size_t support = cover.Count();
+      Bitset x = Bitset::Singleton(n, item);
+      if (support >= min_support) {
+        LevelEntry e;
+        e.items = ItemVec{static_cast<uint32_t>(item)};
+        if (tidsets) e.cover = std::move(cover);
+        e.support = support;
+        level.push_back(std::move(e));
+        ++kept;
+        if (options.record_all) result.frequent.push_back({x, support});
+      } else {
+        result.negative_border.push_back(x);
+      }
+    }
+    result.frequent_per_level.push_back(kept);
+  }
+
+  std::vector<Bitset> maximal;
+  if (level.empty()) maximal.push_back(Bitset(n));  // ∅ is maximal
+
+  // Levels k -> k+1.
+  for (size_t k = 1; !level.empty() && k < options.max_level; ++k) {
+    // Membership set for the prune step.
+    std::unordered_set<Bitset, BitsetHash> level_set;
+    for (const auto& e : level) {
+      level_set.insert(Bitset::FromIndices(n, e.items));
+    }
+
+    // Join + prune: collect the level's candidates with their parents.
+    struct Candidate {
+      ItemVec items;
+      size_t parent_i, parent_j;
+    };
+    std::vector<Candidate> candidates;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        if (!std::equal(level[i].items.begin(), level[i].items.end() - 1,
+                        level[j].items.begin())) {
+          break;  // sorted level: prefix blocks are contiguous
+        }
+        ItemVec cand = level[i].items;
+        cand.push_back(level[j].items.back());
+        if (cand[k - 1] > cand[k]) std::swap(cand[k - 1], cand[k]);
+        // Prune: every k-subset must be frequent.
+        bool ok = true;
+        for (size_t drop = 0; ok && drop + 2 <= cand.size(); ++drop) {
+          ItemVec sub;
+          sub.reserve(k);
+          for (size_t t = 0; t < cand.size(); ++t) {
+            if (t != drop) sub.push_back(cand[t]);
+          }
+          ok = level_set.contains(Bitset::FromIndices(n, sub));
+        }
+        if (ok) candidates.push_back({std::move(cand), i, j});
+      }
+    }
+
+    // Count supports with the selected backend.
+    std::vector<size_t> supports(candidates.size(), 0);
+    std::vector<Bitset> covers;
+    switch (options.counting) {
+      case SupportCountingMode::kTidsets:
+        covers.reserve(candidates.size());
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          covers.push_back(level[candidates[c].parent_i].cover &
+                           level[candidates[c].parent_j].cover);
+          supports[c] = covers.back().Count();
+        }
+        break;
+      case SupportCountingMode::kHorizontal:
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          supports[c] =
+              db->Support(Bitset::FromIndices(n, candidates[c].items));
+        }
+        break;
+      case SupportCountingMode::kHashTree: {
+        std::vector<ItemVec> cand_items;
+        cand_items.reserve(candidates.size());
+        for (const auto& c : candidates) cand_items.push_back(c.items);
+        supports = CountSupportsHashTree(cand_items, *db);
+        break;
+      }
+    }
+    result.support_counts += candidates.size();
+
+    std::vector<LevelEntry> next;
+    std::vector<uint8_t> extended(level.size(), 0);
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      Bitset x = Bitset::FromIndices(n, candidates[c].items);
+      if (supports[c] >= min_support) {
+        extended[candidates[c].parent_i] = 1;
+        extended[candidates[c].parent_j] = 1;
+        LevelEntry e;
+        e.items = std::move(candidates[c].items);
+        if (tidsets) e.cover = std::move(covers[c]);
+        e.support = supports[c];
+        if (options.record_all) {
+          result.frequent.push_back({x, supports[c]});
+        }
+        next.push_back(std::move(e));
+      } else {
+        result.negative_border.push_back(std::move(x));
+      }
+    }
+    result.candidates_per_level.push_back(candidates.size());
+    result.frequent_per_level.push_back(next.size());
+
+    // Maximality: a frequent k-set is maximal iff no frequent
+    // (k+1)-superset exists.  The join marks only the two parents, so
+    // finish with a subset sweep for correctness.
+    for (size_t i = 0; i < level.size(); ++i) {
+      if (extended[i]) continue;
+      Bitset x = Bitset::FromIndices(n, level[i].items);
+      bool covered = false;
+      for (const auto& e : next) {
+        if (x.IsSubsetOf(Bitset::FromIndices(n, e.items))) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) maximal.push_back(std::move(x));
+    }
+    level = std::move(next);
+  }
+  // Sets remaining when the loop exits via the max_level cap are maximal
+  // within the truncated lattice.
+  for (const auto& e : level) {
+    maximal.push_back(Bitset::FromIndices(n, e.items));
+  }
+
+  AntichainMaximize(&maximal);
+  CanonicalSort(&maximal);
+  result.maximal = std::move(maximal);
+  CanonicalSort(&result.negative_border);
+  std::sort(result.frequent.begin(), result.frequent.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              size_t ca = a.items.Count(), cb = b.items.Count();
+              if (ca != cb) return ca < cb;
+              return a.items < b.items;
+            });
+  return result;
+}
+
+AprioriResult MineFrequentSetsBrute(TransactionDatabase* db,
+                                    size_t min_support) {
+  const size_t n = db->num_items();
+  assert(n <= 20 && "brute-force mining needs small n");
+  AprioriResult result;
+  std::vector<Bitset> frequent_sets;
+  std::vector<Bitset> infrequent;
+  const uint64_t limit = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    Bitset x(n);
+    for (size_t v = 0; v < n; ++v) {
+      if ((mask >> v) & 1) x.Set(v);
+    }
+    ++result.support_counts;
+    size_t support = db->Support(x);
+    if (support >= min_support) {
+      result.frequent.push_back({x, support});
+      frequent_sets.push_back(std::move(x));
+    } else {
+      infrequent.push_back(std::move(x));
+    }
+  }
+  result.maximal = frequent_sets;
+  AntichainMaximize(&result.maximal);
+  CanonicalSort(&result.maximal);
+  AntichainMinimize(&infrequent);
+  CanonicalSort(&infrequent);
+  result.negative_border = std::move(infrequent);
+  std::sort(result.frequent.begin(), result.frequent.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              size_t ca = a.items.Count(), cb = b.items.Count();
+              if (ca != cb) return ca < cb;
+              return a.items < b.items;
+            });
+  return result;
+}
+
+}  // namespace hgm

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file apriori.h
+/// \brief Apriori: the levelwise algorithm specialized to frequent sets.
+///
+/// This is the practical miner of [1, 2]: candidate generation via the
+/// prefix join + subset prune (which never touches the data; the paper
+/// notes it takes "a negligible amount of time"), and support counting via
+/// tidset-bitmap intersection, where each candidate's cover is the AND of
+/// its two join parents' covers.  The generic, oracle-counted form of the
+/// same algorithm is core/levelwise.h; this one additionally reports exact
+/// supports for rule generation.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "mining/transaction_db.h"
+
+namespace hgm {
+
+/// A frequent itemset with its absolute support.
+struct FrequentItemset {
+  Bitset items;
+  size_t support = 0;
+};
+
+/// Output of an Apriori run.
+struct AprioriResult {
+  /// Every frequent itemset (including ∅ with support = |r|), canonically
+  /// ordered by (size, value).  Empty if options.record_all is false.
+  std::vector<FrequentItemset> frequent;
+  /// The maximal frequent itemsets.
+  std::vector<Bitset> maximal;
+  /// Bd-: minimal infrequent candidate sets.
+  std::vector<Bitset> negative_border;
+  /// Support computations performed (= candidates evaluated; the paper's
+  /// query measure, Theorem 10: |Th| + |Bd-|).
+  uint64_t support_counts = 0;
+  /// Candidates evaluated / found frequent, per level (index = set size).
+  std::vector<size_t> candidates_per_level;
+  std::vector<size_t> frequent_per_level;
+};
+
+/// How candidate supports are computed.
+enum class SupportCountingMode {
+  /// Tidset-bitmap intersection: each candidate's cover is the AND of its
+  /// two join parents' covers (Eclat-style; memory ~ |level| * |rows|/8).
+  kTidsets,
+  /// One horizontal database scan per candidate.
+  kHorizontal,
+  /// One database scan per LEVEL through the candidate hash tree of [2].
+  kHashTree,
+};
+
+/// Options for MineFrequentSets.
+struct AprioriOptions {
+  /// Keep the full frequent-set list with supports (needed for rules).
+  bool record_all = true;
+  /// Support-counting backend; all three produce identical results.
+  SupportCountingMode counting = SupportCountingMode::kTidsets;
+  /// Stop after itemsets of this size.
+  size_t max_level = Bitset::npos;
+};
+
+/// Mines all itemsets with support >= \p min_support.
+AprioriResult MineFrequentSets(TransactionDatabase* db, size_t min_support,
+                               const AprioriOptions& options = {});
+
+/// Exhaustive reference miner (2^n subsets); for tests, n <= ~20.
+AprioriResult MineFrequentSetsBrute(TransactionDatabase* db,
+                                    size_t min_support);
+
+}  // namespace hgm

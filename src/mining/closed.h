@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file closed.h
+/// \brief Closed frequent itemsets and the support closure operator.
+///
+/// The closure of an itemset X is the intersection of all transactions
+/// containing X — the largest superset with the same support.  Closed
+/// frequent sets form a lossless condensation of the theory: every
+/// frequent set's support is recoverable as the support of its closure,
+/// and MTh is a subset of the closed sets (maximal => closed).  This
+/// module rounds out the frequent-set substrate with the representation
+/// downstream systems usually keep.
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "mining/apriori.h"
+#include "mining/transaction_db.h"
+
+namespace hgm {
+
+/// The closure of \p x in \p db: the intersection of all rows containing
+/// x.  If no row contains x (support 0), returns the full item universe
+/// by convention (the intersection over an empty family).
+Bitset Closure(TransactionDatabase* db, const Bitset& x);
+
+/// All closed itemsets with support >= \p min_support, with supports,
+/// canonically sorted.  Computed by closing every frequent set and
+/// deduplicating.
+std::vector<FrequentItemset> MineClosedFrequentSets(TransactionDatabase* db,
+                                                    size_t min_support);
+
+/// Recovers the support of an arbitrary itemset from the closed-set
+/// condensation: the minimum support among closed supersets, or 0 if no
+/// closed superset exists (then x is infrequent).
+size_t SupportFromClosed(const std::vector<FrequentItemset>& closed,
+                         const Bitset& x);
+
+}  // namespace hgm

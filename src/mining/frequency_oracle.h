@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file frequency_oracle.h
+/// \brief The frequent-set quality predicate as an Is-interesting oracle.
+///
+/// q(r, X) holds iff support(X) >= min_support.  Monotone downward:
+/// subsets of frequent sets are frequent.  This is the instance that makes
+/// Algorithm 9 the Apriori of [1, 2] and Algorithm 16 the maximal-set miner
+/// of [11].
+
+#include "core/oracle.h"
+#include "mining/transaction_db.h"
+
+namespace hgm {
+
+/// Is-interesting oracle: "is X sigma-frequent in r?"
+class FrequencyOracle : public InterestingnessOracle {
+ public:
+  /// \param db        the 0/1 relation (not owned; must outlive the oracle)
+  /// \param min_support  absolute row-count threshold (sigma * |r|)
+  /// \param use_vertical use bitmap-intersection counting instead of a
+  ///                  horizontal scan (same answers; different constant)
+  FrequencyOracle(TransactionDatabase* db, size_t min_support,
+                  bool use_vertical = true)
+      : db_(db), min_support_(min_support), use_vertical_(use_vertical) {}
+
+  bool IsInteresting(const Bitset& x) override {
+    size_t support =
+        use_vertical_ ? db_->SupportVertical(x) : db_->Support(x);
+    return support >= min_support_;
+  }
+
+  size_t num_items() const override { return db_->num_items(); }
+
+  size_t min_support() const { return min_support_; }
+
+ private:
+  TransactionDatabase* db_;
+  size_t min_support_;
+  bool use_vertical_;
+};
+
+}  // namespace hgm

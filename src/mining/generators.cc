@@ -1,0 +1,131 @@
+#include "mining/generators.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hypergraph/hypergraph.h"
+
+namespace hgm {
+
+TransactionDatabase GenerateQuest(const QuestParams& params, Rng* rng) {
+  const size_t n = params.num_items;
+  TransactionDatabase db(n);
+  if (n == 0 || params.num_transactions == 0) return db;
+
+  // --- Pattern table ---------------------------------------------------
+  struct Pattern {
+    std::vector<size_t> items;
+    double weight;
+    double corruption;
+  };
+  std::vector<Pattern> patterns;
+  patterns.reserve(params.num_patterns);
+  double total_weight = 0.0;
+  for (size_t p = 0; p < params.num_patterns; ++p) {
+    size_t size = std::min<size_t>(
+        n, 1 + rng->Poisson(std::max(0.0, params.avg_pattern_size - 1)));
+    std::vector<size_t> items;
+    // Correlated fraction reused from the previous pattern.
+    if (p > 0 && params.correlation > 0) {
+      const auto& prev = patterns.back().items;
+      for (size_t it : prev) {
+        if (items.size() < size && rng->Bernoulli(params.correlation)) {
+          items.push_back(it);
+        }
+      }
+    }
+    // Fill the remainder with fresh random items.
+    while (items.size() < size) {
+      size_t item = rng->UniformIndex(n);
+      if (std::find(items.begin(), items.end(), item) == items.end()) {
+        items.push_back(item);
+      }
+    }
+    Pattern pat;
+    pat.items = std::move(items);
+    pat.weight = rng->Exponential(1.0);
+    // Corruption level per pattern, clamped to [0, 1).
+    pat.corruption =
+        std::min(0.95, std::max(0.0, rng->Exponential(
+                                         params.corruption_mean)));
+    total_weight += pat.weight;
+    patterns.push_back(std::move(pat));
+  }
+  for (auto& p : patterns) p.weight /= total_weight;
+
+  auto pick_pattern = [&]() -> const Pattern& {
+    double u = rng->UniformDouble();
+    double acc = 0.0;
+    for (const auto& p : patterns) {
+      acc += p.weight;
+      if (u <= acc) return p;
+    }
+    return patterns.back();
+  };
+
+  // --- Transactions ----------------------------------------------------
+  for (size_t t = 0; t < params.num_transactions; ++t) {
+    size_t target = std::min<size_t>(
+        n,
+        1 + rng->Poisson(std::max(0.0, params.avg_transaction_size - 1)));
+    Bitset row(n);
+    size_t filled = 0;
+    size_t attempts = 0;
+    while (filled < target && attempts < 8 * params.num_patterns + 8) {
+      ++attempts;
+      const Pattern& pat = pick_pattern();
+      for (size_t item : pat.items) {
+        if (filled >= target) break;
+        // Corrupt: drop each item with the pattern's corruption level.
+        if (rng->Bernoulli(pat.corruption)) continue;
+        if (!row.Test(item)) {
+          row.Set(item);
+          ++filled;
+        }
+      }
+    }
+    // Top up with random items if corruption starved the transaction.
+    while (filled < target) {
+      size_t item = rng->UniformIndex(n);
+      if (!row.Test(item)) {
+        row.Set(item);
+        ++filled;
+      }
+    }
+    db.AddTransaction(std::move(row));
+  }
+  return db;
+}
+
+TransactionDatabase PlantedDatabase(size_t num_items,
+                                    const std::vector<Bitset>& patterns,
+                                    size_t copies_per_pattern,
+                                    size_t noise_rows, size_t noise_items,
+                                    Rng* rng) {
+  TransactionDatabase db(num_items);
+  for (const auto& p : patterns) {
+    assert(p.size() == num_items);
+    for (size_t c = 0; c < copies_per_pattern; ++c) db.AddTransaction(p);
+  }
+  for (size_t i = 0; i < noise_rows; ++i) {
+    size_t size = std::min(noise_items, num_items);
+    db.AddTransaction(Bitset::FromIndices(
+        num_items, rng->SampleWithoutReplacement(num_items, size)));
+  }
+  return db;
+}
+
+std::vector<Bitset> RandomPatterns(size_t num_items, size_t count,
+                                   size_t set_size, Rng* rng) {
+  assert(set_size <= num_items);
+  std::vector<Bitset> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(Bitset::FromIndices(
+        num_items, rng->SampleWithoutReplacement(num_items, set_size)));
+  }
+  AntichainMaximize(&out);
+  return out;
+}
+
+}  // namespace hgm

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file generators.h
+/// \brief Synthetic transaction workloads.
+///
+/// Two families:
+///  * QuestGenerator — a reimplementation of the IBM Quest synthetic
+///    market-basket generator used by the association-rule lineage papers
+///    ([1, 2]): transactions are built from weighted, partially-corrupted
+///    "potentially frequent" patterns.  (Substitution note in DESIGN.md:
+///    the original generator binary is IBM-internal; this reproduces its
+///    published parameterization T/I/L/N.)
+///  * PlantedDatabase — plants an exact antichain of maximal patterns so
+///    experiments know ground-truth MTh in advance.
+
+#include <vector>
+
+#include "common/random.h"
+#include "mining/transaction_db.h"
+
+namespace hgm {
+
+/// Parameters of the Quest-style generator, named as in [2]:
+/// |D| transactions, |T| avg size, |I| avg pattern size, |L| patterns,
+/// N items.
+struct QuestParams {
+  size_t num_transactions = 1000;  ///< |D|
+  double avg_transaction_size = 10.0;  ///< T
+  double avg_pattern_size = 4.0;       ///< I
+  size_t num_patterns = 20;            ///< |L|
+  size_t num_items = 100;              ///< N
+  /// Fraction of a pattern's items reused from the previous pattern.
+  double correlation = 0.5;
+  /// Mean corruption level: expected fraction of a pattern's items dropped
+  /// when it is inserted into a transaction.
+  double corruption_mean = 0.25;
+};
+
+/// Generates a Quest-style market-basket database.
+TransactionDatabase GenerateQuest(const QuestParams& params, Rng* rng);
+
+/// Builds a database whose sigma-frequent sets are exactly the subsets of
+/// \p patterns (for min_support <= copies_per_pattern): each pattern
+/// contributes copies_per_pattern identical rows, plus \p noise_rows rows
+/// of uniformly random items that are each unique (support 1 apiece when
+/// noise_items is small relative to n).  With an antichain \p patterns and
+/// zero noise, MTh equals \p patterns exactly.
+TransactionDatabase PlantedDatabase(size_t num_items,
+                                    const std::vector<Bitset>& patterns,
+                                    size_t copies_per_pattern,
+                                    size_t noise_rows, size_t noise_items,
+                                    Rng* rng);
+
+/// Random antichain of \p count maximal sets of size exactly \p set_size
+/// over \p num_items items (duplicates and comparable pairs removed, so
+/// the result may be smaller than \p count).
+std::vector<Bitset> RandomPatterns(size_t num_items, size_t count,
+                                   size_t set_size, Rng* rng);
+
+}  // namespace hgm

@@ -1,0 +1,110 @@
+#include "mining/hash_tree.h"
+
+#include <cassert>
+
+namespace hgm {
+
+CandidateHashTree::CandidateHashTree(const std::vector<ItemVec>& candidates,
+                                     size_t num_items,
+                                     size_t leaf_capacity)
+    : candidates_(candidates), leaf_capacity_(leaf_capacity) {
+  (void)num_items;
+  assert(leaf_capacity_ >= 1);
+  k_ = candidates_.empty() ? 0 : candidates_[0].size();
+  nodes_.push_back(Node{});
+  for (uint32_t c = 0; c < candidates_.size(); ++c) {
+    assert(candidates_[c].size() == k_);
+    Insert(0, 0, c);
+  }
+}
+
+void CandidateHashTree::Insert(size_t node, size_t depth,
+                               uint32_t candidate_index) {
+  while (!nodes_[node].is_leaf) {
+    size_t bucket = Hash(candidates_[candidate_index][depth]);
+    int32_t child = nodes_[node].children[bucket];
+    if (child < 0) {
+      nodes_.push_back(Node{});
+      child = static_cast<int32_t>(nodes_.size() - 1);
+      nodes_[node].children[bucket] = child;
+    }
+    node = static_cast<size_t>(child);
+    ++depth;
+  }
+  nodes_[node].leaf_candidates.push_back(candidate_index);
+  if (nodes_[node].leaf_candidates.size() > leaf_capacity_ && depth < k_) {
+    SplitLeaf(node, depth);
+  }
+}
+
+void CandidateHashTree::SplitLeaf(size_t node, size_t depth) {
+  std::vector<uint32_t> members = std::move(nodes_[node].leaf_candidates);
+  nodes_[node].leaf_candidates.clear();
+  nodes_[node].is_leaf = false;
+  nodes_[node].children.assign(kFanout, -1);
+  for (uint32_t c : members) Insert(node, depth, c);
+}
+
+void CandidateHashTree::Visit(size_t node, size_t depth,
+                              const std::vector<uint32_t>& row,
+                              size_t start, const Bitset& row_bits,
+                              int64_t tid, std::vector<int64_t>* last_tid,
+                              std::vector<size_t>* counts) const {
+  const Node& nd = nodes_[node];
+  if (nd.is_leaf) {
+    for (uint32_t c : nd.leaf_candidates) {
+      // A leaf can be reached along several hash paths of the same
+      // transaction; the per-candidate tid marker prevents double counts.
+      if ((*last_tid)[c] == tid) continue;
+      bool contained = true;
+      for (uint32_t item : candidates_[c]) {
+        if (!row_bits.Test(item)) {
+          contained = false;
+          break;
+        }
+      }
+      if (contained) {
+        (*last_tid)[c] = tid;
+        ++(*counts)[c];
+      }
+    }
+    return;
+  }
+  // Hash each remaining transaction item; a candidate whose depth-th item
+  // is row[i] can only live under the corresponding bucket.  Items must
+  // leave room for the candidate's remaining k - depth - 1 entries.
+  for (size_t i = start; i + (k_ - depth - 1) < row.size(); ++i) {
+    int32_t child = nd.children[Hash(row[i])];
+    if (child >= 0) {
+      Visit(static_cast<size_t>(child), depth + 1, row, i + 1, row_bits,
+            tid, last_tid, counts);
+    }
+  }
+}
+
+std::vector<size_t> CandidateHashTree::CountSupports(
+    const TransactionDatabase& db) const {
+  std::vector<size_t> counts(candidates_.size(), 0);
+  if (candidates_.empty()) return counts;
+  std::vector<int64_t> last_tid(candidates_.size(), -1);
+  std::vector<uint32_t> row_items;
+  int64_t tid = 0;
+  for (const auto& row : db.rows()) {
+    ++tid;
+    if (row.Count() < k_) continue;
+    row_items.clear();
+    row.ForEach(
+        [&](size_t v) { row_items.push_back(static_cast<uint32_t>(v)); });
+    Visit(0, 0, row_items, 0, row, tid, &last_tid, &counts);
+  }
+  return counts;
+}
+
+std::vector<size_t> CountSupportsHashTree(
+    const std::vector<ItemVec>& candidates, const TransactionDatabase& db,
+    size_t leaf_capacity) {
+  CandidateHashTree tree(candidates, db.num_items(), leaf_capacity);
+  return tree.CountSupports(db);
+}
+
+}  // namespace hgm

@@ -1,0 +1,99 @@
+#include "mining/max_miner.h"
+
+#include "core/dualize_advance.h"
+#include "core/levelwise.h"
+#include "core/oracle.h"
+#include "core/theory.h"
+#include "hypergraph/transversal_mmcs.h"
+#include "mining/frequency_oracle.h"
+
+namespace hgm {
+
+namespace {
+
+/// Ordered depth-first walk of the theory: each frequent set is visited
+/// exactly once (extensions only use items above the current maximum).
+/// A visited set is maximal iff NO single-item extension — including ones
+/// below the current maximum — is frequent; those extra checks are
+/// answered from the memoizing oracle, so the query count stays within a
+/// small factor of the levelwise walk.
+void DepthFirstWalk(InterestingnessOracle* oracle, size_t n,
+                    const Bitset& current, size_t next_item,
+                    std::vector<Bitset>* maximal) {
+  bool frequent_extension = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (current.Test(i)) continue;
+    Bitset extended = current.WithBit(i);
+    if (oracle->IsInteresting(extended)) {
+      frequent_extension = true;
+      if (i >= next_item) {
+        DepthFirstWalk(oracle, n, extended, i + 1, maximal);
+      }
+    }
+  }
+  if (!frequent_extension) maximal->push_back(current);
+}
+
+}  // namespace
+
+MaxMinerResult MineMaximalFrequentSets(TransactionDatabase* db,
+                                       size_t min_support,
+                                       MaxMinerAlgorithm algorithm) {
+  FrequencyOracle oracle(db, min_support);
+  CountingOracle counter(&oracle);
+  MaxMinerResult result;
+  switch (algorithm) {
+    case MaxMinerAlgorithm::kLevelwise: {
+      LevelwiseOptions opts;
+      opts.record_theory = false;
+      LevelwiseResult r = RunLevelwise(&counter, opts);
+      result.maximal = std::move(r.positive_border);
+      result.negative_border = std::move(r.negative_border);
+      break;
+    }
+    case MaxMinerAlgorithm::kDualizeAdvance: {
+      // The query accounting (Lemma 20 / Theorem 21) is subroutine-
+      // independent; use the fast MMCS enumerator here.  Experiments that
+      // specifically measure the Fredman-Khachiyan subroutine call
+      // RunDualizeAdvance directly with its FK default.
+      DualizeAdvanceOptions opts;
+      opts.make_enumerator = [] {
+        return std::make_unique<MmcsEnumerator>();
+      };
+      DualizeAdvanceResult r = RunDualizeAdvance(&counter, opts);
+      result.maximal = std::move(r.positive_border);
+      result.negative_border = std::move(r.negative_border);
+      break;
+    }
+    case MaxMinerAlgorithm::kDepthFirst: {
+      // The DFS re-asks about sets reached along different paths, so it
+      // leans on memoization; raw vs distinct queries quantify that.
+      CountingOracle memo(&oracle, /*memoize=*/true);
+      if (memo.IsInteresting(Bitset(db->num_items()))) {
+        DepthFirstWalk(&memo, db->num_items(), Bitset(db->num_items()), 0,
+                       &result.maximal);
+      }
+      CanonicalSort(&result.maximal);
+      result.queries = memo.raw_queries();
+      result.distinct_queries = memo.distinct_queries();
+      return result;
+    }
+  }
+  result.queries = counter.raw_queries();
+  result.distinct_queries = counter.distinct_queries();
+  return result;
+}
+
+std::string ToString(MaxMinerAlgorithm algorithm) {
+  switch (algorithm) {
+    case MaxMinerAlgorithm::kLevelwise:
+      return "levelwise";
+    case MaxMinerAlgorithm::kDualizeAdvance:
+      return "dualize-and-advance";
+    case MaxMinerAlgorithm::kDepthFirst:
+      return "depth-first";
+  }
+  return "unknown";
+}
+
+}  // namespace hgm

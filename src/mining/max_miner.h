@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file max_miner.h
+/// \brief Maximal-frequent-set mining façade (Problem 1 for frequent sets).
+///
+/// Runs either the levelwise algorithm (Algorithm 9) or Dualize and
+/// Advance (Algorithm 16) over a FrequencyOracle, with the paper's query
+/// accounting.  The two return identical MTh and Bd-; their costs differ
+/// exactly as Sections 4-5 predict (see bench_da_vs_levelwise).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "mining/transaction_db.h"
+
+namespace hgm {
+
+/// Which MaxTh algorithm to run.
+enum class MaxMinerAlgorithm {
+  kLevelwise,       ///< Algorithm 9 (walks all of Th)
+  kDualizeAdvance,  ///< Algorithm 16 (jumps to maximal sets)
+  kDepthFirst,      ///< ordered DFS baseline: same theory walk as
+                    ///< levelwise but depth-first with O(rank) memory and
+                    ///< no candidate generation; used for ablations
+};
+
+/// Output of a maximal-set mining run.
+struct MaxMinerResult {
+  /// The maximal sigma-frequent itemsets MTh.
+  std::vector<Bitset> maximal;
+  /// Bd-(MTh): the minimal infrequent itemsets.  (Left empty by the
+  /// depth-first baseline, which does not materialize the border.)
+  std::vector<Bitset> negative_border;
+  /// Evaluations of the frequency predicate.
+  uint64_t queries = 0;
+  /// Distinct itemsets whose frequency was evaluated.
+  uint64_t distinct_queries = 0;
+};
+
+/// Mines the maximal frequent itemsets of \p db at absolute support
+/// threshold \p min_support with the chosen algorithm.
+MaxMinerResult MineMaximalFrequentSets(TransactionDatabase* db,
+                                       size_t min_support,
+                                       MaxMinerAlgorithm algorithm);
+
+/// Human-readable algorithm name.
+std::string ToString(MaxMinerAlgorithm algorithm);
+
+}  // namespace hgm

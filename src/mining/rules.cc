@@ -1,0 +1,73 @@
+#include "mining/rules.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace hgm {
+
+std::vector<AssociationRule> GenerateRules(const AprioriResult& mined,
+                                           size_t num_rows,
+                                           double min_confidence) {
+  std::unordered_map<Bitset, size_t, BitsetHash> support;
+  support.reserve(mined.frequent.size());
+  for (const auto& f : mined.frequent) support[f.items] = f.support;
+
+  std::vector<AssociationRule> rules;
+  for (const auto& f : mined.frequent) {
+    if (f.items.Count() < 2) continue;
+    for (size_t a = f.items.FindFirst(); a != Bitset::npos;
+         a = f.items.FindNext(a)) {
+      Bitset antecedent = f.items.WithoutBit(a);
+      auto it = support.find(antecedent);
+      // Subsets of frequent sets are frequent, so the antecedent is
+      // always present when the result was mined with record_all.
+      if (it == support.end() || it->second == 0) continue;
+      double confidence = static_cast<double>(f.support) /
+                          static_cast<double>(it->second);
+      if (confidence + 1e-12 < min_confidence) continue;
+      AssociationRule rule;
+      rule.antecedent = antecedent;
+      rule.consequent = a;
+      rule.support = f.support;
+      rule.confidence = confidence;
+      auto single = support.find(Bitset::Singleton(f.items.size(), a));
+      if (single != support.end() && single->second > 0 && num_rows > 0) {
+        double freq_a = static_cast<double>(single->second) /
+                        static_cast<double>(num_rows);
+        rule.lift = confidence / freq_a;
+      }
+      rules.push_back(std::move(rule));
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.support != b.support) return a.support > b.support;
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+std::string FormatRule(const AssociationRule& rule,
+                       const std::vector<std::string>& names) {
+  std::ostringstream os;
+  os << rule.antecedent.Format(names) << " => ";
+  if (rule.consequent < names.size()) {
+    os << names[rule.consequent];
+  } else {
+    os << "#" << rule.consequent;
+  }
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << " (sup " << rule.support << ", conf " << rule.confidence
+     << ", lift " << rule.lift << ")";
+  return os.str();
+}
+
+}  // namespace hgm

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file rules.h
+/// \brief Association-rule generation from frequent sets (Section 2).
+///
+/// "Once the frequent sets are found the problem of computing association
+/// rules from them is straightforward.  For each frequent set Z, and for
+/// each A in Z one can test the confidence of the rule Z \ A => A."
+
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "mining/apriori.h"
+
+namespace hgm {
+
+/// An association rule X => A with its quality measures.
+struct AssociationRule {
+  /// Antecedent X (non-empty).
+  Bitset antecedent;
+  /// Consequent attribute A (a single item, as in the paper).
+  size_t consequent = 0;
+  /// Rows containing X ∪ {A}.
+  size_t support = 0;
+  /// support(X ∪ {A}) / support(X).
+  double confidence = 0.0;
+  /// confidence / frequency(A); > 1 means positive correlation.
+  double lift = 0.0;
+};
+
+/// Generates every rule Z \ A => A with Z frequent, |Z| >= 2, and
+/// confidence >= \p min_confidence, from an AprioriResult mined with
+/// record_all = true.  \p num_rows is the database size (for lift).
+/// Rules are sorted by descending (confidence, support).
+std::vector<AssociationRule> GenerateRules(const AprioriResult& mined,
+                                           size_t num_rows,
+                                           double min_confidence);
+
+/// Renders "BD => A (sup 3, conf 0.75, lift 1.20)" using item \p names.
+std::string FormatRule(const AssociationRule& rule,
+                       const std::vector<std::string>& names);
+
+}  // namespace hgm

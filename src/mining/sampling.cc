@@ -1,0 +1,93 @@
+#include "mining/sampling.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/theory.h"
+#include "hypergraph/transversal_berge.h"
+
+namespace hgm {
+
+SamplingResult MineWithSampling(TransactionDatabase* db, size_t min_support,
+                                const SamplingOptions& options, Rng* rng) {
+  SamplingResult result;
+  const size_t n = db->num_items();
+  const size_t rows = db->num_transactions();
+  if (rows == 0) {
+    if (min_support == 0) result.frequent.push_back({Bitset(n), 0});
+    return result;
+  }
+
+  // --- 1. Draw the sample (with replacement). -------------------------
+  TransactionDatabase sample(n);
+  for (size_t i = 0; i < options.sample_size; ++i) {
+    sample.AddTransaction(db->row(rng->UniformIndex(rows)));
+  }
+
+  // --- 2. Mine the sample at a lowered threshold. ----------------------
+  double full_fraction =
+      static_cast<double>(min_support) / static_cast<double>(rows);
+  double lowered = full_fraction * options.threshold_lowering;
+  auto sample_minsup = static_cast<size_t>(
+      std::ceil(lowered * static_cast<double>(options.sample_size) - 1e-9));
+  if (sample_minsup == 0) sample_minsup = 1;
+  AprioriOptions mine_opts;
+  mine_opts.record_all = true;
+  AprioriResult sampled = MineFrequentSets(&sample, sample_minsup, mine_opts);
+
+  // --- 3. One full pass over S ∪ Bd-(S). --------------------------------
+  std::unordered_map<Bitset, size_t, BitsetHash> support;  // evaluated sets
+  auto evaluate = [&](const Bitset& x) -> size_t {
+    auto it = support.find(x);
+    if (it != support.end()) return it->second;
+    ++result.full_db_evaluations;
+    size_t s = db->SupportVertical(x);
+    support.emplace(x, s);
+    return s;
+  };
+
+  std::vector<Bitset> verified_frequent;  // downward-closed by invariant
+  for (const auto& f : sampled.frequent) {
+    if (evaluate(f.items) >= min_support) {
+      verified_frequent.push_back(f.items);
+    }
+  }
+  for (const auto& x : sampled.negative_border) {
+    if (evaluate(x) >= min_support) {
+      result.miss_detected = true;
+      result.missed_sets.push_back(x);
+      verified_frequent.push_back(x);
+    }
+  }
+
+  // --- 4. Repair passes: grow until the negative border is clean. ------
+  BergeTransversals berge;
+  while (true) {
+    std::vector<Bitset> border =
+        NegativeBorderViaTransversals(verified_frequent, n, &berge);
+    bool grew = false;
+    for (const auto& x : border) {
+      if (support.contains(x)) continue;  // already known infrequent/freq
+      if (evaluate(x) >= min_support) {
+        verified_frequent.push_back(x);
+        result.missed_sets.push_back(x);
+        result.miss_detected = true;
+        grew = true;
+      }
+    }
+    if (!grew) break;
+    ++result.repair_passes;
+  }
+
+  // Note: verified_frequent is downward closed (subsets of a frequent
+  // candidate were themselves sample-frequent candidates, and border sets
+  // only enter once their whole lower shadow is in), so at loop exit it
+  // is exactly Th.
+  CanonicalSort(&verified_frequent);
+  for (const auto& x : verified_frequent) {
+    result.frequent.push_back({x, support.at(x)});
+  }
+  return result;
+}
+
+}  // namespace hgm

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file sampling.h
+/// \brief Toivonen-style sampling with negative-border verification.
+///
+/// The border machinery of Section 3 is exactly what powers Toivonen's
+/// sampling algorithm (VLDB 1996, by one of the paper's authors): mine a
+/// random sample at a lowered threshold, then make ONE pass over the full
+/// database evaluating S ∪ Bd-(S).  If no negative-border set turns out
+/// frequent, S restricted to the truly frequent sets is provably the exact
+/// answer; otherwise the miss is detected (that is the point of checking
+/// the border) and further passes repair it.
+///
+/// This is the library's showcase of the paper's central object — the
+/// negative border — doing practical work.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "mining/apriori.h"
+#include "mining/transaction_db.h"
+
+namespace hgm {
+
+/// Options for sampling-based mining.
+struct SamplingOptions {
+  /// Rows drawn (with replacement) into the sample.
+  size_t sample_size = 1000;
+  /// Multiplier < 1 applied to the support threshold on the sample, to
+  /// lower the chance of missing a truly frequent set.
+  double threshold_lowering = 0.75;
+};
+
+/// Output of MineWithSampling.
+struct SamplingResult {
+  /// The exact frequent sets of the FULL database, with exact supports.
+  std::vector<FrequentItemset> frequent;
+  /// True if some negative-border set of the sample's theory was frequent
+  /// in the full database (a potential miss was detected and repaired).
+  bool miss_detected = false;
+  /// Full-database support evaluations (the expensive currency); the
+  /// first pass costs exactly |S| + |Bd-(S)|.
+  uint64_t full_db_evaluations = 0;
+  /// Number of repair passes after the first (0 when the sample sufficed).
+  size_t repair_passes = 0;
+  /// Itemsets frequent in the full database but missed by the sample.
+  std::vector<Bitset> missed_sets;
+};
+
+/// Mines the exact sigma-frequent sets of \p db by sampling.
+/// \p min_support is the absolute threshold on the full database.
+SamplingResult MineWithSampling(TransactionDatabase* db, size_t min_support,
+                                const SamplingOptions& options, Rng* rng);
+
+}  // namespace hgm

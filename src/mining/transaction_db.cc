@@ -1,0 +1,132 @@
+#include "mining/transaction_db.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hgm {
+
+TransactionDatabase TransactionDatabase::FromRows(
+    size_t num_items, const std::vector<std::vector<size_t>>& rows) {
+  TransactionDatabase db(num_items);
+  for (const auto& r : rows) {
+    db.AddTransaction(Bitset::FromIndices(num_items, r));
+  }
+  return db;
+}
+
+void TransactionDatabase::AddTransaction(Bitset row) {
+  assert(row.size() == num_items_);
+  rows_.push_back(std::move(row));
+  vertical_valid_ = false;
+}
+
+void TransactionDatabase::AddTransactionIndices(
+    std::initializer_list<size_t> items) {
+  AddTransaction(Bitset::FromIndices(num_items_, items));
+}
+
+size_t TransactionDatabase::Support(const Bitset& itemset) const {
+  size_t count = 0;
+  for (const auto& r : rows_) {
+    if (itemset.IsSubsetOf(r)) ++count;
+  }
+  return count;
+}
+
+double TransactionDatabase::Frequency(const Bitset& itemset) const {
+  if (rows_.empty()) return 0.0;
+  return static_cast<double>(Support(itemset)) /
+         static_cast<double>(rows_.size());
+}
+
+Bitset TransactionDatabase::Cover(const Bitset& itemset) {
+  BuildVerticalIndex();
+  Bitset cover = Bitset::Full(rows_.size());
+  itemset.ForEach([&](size_t item) { cover &= vertical_[item]; });
+  return cover;
+}
+
+size_t TransactionDatabase::SupportVertical(const Bitset& itemset) {
+  return Cover(itemset).Count();
+}
+
+std::vector<size_t> TransactionDatabase::ItemSupports() const {
+  std::vector<size_t> support(num_items_, 0);
+  for (const auto& r : rows_) {
+    r.ForEach([&](size_t item) { ++support[item]; });
+  }
+  return support;
+}
+
+const Bitset& TransactionDatabase::ItemCover(size_t item) {
+  BuildVerticalIndex();
+  return vertical_[item];
+}
+
+double TransactionDatabase::AvgTransactionSize() const {
+  if (rows_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& r : rows_) total += r.Count();
+  return static_cast<double>(total) / static_cast<double>(rows_.size());
+}
+
+void TransactionDatabase::BuildVerticalIndex() {
+  if (vertical_valid_) return;
+  vertical_.assign(num_items_, Bitset(rows_.size()));
+  for (size_t t = 0; t < rows_.size(); ++t) {
+    rows_[t].ForEach([&](size_t item) { vertical_[item].Set(t); });
+  }
+  vertical_valid_ = true;
+}
+
+Result<TransactionDatabase> TransactionDatabase::LoadBasketFile(
+    const std::string& path, size_t num_items) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<size_t>> rows;
+  size_t max_id = 0;
+  bool any_item = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::vector<size_t> items;
+    long long id;
+    while (ls >> id) {
+      if (id < 0) {
+        return Status::InvalidArgument("negative item id in " + path);
+      }
+      items.push_back(static_cast<size_t>(id));
+      max_id = std::max(max_id, static_cast<size_t>(id));
+      any_item = true;
+    }
+    if (!ls.eof()) {
+      return Status::InvalidArgument("non-numeric token in " + path);
+    }
+    rows.push_back(std::move(items));
+  }
+  size_t n = num_items != 0 ? num_items : (any_item ? max_id + 1 : 0);
+  if (any_item && max_id >= n) {
+    return Status::OutOfRange("item id exceeds declared universe in " +
+                              path);
+  }
+  return TransactionDatabase::FromRows(n, rows);
+}
+
+Status TransactionDatabase::SaveBasketFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const auto& r : rows_) {
+    bool first = true;
+    r.ForEach([&](size_t item) {
+      if (!first) out << ' ';
+      first = false;
+      out << item;
+    });
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace hgm

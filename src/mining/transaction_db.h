@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file transaction_db.h
+/// \brief 0/1 relations (transaction databases) for frequent-set mining.
+///
+/// The paper's running example: a 0/1 relation r over attributes R; a set
+/// X ⊆ R is sigma-frequent if at least a sigma-fraction of the rows have 1
+/// in every attribute of X.  The database stores rows horizontally (one
+/// Bitset of items per row) and can build a vertical index (one Bitset of
+/// rows per item) for fast bitmap-intersection support counting.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/status.h"
+
+namespace hgm {
+
+/// An in-memory 0/1 relation over a fixed item universe.
+class TransactionDatabase {
+ public:
+  /// Creates an empty database over \p num_items attributes.
+  explicit TransactionDatabase(size_t num_items = 0)
+      : num_items_(num_items) {}
+
+  /// Creates a database from explicit item-index lists.
+  static TransactionDatabase FromRows(
+      size_t num_items, const std::vector<std::vector<size_t>>& rows);
+
+  size_t num_items() const { return num_items_; }
+  size_t num_transactions() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const std::vector<Bitset>& rows() const { return rows_; }
+  const Bitset& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a transaction; invalidates the vertical index.
+  void AddTransaction(Bitset row);
+
+  /// Appends a transaction given as item indices.
+  void AddTransactionIndices(std::initializer_list<size_t> items);
+
+  /// Number of rows containing every item of \p itemset (horizontal scan).
+  size_t Support(const Bitset& itemset) const;
+
+  /// Support as a fraction of rows; 0 for an empty database.
+  double Frequency(const Bitset& itemset) const;
+
+  /// The set of row ids containing every item of \p itemset, as a Bitset
+  /// over rows.  Uses the vertical index (built on first use).
+  Bitset Cover(const Bitset& itemset);
+
+  /// Support via the vertical index (bitmap AND); equals Support().
+  size_t SupportVertical(const Bitset& itemset);
+
+  /// Per-item supports (column sums).
+  std::vector<size_t> ItemSupports() const;
+
+  /// The vertical index: tidset bitmap of item \p item.  Built lazily.
+  const Bitset& ItemCover(size_t item);
+
+  /// Average transaction length.
+  double AvgTransactionSize() const;
+
+  /// Loads a basket-format file: one transaction per line, whitespace-
+  /// separated non-negative item ids; lines starting with '#' skipped.
+  /// \p num_items 0 means "infer as max id + 1".
+  static Result<TransactionDatabase> LoadBasketFile(const std::string& path,
+                                                    size_t num_items = 0);
+
+  /// Writes basket format (one line of space-separated item ids per row).
+  Status SaveBasketFile(const std::string& path) const;
+
+ private:
+  void BuildVerticalIndex();
+
+  size_t num_items_;
+  std::vector<Bitset> rows_;
+  std::vector<Bitset> vertical_;  // item -> rows containing it
+  bool vertical_valid_ = false;
+};
+
+}  // namespace hgm

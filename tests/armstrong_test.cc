@@ -1,0 +1,90 @@
+#include "fd/armstrong.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/theory.h"
+#include "fd/key_miner.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/transversal_berge.h"
+
+namespace hgm {
+namespace {
+
+/// Random antichain of proper subsets.
+std::vector<Bitset> RandomProperAntichain(size_t n, size_t count,
+                                          Rng* rng) {
+  std::vector<Bitset> sets;
+  for (size_t i = 0; i < count; ++i) {
+    size_t size = rng->UniformIndex(n - 1);  // 0 .. n-2: proper subsets
+    sets.push_back(
+        Bitset::FromIndices(n, rng->SampleWithoutReplacement(n, size)));
+  }
+  AntichainMaximize(&sets);
+  return sets;
+}
+
+TEST(ArmstrongTest, AgreeSetsAreExactlyTheFamily) {
+  Rng rng(111);
+  for (int i = 0; i < 15; ++i) {
+    size_t n = 3 + rng.UniformIndex(6);
+    auto family = RandomProperAntichain(n, 1 + rng.UniformIndex(5), &rng);
+    RelationInstance r = ArmstrongRelationForAgreeSets(n, family);
+    EXPECT_TRUE(SameFamily(MaximalAgreeSets(r), family))
+        << "n=" << n;
+  }
+}
+
+TEST(ArmstrongTest, RoundTripWithTransversals) {
+  // The executable form of the paper's [16] equivalence remark: the
+  // minimal keys of the Armstrong relation for family A are exactly
+  // Tr({complements of A}).
+  Rng rng(112);
+  for (int i = 0; i < 15; ++i) {
+    size_t n = 3 + rng.UniformIndex(6);
+    auto family = RandomProperAntichain(n, 1 + rng.UniformIndex(5), &rng);
+    RelationInstance r = ArmstrongRelationForAgreeSets(n, family);
+    Hypergraph complements(n);
+    for (const auto& m : family) complements.AddEdge(~m);
+    BergeTransversals berge;
+    Hypergraph expected = berge.Compute(complements);
+    KeyMiningResult keys = KeysViaAgreeSets(r);
+    EXPECT_TRUE(SameFamily(keys.minimal_keys, expected.SortedEdges()));
+  }
+}
+
+TEST(ArmstrongTest, EmptyFamilyGivesSingleRowRelation) {
+  RelationInstance r = ArmstrongRelationForAgreeSets(4, {});
+  EXPECT_EQ(r.num_rows(), 1u);
+  KeyMiningResult keys = KeysViaAgreeSets(r);
+  ASSERT_EQ(keys.minimal_keys.size(), 1u);
+  EXPECT_TRUE(keys.minimal_keys[0].None());
+}
+
+TEST(ArmstrongTest, SingletonEmptyAgreeSet) {
+  // Family {∅}: two rows disagreeing everywhere; every single attribute
+  // is a key.
+  RelationInstance r = ArmstrongRelationForAgreeSets(3, {Bitset(3)});
+  EXPECT_EQ(r.num_rows(), 2u);
+  KeyMiningResult keys = KeysViaAgreeSets(r);
+  EXPECT_EQ(keys.minimal_keys.size(), 3u);
+  for (const auto& k : keys.minimal_keys) EXPECT_EQ(k.Count(), 1u);
+}
+
+TEST(ArmstrongTest, RelationIsCompactInTheFamilySize) {
+  // |rows| = |family| + 1 — the relation is an exponentially smaller
+  // certificate than the key set it encodes (e.g. the matching family).
+  size_t n = 12;
+  std::vector<Bitset> family;
+  for (size_t i = 0; i + 1 < n; i += 2) {
+    family.push_back(~Bitset(n, {i, i + 1}));  // complements of a matching
+  }
+  RelationInstance r = ArmstrongRelationForAgreeSets(n, family);
+  EXPECT_EQ(r.num_rows(), family.size() + 1);
+  // Its minimal keys are Tr(matching) = 2^{n/2} sets.
+  KeyMiningResult keys = KeysViaAgreeSets(r);
+  EXPECT_EQ(keys.minimal_keys.size(), size_t{1} << (n / 2));
+}
+
+}  // namespace
+}  // namespace hgm

@@ -1,0 +1,210 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace hgm {
+namespace {
+
+TEST(BitsetTest, EmptyConstruction) {
+  Bitset b(10);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_EQ(b.FindFirst(), Bitset::npos);
+}
+
+TEST(BitsetTest, ZeroSizedUniverse) {
+  Bitset b(0);
+  EXPECT_TRUE(b.UniverseEmpty());
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_EQ(b, Bitset::Full(0));
+  EXPECT_EQ((~b).Count(), 0u);
+}
+
+TEST(BitsetTest, SetResetFlip) {
+  Bitset b(100);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  b.Flip(63);
+  EXPECT_TRUE(b.Test(63));
+  b.Flip(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitsetTest, InitializerListAndFromIndices) {
+  Bitset a(8, {1, 3, 5});
+  Bitset b = Bitset::FromIndices(8, std::vector<size_t>{5, 3, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(BitsetTest, FullAndComplementMaskTail) {
+  for (size_t n : {1u, 63u, 64u, 65u, 127u, 128u, 130u}) {
+    Bitset full = Bitset::Full(n);
+    EXPECT_EQ(full.Count(), n) << n;
+    EXPECT_TRUE(full.AllSet());
+    Bitset empty = ~full;
+    EXPECT_TRUE(empty.None()) << n;
+    EXPECT_EQ((~empty).Count(), n);
+  }
+}
+
+TEST(BitsetTest, SetAlgebra) {
+  Bitset a(10, {1, 2, 3});
+  Bitset b(10, {3, 4, 5});
+  EXPECT_EQ((a & b), Bitset(10, {3}));
+  EXPECT_EQ((a | b), Bitset(10, {1, 2, 3, 4, 5}));
+  EXPECT_EQ((a ^ b), Bitset(10, {1, 2, 4, 5}));
+  EXPECT_EQ((a - b), Bitset(10, {1, 2}));
+  EXPECT_EQ((b - a), Bitset(10, {4, 5}));
+}
+
+TEST(BitsetTest, SubsetAndIntersects) {
+  Bitset a(10, {1, 2});
+  Bitset b(10, {1, 2, 3});
+  Bitset c(10, {4});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsProperSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsProperSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_EQ(a.IntersectionCount(b), 2u);
+  EXPECT_EQ(a.IntersectionCount(c), 0u);
+  // Empty set is a subset of everything and intersects nothing.
+  Bitset empty(10);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+  EXPECT_TRUE(empty.IsSubsetOf(empty));
+  EXPECT_FALSE(empty.Intersects(a));
+}
+
+TEST(BitsetTest, FindFirstNextLast) {
+  Bitset b(200, {5, 64, 128, 199});
+  EXPECT_EQ(b.FindFirst(), 5u);
+  EXPECT_EQ(b.FindNext(5), 64u);
+  EXPECT_EQ(b.FindNext(64), 128u);
+  EXPECT_EQ(b.FindNext(128), 199u);
+  EXPECT_EQ(b.FindNext(199), Bitset::npos);
+  EXPECT_EQ(b.FindNext(0), 5u);
+  EXPECT_EQ(b.FindLast(), 199u);
+  EXPECT_EQ(Bitset(10).FindLast(), Bitset::npos);
+}
+
+TEST(BitsetTest, IterationMatchesIndices) {
+  Bitset b(130, {0, 1, 63, 64, 65, 129});
+  std::vector<size_t> via_iter;
+  for (size_t v : b) via_iter.push_back(v);
+  EXPECT_EQ(via_iter, b.Indices());
+  EXPECT_EQ(via_iter, (std::vector<size_t>{0, 1, 63, 64, 65, 129}));
+}
+
+TEST(BitsetTest, ForEachOrder) {
+  Bitset b(70, {69, 3, 42});
+  std::vector<size_t> seen;
+  b.ForEach([&](size_t v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<size_t>{3, 42, 69}));
+}
+
+TEST(BitsetTest, WithAndWithoutBit) {
+  Bitset b(5, {1});
+  EXPECT_EQ(b.WithBit(3), Bitset(5, {1, 3}));
+  EXPECT_EQ(b, Bitset(5, {1}));  // original untouched
+  EXPECT_EQ(b.WithoutBit(1), Bitset(5));
+}
+
+TEST(BitsetTest, Resize) {
+  Bitset b(4, {0, 3});
+  b.Resize(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 2u);
+  b.Set(129);
+  b.Resize(3);
+  EXPECT_EQ(b.Count(), 1u);
+  EXPECT_TRUE(b.Test(0));
+}
+
+TEST(BitsetTest, ComparisonAndHash) {
+  Bitset a(10, {1, 2});
+  Bitset b(10, {1, 2});
+  Bitset c(10, {1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(BitsetHash()(a), BitsetHash()(b));
+  EXPECT_TRUE(a < c || c < a);
+  EXPECT_FALSE(a < b);
+  std::unordered_set<Bitset, BitsetHash> s{a, b, c};
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(BitsetTest, Strings) {
+  Bitset b(5, {0, 2, 3});
+  EXPECT_EQ(b.ToString(), "{0, 2, 3}");
+  EXPECT_EQ(b.ToDenseString(), "10110");
+  std::vector<std::string> names{"A", "B", "C", "D", "E"};
+  EXPECT_EQ(b.Format(names), "ACD");
+  EXPECT_EQ(b.Format(names, ","), "A,C,D");
+  EXPECT_EQ(Bitset(5).Format(names), "{}");
+}
+
+TEST(BitsetTest, SingletonFactory) {
+  Bitset s = Bitset::Singleton(66, 65);
+  EXPECT_EQ(s.Count(), 1u);
+  EXPECT_TRUE(s.Test(65));
+}
+
+// Property sweep: algebra identities on random sets of varied sizes.
+class BitsetPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitsetPropertyTest, AlgebraIdentities) {
+  const size_t n = GetParam();
+  Rng rng(n * 7919 + 13);
+  for (int iter = 0; iter < 20; ++iter) {
+    Bitset a(n), b(n);
+    for (size_t v = 0; v < n; ++v) {
+      if (rng.Bernoulli(0.4)) a.Set(v);
+      if (rng.Bernoulli(0.4)) b.Set(v);
+    }
+    // De Morgan.
+    EXPECT_EQ(~(a | b), (~a) & (~b));
+    EXPECT_EQ(~(a & b), (~a) | (~b));
+    // Difference as and-not.
+    EXPECT_EQ(a - b, a & ~b);
+    // Inclusion-exclusion on counts.
+    EXPECT_EQ((a | b).Count() + (a & b).Count(), a.Count() + b.Count());
+    // Subset characterizations agree.
+    EXPECT_EQ(a.IsSubsetOf(b), (a - b).None());
+    EXPECT_EQ(a.Intersects(b), (a & b).Any());
+    EXPECT_EQ(a.IntersectionCount(b), (a & b).Count());
+    // Double complement.
+    EXPECT_EQ(~~a, a);
+    // Iteration count.
+    size_t c = 0;
+    a.ForEach([&](size_t) { ++c; });
+    EXPECT_EQ(c, a.Count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetPropertyTest,
+                         ::testing::Values(1, 7, 63, 64, 65, 100, 192, 500));
+
+}  // namespace
+}  // namespace hgm

@@ -1,0 +1,139 @@
+#include "mining/closed.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/theory.h"
+#include "mining/generators.h"
+#include "mining/max_miner.h"
+
+namespace hgm {
+namespace {
+
+TransactionDatabase Fig1Database() {
+  return TransactionDatabase::FromRows(4, {{0, 1, 2},
+                                           {0, 1, 2},
+                                           {1, 3},
+                                           {1, 3},
+                                           {0, 3}});
+}
+
+TEST(ClosureTest, ClosureByHand) {
+  TransactionDatabase db = Fig1Database();
+  // Rows containing A: {ABC, ABC, AD}; intersection = {A}.
+  EXPECT_EQ(Closure(&db, Bitset(4, {0})), Bitset(4, {0}));
+  // Rows containing C: {ABC, ABC}; closure(C) = ABC.
+  EXPECT_EQ(Closure(&db, Bitset(4, {2})), Bitset(4, {0, 1, 2}));
+  // Rows containing D: {BD, BD, AD}; intersection = {D}.
+  EXPECT_EQ(Closure(&db, Bitset(4, {3})), Bitset(4, {3}));
+  // Unsupported set closes to the full universe by convention.
+  EXPECT_EQ(Closure(&db, Bitset(4, {2, 3})), Bitset::Full(4));
+}
+
+TEST(ClosureTest, ClosureProperties) {
+  Rng rng(91);
+  QuestParams params;
+  params.num_transactions = 150;
+  params.num_items = 16;
+  TransactionDatabase db = GenerateQuest(params, &rng);
+  for (int i = 0; i < 40; ++i) {
+    Bitset x = Bitset::FromIndices(
+        16, rng.SampleWithoutReplacement(16, 1 + rng.UniformIndex(4)));
+    Bitset cx = Closure(&db, x);
+    // Extensive: X ⊆ closure(X).
+    EXPECT_TRUE(x.IsSubsetOf(cx));
+    // Idempotent.
+    EXPECT_EQ(Closure(&db, cx), cx);
+    // Support-preserving (when supported).
+    if (db.Support(x) > 0) {
+      EXPECT_EQ(db.Support(x), db.Support(cx)) << x.ToString();
+    }
+    // Monotone: X ⊆ Y implies closure(X) ⊆ closure(Y) — test with a
+    // random superset.
+    Bitset y = x;
+    if (db.Support(x) > 0) {
+      size_t extra = rng.UniformIndex(16);
+      y.Set(extra);
+      if (db.Support(y) > 0) {
+        EXPECT_TRUE(cx.IsSubsetOf(Closure(&db, y)));
+      }
+    }
+  }
+}
+
+TEST(ClosedMinerTest, Fig1ClosedSets) {
+  TransactionDatabase db = Fig1Database();
+  auto closed = MineClosedFrequentSets(&db, 2);
+  // Frequent sets: subsets of {ABC, BD}.  Closures:
+  //   {} -> {} (all rows, intersection empty? rows: ABC,ABC,BD,BD,AD ->
+  //   intersection = {} ... every row contains B? AD does not. so {}),
+  //   A -> A, B -> B, C -> ABC, D -> D, AB -> AB? rows with AB: ABC,ABC
+  //   -> ABC.  AC -> ABC, BC -> ABC, BD -> BD, ABC -> ABC.
+  // Distinct closures: {}, A, B, D, ABC, BD -> 6 closed frequent sets.
+  EXPECT_EQ(closed.size(), 6u);
+  // Supports recoverable.
+  for (const auto& c : closed) {
+    EXPECT_EQ(c.support, db.Support(c.items));
+  }
+}
+
+TEST(ClosedMinerTest, MaximalSetsAreClosed) {
+  Rng rng(92);
+  QuestParams params;
+  params.num_transactions = 200;
+  params.num_items = 18;
+  TransactionDatabase db = GenerateQuest(params, &rng);
+  auto closed = MineClosedFrequentSets(&db, 10);
+  MaxMinerResult mx =
+      MineMaximalFrequentSets(&db, 10, MaxMinerAlgorithm::kLevelwise);
+  for (const auto& m : mx.maximal) {
+    bool found = false;
+    for (const auto& c : closed) {
+      if (c.items == m) found = true;
+    }
+    EXPECT_TRUE(found) << m.ToString();
+  }
+  // Condensation: closed count between maximal count and frequent count.
+  AprioriResult all = MineFrequentSets(&db, 10);
+  EXPECT_LE(mx.maximal.size(), closed.size());
+  EXPECT_LE(closed.size(), all.frequent.size());
+}
+
+TEST(ClosedMinerTest, SupportRecoveryForAllFrequentSets) {
+  Rng rng(93);
+  QuestParams params;
+  params.num_transactions = 120;
+  params.num_items = 14;
+  TransactionDatabase db = GenerateQuest(params, &rng);
+  auto closed = MineClosedFrequentSets(&db, 6);
+  AprioriResult all = MineFrequentSets(&db, 6);
+  for (const auto& f : all.frequent) {
+    EXPECT_EQ(SupportFromClosed(closed, f.items), f.support)
+        << f.items.ToString();
+  }
+  // Infrequent sets have no closed superset with their support.
+  for (const auto& x : all.negative_border) {
+    EXPECT_LT(SupportFromClosed(closed, x), 6u);
+  }
+}
+
+TEST(ClosedMinerTest, EmptyAndDegenerateCases) {
+  TransactionDatabase empty(3);
+  EXPECT_TRUE(MineClosedFrequentSets(&empty, 1).empty());
+  // min_support 0 on an empty db: ∅ is "frequent" with support 0; its
+  // closure is the full universe by the empty-intersection convention.
+  auto closed = MineClosedFrequentSets(&empty, 0);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_TRUE(closed[0].items.AllSet());
+
+  TransactionDatabase dup = TransactionDatabase::FromRows(3, {{0, 1},
+                                                              {0, 1}});
+  auto c2 = MineClosedFrequentSets(&dup, 2);
+  // Only closed frequent set is {0,1} (closure of everything supported).
+  ASSERT_EQ(c2.size(), 1u);
+  EXPECT_EQ(c2[0].items, Bitset(3, {0, 1}));
+  EXPECT_EQ(c2[0].support, 2u);
+}
+
+}  // namespace
+}  // namespace hgm

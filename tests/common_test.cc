@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+
+namespace hgm {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a();
+    EXPECT_EQ(va, b());
+    if (va != c()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.UniformInt(5, 5), 5u);
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::set<size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformIndex(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, PoissonMeanRoughlyCorrect) {
+  Rng rng(17);
+  double sum = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.Poisson(4.0));
+  double mean = sum / trials;
+  EXPECT_NEAR(mean, 4.0, 0.25);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(29);
+  for (size_t n : {1u, 5u, 40u}) {
+    for (size_t k = 0; k <= n; k += (n > 4 ? 3 : 1)) {
+      auto sample = rng.SampleWithoutReplacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<size_t> uniq(sample.begin(), sample.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (size_t v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(StopWatchTest, Advances) {
+  StopWatch sw;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GT(sink, 0.0);
+  EXPECT_GT(sw.Seconds(), 0.0);
+  EXPECT_GE(sw.Millis(), sw.Seconds() * 1e3 * 0.99);
+}
+
+TEST(TablePrinterTest, AlignsAndCounts) {
+  TablePrinter t({"name", "count", "ratio"});
+  t.NewRow().Add("alpha").Add(size_t{12}).Add(0.5, 2);
+  t.NewRow().Add("b").Add(size_t{3}).Add(12.25, 2);
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12.25"), std::string::npos);
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.NewRow().Add(1).Add(2);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace hgm

@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/dualize_advance.h"
+#include "core/levelwise.h"
+#include "core/oracle.h"
+#include "core/set_language.h"
+#include "core/theory.h"
+#include "core/verification.h"
+#include "hypergraph/transversal_berge.h"
+#include "hypergraph/transversal_fk.h"
+
+namespace hgm {
+namespace {
+
+/// Oracle with a planted maximal theory: x is interesting iff it is a
+/// subset of one of the planted maximal sets.  This is the canonical
+/// monotone predicate; MTh equals the planted antichain.
+class PlantedOracle : public InterestingnessOracle {
+ public:
+  PlantedOracle(size_t n, std::vector<Bitset> maximal)
+      : n_(n), maximal_(std::move(maximal)) {}
+
+  bool IsInteresting(const Bitset& x) override {
+    for (const auto& m : maximal_) {
+      if (x.IsSubsetOf(m)) return true;
+    }
+    return false;
+  }
+  size_t num_items() const override { return n_; }
+
+ private:
+  size_t n_;
+  std::vector<Bitset> maximal_;
+};
+
+/// The Figure 1 instance: R = {A,B,C,D}, MTh = {ABC, BD}.
+PlantedOracle Fig1Oracle() {
+  return PlantedOracle(4, {Bitset(4, {0, 1, 2}), Bitset(4, {1, 3})});
+}
+
+std::vector<Bitset> Fig1Mth() {
+  return {Bitset(4, {0, 1, 2}), Bitset(4, {1, 3})};
+}
+
+std::vector<Bitset> Fig1BdMinus() {
+  return {Bitset(4, {0, 3}), Bitset(4, {2, 3})};  // AD, CD
+}
+
+/// Random antichain of maximal sets for property tests.
+std::vector<Bitset> RandomAntichain(size_t n, size_t count, Rng* rng) {
+  std::vector<Bitset> sets;
+  for (size_t i = 0; i < count; ++i) {
+    size_t size = 1 + rng->UniformIndex(n - 1);
+    sets.push_back(
+        Bitset::FromIndices(n, rng->SampleWithoutReplacement(n, size)));
+  }
+  AntichainMaximize(&sets);
+  return sets;
+}
+
+// ---------------------------------------------------------------------
+// Oracles.
+// ---------------------------------------------------------------------
+TEST(OracleTest, FunctionOracleDelegates) {
+  FunctionOracle o(3, [](const Bitset& x) { return x.Count() <= 1; });
+  EXPECT_TRUE(o.IsInteresting(Bitset(3)));
+  EXPECT_TRUE(o.IsInteresting(Bitset(3, {2})));
+  EXPECT_FALSE(o.IsInteresting(Bitset(3, {0, 1})));
+  EXPECT_EQ(o.num_items(), 3u);
+}
+
+TEST(OracleTest, CountingOracleRawAndDistinct) {
+  FunctionOracle inner(3, [](const Bitset& x) { return x.None(); });
+  CountingOracle counter(&inner);
+  Bitset a(3), b(3, {1});
+  counter.IsInteresting(a);
+  counter.IsInteresting(a);
+  counter.IsInteresting(b);
+  EXPECT_EQ(counter.raw_queries(), 3u);
+  EXPECT_EQ(counter.distinct_queries(), 2u);
+  counter.ResetCounters();
+  EXPECT_EQ(counter.raw_queries(), 0u);
+  EXPECT_EQ(counter.distinct_queries(), 0u);
+}
+
+TEST(OracleTest, MemoizingOracleEvaluatesOncePerSentence) {
+  int evals = 0;
+  FunctionOracle inner(3, [&](const Bitset& x) {
+    ++evals;
+    return x.None();
+  });
+  CountingOracle counter(&inner, /*memoize=*/true);
+  Bitset a(3, {0});
+  EXPECT_FALSE(counter.IsInteresting(a));
+  EXPECT_FALSE(counter.IsInteresting(a));
+  EXPECT_EQ(evals, 1);
+  EXPECT_EQ(counter.raw_queries(), 2u);
+  EXPECT_EQ(counter.distinct_queries(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Borders and theory utilities.
+// ---------------------------------------------------------------------
+TEST(TheoryTest, PositiveBorderKeepsMaximal) {
+  std::vector<Bitset> s{Bitset(4, {0}), Bitset(4, {0, 1}), Bitset(4, {2})};
+  auto border = PositiveBorder(s);
+  EXPECT_TRUE(SameFamily(border, {Bitset(4, {0, 1}), Bitset(4, {2})}));
+}
+
+TEST(TheoryTest, NegativeBorderFig1MatchesPaper) {
+  // Example 8: S = {ABC, BD} -> Bd-(S) = {AD, CD}.
+  BergeTransversals berge;
+  auto bd = NegativeBorderViaTransversals(Fig1Mth(), 4, &berge);
+  EXPECT_TRUE(SameFamily(bd, Fig1BdMinus()));
+  EXPECT_TRUE(SameFamily(NegativeBorderBrute(Fig1Mth(), 4), Fig1BdMinus()));
+}
+
+TEST(TheoryTest, NegativeBorderOfEmptyFamilyIsEmptySet) {
+  BergeTransversals berge;
+  auto bd = NegativeBorderViaTransversals({}, 4, &berge);
+  ASSERT_EQ(bd.size(), 1u);
+  EXPECT_TRUE(bd[0].None());
+  EXPECT_TRUE(SameFamily(NegativeBorderBrute({}, 4), bd));
+}
+
+TEST(TheoryTest, NegativeBorderOfFullFamilyIsEmpty) {
+  BergeTransversals berge;
+  auto bd = NegativeBorderViaTransversals({Bitset::Full(4)}, 4, &berge);
+  EXPECT_TRUE(bd.empty());
+  EXPECT_TRUE(NegativeBorderBrute({Bitset::Full(4)}, 4).empty());
+}
+
+TEST(TheoryTest, DownwardClosureOfFig1) {
+  auto closure = DownwardClosure(Fig1Mth(), 4);
+  // {}, A, B, C, D?  D is in BD's closure: {}, A, B, C, D, AB, AC, BC,
+  // BD, ABC -> 10 sets.
+  EXPECT_EQ(closure.size(), 10u);
+}
+
+TEST(TheoryTest, RankOf) {
+  EXPECT_EQ(RankOf({}), 0u);
+  EXPECT_EQ(RankOf(Fig1Mth()), 3u);
+}
+
+class BorderPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BorderPropertyTest, TransversalBorderMatchesBruteForce) {
+  Rng rng(GetParam());
+  size_t n = 4 + rng.UniformIndex(7);
+  auto family = RandomAntichain(n, 1 + rng.UniformIndex(6), &rng);
+  BergeTransversals berge;
+  auto via_tr = NegativeBorderViaTransversals(family, n, &berge);
+  auto brute = NegativeBorderBrute(family, n);
+  EXPECT_TRUE(SameFamily(via_tr, brute)) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BorderPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{25}));
+
+// ---------------------------------------------------------------------
+// Levelwise (Algorithm 9).
+// ---------------------------------------------------------------------
+TEST(LevelwiseTest, Fig1ReproducesExample11) {
+  PlantedOracle oracle = Fig1Oracle();
+  LevelwiseResult r = RunLevelwise(&oracle);
+  EXPECT_TRUE(SameFamily(r.positive_border, Fig1Mth()));
+  EXPECT_TRUE(SameFamily(r.negative_border, Fig1BdMinus()));
+  // Th = downward closure of MTh, 10 sets.
+  EXPECT_EQ(r.theory.size(), 10u);
+  // Theorem 10: queries = |Th| + |Bd-|.
+  EXPECT_EQ(r.queries, r.theory.size() + r.negative_border.size());
+  EXPECT_EQ(r.queries, 12u);
+  // Example 11's walk: level 1 evaluates A,B,C,D (all frequent); level 2
+  // evaluates all 6 pairs, 4 frequent; level 3 evaluates ABC only.
+  ASSERT_GE(r.candidates_per_level.size(), 4u);
+  EXPECT_EQ(r.candidates_per_level[1], 4u);
+  EXPECT_EQ(r.interesting_per_level[1], 4u);
+  EXPECT_EQ(r.candidates_per_level[2], 6u);
+  EXPECT_EQ(r.interesting_per_level[2], 4u);
+  EXPECT_EQ(r.candidates_per_level[3], 1u);
+  EXPECT_EQ(r.interesting_per_level[3], 1u);
+}
+
+TEST(LevelwiseTest, NothingInteresting) {
+  FunctionOracle oracle(5, [](const Bitset&) { return false; });
+  LevelwiseResult r = RunLevelwise(&oracle);
+  EXPECT_TRUE(r.theory.empty());
+  EXPECT_TRUE(r.positive_border.empty());
+  ASSERT_EQ(r.negative_border.size(), 1u);
+  EXPECT_TRUE(r.negative_border[0].None());
+  EXPECT_EQ(r.queries, 1u);
+}
+
+TEST(LevelwiseTest, EverythingInteresting) {
+  FunctionOracle oracle(4, [](const Bitset&) { return true; });
+  LevelwiseResult r = RunLevelwise(&oracle);
+  EXPECT_EQ(r.theory.size(), 16u);
+  ASSERT_EQ(r.positive_border.size(), 1u);
+  EXPECT_TRUE(r.positive_border[0].AllSet());
+  EXPECT_TRUE(r.negative_border.empty());
+  EXPECT_EQ(r.queries, 16u);
+}
+
+TEST(LevelwiseTest, OnlyEmptySetInteresting) {
+  FunctionOracle oracle(3, [](const Bitset& x) { return x.None(); });
+  LevelwiseResult r = RunLevelwise(&oracle);
+  ASSERT_EQ(r.positive_border.size(), 1u);
+  EXPECT_TRUE(r.positive_border[0].None());
+  EXPECT_EQ(r.negative_border.size(), 3u);  // the singletons
+  EXPECT_EQ(r.queries, 1u + 3u);
+}
+
+TEST(LevelwiseTest, ZeroItems) {
+  FunctionOracle yes(0, [](const Bitset&) { return true; });
+  LevelwiseResult r = RunLevelwise(&yes);
+  EXPECT_EQ(r.theory.size(), 1u);
+  ASSERT_EQ(r.positive_border.size(), 1u);
+  EXPECT_TRUE(r.positive_border[0].None());
+  EXPECT_TRUE(r.negative_border.empty());
+}
+
+TEST(LevelwiseTest, RecordTheoryOffStillFillsBorders) {
+  PlantedOracle oracle = Fig1Oracle();
+  LevelwiseOptions opts;
+  opts.record_theory = false;
+  LevelwiseResult r = RunLevelwise(&oracle, opts);
+  EXPECT_TRUE(r.theory.empty());
+  EXPECT_TRUE(SameFamily(r.positive_border, Fig1Mth()));
+  EXPECT_TRUE(SameFamily(r.negative_border, Fig1BdMinus()));
+  EXPECT_EQ(r.queries, 12u);
+}
+
+TEST(LevelwiseTest, MaxLevelTruncates) {
+  PlantedOracle oracle = Fig1Oracle();
+  LevelwiseOptions opts;
+  opts.max_level = 2;
+  LevelwiseResult r = RunLevelwise(&oracle, opts);
+  // Truncated at pairs: maximal elements of the truncated theory are the
+  // interesting pairs AB, AC, BC, BD.
+  EXPECT_TRUE(SameFamily(r.positive_border,
+                         {Bitset(4, {0, 1}), Bitset(4, {0, 2}),
+                          Bitset(4, {1, 2}), Bitset(4, {1, 3})}));
+  EXPECT_EQ(RankOf(r.positive_border), 2u);
+}
+
+TEST(LevelwiseTest, QueriesEqualThPlusBorderOnRandomInstances) {
+  Rng rng(31337);
+  for (int i = 0; i < 20; ++i) {
+    size_t n = 3 + rng.UniformIndex(7);
+    PlantedOracle oracle(n, RandomAntichain(n, 1 + rng.UniformIndex(5),
+                                            &rng));
+    LevelwiseResult r = RunLevelwise(&oracle);
+    EXPECT_EQ(r.queries, r.theory.size() + r.negative_border.size());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Dualize and Advance (Algorithm 16).
+// ---------------------------------------------------------------------
+TEST(DualizeAdvanceTest, Fig1ReproducesExample17) {
+  PlantedOracle oracle = Fig1Oracle();
+  DualizeAdvanceResult r = RunDualizeAdvance(&oracle);
+  EXPECT_TRUE(SameFamily(r.positive_border, Fig1Mth()));
+  EXPECT_TRUE(SameFamily(r.negative_border, Fig1BdMinus()));
+  // One iteration per maximal set plus the certifying pass.
+  EXPECT_EQ(r.iterations, 3u);
+}
+
+TEST(DualizeAdvanceTest, NothingInteresting) {
+  FunctionOracle oracle(5, [](const Bitset&) { return false; });
+  DualizeAdvanceResult r = RunDualizeAdvance(&oracle);
+  EXPECT_TRUE(r.positive_border.empty());
+  ASSERT_EQ(r.negative_border.size(), 1u);
+  EXPECT_TRUE(r.negative_border[0].None());
+}
+
+TEST(DualizeAdvanceTest, EverythingInteresting) {
+  FunctionOracle oracle(4, [](const Bitset&) { return true; });
+  DualizeAdvanceResult r = RunDualizeAdvance(&oracle);
+  ASSERT_EQ(r.positive_border.size(), 1u);
+  EXPECT_TRUE(r.positive_border[0].AllSet());
+  EXPECT_TRUE(r.negative_border.empty());
+  // Far fewer queries than the 2^4 sets: ∅ + n extension tests + final Tr.
+  EXPECT_LE(r.queries, 6u);
+}
+
+TEST(DualizeAdvanceTest, BergeBatchEnumeratorGivesSameAnswer) {
+  PlantedOracle oracle = Fig1Oracle();
+  DualizeAdvanceOptions opts;
+  opts.make_enumerator = [] {
+    return std::make_unique<BatchEnumerator>(
+        std::make_unique<BergeTransversals>());
+  };
+  DualizeAdvanceResult r = RunDualizeAdvance(&oracle, opts);
+  EXPECT_TRUE(SameFamily(r.positive_border, Fig1Mth()));
+  EXPECT_TRUE(SameFamily(r.negative_border, Fig1BdMinus()));
+}
+
+TEST(DualizeAdvanceTest, AgreesWithLevelwiseOnRandomInstances) {
+  Rng rng(4242);
+  for (int i = 0; i < 25; ++i) {
+    size_t n = 3 + rng.UniformIndex(8);
+    PlantedOracle oracle(n,
+                         RandomAntichain(n, 1 + rng.UniformIndex(6), &rng));
+    LevelwiseResult lw = RunLevelwise(&oracle);
+    DualizeAdvanceResult da = RunDualizeAdvance(&oracle);
+    EXPECT_TRUE(SameFamily(lw.positive_border, da.positive_border));
+    EXPECT_TRUE(SameFamily(lw.negative_border, da.negative_border));
+    EXPECT_TRUE(SameFamily(da.positive_border, MaxTheoryBrute(&oracle)));
+  }
+}
+
+TEST(DualizeAdvanceTest, Lemma20EnumerationBound) {
+  Rng rng(777);
+  for (int i = 0; i < 15; ++i) {
+    size_t n = 4 + rng.UniformIndex(6);
+    PlantedOracle oracle(n,
+                         RandomAntichain(n, 1 + rng.UniformIndex(5), &rng));
+    DualizeAdvanceResult r = RunDualizeAdvance(&oracle);
+    // Lemma 20: per iteration, at most |Bd-(MTh)| non-interesting sets are
+    // enumerated before the counterexample (so <= |Bd-| + 1 total).
+    EXPECT_LE(r.max_enumerated_one_iteration,
+              r.negative_border.size() + 1);
+  }
+}
+
+TEST(DualizeAdvanceTest, Theorem21QueryBound) {
+  Rng rng(888);
+  for (int i = 0; i < 15; ++i) {
+    size_t n = 4 + rng.UniformIndex(6);
+    PlantedOracle oracle(n,
+                         RandomAntichain(n, 1 + rng.UniformIndex(5), &rng));
+    DualizeAdvanceResult r = RunDualizeAdvance(&oracle);
+    size_t mth = r.positive_border.size();
+    size_t bd = r.negative_border.size();
+    size_t rank = RankOf(r.positive_border);
+    // Theorem 21 (with the +1 certifying iteration made explicit):
+    // queries <= (|MTh|+1) * (|Bd-| + 1 + rank*width).
+    EXPECT_LE(r.queries, (mth + 1) * (bd + 1 + std::max<size_t>(rank, 1) * n));
+  }
+}
+
+TEST(DualizeAdvanceTest, IntermediateBorderMeasurement) {
+  PlantedOracle oracle = Fig1Oracle();
+  DualizeAdvanceOptions opts;
+  opts.measure_intermediate_borders = true;
+  DualizeAdvanceResult r = RunDualizeAdvance(&oracle, opts);
+  ASSERT_EQ(r.intermediate_border_sizes.size(), r.iterations);
+  // First iteration: Tr(∅-edge hypergraph) = {∅}, size 1.
+  EXPECT_EQ(r.intermediate_border_sizes[0], 1u);
+  // Final iteration: |Bd-(MTh)| = 2.
+  EXPECT_EQ(r.intermediate_border_sizes.back(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Verification (Problem 3 / Corollary 4).
+// ---------------------------------------------------------------------
+TEST(VerificationTest, AcceptsTrueMaxTheoryWithExactlyBorderQueries) {
+  PlantedOracle oracle = Fig1Oracle();
+  VerificationResult r = VerifyMaxTheory(Fig1Mth(), &oracle);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.border_size, 4u);       // |Bd+| = 2, |Bd-| = 2
+  EXPECT_EQ(r.queries, r.border_size);  // Corollary 4: solvable in |Bd(S)|
+  EXPECT_TRUE(r.failures.empty());
+}
+
+TEST(VerificationTest, RejectsIncompleteFamily) {
+  PlantedOracle oracle = Fig1Oracle();
+  // Missing BD: its subsets' border will contain an interesting set.
+  VerificationResult r =
+      VerifyMaxTheory({Bitset(4, {0, 1, 2})}, &oracle);
+  EXPECT_FALSE(r.verified);
+  EXPECT_FALSE(r.failures.empty());
+}
+
+TEST(VerificationTest, RejectsOverclaimingFamily) {
+  PlantedOracle oracle = Fig1Oracle();
+  // ABCD is not interesting.
+  VerificationResult r = VerifyMaxTheory({Bitset::Full(4)}, &oracle);
+  EXPECT_FALSE(r.verified);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_TRUE(r.failures[0].AllSet());
+}
+
+TEST(VerificationTest, RejectsNonAntichainWithoutQueries) {
+  PlantedOracle oracle = Fig1Oracle();
+  VerificationResult r = VerifyMaxTheory(
+      {Bitset(4, {0, 1, 2}), Bitset(4, {0, 1})}, &oracle);
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.queries, 0u);
+}
+
+TEST(VerificationTest, ExhaustiveModeAlwaysUsesBorderSizeQueries) {
+  PlantedOracle oracle = Fig1Oracle();
+  VerificationResult r = VerifyMaxTheory({Bitset::Full(4)}, &oracle,
+                                         nullptr, /*exhaustive=*/true);
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.queries, r.border_size);
+}
+
+TEST(VerificationTest, RandomizedAgreementWithGroundTruth) {
+  Rng rng(5150);
+  for (int i = 0; i < 20; ++i) {
+    size_t n = 3 + rng.UniformIndex(6);
+    auto planted = RandomAntichain(n, 1 + rng.UniformIndex(4), &rng);
+    PlantedOracle oracle(n, planted);
+    // The true MTh verifies...
+    EXPECT_TRUE(VerifyMaxTheory(planted, &oracle).verified);
+    // ...and a perturbed family does not (drop one maximal set; the empty
+    // family claim is handled too).
+    if (!planted.empty()) {
+      auto wrong = planted;
+      wrong.pop_back();
+      VerificationResult r = VerifyMaxTheory(wrong, &oracle);
+      EXPECT_FALSE(r.verified);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// SetLanguage.
+// ---------------------------------------------------------------------
+TEST(SetLanguageTest, DefaultNames) {
+  SetLanguage lang(28);
+  EXPECT_EQ(lang.name(0), "A");
+  EXPECT_EQ(lang.name(25), "Z");
+  EXPECT_EQ(lang.name(26), "#26");
+  EXPECT_EQ(lang.width(), 28u);
+}
+
+TEST(SetLanguageTest, FormatsSentencesAndFamilies) {
+  SetLanguage lang(4);
+  EXPECT_EQ(lang.Format(Bitset(4, {0, 1, 2})), "ABC");
+  EXPECT_EQ(lang.Format(Fig1Mth()), "{ABC, BD}");
+  SetLanguage custom(std::vector<std::string>{"x", "y"});
+  EXPECT_EQ(custom.Format(Bitset(2, {1})), "y");
+}
+
+}  // namespace
+}  // namespace hgm

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "episodes/event_sequence.h"
+#include "episodes/winepi.h"
+
+namespace hgm {
+namespace {
+
+/// Tiny deterministic sequence over types {0,1,2}:
+/// time:  0 1 2 3 4 5
+/// type:  0 1 2 0 1 0
+EventSequence TinySequence() {
+  EventSequence seq(3);
+  seq.AddEvent(0, 0);
+  seq.AddEvent(1, 1);
+  seq.AddEvent(2, 2);
+  seq.AddEvent(3, 0);
+  seq.AddEvent(4, 1);
+  seq.AddEvent(5, 0);
+  return seq;
+}
+
+TEST(EventSequenceTest, BasicAccessors) {
+  EventSequence seq = TinySequence();
+  EXPECT_EQ(seq.num_types(), 3u);
+  EXPECT_EQ(seq.size(), 6u);
+  EXPECT_EQ(seq.min_time(), 0);
+  EXPECT_EQ(seq.max_time(), 5);
+}
+
+TEST(EventSequenceTest, NumWindows) {
+  EventSequence seq = TinySequence();
+  // Starts from min-W+1 = -2 to 5: 8 windows of width 3.
+  EXPECT_EQ(seq.NumWindows(3), 8u);
+  EXPECT_EQ(seq.NumWindows(1), 6u);
+  EXPECT_EQ(EventSequence(3).NumWindows(5), 0u);
+}
+
+TEST(EventSequenceTest, WindowRange) {
+  EventSequence seq = TinySequence();
+  auto [lo, hi] = seq.WindowRange(1, 3);  // times 1,2,3
+  EXPECT_EQ(lo, 1u);
+  EXPECT_EQ(hi, 4u);
+  auto [lo2, hi2] = seq.WindowRange(-2, 3);  // time 0 only
+  EXPECT_EQ(lo2, 0u);
+  EXPECT_EQ(hi2, 1u);
+  auto [lo3, hi3] = seq.WindowRange(10, 3);  // past the end
+  EXPECT_EQ(lo3, hi3);
+}
+
+TEST(FrequencyTest, ParallelByHand) {
+  EventSequence seq = TinySequence();
+  // Windows of width 3 (starts -2..5) containing type 2 (at time 2):
+  // starts 0,1,2 -> 3 of 8.
+  EXPECT_DOUBLE_EQ(ParallelEpisodeFrequency(seq, Bitset(3, {2}), 3),
+                   3.0 / 8.0);
+  // {0,1} both present: windows starting at -1(0),0(0,1),1(1,2,..no 0?)
+  //   start -1: times -1..1 -> events 0,1 -> yes.
+  //   start 0: 0,1,2 -> yes. start 1: 1,2,3 -> types 1,2,0 -> yes.
+  //   start 2: 2,3,4 -> 2,0,1 -> yes. start 3: 3,4,5 -> 0,1,0 -> yes.
+  //   start 4: 4,5 -> 1,0 -> yes. start 5: 5 -> 0 -> no. start -2: 0 -> no.
+  EXPECT_DOUBLE_EQ(ParallelEpisodeFrequency(seq, Bitset(3, {0, 1}), 3),
+                   6.0 / 8.0);
+  // Empty episode is in every window.
+  EXPECT_DOUBLE_EQ(ParallelEpisodeFrequency(seq, Bitset(3), 3), 1.0);
+}
+
+TEST(FrequencyTest, SerialByHand) {
+  EventSequence seq = TinySequence();
+  // 0 -> 1 within width 3: windows starting -1,0 (0@0,1@1), 2,3 (0@3,1@4).
+  //   start 1: events 1,2,0 -> 1 before 0: no. start -2: only 0: no.
+  //   start 4: 1,0: no (order). So 4 of 8.
+  EXPECT_DOUBLE_EQ(SerialEpisodeFrequency(seq, {0, 1}, 3), 4.0 / 8.0);
+  // Reverse order 1 -> 0 within width 3: windows with 1 then 0:
+  //   start 1 (1@1? events 1,2,3: types 1,2,0) yes; start 2 (2,0,1): no;
+  //   start 3 (0,1,0): yes (1@4, 0@5); start 4 (1,0): yes. -> 3 of 8.
+  EXPECT_DOUBLE_EQ(SerialEpisodeFrequency(seq, {1, 0}, 3), 3.0 / 8.0);
+  // Serial with repeats: 0 -> 0 needs two 0s in a window: start 3 (0,1,0)
+  // only... width 3: starts 3 (times 3,4,5: 0,1,0) yes; start 1 (1,2,0)
+  // no; any other window with two 0s? times 0 and 3 never share a width-3
+  // window. -> 1 of 8.
+  EXPECT_DOUBLE_EQ(SerialEpisodeFrequency(seq, {0, 0}, 3), 1.0 / 8.0);
+}
+
+TEST(FrequencyTest, SerialIsOrderSensitive) {
+  EventSequence seq = TinySequence();
+  EXPECT_NE(SerialEpisodeFrequency(seq, {0, 1}, 3),
+            SerialEpisodeFrequency(seq, {1, 0}, 3));
+}
+
+TEST(MineParallelTest, TinySequenceExact) {
+  WinepiParams params;
+  params.window_width = 3;
+  params.min_frequency = 0.5;
+  ParallelWinepiResult r = MineParallelEpisodes(TinySequence(), params);
+  // Frequencies: {0}: windows containing 0: starts -2..1 (time 0),
+  // 1..3 (time 3), 3..5 (time 5): starts -2,-1,0,1,2,3,4,5 minus none?
+  //   Every width-3 window overlapping contains a 0 except... start 4:
+  //   times 4,5: types 1,0 -> contains 0. start -2: time 0 -> 0. So
+  //   {0} freq = 1.0.  {1}: windows starting -1..4 -> 6/8 = .75 >= .5.
+  //   {2}: 3/8 < .5.  {0,1}: 6/8. {0,2}?: starts 0,1,2 -> 3/8 no.
+  bool has0 = false, has01 = false, has2 = false;
+  for (const auto& f : r.frequent) {
+    if (f.types == Bitset(3, {0})) {
+      has0 = true;
+      EXPECT_DOUBLE_EQ(f.frequency, 1.0);
+    }
+    if (f.types == Bitset(3, {0, 1})) {
+      has01 = true;
+      EXPECT_DOUBLE_EQ(f.frequency, 0.75);
+    }
+    if (f.types == Bitset(3, {2})) has2 = true;
+  }
+  EXPECT_TRUE(has0);
+  EXPECT_TRUE(has01);
+  EXPECT_FALSE(has2);
+  // Maximal episode is {0,1}.
+  ASSERT_EQ(r.maximal.size(), 1u);
+  EXPECT_EQ(r.maximal[0], Bitset(3, {0, 1}));
+}
+
+TEST(MineParallelTest, MatchesDirectFrequencyOnRandomData) {
+  Rng rng(71);
+  EventSequence seq = RandomSequence(150, 6, &rng);
+  WinepiParams params;
+  params.window_width = 5;
+  params.min_frequency = 0.3;
+  ParallelWinepiResult r = MineParallelEpisodes(seq, params);
+  for (const auto& f : r.frequent) {
+    EXPECT_NEAR(
+        f.frequency,
+        ParallelEpisodeFrequency(seq, f.types, params.window_width), 1e-12);
+    EXPECT_GE(f.frequency + 1e-12, params.min_frequency);
+  }
+  // Completeness: every frequent pair is reported.
+  for (size_t a = 0; a < 6; ++a) {
+    for (size_t b = a + 1; b < 6; ++b) {
+      Bitset pair(6, {a, b});
+      double freq =
+          ParallelEpisodeFrequency(seq, pair, params.window_width);
+      bool reported = false;
+      for (const auto& f : r.frequent) {
+        if (f.types == pair) reported = true;
+      }
+      EXPECT_EQ(reported, freq + 1e-12 >= params.min_frequency);
+    }
+  }
+}
+
+TEST(MineSerialTest, PlantedPatternIsFound) {
+  Rng rng(72);
+  std::vector<size_t> pattern{2, 0, 3};
+  EventSequence seq =
+      SequenceWithPlantedPattern(400, 8, pattern, 10, &rng);
+  WinepiParams params;
+  params.window_width = 10;
+  params.min_frequency = 0.25;
+  SerialWinepiResult r = MineSerialEpisodes(seq, params);
+  bool found = false;
+  for (const auto& f : r.frequent) {
+    if (f.types == pattern) found = true;
+  }
+  EXPECT_TRUE(found);
+  // Every reported frequency is correct and above threshold.
+  for (const auto& f : r.frequent) {
+    EXPECT_NEAR(f.frequency,
+                SerialEpisodeFrequency(seq, f.types, params.window_width),
+                1e-12);
+    EXPECT_GE(f.frequency + 1e-12, params.min_frequency);
+  }
+}
+
+TEST(MineSerialTest, LevelwiseMonotonicity) {
+  Rng rng(73);
+  EventSequence seq = RandomSequence(200, 4, &rng);
+  WinepiParams params;
+  params.window_width = 6;
+  params.min_frequency = 0.2;
+  SerialWinepiResult r = MineSerialEpisodes(seq, params);
+  // Every prefix of a frequent episode is frequent (reported).
+  std::set<SerialEpisode> reported;
+  for (const auto& f : r.frequent) reported.insert(f.types);
+  for (const auto& f : r.frequent) {
+    if (f.types.size() < 2) continue;
+    SerialEpisode prefix(f.types.begin(), f.types.end() - 1);
+    EXPECT_TRUE(reported.contains(prefix))
+        << FormatSerialEpisode(f.types);
+  }
+}
+
+TEST(MineSerialTest, RepeatsAreSupported) {
+  // Sequence 0 1 0 1 0 1 ... : serial episode 0 -> 0 is frequent at
+  // window width 4.
+  EventSequence seq(2);
+  for (int t = 0; t < 60; ++t) seq.AddEvent(t, t % 2);
+  WinepiParams params;
+  params.window_width = 4;
+  params.min_frequency = 0.5;
+  SerialWinepiResult r = MineSerialEpisodes(seq, params);
+  bool repeat_found = false;
+  for (const auto& f : r.frequent) {
+    if (f.types == SerialEpisode{0, 0}) repeat_found = true;
+  }
+  EXPECT_TRUE(repeat_found);
+}
+
+TEST(MineTest, EmptySequence) {
+  EventSequence seq(4);
+  WinepiParams params;
+  EXPECT_TRUE(MineParallelEpisodes(seq, params).frequent.empty());
+  EXPECT_TRUE(MineSerialEpisodes(seq, params).frequent.empty());
+}
+
+TEST(MineTest, MaxSizeCapsEpisodeLength) {
+  Rng rng(74);
+  EventSequence seq = RandomSequence(120, 3, &rng);
+  WinepiParams params;
+  params.window_width = 8;
+  params.min_frequency = 0.05;
+  params.max_size = 2;
+  SerialWinepiResult r = MineSerialEpisodes(seq, params);
+  for (const auto& f : r.frequent) EXPECT_LE(f.types.size(), 2u);
+  ParallelWinepiResult p = MineParallelEpisodes(seq, params);
+  for (const auto& f : p.frequent) EXPECT_LE(f.types.Count(), 2u);
+}
+
+TEST(FormatTest, SerialEpisodeString) {
+  EXPECT_EQ(FormatSerialEpisode({3, 1, 4}), "3 -> 1 -> 4");
+  EXPECT_EQ(FormatSerialEpisode({7}), "7");
+  EXPECT_EQ(FormatSerialEpisode({}), "");
+}
+
+}  // namespace
+}  // namespace hgm

@@ -1,0 +1,119 @@
+// Stress and structure tests for the Fredman-Khachiyan machinery on
+// larger, structured families than transversal_test.cc covers.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hypergraph/generators.h"
+#include "hypergraph/transversal_berge.h"
+#include "hypergraph/transversal_fk.h"
+#include "hypergraph/transversal_mmcs.h"
+
+namespace hgm {
+namespace {
+
+TEST(FkStressTest, MatchingFamilyDuality) {
+  // (M_n, Tr(M_n)) is the canonical positive instance with exponentially
+  // many terms on one side.
+  for (size_t n : {8u, 12u, 16u}) {
+    Hypergraph m = MatchingHypergraph(n);
+    BergeTransversals berge;
+    Hypergraph tr = berge.Compute(m);
+    ASSERT_EQ(tr.num_edges(), size_t{1} << (n / 2));
+    FkDualityTester fk;
+    DualityResult r = fk.Check(m, tr);
+    EXPECT_TRUE(r.dual) << "n=" << n;
+    EXPECT_GT(fk.recursion_nodes(), 0u);
+  }
+}
+
+TEST(FkStressTest, PerturbedMatchingIsRejectedWithValidWitness) {
+  Hypergraph m = MatchingHypergraph(12);
+  BergeTransversals berge;
+  Hypergraph tr = berge.Compute(m);
+  // Drop one minimal transversal.
+  Hypergraph dropped(12);
+  for (size_t i = 1; i < tr.num_edges(); ++i) dropped.AddEdge(tr.edge(i));
+  FkDualityTester fk;
+  DualityResult r = fk.Check(m, dropped);
+  ASSERT_FALSE(r.dual);
+  // The witness must be a transversal containing no member of `dropped`
+  // (a "case 2" point); in fact minimizing it must recover edge(0).
+  EXPECT_TRUE(m.IsTransversal(r.witness));
+  for (const auto& s : dropped.edges()) {
+    EXPECT_FALSE(s.IsSubsetOf(r.witness));
+  }
+  EXPECT_EQ(m.MinimizeTransversal(r.witness), tr.edge(0));
+}
+
+TEST(FkStressTest, CompleteGraphDuality) {
+  for (size_t n : {5u, 9u, 17u}) {
+    Hypergraph k = CompleteGraph(n);
+    Hypergraph co_singletons(n);
+    for (size_t v = 0; v < n; ++v) {
+      co_singletons.AddEdge(~Bitset::Singleton(n, v));
+    }
+    FkDualityTester fk;
+    EXPECT_TRUE(fk.Check(k, co_singletons).dual) << n;
+    // Sanity: depth stays modest on this easy family.
+    EXPECT_LE(fk.max_depth(), n * 2);
+  }
+}
+
+TEST(FkStressTest, SelfDualityOnlyForTrivialPairs) {
+  // A hypergraph equal to its own transversal hypergraph: {{v}} over a
+  // 1-vertex universe... over n vertices Tr({{v}}) = {{v}}.
+  FkDualityTester fk;
+  Hypergraph h(5);
+  h.AddEdgeIndices({2});
+  EXPECT_TRUE(fk.Check(h, h).dual);
+  // Two singleton edges are NOT self-dual: Tr = the pair set.
+  Hypergraph two(5);
+  two.AddEdgeIndices({1});
+  two.AddEdgeIndices({3});
+  EXPECT_FALSE(fk.Check(two, two).dual);
+}
+
+TEST(FkStressTest, EnumeratorMatchesBergeOnStructuredFamilies) {
+  Rng rng(171);
+  BergeTransversals berge;
+  for (int i = 0; i < 6; ++i) {
+    size_t n = 10 + 2 * i;
+    Hypergraph h = RandomCoSmall(n, 8, 3, &rng);
+    Hypergraph expected = berge.Compute(h);
+    FkTransversalEnumerator en;
+    en.Reset(h);
+    Hypergraph got(n);
+    Bitset t;
+    while (en.Next(&t)) got.AddEdge(t);
+    EXPECT_TRUE(got.SameEdgeSet(expected));
+  }
+}
+
+TEST(FkStressTest, AgreesWithMmcsOnLargerRandomInstances) {
+  // Beyond brute-force reach: validate FK against MMCS (itself validated
+  // against brute force on small instances).
+  Rng rng(172);
+  for (int i = 0; i < 5; ++i) {
+    size_t n = 14 + 2 * i;
+    Hypergraph h = RandomUniform(n, 10, 4, &rng);
+    FkTransversals fk;
+    MmcsTransversals mmcs;
+    EXPECT_TRUE(fk.Compute(h).SameEdgeSet(mmcs.Compute(h)))
+        << h.ToString();
+  }
+}
+
+TEST(FkStressTest, DualityRecursionGrowsSubExponentially) {
+  // Not a proof, just a smoke check of the m^{O(log m)} flavor: the node
+  // count on (M_n, Tr(M_n)) must stay far below 2^{|Tr|}.
+  Hypergraph m = MatchingHypergraph(14);
+  BergeTransversals berge;
+  Hypergraph tr = berge.Compute(m);  // 128 transversals
+  FkDualityTester fk;
+  ASSERT_TRUE(fk.Check(m, tr).dual);
+  EXPECT_LT(fk.recursion_nodes(), 1u << 20);
+}
+
+}  // namespace
+}  // namespace hgm

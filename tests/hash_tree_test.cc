@@ -1,0 +1,94 @@
+#include "mining/hash_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mining/generators.h"
+
+namespace hgm {
+namespace {
+
+/// Reference counter: plain subset scan.
+std::vector<size_t> CountReference(const std::vector<ItemVec>& candidates,
+                                   const TransactionDatabase& db) {
+  std::vector<size_t> counts(candidates.size(), 0);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    Bitset x = Bitset::FromIndices(db.num_items(), candidates[c]);
+    for (const auto& row : db.rows()) {
+      if (x.IsSubsetOf(row)) ++counts[c];
+    }
+  }
+  return counts;
+}
+
+TEST(HashTreeTest, SmallHandExample) {
+  TransactionDatabase db = TransactionDatabase::FromRows(
+      6, {{0, 1, 2}, {1, 2, 3}, {0, 2, 4}, {1, 2}, {0, 1, 2, 3, 4, 5}});
+  std::vector<ItemVec> candidates{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {0, 5}};
+  auto counts = CountSupportsHashTree(candidates, db);
+  EXPECT_EQ(counts, (std::vector<size_t>{2, 4, 2, 1, 1}));
+}
+
+TEST(HashTreeTest, MatchesReferenceAcrossShapes) {
+  Rng rng(121);
+  for (int iter = 0; iter < 8; ++iter) {
+    QuestParams params;
+    params.num_transactions = 100 + 30 * iter;
+    params.num_items = 20 + iter;
+    params.avg_transaction_size = 5 + iter % 3;
+    TransactionDatabase db = GenerateQuest(params, &rng);
+    size_t k = 2 + iter % 3;
+    // Random candidate pool of size-k sets, sorted.
+    std::vector<ItemVec> candidates;
+    for (int c = 0; c < 60; ++c) {
+      auto sample = rng.SampleWithoutReplacement(params.num_items, k);
+      std::sort(sample.begin(), sample.end());
+      ItemVec v(sample.begin(), sample.end());
+      candidates.push_back(std::move(v));
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (size_t leaf_capacity : {1u, 4u, 64u}) {
+      auto tree_counts =
+          CountSupportsHashTree(candidates, db, leaf_capacity);
+      EXPECT_EQ(tree_counts, CountReference(candidates, db))
+          << "k=" << k << " leaf=" << leaf_capacity;
+    }
+  }
+}
+
+TEST(HashTreeTest, NoDoubleCountingOnDenseRows) {
+  // A full row reaches every leaf along many hash paths; each candidate
+  // must still be counted once per row.
+  TransactionDatabase db(10);
+  db.AddTransaction(Bitset::Full(10));
+  db.AddTransaction(Bitset::Full(10));
+  std::vector<ItemVec> candidates;
+  for (uint32_t a = 0; a < 10; ++a) {
+    for (uint32_t b = a + 1; b < 10; ++b) candidates.push_back({a, b});
+  }
+  auto counts = CountSupportsHashTree(candidates, db, /*leaf_capacity=*/2);
+  for (size_t c : counts) EXPECT_EQ(c, 2u);
+}
+
+TEST(HashTreeTest, SplitsProduceInteriorNodes) {
+  std::vector<ItemVec> candidates;
+  for (uint32_t a = 0; a < 12; ++a) {
+    for (uint32_t b = a + 1; b < 12; ++b) candidates.push_back({a, b});
+  }
+  CandidateHashTree tree(candidates, 12, /*leaf_capacity=*/2);
+  EXPECT_GT(tree.num_nodes(), 8u);
+}
+
+TEST(HashTreeTest, EmptyCandidatesAndShortRows) {
+  TransactionDatabase db = TransactionDatabase::FromRows(5, {{0}, {1, 2}});
+  EXPECT_TRUE(CountSupportsHashTree({}, db).empty());
+  // Candidates longer than every row count zero.
+  std::vector<ItemVec> candidates{{0, 1, 2, 3}};
+  auto counts = CountSupportsHashTree(candidates, db);
+  EXPECT_EQ(counts, (std::vector<size_t>{0}));
+}
+
+}  // namespace
+}  // namespace hgm

@@ -1,0 +1,223 @@
+#include "hypergraph/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/generators.h"
+
+namespace hgm {
+namespace {
+
+Hypergraph Fig1Complements() {
+  // H(S) for S = MTh = {ABC, BD} over R = {A,B,C,D}: complements are
+  // {D} and {AC} (Example 8).
+  Hypergraph h(4);
+  h.AddEdgeIndices({3});     // D
+  h.AddEdgeIndices({0, 2});  // AC
+  return h;
+}
+
+TEST(HypergraphTest, BasicAccessors) {
+  Hypergraph h = Fig1Complements();
+  EXPECT_EQ(h.num_vertices(), 4u);
+  EXPECT_EQ(h.num_edges(), 2u);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.TotalEdgeSize(), 3u);
+  EXPECT_EQ(h.MinEdgeSize(), 1u);
+  EXPECT_EQ(h.MaxEdgeSize(), 2u);
+  EXPECT_FALSE(h.HasEmptyEdge());
+}
+
+TEST(HypergraphTest, EmptyHypergraphAccessors) {
+  Hypergraph h(3);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.MinEdgeSize(), Bitset::npos);
+  EXPECT_EQ(h.MaxEdgeSize(), 0u);
+  EXPECT_TRUE(h.IsSimple());
+  // Every set, including ∅, is a transversal of an edge-free hypergraph.
+  EXPECT_TRUE(h.IsTransversal(Bitset(3)));
+  EXPECT_TRUE(h.IsMinimalTransversal(Bitset(3)));
+  EXPECT_FALSE(h.IsMinimalTransversal(Bitset(3, {0})));
+}
+
+TEST(HypergraphTest, FromEdgeLists) {
+  Hypergraph h = Hypergraph::FromEdgeLists(5, {{0, 1}, {2, 3, 4}});
+  EXPECT_EQ(h.num_edges(), 2u);
+  EXPECT_EQ(h.edge(0), Bitset(5, {0, 1}));
+}
+
+TEST(HypergraphTest, IsSimpleDetectsContainmentAndDuplicates) {
+  Hypergraph h(4);
+  h.AddEdgeIndices({0, 1});
+  h.AddEdgeIndices({2});
+  EXPECT_TRUE(h.IsSimple());
+  h.AddEdgeIndices({0, 1, 2});  // superset of both
+  EXPECT_FALSE(h.IsSimple());
+
+  Hypergraph dup(3);
+  dup.AddEdgeIndices({0});
+  dup.AddEdgeIndices({0});
+  EXPECT_FALSE(dup.IsSimple());
+
+  Hypergraph empty_edge(3);
+  empty_edge.AddEdge(Bitset(3));
+  EXPECT_FALSE(empty_edge.IsSimple());
+}
+
+TEST(HypergraphTest, MinimizeRemovesSupersetsAndDuplicates) {
+  Hypergraph h(5);
+  h.AddEdgeIndices({0, 1, 2});
+  h.AddEdgeIndices({0, 1});
+  h.AddEdgeIndices({0, 1});
+  h.AddEdgeIndices({3});
+  h.AddEdgeIndices({3, 4});
+  h.Minimize();
+  EXPECT_EQ(h.num_edges(), 2u);
+  EXPECT_TRUE(h.IsSimple());
+  EXPECT_TRUE(h.SameEdgeSet(Hypergraph::FromEdgeLists(5, {{0, 1}, {3}})));
+}
+
+TEST(HypergraphTest, MinimizeWithEmptyEdgeCollapsesToEmptySet) {
+  Hypergraph h(3);
+  h.AddEdgeIndices({0, 1});
+  h.AddEdge(Bitset(3));
+  h.Minimize();
+  ASSERT_EQ(h.num_edges(), 1u);
+  EXPECT_TRUE(h.edge(0).None());
+  h.Minimize(/*drop_empty=*/true);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(HypergraphTest, TransversalChecks) {
+  Hypergraph h = Fig1Complements();  // edges {D}, {AC}
+  EXPECT_TRUE(h.IsTransversal(Bitset(4, {0, 3})));     // AD
+  EXPECT_TRUE(h.IsTransversal(Bitset(4, {2, 3})));     // CD
+  EXPECT_TRUE(h.IsTransversal(Bitset(4, {0, 2, 3})));  // ACD, not minimal
+  EXPECT_FALSE(h.IsTransversal(Bitset(4, {0, 1})));    // misses D
+  EXPECT_FALSE(h.IsTransversal(Bitset(4, {3})));       // misses AC
+  EXPECT_TRUE(h.IsMinimalTransversal(Bitset(4, {0, 3})));
+  EXPECT_TRUE(h.IsMinimalTransversal(Bitset(4, {2, 3})));
+  EXPECT_FALSE(h.IsMinimalTransversal(Bitset(4, {0, 2, 3})));
+  EXPECT_FALSE(h.IsMinimalTransversal(Bitset(4, {1})));
+}
+
+TEST(HypergraphTest, FindMissedEdge) {
+  Hypergraph h = Fig1Complements();
+  EXPECT_EQ(h.FindMissedEdge(Bitset(4, {0, 3})), Bitset::npos);
+  EXPECT_EQ(h.FindMissedEdge(Bitset(4, {0})), 0u);   // misses {D}
+  EXPECT_EQ(h.FindMissedEdge(Bitset(4, {3})), 1u);   // misses {AC}
+}
+
+TEST(HypergraphTest, MinimizeTransversal) {
+  Hypergraph h = Fig1Complements();
+  Bitset full = Bitset::Full(4);
+  Bitset t = h.MinimizeTransversal(full);
+  EXPECT_TRUE(h.IsMinimalTransversal(t));
+  EXPECT_TRUE(t.IsSubsetOf(full));
+  // Already-minimal input is returned unchanged.
+  Bitset ad(4, {0, 3});
+  EXPECT_EQ(h.MinimizeTransversal(ad), ad);
+}
+
+TEST(HypergraphTest, ComplementEdges) {
+  Hypergraph mth(4);
+  mth.AddEdgeIndices({0, 1, 2});  // ABC
+  mth.AddEdgeIndices({1, 3});     // BD
+  Hypergraph h = mth.ComplementEdges();
+  EXPECT_TRUE(h.SameEdgeSet(Fig1Complements()));
+  // Complement is an involution.
+  EXPECT_TRUE(h.ComplementEdges().SameEdgeSet(mth));
+}
+
+TEST(HypergraphTest, VertexDegrees) {
+  Hypergraph h = Fig1Complements();
+  auto deg = h.VertexDegrees();
+  EXPECT_EQ(deg, (std::vector<size_t>{1, 0, 1, 1}));
+}
+
+TEST(HypergraphTest, SameEdgeSetIgnoresOrderAndDuplicates) {
+  Hypergraph a(3), b(3);
+  a.AddEdgeIndices({0});
+  a.AddEdgeIndices({1, 2});
+  b.AddEdgeIndices({1, 2});
+  b.AddEdgeIndices({0});
+  b.AddEdgeIndices({0});
+  EXPECT_TRUE(a.SameEdgeSet(b));
+  b.AddEdgeIndices({1});
+  EXPECT_FALSE(a.SameEdgeSet(b));
+  EXPECT_FALSE(a.SameEdgeSet(Hypergraph(4)));
+}
+
+TEST(HypergraphTest, ToStringAndFormat) {
+  Hypergraph h = Fig1Complements();
+  EXPECT_EQ(h.ToString(), "{{3}, {0, 2}}");
+  std::vector<std::string> names{"A", "B", "C", "D"};
+  EXPECT_EQ(h.Format(names), "{D, AC}");
+}
+
+TEST(AntichainTest, MinimizeKeepsMinimalElements) {
+  std::vector<Bitset> sets{Bitset(4, {0, 1}), Bitset(4, {0}),
+                           Bitset(4, {0, 1, 2}), Bitset(4, {2, 3}),
+                           Bitset(4, {0})};
+  AntichainMinimize(&sets);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0], Bitset(4, {0}));
+  EXPECT_EQ(sets[1], Bitset(4, {2, 3}));
+}
+
+TEST(AntichainTest, MaximizeKeepsMaximalElements) {
+  std::vector<Bitset> sets{Bitset(4, {0, 1}), Bitset(4, {0}),
+                           Bitset(4, {0, 1, 2}), Bitset(4, {2, 3})};
+  AntichainMaximize(&sets);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].Count(), 3u);
+}
+
+TEST(AntichainTest, EmptySetDominatesEverythingUnderMinimize) {
+  std::vector<Bitset> sets{Bitset(3, {0}), Bitset(3), Bitset(3, {1, 2})};
+  AntichainMinimize(&sets);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_TRUE(sets[0].None());
+}
+
+TEST(GeneratorsTest, MatchingHypergraph) {
+  Hypergraph m = MatchingHypergraph(8);
+  EXPECT_EQ(m.num_edges(), 4u);
+  EXPECT_TRUE(m.IsSimple());
+  for (const auto& e : m.edges()) EXPECT_EQ(e.Count(), 2u);
+}
+
+TEST(GeneratorsTest, CompleteGraph) {
+  Hypergraph k5 = CompleteGraph(5);
+  EXPECT_EQ(k5.num_edges(), 10u);
+  EXPECT_TRUE(k5.IsSimple());
+}
+
+TEST(GeneratorsTest, RandomUniformEdgesHaveSizeK) {
+  Rng rng(42);
+  Hypergraph h = RandomUniform(12, 8, 3, &rng);
+  EXPECT_TRUE(h.IsSimple());
+  for (const auto& e : h.edges()) EXPECT_EQ(e.Count(), 3u);
+  EXPECT_LE(h.num_edges(), 8u);
+}
+
+TEST(GeneratorsTest, RandomCoSmallEdgesAreLarge) {
+  Rng rng(43);
+  const size_t n = 20, k = 3;
+  Hypergraph h = RandomCoSmall(n, 10, k, &rng);
+  for (const auto& e : h.edges()) EXPECT_GE(e.Count(), n - k);
+}
+
+TEST(GeneratorsTest, RandomBernoulliNonEmptyEdges) {
+  Rng rng(44);
+  Hypergraph h = RandomBernoulli(10, 12, 0.2, &rng);
+  for (const auto& e : h.edges()) EXPECT_TRUE(e.Any());
+}
+
+TEST(GeneratorsTest, PathGraph) {
+  Hypergraph p = PathGraph(5);
+  EXPECT_EQ(p.num_edges(), 4u);
+  EXPECT_TRUE(p.IsSimple());
+}
+
+}  // namespace
+}  // namespace hgm

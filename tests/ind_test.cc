@@ -1,0 +1,153 @@
+#include "fd/ind_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hgm {
+namespace {
+
+/// r: a projection of s with columns permuted — INDs are known by
+/// construction.
+///   s columns: (id, city, zip);  r columns: (zip, city).
+RelationInstance MakeS() {
+  return RelationInstance::FromRows(3, {
+                                           {1, 10, 100},
+                                           {2, 11, 101},
+                                           {3, 10, 100},
+                                           {4, 12, 102},
+                                       });
+}
+
+RelationInstance MakeR() {
+  return RelationInstance::FromRows(2, {
+                                           {100, 10},
+                                           {101, 11},
+                                       });
+}
+
+TEST(IndTest, SatisfiesIndByHand) {
+  RelationInstance r = MakeR(), s = MakeS();
+  EXPECT_TRUE(SatisfiesInd(r, s, {0}, {2}));   // zip values ⊆ s.zip
+  EXPECT_TRUE(SatisfiesInd(r, s, {1}, {1}));   // city ⊆ s.city
+  EXPECT_FALSE(SatisfiesInd(r, s, {0}, {0}));  // zips aren't ids
+  // Binary positional IND (zip, city) ⊆ s(zip, city): tuples (100,10),
+  // (101,11) both appear in s.
+  EXPECT_TRUE(SatisfiesInd(r, s, {0, 1}, {2, 1}));
+  // Mismatched pairing (zip, city) ⊆ s(city, zip) fails.
+  EXPECT_FALSE(SatisfiesInd(r, s, {0, 1}, {1, 2}));
+  // Empty IND holds vacuously.
+  EXPECT_TRUE(SatisfiesInd(r, s, {}, {}));
+}
+
+TEST(IndTest, TupleNotValueSemantics) {
+  // Every value matches column-wise, but no combined tuple exists.
+  RelationInstance s = RelationInstance::FromRows(2, {{1, 20}, {2, 10}});
+  RelationInstance r = RelationInstance::FromRows(2, {{1, 10}});
+  EXPECT_TRUE(SatisfiesInd(r, s, {0}, {0}));
+  EXPECT_TRUE(SatisfiesInd(r, s, {1}, {1}));
+  EXPECT_FALSE(SatisfiesInd(r, s, {0, 1}, {0, 1}));
+}
+
+TEST(IndTest, FindUnaryInds) {
+  RelationInstance r = MakeR(), s = MakeS();
+  auto unary = FindUnaryInds(r, s);
+  // zip(0) ⊆ s.zip(2); city(1) ⊆ s.city(1).  Any others?  zip values
+  // {100,101} vs s.id {1..4} no, s.city {10,11,12} no.  city values
+  // {10,11} vs s.id no, s.zip no.  So exactly 2.
+  ASSERT_EQ(unary.size(), 2u);
+}
+
+TEST(IndTest, MineMaximalInds) {
+  RelationInstance r = MakeR(), s = MakeS();
+  IndMiningResult result = MineInclusionDependencies(r, s);
+  // The unique maximal IND is r[0,1] ⊆ s[2,1] (in some order).
+  ASSERT_EQ(result.maximal.size(), 1u);
+  const auto& ind = result.maximal[0];
+  ASSERT_EQ(ind.lhs.size(), 2u);
+  EXPECT_TRUE(SatisfiesInd(r, s, ind.lhs, ind.rhs));
+  EXPECT_GT(result.queries, 0u);
+}
+
+TEST(IndTest, MaximalIndsAreMaximalAndValid) {
+  Rng rng(95);
+  // Random relations over a tiny domain to create rich IND structure.
+  RelationInstance s = RandomRelation(12, 4, 3, &rng);
+  RelationInstance r = RandomRelation(4, 3, 3, &rng);
+  IndMiningResult result = MineInclusionDependencies(r, s);
+  for (const auto& ind : result.maximal) {
+    EXPECT_TRUE(SatisfiesInd(r, s, ind.lhs, ind.rhs)) << FormatInd(ind);
+    // No attribute reused on either side.
+    std::set<size_t> l(ind.lhs.begin(), ind.lhs.end());
+    std::set<size_t> rr(ind.rhs.begin(), ind.rhs.end());
+    EXPECT_EQ(l.size(), ind.lhs.size());
+    EXPECT_EQ(rr.size(), ind.rhs.size());
+    // Maximality: no valid unary IND extends it into a valid larger IND.
+    for (const auto& u : result.unary) {
+      if (l.contains(u.lhs) || rr.contains(u.rhs)) continue;
+      auto lhs = ind.lhs;
+      auto rhs = ind.rhs;
+      lhs.push_back(u.lhs);
+      rhs.push_back(u.rhs);
+      EXPECT_FALSE(SatisfiesInd(r, s, lhs, rhs))
+          << FormatInd(ind) << " extensible by (" << u.lhs << "," << u.rhs
+          << ")";
+    }
+  }
+}
+
+TEST(IndTest, EverySubPairingOfMaximalHolds) {
+  Rng rng(96);
+  RelationInstance s = RandomRelation(10, 4, 2, &rng);
+  RelationInstance r = RandomRelation(3, 3, 2, &rng);
+  IndMiningResult result = MineInclusionDependencies(r, s);
+  for (const auto& ind : result.maximal) {
+    // Drop each position: the projection must still hold (monotonicity).
+    for (size_t drop = 0; drop < ind.lhs.size(); ++drop) {
+      std::vector<size_t> lhs, rhs;
+      for (size_t i = 0; i < ind.lhs.size(); ++i) {
+        if (i == drop) continue;
+        lhs.push_back(ind.lhs[i]);
+        rhs.push_back(ind.rhs[i]);
+      }
+      EXPECT_TRUE(SatisfiesInd(r, s, lhs, rhs));
+    }
+  }
+}
+
+TEST(IndTest, IdenticalRelationsHaveIdentityInd) {
+  Rng rng(97);
+  RelationInstance s = RandomRelation(8, 3, 4, &rng);
+  IndMiningResult result = MineInclusionDependencies(s, s);
+  // The identity pairing r[0,1,2] ⊆ s[0,1,2] must be contained in some
+  // maximal IND.
+  bool found = false;
+  for (const auto& ind : result.maximal) {
+    bool identity_sub = true;
+    for (size_t a = 0; a < 3; ++a) {
+      bool has = false;
+      for (size_t i = 0; i < ind.lhs.size(); ++i) {
+        if (ind.lhs[i] == a && ind.rhs[i] == a) has = true;
+      }
+      if (!has) identity_sub = false;
+    }
+    if (identity_sub) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IndTest, NoUnaryIndsMeansNoInds) {
+  RelationInstance r = RelationInstance::FromRows(1, {{999}});
+  RelationInstance s = RelationInstance::FromRows(1, {{1}});
+  IndMiningResult result = MineInclusionDependencies(r, s);
+  EXPECT_TRUE(result.unary.empty());
+  EXPECT_TRUE(result.maximal.empty());
+}
+
+TEST(IndTest, FormatInd) {
+  InclusionDependency ind{{0, 2}, {1, 3}};
+  EXPECT_EQ(FormatInd(ind), "r[0,2] <= s[1,3]");
+}
+
+}  // namespace
+}  // namespace hgm

@@ -1,0 +1,119 @@
+// End-to-end integration: one realistic market-basket pipeline exercised
+// through every public surface at once, with all routes cross-checked.
+// This is the "does the whole library hang together" test a downstream
+// user effectively runs on day one.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/theory.h"
+#include "core/verification.h"
+#include "mining/apriori.h"
+#include "mining/closed.h"
+#include "mining/frequency_oracle.h"
+#include "mining/generators.h"
+#include "mining/max_miner.h"
+#include "mining/rules.h"
+#include "mining/sampling.h"
+
+namespace hgm {
+namespace {
+
+class MarketBasketPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(20250705);
+    QuestParams params;
+    params.num_transactions = 1200;
+    params.num_items = 40;
+    params.avg_transaction_size = 7;
+    params.num_patterns = 10;
+    db_ = GenerateQuest(params, &rng);
+    minsup_ = 60;  // 5%
+  }
+
+  TransactionDatabase db_{0};
+  size_t minsup_ = 0;
+};
+
+TEST_F(MarketBasketPipelineTest, EverythingAgreesWithEverything) {
+  // 1. Apriori is the source of truth for this test.
+  AprioriResult apriori = MineFrequentSets(&db_, minsup_);
+  ASSERT_FALSE(apriori.frequent.empty());
+
+  // 2. All three maximal miners agree with Apriori's maximal sets.
+  for (auto algo :
+       {MaxMinerAlgorithm::kLevelwise, MaxMinerAlgorithm::kDualizeAdvance,
+        MaxMinerAlgorithm::kDepthFirst}) {
+    MaxMinerResult mx = MineMaximalFrequentSets(&db_, minsup_, algo);
+    EXPECT_TRUE(SameFamily(mx.maximal, apriori.maximal))
+        << ToString(algo);
+  }
+
+  // 3. Sampling reproduces the exact theory.
+  SamplingOptions sopts;
+  sopts.sample_size = 300;
+  Rng srng(7);
+  SamplingResult sampled = MineWithSampling(&db_, minsup_, sopts, &srng);
+  ASSERT_EQ(sampled.frequent.size(), apriori.frequent.size());
+  for (size_t i = 0; i < sampled.frequent.size(); ++i) {
+    EXPECT_EQ(sampled.frequent[i].items, apriori.frequent[i].items);
+    EXPECT_EQ(sampled.frequent[i].support, apriori.frequent[i].support);
+  }
+
+  // 4. Closed sets condense the theory losslessly.
+  auto closed = MineClosedFrequentSets(&db_, minsup_);
+  EXPECT_LE(apriori.maximal.size(), closed.size());
+  EXPECT_LE(closed.size(), apriori.frequent.size());
+  for (const auto& f : apriori.frequent) {
+    EXPECT_EQ(SupportFromClosed(closed, f.items), f.support);
+  }
+
+  // 5. Verification accepts the mined MTh with |Bd(S)| queries.
+  FrequencyOracle oracle(&db_, minsup_);
+  VerificationResult v = VerifyMaxTheory(apriori.maximal, &oracle);
+  EXPECT_TRUE(v.verified);
+  EXPECT_EQ(v.queries, v.border_size);
+
+  // 6. Rules are internally consistent with the mined supports.
+  auto rules = GenerateRules(apriori, db_.num_transactions(), 0.7);
+  for (const auto& rule : rules) {
+    Bitset whole = rule.antecedent.WithBit(rule.consequent);
+    EXPECT_EQ(rule.support, db_.Support(whole));
+    EXPECT_NEAR(rule.confidence,
+                static_cast<double>(db_.Support(whole)) /
+                    static_cast<double>(db_.Support(rule.antecedent)),
+                1e-12);
+    EXPECT_GE(rule.confidence, 0.7);
+  }
+}
+
+TEST_F(MarketBasketPipelineTest, PersistAndReloadRoundTrip) {
+  const std::string path = "/tmp/hgm_integration.basket";
+  ASSERT_TRUE(db_.SaveBasketFile(path).ok());
+  auto reloaded = TransactionDatabase::LoadBasketFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  AprioriResult a = MineFrequentSets(&db_, minsup_);
+  AprioriResult b = MineFrequentSets(&*reloaded, minsup_);
+  ASSERT_EQ(a.frequent.size(), b.frequent.size());
+  EXPECT_TRUE(SameFamily(a.maximal, b.maximal));
+  std::remove(path.c_str());
+}
+
+TEST_F(MarketBasketPipelineTest, ThresholdMonotonicity) {
+  // Raising the support threshold shrinks the theory monotonically, and
+  // every theory is a subset of the looser one.
+  AprioriResult loose = MineFrequentSets(&db_, minsup_);
+  AprioriResult strict = MineFrequentSets(&db_, minsup_ * 2);
+  EXPECT_LE(strict.frequent.size(), loose.frequent.size());
+  std::unordered_set<Bitset, BitsetHash> loose_set;
+  for (const auto& f : loose.frequent) loose_set.insert(f.items);
+  for (const auto& f : strict.frequent) {
+    EXPECT_TRUE(loose_set.contains(f.items)) << f.items.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace hgm

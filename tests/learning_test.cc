@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hypergraph/generators.h"
+#include "hypergraph/transversal_berge.h"
+#include "learning/learners.h"
+#include "learning/membership_oracle.h"
+#include "learning/monotone_function.h"
+
+namespace hgm {
+namespace {
+
+/// Example 25's function: f = AD | CD = (A|C)(D) over 4 variables
+/// A=0, B=1, C=2, D=3.
+MonotoneDnf Example25Dnf() {
+  return MonotoneDnf(4, {Bitset(4, {0, 3}), Bitset(4, {2, 3})});
+}
+
+// ---------------------------------------------------------------------
+// Representations.
+// ---------------------------------------------------------------------
+TEST(MonotoneDnfTest, EvalAndConstants) {
+  MonotoneDnf f = Example25Dnf();
+  EXPECT_TRUE(f.Eval(Bitset(4, {0, 3})));
+  EXPECT_TRUE(f.Eval(Bitset::Full(4)));
+  EXPECT_FALSE(f.Eval(Bitset(4, {0, 1, 2})));
+  EXPECT_FALSE(f.Eval(Bitset(4)));
+  EXPECT_FALSE(f.IsConstantFalse());
+  EXPECT_FALSE(f.IsConstantTrue());
+
+  MonotoneDnf zero(4);
+  EXPECT_TRUE(zero.IsConstantFalse());
+  EXPECT_FALSE(zero.Eval(Bitset::Full(4)));
+
+  MonotoneDnf one(4, {Bitset(4)});
+  EXPECT_TRUE(one.IsConstantTrue());
+  EXPECT_TRUE(one.Eval(Bitset(4)));
+}
+
+TEST(MonotoneDnfTest, MinimizeRemovesRedundantTerms) {
+  MonotoneDnf f(4, {Bitset(4, {0}), Bitset(4, {0, 1}), Bitset(4, {0})});
+  EXPECT_EQ(f.size(), 1u);
+  f.AddTerm(Bitset(4, {2, 3}));
+  EXPECT_EQ(f.size(), 2u);
+  f.AddTerm(Bitset(4, {2}));  // subsumes {2,3}
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_TRUE(f.Eval(Bitset(4, {2})));
+}
+
+TEST(MonotoneCnfTest, EvalAndConstants) {
+  // (A|C)(D)
+  MonotoneCnf g(4, {Bitset(4, {0, 2}), Bitset(4, {3})});
+  EXPECT_TRUE(g.Eval(Bitset(4, {0, 3})));
+  EXPECT_FALSE(g.Eval(Bitset(4, {0})));
+  EXPECT_FALSE(g.Eval(Bitset(4, {3})));
+  EXPECT_FALSE(g.Eval(Bitset(4)));
+
+  MonotoneCnf one(4);
+  EXPECT_TRUE(one.IsConstantTrue());
+  EXPECT_TRUE(one.Eval(Bitset(4)));
+
+  MonotoneCnf zero(4, {Bitset(4)});
+  EXPECT_TRUE(zero.IsConstantFalse());
+  EXPECT_FALSE(zero.Eval(Bitset::Full(4)));
+}
+
+TEST(ConversionTest, Example25DnfCnfRoundTrip) {
+  MonotoneDnf f = Example25Dnf();
+  MonotoneCnf g = f.ToCnf();
+  // (A|C)(D): clauses {A,C} and {D}.
+  ASSERT_EQ(g.size(), 2u);
+  auto fe = [&](const Bitset& x) { return f.Eval(x); };
+  auto ge = [&](const Bitset& x) { return g.Eval(x); };
+  EXPECT_TRUE(EquivalentBrute(fe, ge, 4));
+  // And back.
+  MonotoneDnf f2 = g.ToDnf();
+  auto f2e = [&](const Bitset& x) { return f2.Eval(x); };
+  EXPECT_TRUE(EquivalentBrute(fe, f2e, 4));
+  EXPECT_EQ(f2.size(), f.size());
+}
+
+TEST(ConversionTest, RandomRoundTripsPreserveSemantics) {
+  Rng rng(21);
+  for (int i = 0; i < 20; ++i) {
+    size_t n = 3 + rng.UniformIndex(7);
+    MonotoneDnf f = RandomDnf(n, 1 + rng.UniformIndex(5),
+                              1 + rng.UniformIndex(n), &rng);
+    MonotoneCnf g = f.ToCnf();
+    MonotoneDnf f2 = g.ToDnf();
+    auto fe = [&](const Bitset& x) { return f.Eval(x); };
+    auto ge = [&](const Bitset& x) { return g.Eval(x); };
+    auto f2e = [&](const Bitset& x) { return f2.Eval(x); };
+    EXPECT_TRUE(EquivalentBrute(fe, ge, n));
+    EXPECT_TRUE(EquivalentBrute(fe, f2e, n));
+  }
+}
+
+TEST(ConversionTest, ConstantConversions) {
+  MonotoneDnf zero(3);
+  MonotoneCnf zero_cnf = zero.ToCnf();
+  EXPECT_TRUE(zero_cnf.IsConstantFalse());
+  MonotoneDnf one(3, {Bitset(3)});
+  EXPECT_TRUE(one.ToCnf().IsConstantTrue());
+  MonotoneCnf ctrue(3);
+  EXPECT_TRUE(ctrue.ToDnf().IsConstantTrue());
+  MonotoneCnf cfalse(3, {Bitset(3)});
+  EXPECT_TRUE(cfalse.ToDnf().IsConstantFalse());
+}
+
+TEST(ToStringTest, ReadableForms) {
+  MonotoneDnf f = Example25Dnf();
+  EXPECT_EQ(f.ToString(), "x0 x3 | x2 x3");
+  MonotoneCnf g(4, {Bitset(4, {0, 2}), Bitset(4, {3})});
+  EXPECT_EQ(g.ToString(), "(x3) (x0 | x2)");
+  EXPECT_EQ(MonotoneDnf(2).ToString(), "false");
+  EXPECT_EQ(MonotoneDnf(2, {Bitset(2)}).ToString(), "true");
+  EXPECT_EQ(MonotoneCnf(2).ToString(), "true");
+  EXPECT_EQ(MonotoneCnf(2, {Bitset(2)}).ToString(), "false");
+}
+
+TEST(EquivalenceTest, SamplingCatchesDifferences) {
+  Rng rng(22);
+  MonotoneDnf f = Example25Dnf();
+  MonotoneDnf g(4, {Bitset(4, {0, 3})});  // dropped a prime implicant
+  auto fe = [&](const Bitset& x) { return f.Eval(x); };
+  auto ge = [&](const Bitset& x) { return g.Eval(x); };
+  EXPECT_FALSE(EquivalentBrute(fe, ge, 4));
+  EXPECT_FALSE(EquivalentOnSamples(fe, ge, 4, 200, &rng));
+  EXPECT_TRUE(EquivalentOnSamples(fe, fe, 4, 200, &rng));
+}
+
+// ---------------------------------------------------------------------
+// Oracles.
+// ---------------------------------------------------------------------
+TEST(MembershipOracleTest, CountsQueries) {
+  MonotoneDnf f = Example25Dnf();
+  MembershipOracle oracle(4, [&](const Bitset& x) { return f.Eval(x); });
+  EXPECT_EQ(oracle.queries(), 0u);
+  EXPECT_TRUE(oracle.Query(Bitset(4, {0, 3})));
+  EXPECT_FALSE(oracle.Query(Bitset(4)));
+  EXPECT_EQ(oracle.queries(), 2u);
+  oracle.ResetCounter();
+  EXPECT_EQ(oracle.queries(), 0u);
+}
+
+TEST(MembershipAdapterTest, Theorem24Reduction) {
+  MonotoneDnf f = Example25Dnf();
+  MembershipOracle oracle(4, [&](const Bitset& x) { return f.Eval(x); });
+  MembershipAdapter adapter(&oracle);
+  // interesting = ¬f; ABC is a maximal false point.
+  EXPECT_TRUE(adapter.IsInteresting(Bitset(4, {0, 1, 2})));
+  EXPECT_FALSE(adapter.IsInteresting(Bitset(4, {0, 3})));
+  EXPECT_EQ(adapter.num_items(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Learners.
+// ---------------------------------------------------------------------
+TEST(LearnerTest, Example25LearnedExactly) {
+  MonotoneDnf f = Example25Dnf();
+  MembershipOracle oracle(4, [&](const Bitset& x) { return f.Eval(x); });
+  LearnResult r = LearnMonotoneDualize(&oracle);
+  // DNF terms = Bd- = {AD, CD}; CNF = (A|C)(D) -> clauses {AC}, {D}.
+  EXPECT_EQ(r.dnf.size(), 2u);
+  EXPECT_EQ(r.cnf.size(), 2u);
+  auto fe = [&](const Bitset& x) { return f.Eval(x); };
+  auto de = [&](const Bitset& x) { return r.dnf.Eval(x); };
+  auto ce = [&](const Bitset& x) { return r.cnf.Eval(x); };
+  EXPECT_TRUE(EquivalentBrute(fe, de, 4));
+  EXPECT_TRUE(EquivalentBrute(fe, ce, 4));
+  EXPECT_EQ(r.lower_bound, 4u);
+  EXPECT_GE(r.queries, r.lower_bound);  // Corollary 27
+  EXPECT_LE(r.queries, r.upper_bound);  // Corollary 28
+}
+
+class LearnerAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LearnerAgreementTest, BothLearnersRecoverRandomTargets) {
+  Rng rng(GetParam());
+  size_t n = 3 + rng.UniformIndex(7);
+  MonotoneDnf f = RandomDnf(n, 1 + rng.UniformIndex(5),
+                            1 + rng.UniformIndex(n), &rng);
+  MembershipOracle o1(n, [&](const Bitset& x) { return f.Eval(x); });
+  MembershipOracle o2(n, [&](const Bitset& x) { return f.Eval(x); });
+  LearnResult da = LearnMonotoneDualize(&o1);
+  LearnResult lw = LearnMonotoneLevelwise(&o2);
+  auto fe = [&](const Bitset& x) { return f.Eval(x); };
+  for (const LearnResult* r : {&da, &lw}) {
+    auto de = [&](const Bitset& x) { return r->dnf.Eval(x); };
+    auto ce = [&](const Bitset& x) { return r->cnf.Eval(x); };
+    EXPECT_TRUE(EquivalentBrute(fe, de, n)) << f.ToString();
+    EXPECT_TRUE(EquivalentBrute(fe, ce, n)) << f.ToString();
+    // Minimality: learned DNF has exactly the prime implicants.
+    EXPECT_EQ(r->dnf.size(), f.size());
+    // Corollary 27 lower bound.
+    EXPECT_GE(r->queries, r->lower_bound);
+  }
+  // Corollary 28 upper bound applies to the D&A learner.
+  EXPECT_LE(da.queries, da.upper_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LearnerAgreementTest,
+                         ::testing::Range(uint64_t{300}, uint64_t{325}));
+
+TEST(LearnerTest, ConstantTargets) {
+  for (bool value : {false, true}) {
+    MembershipOracle oracle(4, [&](const Bitset&) { return value; });
+    LearnResult r = LearnMonotoneDualize(&oracle);
+    if (value) {
+      EXPECT_TRUE(r.dnf.IsConstantTrue());
+      EXPECT_TRUE(r.cnf.IsConstantTrue());
+    } else {
+      EXPECT_TRUE(r.dnf.IsConstantFalse());
+      EXPECT_TRUE(r.cnf.IsConstantFalse());
+    }
+  }
+}
+
+TEST(LearnerTest, Corollary26RegimePolynomialQueries) {
+  // Clauses of size >= n-k with k small: the levelwise learner explores
+  // only sets of size <= k+1, so queries <= sum_{i<=k+1} C(n,i) + |Tr|.
+  Rng rng(99);
+  const size_t n = 14, k = 2;
+  MonotoneCnf target = RandomCoSmallCnf(n, 5, k, &rng);
+  MembershipOracle oracle(n,
+                          [&](const Bitset& x) { return target.Eval(x); });
+  LearnResult r = LearnMonotoneLevelwise(&oracle, /*max_level=*/k + 1);
+  auto te = [&](const Bitset& x) { return target.Eval(x); };
+  auto ce = [&](const Bitset& x) { return r.cnf.Eval(x); };
+  EXPECT_TRUE(EquivalentBrute(te, ce, n));
+  // Far below 2^14: the k=2 regime needs at most
+  // 1 + n + C(n,2) + C(n,3) + ... truncated at level k+1.
+  EXPECT_LT(r.queries, 1000u);
+}
+
+TEST(LearnerTest, DualizeBeatsLevelwiseOnLargeFalseRegion) {
+  // A single long prime implicant: Th (false points) is huge, so the
+  // levelwise learner pays 2^|term| while D&A jumps across.
+  const size_t n = 16;
+  Bitset term = Bitset::FromIndices(
+      n, std::vector<size_t>{0, 2, 4, 5, 7, 8, 9, 11, 12, 13, 14, 15});
+  MonotoneDnf f(n, {term});
+  MembershipOracle o1(n, [&](const Bitset& x) { return f.Eval(x); });
+  MembershipOracle o2(n, [&](const Bitset& x) { return f.Eval(x); });
+  LearnResult da = LearnMonotoneDualize(&o1);
+  LearnResult lw = LearnMonotoneLevelwise(&o2);
+  auto fe = [&](const Bitset& x) { return f.Eval(x); };
+  auto dae = [&](const Bitset& x) { return da.dnf.Eval(x); };
+  auto lwe = [&](const Bitset& x) { return lw.dnf.Eval(x); };
+  EXPECT_TRUE(EquivalentBrute(fe, dae, n));
+  EXPECT_TRUE(EquivalentBrute(fe, lwe, n));
+  EXPECT_LT(da.queries * 20, lw.queries);
+}
+
+TEST(Corollary30Test, HtrThroughTheLearningReduction) {
+  // Corollary 30: a DNF-producing monotone learner dualizes hypergraphs.
+  Rng rng(555);
+  BergeTransversals berge;
+  for (int i = 0; i < 10; ++i) {
+    size_t n = 4 + rng.UniformIndex(6);
+    Hypergraph h = RandomUniform(n, 3 + rng.UniformIndex(5),
+                                 2 + rng.UniformIndex(3), &rng);
+    uint64_t queries = 0;
+    Hypergraph via_learning = TransversalsViaLearning(h, &queries);
+    EXPECT_TRUE(via_learning.SameEdgeSet(berge.Compute(h)))
+        << h.ToString();
+    EXPECT_GT(queries, 0u);
+  }
+}
+
+TEST(Corollary30Test, DegenerateHypergraphs) {
+  // Edge-free: Tr = {∅}.
+  Hypergraph tr = TransversalsViaLearning(Hypergraph(4));
+  ASSERT_EQ(tr.num_edges(), 1u);
+  EXPECT_TRUE(tr.edge(0).None());
+  // Empty edge: no transversals.
+  Hypergraph infeasible(4);
+  infeasible.AddEdge(Bitset(4));
+  EXPECT_TRUE(TransversalsViaLearning(infeasible).empty());
+}
+
+TEST(Corollary30Test, QueryCountIsOutputSensitive) {
+  // The learner's queries track |Tr| + |edges| + poly(n), not 2^n.
+  Hypergraph m = MatchingHypergraph(12);  // |Tr| = 64
+  uint64_t queries = 0;
+  Hypergraph tr = TransversalsViaLearning(m, &queries);
+  EXPECT_EQ(tr.num_edges(), 64u);
+  EXPECT_LT(queries, 4096u);  // far below 2^12
+}
+
+}  // namespace
+}  // namespace hgm

@@ -1,0 +1,206 @@
+#include "episodes/minepi.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace hgm {
+namespace {
+
+/// time: 0 1 2 3 4 5 6
+/// type: 0 1 0 2 1 0 1
+EventSequence TinySequence() {
+  EventSequence seq(3);
+  const size_t types[] = {0, 1, 0, 2, 1, 0, 1};
+  for (int t = 0; t < 7; ++t) seq.AddEvent(t, types[t]);
+  return seq;
+}
+
+TEST(MinimalOccurrenceTest, SingleSymbol) {
+  EventSequence seq = TinySequence();
+  auto mo = FindMinimalOccurrences(seq, {0}, 10);
+  ASSERT_EQ(mo.size(), 3u);
+  EXPECT_EQ(mo[0].start, 0);
+  EXPECT_EQ(mo[0].end, 0);
+  EXPECT_EQ(mo[2].start, 5);
+}
+
+TEST(MinimalOccurrenceTest, PairByHand) {
+  EventSequence seq = TinySequence();
+  // 0 -> 1 anchored occurrences: 0@0 -> 1@1 = [0,1]; 0@2 -> 1@4 = [2,4];
+  // 0@5 -> 1@6 = [5,6].  All minimal (ends strictly increase).
+  auto mo = FindMinimalOccurrences(seq, {0, 1}, 10);
+  ASSERT_EQ(mo.size(), 3u);
+  EXPECT_EQ(mo[0].start, 0);
+  EXPECT_EQ(mo[0].end, 1);
+  EXPECT_EQ(mo[1].start, 2);
+  EXPECT_EQ(mo[1].end, 4);
+  EXPECT_EQ(mo[2].start, 5);
+  EXPECT_EQ(mo[2].end, 6);
+}
+
+TEST(MinimalOccurrenceTest, NonMinimalAnchorsAreDropped) {
+  // seq: 1 0 1 — episode 1 -> 1: anchored [0,2] and nothing later; but
+  // with seq 1 1 1: anchored [0,1], [1,2]; both minimal.  With
+  // seq 1 0 0 1 1: anchors 1@0 -> [0,3]; 1@3 -> [3,4]; [3,4] ⊂ [0,3]?
+  // No: starts 0 < 3, ends 3 < 4 — overlapping, both minimal.  Use
+  // explicit containment: seq 1 1 2 with episode 1 -> 2: anchored
+  // [0,2] and [1,2]; [1,2] ⊂ [0,2], so only [1,2] is minimal.
+  EventSequence seq(3);
+  seq.AddEvent(0, 1);
+  seq.AddEvent(1, 1);
+  seq.AddEvent(2, 2);
+  auto mo = FindMinimalOccurrences(seq, {1, 2}, 10);
+  ASSERT_EQ(mo.size(), 1u);
+  EXPECT_EQ(mo[0].start, 1);
+  EXPECT_EQ(mo[0].end, 2);
+}
+
+TEST(MinimalOccurrenceTest, WidthBoundCutsLongOccurrences) {
+  EventSequence seq = TinySequence();
+  // 0 -> 2 has only 0@0/0@2 -> 2@3: widths 4 and 2.
+  EXPECT_EQ(FindMinimalOccurrences(seq, {0, 2}, 10).size(), 1u);
+  EXPECT_EQ(FindMinimalOccurrences(seq, {0, 2}, 2).size(), 1u);
+  EXPECT_EQ(FindMinimalOccurrences(seq, {0, 2}, 1).size(), 0u);
+}
+
+TEST(MinimalOccurrenceTest, EmptyInputs) {
+  EventSequence empty(3);
+  EXPECT_TRUE(FindMinimalOccurrences(empty, {0}, 5).empty());
+  EventSequence seq = TinySequence();
+  EXPECT_TRUE(FindMinimalOccurrences(seq, {}, 5).empty());
+}
+
+TEST(MinimalOccurrenceTest, IntervalsAreIncomparable) {
+  Rng rng(141);
+  EventSequence seq = RandomSequence(300, 4, &rng);
+  for (int i = 0; i < 20; ++i) {
+    SerialEpisode e;
+    for (size_t k = 0; k < 1 + rng.UniformIndex(3); ++k) {
+      e.push_back(rng.UniformIndex(4));
+    }
+    auto mo = FindMinimalOccurrences(seq, e, 8);
+    for (size_t a = 0; a < mo.size(); ++a) {
+      EXPECT_LE(mo[a].end - mo[a].start + 1, 8);
+      for (size_t b = a + 1; b < mo.size(); ++b) {
+        // No containment in either direction.
+        bool a_in_b =
+            mo[b].start <= mo[a].start && mo[a].end <= mo[b].end;
+        bool b_in_a =
+            mo[a].start <= mo[b].start && mo[b].end <= mo[a].end;
+        EXPECT_FALSE(a_in_b || b_in_a);
+      }
+    }
+  }
+}
+
+TEST(MinimalOccurrenceTest, PrefixAndSuffixMonotonicity) {
+  // The property the levelwise join relies on: deleting the last or the
+  // first symbol cannot decrease the minimal-occurrence count.
+  Rng rng(142);
+  for (int iter = 0; iter < 15; ++iter) {
+    EventSequence seq = RandomSequence(200, 3, &rng);
+    SerialEpisode e;
+    for (size_t k = 0; k < 2 + rng.UniformIndex(3); ++k) {
+      e.push_back(rng.UniformIndex(3));
+    }
+    size_t full = FindMinimalOccurrences(seq, e, 10).size();
+    SerialEpisode prefix(e.begin(), e.end() - 1);
+    SerialEpisode suffix(e.begin() + 1, e.end());
+    EXPECT_GE(FindMinimalOccurrences(seq, prefix, 10).size(), full);
+    EXPECT_GE(FindMinimalOccurrences(seq, suffix, 10).size(), full);
+  }
+}
+
+TEST(MinepiTest, PlantedPatternIsFoundWithCorrectCounts) {
+  Rng rng(143);
+  std::vector<size_t> pattern{2, 0, 3};
+  EventSequence seq =
+      SequenceWithPlantedPattern(1200, 8, pattern, 12, &rng);
+  MinepiParams params;
+  params.max_width = 6;
+  params.min_occurrences = 50;
+  MinepiResult r = MineMinimalOccurrences(seq, params);
+  bool found = false;
+  for (const auto& f : r.frequent) {
+    EXPECT_EQ(f.occurrences,
+              FindMinimalOccurrences(seq, f.types, params.max_width)
+                  .size());
+    EXPECT_GE(f.occurrences, params.min_occurrences);
+    if (f.types == pattern) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MinepiTest, CompletenessAgainstExhaustiveSearch) {
+  // Enumerate ALL episodes up to length 3 over a small alphabet and
+  // verify the miner reports exactly the frequent ones.
+  Rng rng(144);
+  EventSequence seq = RandomSequence(150, 3, &rng);
+  MinepiParams params;
+  params.max_width = 5;
+  params.min_occurrences = 8;
+  params.max_size = 3;
+  MinepiResult r = MineMinimalOccurrences(seq, params);
+  std::set<SerialEpisode> reported;
+  for (const auto& f : r.frequent) reported.insert(f.types);
+  std::vector<SerialEpisode> all;
+  for (size_t a = 0; a < 3; ++a) {
+    all.push_back({a});
+    for (size_t b = 0; b < 3; ++b) {
+      all.push_back({a, b});
+      for (size_t c = 0; c < 3; ++c) all.push_back({a, b, c});
+    }
+  }
+  for (const auto& e : all) {
+    bool frequent = FindMinimalOccurrences(seq, e, params.max_width)
+                        .size() >= params.min_occurrences;
+    EXPECT_EQ(reported.contains(e), frequent)
+        << FormatSerialEpisode(e);
+  }
+}
+
+TEST(MinepiTest, EpisodeRules) {
+  Rng rng(145);
+  std::vector<size_t> pattern{1, 4};
+  EventSequence seq =
+      SequenceWithPlantedPattern(1000, 6, pattern, 10, &rng);
+  MinepiParams params;
+  params.max_width = 5;
+  params.min_occurrences = 30;
+  MinepiResult r = MineMinimalOccurrences(seq, params);
+  auto rules = GenerateEpisodeRules(r, 0.3);
+  ASSERT_FALSE(rules.empty());
+  for (const auto& rule : rules) {
+    EXPECT_GE(rule.confidence, 0.3);
+    EXPECT_LE(rule.confidence, 1.0 + 1e-12);
+    // Antecedent is a proper prefix of the consequent.
+    ASSERT_LT(rule.antecedent.size(), rule.consequent.size());
+    EXPECT_TRUE(std::equal(rule.antecedent.begin(),
+                           rule.antecedent.end(),
+                           rule.consequent.begin()));
+  }
+  // Sorted by descending confidence.
+  for (size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_GE(rules[i - 1].confidence, rules[i].confidence);
+  }
+  // The planted rule 1 => 1 -> 4 should be among the confident ones.
+  bool planted_rule = false;
+  for (const auto& rule : rules) {
+    if (rule.consequent == pattern && rule.antecedent.size() == 1) {
+      planted_rule = true;
+    }
+  }
+  EXPECT_TRUE(planted_rule);
+}
+
+TEST(MinepiTest, EmptySequence) {
+  MinepiParams params;
+  MinepiResult r = MineMinimalOccurrences(EventSequence(4), params);
+  EXPECT_TRUE(r.frequent.empty());
+}
+
+}  // namespace
+}  // namespace hgm

@@ -1,0 +1,129 @@
+#include "hypergraph/transversal_mmcs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/dualize_advance.h"
+#include "core/oracle.h"
+#include "core/theory.h"
+#include "hypergraph/generators.h"
+#include "hypergraph/transversal_berge.h"
+#include "hypergraph/transversal_brute.h"
+
+namespace hgm {
+namespace {
+
+TEST(MmcsEnumeratorTest, YieldsIncrementallyWithoutDuplicates) {
+  Rng rng(101);
+  for (int i = 0; i < 15; ++i) {
+    size_t n = 4 + rng.UniformIndex(7);
+    Hypergraph h = RandomUniform(n, 3 + rng.UniformIndex(6),
+                                 2 + rng.UniformIndex(3), &rng);
+    BruteForceTransversals brute;
+    Hypergraph expected = brute.Compute(h);
+    MmcsEnumerator en;
+    en.Reset(h);
+    Hypergraph got(n);
+    Bitset t;
+    size_t count = 0;
+    while (en.Next(&t)) {
+      // Every yield is a minimal transversal, available immediately.
+      EXPECT_TRUE(h.IsMinimalTransversal(t)) << t.ToString();
+      got.AddEdge(t);
+      ++count;
+      ASSERT_LE(count, expected.num_edges() + 1) << "duplicate emissions";
+    }
+    EXPECT_TRUE(got.IsSimple());
+    EXPECT_TRUE(got.SameEdgeSet(expected)) << h.ToString();
+    EXPECT_FALSE(en.Next(&t));  // stays exhausted
+  }
+}
+
+TEST(MmcsEnumeratorTest, EarlyAbandonIsCheap) {
+  // The whole point of an incremental enumerator: taking one transversal
+  // of M_20 (which has 2^10 of them) must not enumerate all of them.
+  Hypergraph m = MatchingHypergraph(20);
+  MmcsEnumerator en;
+  en.Reset(m);
+  Bitset t;
+  ASSERT_TRUE(en.Next(&t));
+  EXPECT_TRUE(m.IsMinimalTransversal(t));
+  EXPECT_LT(en.nodes(), 64u);  // one root-to-leaf path, not 1024 leaves
+}
+
+TEST(MmcsEnumeratorTest, DegenerateInputs) {
+  MmcsEnumerator en;
+  Bitset t;
+  // Edge-free: Tr = {∅}.
+  en.Reset(Hypergraph(4));
+  ASSERT_TRUE(en.Next(&t));
+  EXPECT_TRUE(t.None());
+  EXPECT_FALSE(en.Next(&t));
+  // Empty edge: no transversals.
+  Hypergraph bad(4);
+  bad.AddEdge(Bitset(4));
+  en.Reset(bad);
+  EXPECT_FALSE(en.Next(&t));
+  // Reset rewinds.
+  en.Reset(Hypergraph::FromEdgeLists(4, {{3}, {0, 2}}));
+  size_t c1 = 0;
+  while (en.Next(&t)) ++c1;
+  en.Reset(Hypergraph::FromEdgeLists(4, {{3}, {0, 2}}));
+  size_t c2 = 0;
+  while (en.Next(&t)) ++c2;
+  EXPECT_EQ(c1, 2u);
+  EXPECT_EQ(c2, 2u);
+}
+
+TEST(MmcsEnumeratorTest, MatchingFamilyCountsExact) {
+  for (size_t n : {4u, 8u, 12u, 16u}) {
+    MmcsEnumerator en;
+    en.Reset(MatchingHypergraph(n));
+    Bitset t;
+    size_t count = 0;
+    while (en.Next(&t)) ++count;
+    EXPECT_EQ(count, size_t{1} << (n / 2)) << "n=" << n;
+  }
+}
+
+TEST(MmcsDualizeAdvanceTest, WorksAsTheDnASubroutine) {
+  // Plug MMCS into Algorithm 16 in place of Fredman-Khachiyan; results
+  // must be identical and the Lemma 20 bound must still hold.
+  Rng rng(102);
+  for (int i = 0; i < 10; ++i) {
+    size_t n = 4 + rng.UniformIndex(6);
+    std::vector<Bitset> planted;
+    for (size_t j = 0; j < 1 + rng.UniformIndex(4); ++j) {
+      planted.push_back(Bitset::FromIndices(
+          n, rng.SampleWithoutReplacement(n, 1 + rng.UniformIndex(n))));
+    }
+    AntichainMaximize(&planted);
+    FunctionOracle oracle(n, [&](const Bitset& x) {
+      for (const auto& m : planted) {
+        if (x.IsSubsetOf(m)) return true;
+      }
+      return false;
+    });
+    DualizeAdvanceOptions opts;
+    opts.make_enumerator = [] { return std::make_unique<MmcsEnumerator>(); };
+    DualizeAdvanceResult mmcs_run = RunDualizeAdvance(&oracle, opts);
+    DualizeAdvanceResult fk_run = RunDualizeAdvance(&oracle);
+    EXPECT_TRUE(
+        SameFamily(mmcs_run.positive_border, fk_run.positive_border));
+    EXPECT_TRUE(
+        SameFamily(mmcs_run.negative_border, fk_run.negative_border));
+    EXPECT_LE(mmcs_run.max_enumerated_one_iteration,
+              mmcs_run.negative_border.size() + 1);
+  }
+}
+
+TEST(MmcsBatchTest, StatsReportWork) {
+  MmcsTransversals mmcs;
+  Hypergraph tr = mmcs.Compute(MatchingHypergraph(10));
+  EXPECT_EQ(tr.num_edges(), 32u);
+  EXPECT_EQ(mmcs.stats().candidates, 32u);
+  EXPECT_GT(mmcs.stats().recursion_nodes, 0u);
+}
+
+}  // namespace
+}  // namespace hgm

@@ -1,0 +1,123 @@
+#include "core/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dualize_advance.h"
+#include "core/theory.h"
+
+namespace hgm {
+namespace {
+
+class PlantedOracle : public InterestingnessOracle {
+ public:
+  PlantedOracle(size_t n, std::vector<Bitset> maximal)
+      : n_(n), maximal_(std::move(maximal)) {}
+
+  bool IsInteresting(const Bitset& x) override {
+    for (const auto& m : maximal_) {
+      if (x.IsSubsetOf(m)) return true;
+    }
+    return false;
+  }
+  size_t num_items() const override { return n_; }
+
+ private:
+  size_t n_;
+  std::vector<Bitset> maximal_;
+};
+
+std::vector<Bitset> RandomAntichain(size_t n, size_t count, Rng* rng) {
+  std::vector<Bitset> sets;
+  for (size_t i = 0; i < count; ++i) {
+    size_t size = 1 + rng->UniformIndex(n - 1);
+    sets.push_back(
+        Bitset::FromIndices(n, rng->SampleWithoutReplacement(n, size)));
+  }
+  AntichainMaximize(&sets);
+  return sets;
+}
+
+TEST(RandomMaximalExtensionTest, ProducesMaximalInterestingSets) {
+  Rng rng(131);
+  for (int i = 0; i < 10; ++i) {
+    size_t n = 4 + rng.UniformIndex(8);
+    auto planted = RandomAntichain(n, 1 + rng.UniformIndex(5), &rng);
+    PlantedOracle oracle(n, planted);
+    Bitset m = RandomMaximalExtension(&oracle, Bitset(n), &rng);
+    // Maximal interesting = one of the planted sets.
+    bool is_planted = false;
+    for (const auto& p : planted) {
+      if (p == m) is_planted = true;
+    }
+    EXPECT_TRUE(is_planted) << m.ToString();
+  }
+}
+
+TEST(RandomMaximalExtensionTest, RandomOrderReachesDifferentMaxima) {
+  // Two disjoint maximal sets: across many walks from ∅ both must appear.
+  PlantedOracle oracle(8, {Bitset(8, {0, 1, 2}), Bitset(8, {5, 6, 7})});
+  Rng rng(132);
+  bool saw_first = false, saw_second = false;
+  for (int i = 0; i < 50 && !(saw_first && saw_second); ++i) {
+    Bitset m = RandomMaximalExtension(&oracle, Bitset(8), &rng);
+    if (m == Bitset(8, {0, 1, 2})) saw_first = true;
+    if (m == Bitset(8, {5, 6, 7})) saw_second = true;
+  }
+  EXPECT_TRUE(saw_first);
+  EXPECT_TRUE(saw_second);
+}
+
+TEST(RandomWalkDnaTest, AgreesWithDeterministicDnA) {
+  Rng rng(133);
+  for (int i = 0; i < 15; ++i) {
+    size_t n = 4 + rng.UniformIndex(7);
+    auto planted = RandomAntichain(n, 1 + rng.UniformIndex(6), &rng);
+    PlantedOracle oracle(n, planted);
+    Rng walk_rng(1000 + i);
+    RandomWalkResult rw =
+        RunRandomizedDualizeAdvance(&oracle, &walk_rng);
+    DualizeAdvanceResult da = RunDualizeAdvance(&oracle);
+    EXPECT_TRUE(SameFamily(rw.positive_border, da.positive_border));
+    EXPECT_TRUE(SameFamily(rw.negative_border, da.negative_border));
+    // Structural claim of [11]: with walks, dualizations <= |MTh| + 1
+    // (each dualization either certifies or exposes a new region, and
+    // walks discover several maxima per round for free).
+    EXPECT_LE(rw.dualizations, rw.positive_border.size() + 1);
+  }
+}
+
+TEST(RandomWalkDnaTest, WalksDiscoverMostMaximalSets) {
+  // With many maximal sets reachable by random walks, the walk phase
+  // should find a decent share of MTh without dualization help.
+  Rng rng(134);
+  auto planted = RandomAntichain(14, 10, &rng);
+  PlantedOracle oracle(14, planted);
+  RandomWalkOptions opts;
+  opts.walks_per_round = 24;
+  opts.stale_walk_limit = 24;
+  Rng walk_rng(135);
+  RandomWalkResult rw =
+      RunRandomizedDualizeAdvance(&oracle, &walk_rng, opts);
+  EXPECT_TRUE(SameFamily(rw.positive_border, planted));
+  EXPECT_GT(rw.found_by_walks, 0u);
+  EXPECT_LE(rw.dualizations,
+            planted.size() + 1 - rw.found_by_walks + 1);
+}
+
+TEST(RandomWalkDnaTest, DegenerateOracles) {
+  PlantedOracle nothing(5, {});
+  Rng rng(136);
+  RandomWalkResult r = RunRandomizedDualizeAdvance(&nothing, &rng);
+  EXPECT_TRUE(r.positive_border.empty());
+  ASSERT_EQ(r.negative_border.size(), 1u);
+  EXPECT_TRUE(r.negative_border[0].None());
+
+  PlantedOracle everything(4, {Bitset::Full(4)});
+  RandomWalkResult r2 = RunRandomizedDualizeAdvance(&everything, &rng);
+  ASSERT_EQ(r2.positive_border.size(), 1u);
+  EXPECT_TRUE(r2.positive_border[0].AllSet());
+  EXPECT_TRUE(r2.negative_border.empty());
+}
+
+}  // namespace
+}  // namespace hgm

@@ -1,0 +1,127 @@
+#include "mining/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/theory.h"
+#include "mining/generators.h"
+
+namespace hgm {
+namespace {
+
+/// Asserts that a sampling run produced exactly the frequent sets of the
+/// full database.
+void ExpectExact(TransactionDatabase* db, size_t minsup,
+                 const SamplingResult& r) {
+  AprioriResult expected = MineFrequentSets(db, minsup);
+  ASSERT_EQ(r.frequent.size(), expected.frequent.size());
+  for (size_t i = 0; i < r.frequent.size(); ++i) {
+    EXPECT_EQ(r.frequent[i].items, expected.frequent[i].items);
+    EXPECT_EQ(r.frequent[i].support, expected.frequent[i].support);
+  }
+}
+
+TEST(SamplingTest, ExactOnQuestData) {
+  Rng rng(81);
+  QuestParams params;
+  params.num_transactions = 1500;
+  params.num_items = 30;
+  params.avg_transaction_size = 6;
+  TransactionDatabase db = GenerateQuest(params, &rng);
+  SamplingOptions opts;
+  opts.sample_size = 300;
+  Rng srng(82);
+  SamplingResult r = MineWithSampling(&db, 75, opts, &srng);
+  ExpectExact(&db, 75, r);
+}
+
+TEST(SamplingTest, ExactAcrossSeedsAndSampleSizes) {
+  Rng rng(83);
+  QuestParams params;
+  params.num_transactions = 800;
+  params.num_items = 20;
+  params.avg_transaction_size = 5;
+  TransactionDatabase db = GenerateQuest(params, &rng);
+  for (size_t sample_size : {50u, 150u, 400u}) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      SamplingOptions opts;
+      opts.sample_size = sample_size;
+      Rng srng(seed);
+      SamplingResult r = MineWithSampling(&db, 40, opts, &srng);
+      ExpectExact(&db, 40, r);
+    }
+  }
+}
+
+TEST(SamplingTest, FullDbEvaluationsAreBorderBounded) {
+  // The first pass costs |S| + |Bd-(S)| of the SAMPLE's theory; with no
+  // repair passes the total equals that.  It must be far below 2^n.
+  Rng rng(84);
+  QuestParams params;
+  params.num_transactions = 1000;
+  params.num_items = 25;
+  TransactionDatabase db = GenerateQuest(params, &rng);
+  SamplingOptions opts;
+  opts.sample_size = 400;
+  Rng srng(85);
+  SamplingResult r = MineWithSampling(&db, 150, opts, &srng);
+  ExpectExact(&db, 150, r);
+  // The sample was mined at threshold_lowering * 15%, so the evaluated
+  // family is the (slightly larger) sample theory plus its border —
+  // nowhere near the 2^25 subsets a naive scan would consider.
+  EXPECT_LT(r.full_db_evaluations, 5000u);
+}
+
+TEST(SamplingTest, TinySampleStillExactViaRepair) {
+  // A pathologically small sample forces misses; the negative-border
+  // check must detect and repair them, keeping the final result exact.
+  Rng rng(86);
+  auto patterns = RandomPatterns(16, 3, 6, &rng);
+  TransactionDatabase db = PlantedDatabase(16, patterns, 10, 40, 3, &rng);
+  SamplingOptions opts;
+  opts.sample_size = 5;  // almost certainly unrepresentative
+  opts.threshold_lowering = 1.0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng srng(900 + seed);
+    SamplingResult r = MineWithSampling(&db, 10, opts, &srng);
+    ExpectExact(&db, 10, r);
+  }
+}
+
+TEST(SamplingTest, MissDetectionReportsMissedSets) {
+  // Make the sample systematically biased by sampling size 1: if the
+  // result needed repair, missed_sets must be non-empty and each missed
+  // set must be genuinely frequent.
+  Rng rng(87);
+  auto patterns = RandomPatterns(12, 2, 5, &rng);
+  TransactionDatabase db = PlantedDatabase(12, patterns, 8, 20, 2, &rng);
+  bool saw_miss = false;
+  for (uint64_t seed = 0; seed < 8 && !saw_miss; ++seed) {
+    SamplingOptions opts;
+    opts.sample_size = 2;
+    opts.threshold_lowering = 1.0;
+    Rng srng(seed);
+    SamplingResult r = MineWithSampling(&db, 8, opts, &srng);
+    ExpectExact(&db, 8, r);
+    if (r.miss_detected) {
+      saw_miss = true;
+      EXPECT_FALSE(r.missed_sets.empty());
+      for (const auto& x : r.missed_sets) {
+        EXPECT_GE(db.Support(x), 8u);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_miss) << "expected at least one miss across seeds";
+}
+
+TEST(SamplingTest, EmptyDatabase) {
+  TransactionDatabase db(5);
+  SamplingOptions opts;
+  Rng srng(1);
+  SamplingResult r = MineWithSampling(&db, 3, opts, &srng);
+  EXPECT_TRUE(r.frequent.empty());
+  EXPECT_FALSE(r.miss_detected);
+}
+
+}  // namespace
+}  // namespace hgm
