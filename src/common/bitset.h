@@ -208,6 +208,32 @@ class Bitset {
     return c;
   }
 
+  /// True iff |this ∩ o| >= threshold, early-exiting per 64-bit word as
+  /// soon as the running popcount reaches the threshold.  For support
+  /// counting this lets frequent candidates stop as soon as min_support
+  /// rows are confirmed instead of scanning the whole tidset.
+  bool IntersectionCountAtLeast(const Bitset& o, size_t threshold) const {
+    assert(nbits_ == o.nbits_);
+    if (threshold == 0) return true;
+    size_t c = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      c += static_cast<size_t>(std::popcount(words_[i] & o.words_[i]));
+      if (c >= threshold) return true;
+    }
+    return false;
+  }
+
+  /// True iff Count() >= threshold, early-exiting per word.
+  bool CountAtLeast(size_t threshold) const {
+    if (threshold == 0) return true;
+    size_t c = 0;
+    for (uint64_t w : words_) {
+      c += static_cast<size_t>(std::popcount(w));
+      if (c >= threshold) return true;
+    }
+    return false;
+  }
+
   /// Index of the smallest element, or npos if empty.
   size_t FindFirst() const {
     for (size_t wi = 0; wi < words_.size(); ++wi) {

@@ -1,0 +1,220 @@
+#pragma once
+
+/// \file thread_pool.h
+/// \brief A small persistent work pool for batch oracle evaluation.
+///
+/// The paper charges every algorithm purely by its number of
+/// Is-interesting queries (Theorem 10, Theorem 21), and the levelwise
+/// algorithm evaluates a whole candidate level with no data dependency
+/// between candidates — an embarrassingly parallel batch.  ThreadPool
+/// provides the one primitive that batch needs: ParallelFor over a dense
+/// index range with deterministic contiguous chunking.  Determinism
+/// contract: chunk boundaries depend only on (range size, chunk count),
+/// never on scheduling, and callers reduce per-chunk results in chunk
+/// order — so all outputs are bit-for-bit identical at any thread count.
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hgm {
+
+/// A copyable counter with atomic increments, for query tallies that are
+/// bumped from parallel regions but read single-threaded afterwards.
+/// (std::atomic itself is neither copyable nor movable, which would make
+/// every result struct holding one unreturnable by value.)
+class AtomicCounter {
+ public:
+  AtomicCounter(uint64_t v = 0) : v_(v) {}  // NOLINT(runtime/explicit)
+  AtomicCounter(const AtomicCounter& o) : v_(o.load()) {}
+  AtomicCounter& operator=(const AtomicCounter& o) {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+  operator uint64_t() const { return load(); }
+
+  AtomicCounter& operator+=(uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  AtomicCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> v_;
+};
+
+/// Number of threads to use by default: the HGMINE_THREADS environment
+/// variable if set and positive, otherwise std::thread::hardware_concurrency
+/// (itself clamped to >= 1).
+inline size_t DefaultThreadCount() {
+  if (const char* env = std::getenv("HGMINE_THREADS")) {
+    long v = std::atol(env);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+/// A fixed-size pool of worker threads executing ParallelFor chunks.
+///
+/// A pool of size t runs each ParallelFor as exactly t contiguous chunks,
+/// t-1 candidates for workers and one for the calling thread (the caller
+/// also steals leftover chunks, so a slow worker wake-up never stalls the
+/// batch).  Size 1 spawns no workers and runs everything inline.  Nested
+/// ParallelFor calls from inside a chunk run inline, so parallel oracles
+/// may be freely composed without deadlock.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads = DefaultThreadCount()) {
+    if (num_threads < 1) num_threads = 1;
+    workers_.reserve(num_threads - 1);
+    for (size_t i = 0; i + 1 < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  /// Total execution lanes: workers plus the calling thread.
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Invokes fn(begin, end, chunk) for num_threads() contiguous chunks
+  /// covering [0, n), where `chunk` is the deterministic chunk index in
+  /// [0, num_threads()).  Blocks until every chunk has finished.  Chunk
+  /// boundaries are a pure function of (n, num_threads()); callers that
+  /// accumulate per-chunk partials must reduce them in chunk order.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t, size_t)>& fn) {
+    if (n == 0) return;
+    const size_t chunks = num_threads();
+    if (chunks == 1 || in_worker_) {
+      fn(0, n, 0);
+      return;
+    }
+    Batch batch;
+    batch.fn = &fn;
+    batch.n = n;
+    batch.chunks = chunks;
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_ = &batch;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+
+    // Caller runs chunk 0, then steals whatever the workers have not
+    // claimed yet.
+    RunChunk(&batch, 0);
+    for (size_t c = batch.next.fetch_add(1); c < chunks;
+         c = batch.next.fetch_add(1)) {
+      RunChunk(&batch, c);
+    }
+    // Wait until all chunks ran AND every worker that entered the batch
+    // has left it: `batch` lives on this stack frame, so returning while
+    // a worker still holds the pointer would be a use-after-free.
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] {
+        return batch.done.load() == chunks && batch.refs.load() == 0;
+      });
+      current_ = nullptr;
+    }
+  }
+
+ private:
+  struct Batch {
+    const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+    size_t n = 0;
+    size_t chunks = 0;
+    std::atomic<size_t> next{1};  // chunk 0 belongs to the caller
+    std::atomic<size_t> done{0};
+    std::atomic<size_t> refs{0};  // workers currently inside the batch
+  };
+
+  void RunChunk(Batch* batch, size_t c) {
+    const size_t begin = c * batch->n / batch->chunks;
+    const size_t end = (c + 1) * batch->n / batch->chunks;
+    if (begin < end) (*batch->fn)(begin, end, c);
+    if (batch->done.fetch_add(1) + 1 == batch->chunks) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+
+  void WorkerLoop() {
+    in_worker_ = true;
+    uint64_t seen_epoch = 0;
+    while (true) {
+      Batch* batch = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] {
+          return stop_ || (current_ != nullptr && epoch_ != seen_epoch);
+        });
+        if (stop_) return;
+        seen_epoch = epoch_;
+        batch = current_;
+        batch->refs.fetch_add(1);  // under mu_: the caller's done-wait
+                                   // predicate observes this or runs later
+      }
+      for (size_t c = batch->next.fetch_add(1); c < batch->chunks;
+           c = batch->next.fetch_add(1)) {
+        RunChunk(batch, c);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        batch->refs.fetch_sub(1);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  static thread_local bool in_worker_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch* current_ = nullptr;
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+inline thread_local bool ThreadPool::in_worker_ = false;
+
+/// The process-wide default pool, sized by DefaultThreadCount() at first
+/// use.  Algorithms that take an optional ThreadPool* treat nullptr as
+/// "use the global pool".
+inline ThreadPool* GlobalPool() {
+  static ThreadPool pool;
+  return &pool;
+}
+
+/// Resolves an optional pool argument to a usable pool.
+inline ThreadPool* PoolOrGlobal(ThreadPool* pool) {
+  return pool != nullptr ? pool : GlobalPool();
+}
+
+}  // namespace hgm

@@ -50,14 +50,25 @@ LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
     result.candidates += candidates.size();
     result.candidates_per_level.push_back(candidates.size());
 
+    // Step 4 of Algorithm 9: evaluate the whole level C_l as one batch —
+    // the queries are mutually independent, so a parallel oracle may
+    // answer them concurrently.  A batch of size m charges exactly m
+    // queries, keeping Theorem 10's |Th| + |Bd-| accounting exact.
+    std::vector<Bitset> batch;
+    batch.reserve(candidates.size());
+    for (const auto& cand : candidates) {
+      batch.push_back(Bitset::FromIndices(n, cand));
+    }
+    result.queries += batch.size();
+    std::vector<uint8_t> verdicts = oracle->EvaluateBatch(batch);
+
     std::vector<ItemVec> next;
-    for (auto& cand : candidates) {
-      Bitset x = Bitset::FromIndices(n, cand);
-      if (ask(x)) {
-        if (options.record_theory) result.theory.push_back(x);
-        next.push_back(std::move(cand));
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (verdicts[c]) {
+        if (options.record_theory) result.theory.push_back(batch[c]);
+        next.push_back(std::move(candidates[c]));
       } else {
-        result.negative_border.push_back(std::move(x));
+        result.negative_border.push_back(std::move(batch[c]));
       }
     }
     result.interesting_per_level.push_back(next.size());

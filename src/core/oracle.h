@@ -9,14 +9,19 @@
 /// and CountingOracle implements the cost accounting used by Theorem 2,
 /// Corollary 4, Theorem 10, Theorem 21 and the benches.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/thread_pool.h"
 
 namespace hgm {
 
@@ -34,6 +39,26 @@ class InterestingnessOracle {
 
   /// Universe size of the representing set lattice.
   virtual size_t num_items() const = 0;
+
+  /// Evaluates q on every sentence of \p batch; result[i] is nonzero iff
+  /// batch[i] is interesting.  The levelwise algorithm (Algorithm 9)
+  /// submits each candidate level C_l as one batch: the evaluations are
+  /// mutually independent, so implementations backed by thread-safe data
+  /// access may answer them in parallel.  The element type is uint8_t
+  /// rather than bool because std::vector<bool> packs bits and cannot be
+  /// written concurrently at distinct indices.
+  ///
+  /// Cost-model contract: a batch of size m counts as exactly m
+  /// Is-interesting queries (Theorem 10's measure), and the answers must
+  /// be identical to m sequential IsInteresting calls.  The default
+  /// implementation is that sequential loop.
+  virtual std::vector<uint8_t> EvaluateBatch(std::span<const Bitset> batch) {
+    std::vector<uint8_t> out(batch.size(), 0);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      out[i] = IsInteresting(batch[i]) ? 1 : 0;
+    }
+    return out;
+  }
 };
 
 /// Adapts a callable to the oracle interface.
@@ -57,6 +82,11 @@ class FunctionOracle : public InterestingnessOracle {
 /// separates algorithmic redundancy from inherent cost.  Can optionally
 /// memoize so repeated questions are answered from cache while still being
 /// counted as raw queries.
+///
+/// Counters are atomic and the seen-set is mutex-guarded, so the paper's
+/// query accounting stays exact even when IsInteresting is invoked from a
+/// parallel batch evaluation.  Batches are forwarded to the inner oracle
+/// as batches (charging size() queries), preserving its parallel backend.
 class CountingOracle : public InterestingnessOracle {
  public:
   /// Wraps \p inner (not owned).  If \p memoize is set, repeated queries
@@ -67,15 +97,37 @@ class CountingOracle : public InterestingnessOracle {
   bool IsInteresting(const Bitset& x) override {
     ++raw_queries_;
     if (memoize_) {
-      auto it = cache_.find(x);
-      if (it != cache_.end()) return it->second;
+      {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        auto it = cache_.find(x);
+        if (it != cache_.end()) return it->second;
+      }
       bool v = inner_->IsInteresting(x);
-      cache_.emplace(x, v);
-      ++distinct_queries_;
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (cache_.emplace(x, v).second) ++distinct_queries_;
       return v;
     }
-    if (seen_.insert(x).second) ++distinct_queries_;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (seen_.insert(x).second) ++distinct_queries_;
+    }
     return inner_->IsInteresting(x);
+  }
+
+  std::vector<uint8_t> EvaluateBatch(
+      std::span<const Bitset> batch) override {
+    if (memoize_) {
+      // Memoized path answers element-wise through the cache.
+      return InterestingnessOracle::EvaluateBatch(batch);
+    }
+    raw_queries_ += batch.size();
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      for (const Bitset& x : batch) {
+        if (seen_.insert(x).second) ++distinct_queries_;
+      }
+    }
+    return inner_->EvaluateBatch(batch);
   }
 
   size_t num_items() const override { return inner_->num_items(); }
@@ -90,6 +142,7 @@ class CountingOracle : public InterestingnessOracle {
   void ResetCounters() {
     raw_queries_ = 0;
     distinct_queries_ = 0;
+    std::unique_lock<std::shared_mutex> lock(mu_);
     cache_.clear();
     seen_.clear();
   }
@@ -97,10 +150,96 @@ class CountingOracle : public InterestingnessOracle {
  private:
   InterestingnessOracle* inner_;
   bool memoize_;
-  uint64_t raw_queries_ = 0;
-  uint64_t distinct_queries_ = 0;
+  AtomicCounter raw_queries_;
+  AtomicCounter distinct_queries_;
+  std::shared_mutex mu_;
   std::unordered_map<Bitset, bool, BitsetHash> cache_;
   std::unordered_set<Bitset, BitsetHash> seen_;
+};
+
+/// \brief Thread-safe memoizing oracle wrapper.
+///
+/// Dualize-and-Advance (Algorithm 16) and the randomized walk miner
+/// re-enumerate minimal transversals of a growing hypergraph, so they ask
+/// the same Is-interesting questions again and again across iterations.
+/// CachedOracle answers repeats from a hash cache while keeping the
+/// paper's accounting exact: *every* ask is charged to raw_queries()
+/// (cache hits included — the algorithm issued the query; Theorem 21
+/// counts it), and inner_evaluations() reports how many actually reached
+/// the underlying data.  All state is atomically / mutex guarded, so the
+/// wrapper can also sit below a parallel batch evaluation.
+class CachedOracle : public InterestingnessOracle {
+ public:
+  explicit CachedOracle(InterestingnessOracle* inner) : inner_(inner) {}
+
+  bool IsInteresting(const Bitset& x) override {
+    ++raw_queries_;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = cache_.find(x);
+      if (it != cache_.end()) return it->second;
+    }
+    // Deterministic oracle: a racing double-evaluation of the same
+    // sentence is wasted work, never a wrong answer.
+    bool v = inner_->IsInteresting(x);
+    ++inner_evaluations_;
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    cache_.emplace(x, v);
+    return v;
+  }
+
+  std::vector<uint8_t> EvaluateBatch(
+      std::span<const Bitset> batch) override {
+    raw_queries_ += batch.size();
+    std::vector<uint8_t> out(batch.size(), 0);
+    // Split hits from misses, then forward the misses as one (possibly
+    // parallel) inner batch.
+    std::vector<size_t> miss_idx;
+    std::vector<Bitset> misses;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        auto it = cache_.find(batch[i]);
+        if (it != cache_.end()) {
+          out[i] = it->second ? 1 : 0;
+        } else {
+          miss_idx.push_back(i);
+          misses.push_back(batch[i]);
+        }
+      }
+    }
+    if (!misses.empty()) {
+      std::vector<uint8_t> answers = inner_->EvaluateBatch(misses);
+      inner_evaluations_ += misses.size();
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      for (size_t j = 0; j < misses.size(); ++j) {
+        out[miss_idx[j]] = answers[j];
+        cache_.emplace(std::move(misses[j]), answers[j] != 0);
+      }
+    }
+    return out;
+  }
+
+  size_t num_items() const override { return inner_->num_items(); }
+
+  /// Every ask, cache hits included (the paper's query measure).
+  uint64_t raw_queries() const { return raw_queries_; }
+
+  /// Asks that actually evaluated the inner oracle (<= raw_queries()).
+  uint64_t inner_evaluations() const { return inner_evaluations_; }
+
+  /// Number of memoized sentences.
+  size_t cache_size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return cache_.size();
+  }
+
+ private:
+  InterestingnessOracle* inner_;
+  AtomicCounter raw_queries_;
+  AtomicCounter inner_evaluations_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Bitset, bool, BitsetHash> cache_;
 };
 
 /// \brief Debug wrapper that checks the monotonicity precondition.

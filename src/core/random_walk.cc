@@ -29,7 +29,11 @@ RandomWalkResult RunRandomizedDualizeAdvance(
     const RandomWalkOptions& options) {
   RandomWalkResult result;
   const size_t n = oracle->num_items();
-  CountingOracle counter(oracle);
+  // Walks from ∅ and repeated dualization rounds re-ask many sentences;
+  // the thread-safe cache answers repeats for free while still charging
+  // every ask to raw_queries(), so result.queries (the paper's measure)
+  // is unchanged by memoization.
+  CachedOracle counter(oracle);
 
   // The empty sentence decides whether the theory is empty.
   if (!counter.IsInteresting(Bitset(n))) {

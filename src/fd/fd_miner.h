@@ -57,17 +57,36 @@ std::string FormatFd(const FunctionalDependency& fd,
 /// it, so it reads as non-interesting).
 class FdViolationOracle : public InterestingnessOracle {
  public:
-  FdViolationOracle(const RelationInstance* r, size_t rhs)
-      : r_(r), rhs_(rhs) {}
+  /// \param pool worker pool for EvaluateBatch; nullptr = global pool.
+  FdViolationOracle(const RelationInstance* r, size_t rhs,
+                    ThreadPool* pool = nullptr)
+      : r_(r), rhs_(rhs), pool_(PoolOrGlobal(pool)) {}
 
   bool IsInteresting(const Bitset& x) override {
     return !r_->SatisfiesFd(x, rhs_);
   }
+
+  /// SatisfiesFd is const with only call-local state, so a candidate
+  /// level fans out over the pool; answers are identical at every thread
+  /// count.
+  std::vector<uint8_t> EvaluateBatch(
+      std::span<const Bitset> batch) override {
+    std::vector<uint8_t> out(batch.size(), 0);
+    pool_->ParallelFor(batch.size(),
+                       [&](size_t begin, size_t end, size_t) {
+                         for (size_t i = begin; i < end; ++i) {
+                           out[i] = r_->SatisfiesFd(batch[i], rhs_) ? 0 : 1;
+                         }
+                       });
+    return out;
+  }
+
   size_t num_items() const override { return r_->num_attributes(); }
 
  private:
   const RelationInstance* r_;
   size_t rhs_;
+  ThreadPool* pool_;
 };
 
 }  // namespace hgm

@@ -65,11 +65,15 @@ KeyMiningResult KeysLevelwise(const RelationInstance& r) {
 
 KeyMiningResult KeysDualizeAdvance(const RelationInstance& r) {
   NonKeyOracle oracle(&r);
-  CountingOracle counter(&oracle);
-  DualizeAdvanceResult da = RunDualizeAdvance(&counter);
+  // Dualize-and-Advance re-enumerates transversals across iterations and
+  // so repeats queries; the cache answers repeats without touching the
+  // data while raw_queries() still charges every ask (the paper's
+  // measure), keeping reported query counts identical.
+  CachedOracle cached(&oracle);
+  DualizeAdvanceResult da = RunDualizeAdvance(&cached);
   return PackageBorders(std::move(da.positive_border),
                         std::move(da.negative_border),
-                        counter.raw_queries());
+                        cached.raw_queries());
 }
 
 }  // namespace hgm

@@ -53,15 +53,36 @@ KeyMiningResult KeysDualizeAdvance(const RelationInstance& r);
 
 /// The non-key Is-interesting oracle (exposed for experiments):
 /// IsInteresting(X) = "some two rows agree on all of X".
+///
+/// RelationInstance::IsKey is const with only call-local state, so a
+/// candidate level batches across the pool; answers and query accounting
+/// are identical at every thread count.
 class NonKeyOracle : public InterestingnessOracle {
  public:
-  explicit NonKeyOracle(const RelationInstance* r) : r_(r) {}
+  /// \param pool worker pool for EvaluateBatch; nullptr = global pool.
+  explicit NonKeyOracle(const RelationInstance* r,
+                        ThreadPool* pool = nullptr)
+      : r_(r), pool_(PoolOrGlobal(pool)) {}
 
   bool IsInteresting(const Bitset& x) override { return !r_->IsKey(x); }
+
+  std::vector<uint8_t> EvaluateBatch(
+      std::span<const Bitset> batch) override {
+    std::vector<uint8_t> out(batch.size(), 0);
+    pool_->ParallelFor(batch.size(),
+                       [&](size_t begin, size_t end, size_t) {
+                         for (size_t i = begin; i < end; ++i) {
+                           out[i] = r_->IsKey(batch[i]) ? 0 : 1;
+                         }
+                       });
+    return out;
+  }
+
   size_t num_items() const override { return r_->num_attributes(); }
 
  private:
   const RelationInstance* r_;
+  ThreadPool* pool_;
 };
 
 }  // namespace hgm

@@ -51,15 +51,32 @@ Hypergraph LevelwiseTransversals::Compute(const Hypergraph& h) {
     stats_.candidates += candidates.size();
     ++stats_.recursion_nodes;
 
+    // Evaluate the whole level as one parallel batch of independent
+    // Is-transversal checks; each query is still charged (Theorem 10).
+    std::vector<Bitset> batch;
+    batch.reserve(candidates.size());
+    for (const auto& cand : candidates) {
+      batch.push_back(Bitset::FromIndices(n, cand));
+    }
+    queries_ += batch.size();
+    stats_.checks += batch.size();
+    std::vector<uint8_t> interesting(batch.size(), 0);
+    pool_->ParallelFor(batch.size(),
+                       [&](size_t begin, size_t end, size_t) {
+                         for (size_t i = begin; i < end; ++i) {
+                           interesting[i] =
+                               input.IsTransversal(batch[i]) ? 0 : 1;
+                         }
+                       });
+
     std::vector<ItemVec> next;
-    for (auto& cand : candidates) {
-      Bitset x = Bitset::FromIndices(n, cand);
-      if (is_interesting(x)) {
-        next.push_back(std::move(cand));
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (interesting[c]) {
+        next.push_back(std::move(candidates[c]));
       } else {
         // A transversal whose every immediate subset is a non-transversal:
         // by downward closure of non-transversality, x is minimal.
-        result.AddEdge(std::move(x));
+        result.AddEdge(std::move(batch[c]));
       }
     }
     level = std::move(next);

@@ -16,19 +16,28 @@
 /// Note (as the paper stresses) the algorithm never inspects the structure
 /// of H beyond asking "is this subset a transversal?".
 
+#include "common/thread_pool.h"
 #include "hypergraph/transversal.h"
 
 namespace hgm {
 
 /// Levelwise bottom-up computation of Tr(H); efficient iff Tr(H) consists
 /// of small sets (equivalently, all edges are large).
+///
+/// Each lattice level is evaluated as one batch of independent
+/// Is-transversal checks fanned out over a thread pool;
+/// Hypergraph::IsTransversal is const with no shared mutable state, and
+/// results are reassembled in candidate order, so the computed Tr(H) and
+/// query count are identical at every thread count.
 class LevelwiseTransversals : public TransversalAlgorithm {
  public:
   /// \param max_level safety cap on the lattice level explored; the
   ///   algorithm aborts (assert) if a transversal frontier has not been
   ///   closed by then.  Defaults to the universe size (no cap).
-  explicit LevelwiseTransversals(size_t max_level = Bitset::npos)
-      : max_level_(max_level) {}
+  /// \param pool worker pool for level batches; nullptr = global pool.
+  explicit LevelwiseTransversals(size_t max_level = Bitset::npos,
+                                 ThreadPool* pool = nullptr)
+      : max_level_(max_level), pool_(PoolOrGlobal(pool)) {}
 
   std::string name() const override { return "levelwise"; }
 
@@ -44,6 +53,7 @@ class LevelwiseTransversals : public TransversalAlgorithm {
 
  private:
   size_t max_level_;
+  ThreadPool* pool_;
   uint64_t queries_ = 0;
   size_t levels_ = 0;
 };

@@ -27,6 +27,7 @@ AprioriResult MineFrequentSets(TransactionDatabase* db, size_t min_support,
   AprioriResult result;
   const size_t n = db->num_items();
   const size_t num_rows = db->num_transactions();
+  ThreadPool* pool = PoolOrGlobal(options.pool);
 
   // Level 0: the empty itemset.
   ++result.support_counts;
@@ -108,29 +109,42 @@ AprioriResult MineFrequentSets(TransactionDatabase* db, size_t min_support,
       }
     }
 
-    // Count supports with the selected backend.
+    // Count supports with the selected backend.  Each backend evaluates
+    // the level's candidates as one parallel batch; all are deterministic
+    // at any thread count (index-addressed writes or per-chunk partial
+    // counts reduced in chunk order).
     std::vector<size_t> supports(candidates.size(), 0);
     std::vector<Bitset> covers;
     switch (options.counting) {
       case SupportCountingMode::kTidsets:
-        covers.reserve(candidates.size());
-        for (size_t c = 0; c < candidates.size(); ++c) {
-          covers.push_back(level[candidates[c].parent_i].cover &
-                           level[candidates[c].parent_j].cover);
-          supports[c] = covers.back().Count();
-        }
+        // Parallel across candidates: each AND-and-counts its two join
+        // parents' covers independently into its own slot.
+        covers.assign(candidates.size(), Bitset());
+        pool->ParallelFor(
+            candidates.size(), [&](size_t begin, size_t end, size_t) {
+              for (size_t c = begin; c < end; ++c) {
+                covers[c] = level[candidates[c].parent_i].cover &
+                            level[candidates[c].parent_j].cover;
+                supports[c] = covers[c].Count();
+              }
+            });
         break;
-      case SupportCountingMode::kHorizontal:
-        for (size_t c = 0; c < candidates.size(); ++c) {
-          supports[c] =
-              db->Support(Bitset::FromIndices(n, candidates[c].items));
+      case SupportCountingMode::kHorizontal: {
+        // Parallel across transactions: chunked scan with per-candidate
+        // partial counts reduced per chunk.
+        std::vector<Bitset> cand_sets;
+        cand_sets.reserve(candidates.size());
+        for (const auto& c : candidates) {
+          cand_sets.push_back(Bitset::FromIndices(n, c.items));
         }
+        supports = db->CountSupportsHorizontal(cand_sets, pool);
         break;
+      }
       case SupportCountingMode::kHashTree: {
         std::vector<ItemVec> cand_items;
         cand_items.reserve(candidates.size());
         for (const auto& c : candidates) cand_items.push_back(c.items);
-        supports = CountSupportsHashTree(cand_items, *db);
+        supports = CountSupportsHashTree(cand_items, *db, 8, pool);
         break;
       }
     }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/thread_pool.h"
 #include "mining/transaction_db.h"
 
 namespace hgm {
@@ -35,8 +36,9 @@ struct AprioriResult {
   /// Bd-: minimal infrequent candidate sets.
   std::vector<Bitset> negative_border;
   /// Support computations performed (= candidates evaluated; the paper's
-  /// query measure, Theorem 10: |Th| + |Bd-|).
-  uint64_t support_counts = 0;
+  /// query measure, Theorem 10: |Th| + |Bd-|).  Atomic so tallies bumped
+  /// from parallel counting regions stay race-free and exact.
+  AtomicCounter support_counts;
   /// Candidates evaluated / found frequent, per level (index = set size).
   std::vector<size_t> candidates_per_level;
   std::vector<size_t> frequent_per_level;
@@ -61,6 +63,9 @@ struct AprioriOptions {
   SupportCountingMode counting = SupportCountingMode::kTidsets;
   /// Stop after itemsets of this size.
   size_t max_level = Bitset::npos;
+  /// Worker pool for the per-level counting batch; nullptr = global pool.
+  /// Results are bit-for-bit identical at every thread count.
+  ThreadPool* pool = nullptr;
 };
 
 /// Mines all itemsets with support >= \p min_support.

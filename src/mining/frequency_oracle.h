@@ -7,7 +7,15 @@
 /// subsets of frequent sets are frequent.  This is the instance that makes
 /// Algorithm 9 the Apriori of [1, 2] and Algorithm 16 the maximal-set miner
 /// of [11].
+///
+/// Batched evaluation: a candidate level is a set of mutually independent
+/// support questions, so EvaluateBatch fans the candidates out over a
+/// thread pool — vertical mode intersects tidset bitmaps per candidate in
+/// parallel (early-exiting at min_support), horizontal mode scans disjoint
+/// transaction chunks and reduces per-candidate partial counts.  Both
+/// produce bit-for-bit the answers of the sequential loop.
 
+#include "common/thread_pool.h"
 #include "core/oracle.h"
 #include "mining/transaction_db.h"
 
@@ -20,14 +28,45 @@ class FrequencyOracle : public InterestingnessOracle {
   /// \param min_support  absolute row-count threshold (sigma * |r|)
   /// \param use_vertical use bitmap-intersection counting instead of a
   ///                  horizontal scan (same answers; different constant)
+  /// \param pool      worker pool for EvaluateBatch; nullptr = global pool
   FrequencyOracle(TransactionDatabase* db, size_t min_support,
-                  bool use_vertical = true)
-      : db_(db), min_support_(min_support), use_vertical_(use_vertical) {}
+                  bool use_vertical = true, ThreadPool* pool = nullptr)
+      : db_(db),
+        min_support_(min_support),
+        use_vertical_(use_vertical),
+        pool_(PoolOrGlobal(pool)) {}
 
   bool IsInteresting(const Bitset& x) override {
-    size_t support =
-        use_vertical_ ? db_->SupportVertical(x) : db_->Support(x);
-    return support >= min_support_;
+    if (use_vertical_) return db_->SupportAtLeast(x, min_support_);
+    return db_->Support(x) >= min_support_;
+  }
+
+  std::vector<uint8_t> EvaluateBatch(
+      std::span<const Bitset> batch) override {
+    std::vector<uint8_t> out(batch.size(), 0);
+    if (batch.empty()) return out;
+    if (use_vertical_) {
+      // Parallel across candidates: each evaluates its own word-streamed
+      // tidset intersection against the prebuilt vertical index.
+      db_->EnsureVerticalIndex();
+      pool_->ParallelFor(
+          batch.size(), [&](size_t begin, size_t end, size_t) {
+            for (size_t i = begin; i < end; ++i) {
+              out[i] =
+                  db_->SupportAtLeastPrebuilt(batch[i], min_support_) ? 1
+                                                                      : 0;
+            }
+          });
+    } else {
+      // Parallel across transactions: chunked horizontal scan with
+      // per-candidate partial counts reduced per chunk.
+      std::vector<size_t> supports =
+          db_->CountSupportsHorizontal(batch, pool_);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        out[i] = supports[i] >= min_support_ ? 1 : 0;
+      }
+    }
+    return out;
   }
 
   size_t num_items() const override { return db_->num_items(); }
@@ -38,6 +77,7 @@ class FrequencyOracle : public InterestingnessOracle {
   TransactionDatabase* db_;
   size_t min_support_;
   bool use_vertical_;
+  ThreadPool* pool_;
 };
 
 }  // namespace hgm

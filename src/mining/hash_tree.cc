@@ -83,28 +83,49 @@ void CandidateHashTree::Visit(size_t node, size_t depth,
 }
 
 std::vector<size_t> CandidateHashTree::CountSupports(
-    const TransactionDatabase& db) const {
+    const TransactionDatabase& db, ThreadPool* pool) const {
   std::vector<size_t> counts(candidates_.size(), 0);
-  if (candidates_.empty()) return counts;
-  std::vector<int64_t> last_tid(candidates_.size(), -1);
-  std::vector<uint32_t> row_items;
-  int64_t tid = 0;
-  for (const auto& row : db.rows()) {
-    ++tid;
-    if (row.Count() < k_) continue;
-    row_items.clear();
-    row.ForEach(
-        [&](size_t v) { row_items.push_back(static_cast<uint32_t>(v)); });
-    Visit(0, 0, row_items, 0, row, tid, &last_tid, &counts);
+  if (candidates_.empty() || db.rows().empty()) return counts;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    CountChunk(db, 0, db.rows().size(), &counts);
+    return counts;
+  }
+  // Per-transaction-chunk subtree counting: the tree is shared read-only,
+  // each chunk owns private count/tid-marker arrays, and partial counts
+  // are reduced in chunk order.
+  std::vector<std::vector<size_t>> partial(pool->num_threads());
+  pool->ParallelFor(db.rows().size(),
+                    [&](size_t begin, size_t end, size_t chunk) {
+                      partial[chunk].assign(candidates_.size(), 0);
+                      CountChunk(db, begin, end, &partial[chunk]);
+                    });
+  for (const std::vector<size_t>& local : partial) {
+    for (size_t c = 0; c < local.size(); ++c) counts[c] += local[c];
   }
   return counts;
 }
 
+void CandidateHashTree::CountChunk(const TransactionDatabase& db,
+                                   size_t row_begin, size_t row_end,
+                                   std::vector<size_t>* counts) const {
+  std::vector<int64_t> last_tid(candidates_.size(), -1);
+  std::vector<uint32_t> row_items;
+  for (size_t t = row_begin; t < row_end; ++t) {
+    const Bitset& row = db.row(t);
+    const int64_t tid = static_cast<int64_t>(t) + 1;
+    if (row.Count() < k_) continue;
+    row_items.clear();
+    row.ForEach(
+        [&](size_t v) { row_items.push_back(static_cast<uint32_t>(v)); });
+    Visit(0, 0, row_items, 0, row, tid, &last_tid, counts);
+  }
+}
+
 std::vector<size_t> CountSupportsHashTree(
     const std::vector<ItemVec>& candidates, const TransactionDatabase& db,
-    size_t leaf_capacity) {
+    size_t leaf_capacity, ThreadPool* pool) {
   CandidateHashTree tree(candidates, db.num_items(), leaf_capacity);
-  return tree.CountSupports(db);
+  return tree.CountSupports(db, pool);
 }
 
 }  // namespace hgm

@@ -16,6 +16,7 @@
 
 #include "common/apriori_gen.h"
 #include "common/bitset.h"
+#include "common/thread_pool.h"
 #include "mining/transaction_db.h"
 
 namespace hgm {
@@ -29,8 +30,14 @@ class CandidateHashTree {
                              size_t num_items, size_t leaf_capacity = 8);
 
   /// Counts, for every candidate, the number of \p db rows containing it.
-  /// Result is indexed like the constructor's candidate list.
-  std::vector<size_t> CountSupports(const TransactionDatabase& db) const;
+  /// Result is indexed like the constructor's candidate list.  With a
+  /// pool of t threads the database is split into t transaction chunks,
+  /// each walked through the (shared, read-only) tree with its own count
+  /// and tid-marker arrays; per-chunk counts are reduced in chunk order,
+  /// so results are identical at any thread count.  \p pool nullptr means
+  /// sequential (single-chunk) counting.
+  std::vector<size_t> CountSupports(const TransactionDatabase& db,
+                                    ThreadPool* pool = nullptr) const;
 
   /// Interior + leaf nodes (structure metric for tests).
   size_t num_nodes() const { return nodes_.size(); }
@@ -47,6 +54,8 @@ class CandidateHashTree {
   size_t Hash(uint32_t item) const { return item % kFanout; }
   void Insert(size_t node, size_t depth, uint32_t candidate_index);
   void SplitLeaf(size_t node, size_t depth);
+  void CountChunk(const TransactionDatabase& db, size_t row_begin,
+                  size_t row_end, std::vector<size_t>* counts) const;
   void Visit(size_t node, size_t depth, const std::vector<uint32_t>& row,
              size_t start, const Bitset& row_bits, int64_t tid,
              std::vector<int64_t>* last_tid,
@@ -61,6 +70,6 @@ class CandidateHashTree {
 /// Convenience wrapper: builds the tree and counts in one call.
 std::vector<size_t> CountSupportsHashTree(
     const std::vector<ItemVec>& candidates, const TransactionDatabase& db,
-    size_t leaf_capacity = 8);
+    size_t leaf_capacity = 8, ThreadPool* pool = nullptr);
 
 }  // namespace hgm

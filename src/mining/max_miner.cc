@@ -60,10 +60,17 @@ MaxMinerResult MineMaximalFrequentSets(TransactionDatabase* db,
       opts.make_enumerator = [] {
         return std::make_unique<MmcsEnumerator>();
       };
-      DualizeAdvanceResult r = RunDualizeAdvance(&counter, opts);
+      // Successive dualization rounds re-enumerate mostly the same
+      // minimal transversals; the cache answers those repeats without
+      // re-counting supports while still charging every ask, so the
+      // reported query counts (Lemma 20 / Theorem 21) are unchanged.
+      CachedOracle cached(&oracle);
+      DualizeAdvanceResult r = RunDualizeAdvance(&cached, opts);
       result.maximal = std::move(r.positive_border);
       result.negative_border = std::move(r.negative_border);
-      break;
+      result.queries = cached.raw_queries();
+      result.distinct_queries = cached.cache_size();
+      return result;
     }
     case MaxMinerAlgorithm::kDepthFirst: {
       // The DFS re-asks about sets reached along different paths, so it

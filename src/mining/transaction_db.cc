@@ -1,5 +1,7 @@
 #include "mining/transaction_db.h"
 
+#include <bit>
+#include <cassert>
 #include <fstream>
 #include <sstream>
 
@@ -49,6 +51,59 @@ Bitset TransactionDatabase::Cover(const Bitset& itemset) {
 size_t TransactionDatabase::SupportVertical(const Bitset& itemset) {
   return Cover(itemset).Count();
 }
+
+bool TransactionDatabase::SupportAtLeast(const Bitset& itemset,
+                                         size_t threshold) {
+  BuildVerticalIndex();
+  return SupportAtLeastPrebuilt(itemset, threshold);
+}
+
+bool TransactionDatabase::SupportAtLeastPrebuilt(const Bitset& itemset,
+                                                 size_t threshold) const {
+  assert(vertical_valid_);
+  if (threshold == 0) return true;
+  if (threshold > rows_.size()) return false;
+  std::vector<size_t> items = itemset.Indices();
+  if (items.empty()) return true;  // support(∅) = |r| >= threshold here
+  if (items.size() == 1) return vertical_[items[0]].CountAtLeast(threshold);
+  const std::vector<uint64_t>& first = vertical_[items[0]].words();
+  size_t count = 0;
+  for (size_t wi = 0; wi < first.size(); ++wi) {
+    uint64_t w = first[wi];
+    for (size_t j = 1; w != 0 && j < items.size(); ++j) {
+      w &= vertical_[items[j]].words()[wi];
+    }
+    count += static_cast<size_t>(std::popcount(w));
+    if (count >= threshold) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> TransactionDatabase::CountSupportsHorizontal(
+    std::span<const Bitset> itemsets, ThreadPool* pool) const {
+  std::vector<size_t> totals(itemsets.size(), 0);
+  if (itemsets.empty() || rows_.empty()) return totals;
+  ThreadPool* p = PoolOrGlobal(pool);
+  std::vector<std::vector<size_t>> partial(p->num_threads());
+  p->ParallelFor(rows_.size(), [&](size_t begin, size_t end, size_t chunk) {
+    std::vector<size_t>& local = partial[chunk];
+    local.assign(itemsets.size(), 0);
+    for (size_t t = begin; t < end; ++t) {
+      const Bitset& row = rows_[t];
+      for (size_t c = 0; c < itemsets.size(); ++c) {
+        if (itemsets[c].IsSubsetOf(row)) ++local[c];
+      }
+    }
+  });
+  // Reduce partial counts in chunk order (sums of size_t are exact, so
+  // this is deterministic at any thread count regardless).
+  for (const std::vector<size_t>& local : partial) {
+    for (size_t c = 0; c < local.size(); ++c) totals[c] += local[c];
+  }
+  return totals;
+}
+
+void TransactionDatabase::EnsureVerticalIndex() { BuildVerticalIndex(); }
 
 std::vector<size_t> TransactionDatabase::ItemSupports() const {
   std::vector<size_t> support(num_items_, 0);

@@ -10,11 +10,13 @@
 /// rows per item) for fast bitmap-intersection support counting.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/bitset.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace hgm {
 
@@ -54,6 +56,31 @@ class TransactionDatabase {
 
   /// Support via the vertical index (bitmap AND); equals Support().
   size_t SupportVertical(const Bitset& itemset);
+
+  /// True iff Support(itemset) >= threshold.  Streams the word-wise AND
+  /// of the item tidsets with early exit once the running count reaches
+  /// the threshold, so no cover bitmap is ever materialized and frequent
+  /// candidates stop as soon as `threshold` supporting rows are found.
+  /// Builds the vertical index on first use.
+  bool SupportAtLeast(const Bitset& itemset, size_t threshold);
+
+  /// Const variant of SupportAtLeast for concurrent use from parallel
+  /// batch evaluation; EnsureVerticalIndex() must have been called.
+  bool SupportAtLeastPrebuilt(const Bitset& itemset,
+                              size_t threshold) const;
+
+  /// Counts, for every itemset of \p itemsets, the number of rows
+  /// containing it.  Scans disjoint transaction chunks in parallel (one
+  /// chunk per pool thread), keeping per-chunk partial counts that are
+  /// reduced in chunk order — identical results at any thread count.
+  /// \p pool nullptr means the global pool.
+  std::vector<size_t> CountSupportsHorizontal(
+      std::span<const Bitset> itemsets, ThreadPool* pool = nullptr) const;
+
+  /// Builds the vertical index now (idempotent).  Required before any
+  /// concurrent use of the const tidset accessors, which cannot build it
+  /// thread-safely on demand.
+  void EnsureVerticalIndex();
 
   /// Per-item supports (column sums).
   std::vector<size_t> ItemSupports() const;

@@ -194,6 +194,15 @@ TEST_P(BitsetPropertyTest, AlgebraIdentities) {
     EXPECT_EQ(a.IsSubsetOf(b), (a - b).None());
     EXPECT_EQ(a.Intersects(b), (a & b).Any());
     EXPECT_EQ(a.IntersectionCount(b), (a & b).Count());
+    // Thresholded intersection count agrees with the exact count at,
+    // below, and above the boundary (early-exit must not change answers).
+    const size_t exact = a.IntersectionCount(b);
+    EXPECT_TRUE(a.IntersectionCountAtLeast(b, 0));
+    EXPECT_TRUE(a.IntersectionCountAtLeast(b, exact));
+    EXPECT_FALSE(a.IntersectionCountAtLeast(b, exact + 1));
+    if (exact > 0) EXPECT_TRUE(a.IntersectionCountAtLeast(b, exact - 1));
+    EXPECT_TRUE(a.CountAtLeast(a.Count()));
+    EXPECT_FALSE(a.CountAtLeast(a.Count() + 1));
     // Double complement.
     EXPECT_EQ(~~a, a);
     // Iteration count.

@@ -81,6 +81,32 @@ TEST(HashTreeTest, SplitsProduceInteriorNodes) {
   EXPECT_GT(tree.num_nodes(), 8u);
 }
 
+TEST(HashTreeTest, ParallelChunkCountsMatchSequential) {
+  // Per-transaction-chunk counting with per-chunk tid markers must agree
+  // with the one-pass sequential walk at every thread count.
+  Rng rng(97);
+  std::vector<std::vector<size_t>> rows;
+  for (int t = 0; t < 300; ++t) {
+    std::vector<size_t> row;
+    for (size_t v = 0; v < 20; ++v) {
+      if (rng.Bernoulli(0.3)) row.push_back(v);
+    }
+    rows.push_back(std::move(row));
+  }
+  TransactionDatabase db = TransactionDatabase::FromRows(20, rows);
+  std::vector<ItemVec> candidates;
+  for (uint32_t a = 0; a < 20; ++a) {
+    for (uint32_t b = a + 1; b < 20; ++b) candidates.push_back({a, b});
+  }
+  CandidateHashTree tree(candidates, 20, /*leaf_capacity=*/2);
+  std::vector<size_t> sequential = tree.CountSupports(db);
+  for (size_t threads : {size_t{2}, size_t{3}, size_t{8}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(tree.CountSupports(db, &pool), sequential)
+        << "at " << threads << " threads";
+  }
+}
+
 TEST(HashTreeTest, EmptyCandidatesAndShortRows) {
   TransactionDatabase db = TransactionDatabase::FromRows(5, {{0}, {1, 2}});
   EXPECT_TRUE(CountSupportsHashTree({}, db).empty());

@@ -1,0 +1,253 @@
+// Determinism and accounting tests for the batched / parallel oracle
+// evaluation layer: every miner must produce bit-for-bit identical
+// theories, borders, and per-level tallies at 1, 2, and 8 threads, and
+// the paper's query measure (Theorem 10: exactly |Th| + |Bd-|
+// evaluations of q) must stay exact under parallel evaluation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/levelwise.h"
+#include "core/oracle.h"
+#include "core/theory.h"
+#include "fd/fd_miner.h"
+#include "fd/key_miner.h"
+#include "fd/relation.h"
+#include "hypergraph/generators.h"
+#include "hypergraph/transversal_berge.h"
+#include "hypergraph/transversal_levelwise.h"
+#include "mining/apriori.h"
+#include "mining/frequency_oracle.h"
+#include "mining/generators.h"
+
+namespace hgm {
+namespace {
+
+const size_t kThreadCounts[] = {1, 2, 8};
+
+bool SameItemsets(const std::vector<FrequentItemset>& a,
+                  const std::vector<FrequentItemset>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].items != b[i].items || a[i].support != b[i].support) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ExpectSameAprioriResult(const AprioriResult& base,
+                             const AprioriResult& other, size_t threads) {
+  EXPECT_TRUE(SameItemsets(base.frequent, other.frequent))
+      << "frequent sets differ at " << threads << " threads";
+  EXPECT_EQ(base.maximal, other.maximal)
+      << "maximal sets differ at " << threads << " threads";
+  EXPECT_EQ(base.negative_border, other.negative_border)
+      << "negative border differs at " << threads << " threads";
+  EXPECT_EQ(base.support_counts.load(), other.support_counts.load())
+      << "query count differs at " << threads << " threads";
+  EXPECT_EQ(base.candidates_per_level, other.candidates_per_level);
+  EXPECT_EQ(base.frequent_per_level, other.frequent_per_level);
+}
+
+TEST(ParallelDeterminismTest, AprioriIdenticalAcrossThreadCounts) {
+  for (uint64_t seed : {7u, 21u}) {
+    Rng rng(seed);
+    QuestParams params;
+    params.num_transactions = 1200;
+    params.num_items = 50;
+    params.avg_transaction_size = 7;
+    TransactionDatabase db = GenerateQuest(params, &rng);
+    const size_t minsup = 25;
+
+    for (SupportCountingMode mode :
+         {SupportCountingMode::kTidsets, SupportCountingMode::kHorizontal,
+          SupportCountingMode::kHashTree}) {
+      ThreadPool sequential(1);
+      AprioriOptions base_opts;
+      base_opts.counting = mode;
+      base_opts.pool = &sequential;
+      AprioriResult base = MineFrequentSets(&db, minsup, base_opts);
+      // Theorem 10: every candidate is evaluated exactly once.
+      EXPECT_EQ(base.support_counts.load(),
+                base.frequent.size() + base.negative_border.size());
+
+      for (size_t threads : kThreadCounts) {
+        ThreadPool pool(threads);
+        AprioriOptions opts;
+        opts.counting = mode;
+        opts.pool = &pool;
+        AprioriResult r = MineFrequentSets(&db, minsup, opts);
+        ExpectSameAprioriResult(base, r, threads);
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, LevelwiseTheoremTenExactUnderParallelism) {
+  for (uint64_t seed : {3u, 11u, 19u}) {
+    Rng rng(seed);
+    auto patterns = RandomPatterns(28, 6, 5, &rng);
+    TransactionDatabase db = PlantedDatabase(28, patterns, 8, 30, 2, &rng);
+
+    LevelwiseResult base;
+    for (size_t threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      FrequencyOracle oracle(&db, 8, /*use_vertical=*/true, &pool);
+      CountingOracle counter(&oracle);
+      LevelwiseResult r = RunLevelwise(&counter);
+      // Theorem 10: the levelwise algorithm evaluates q exactly
+      // |Th| + |Bd-(Th)| times — and the atomic tally must agree with
+      // the algorithm's own count at every thread count.
+      EXPECT_EQ(counter.raw_queries(), r.queries);
+      EXPECT_EQ(r.queries, r.theory.size() + r.negative_border.size());
+      EXPECT_EQ(counter.distinct_queries(), counter.raw_queries())
+          << "levelwise never repeats a query";
+      if (threads == kThreadCounts[0]) {
+        base = std::move(r);
+        continue;
+      }
+      EXPECT_EQ(base.theory, r.theory);
+      EXPECT_EQ(base.positive_border, r.positive_border);
+      EXPECT_EQ(base.negative_border, r.negative_border);
+      EXPECT_EQ(base.queries, r.queries);
+      EXPECT_EQ(base.candidates_per_level, r.candidates_per_level);
+      EXPECT_EQ(base.interesting_per_level, r.interesting_per_level);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, HorizontalOracleMatchesVertical) {
+  Rng rng(5);
+  QuestParams params;
+  params.num_transactions = 600;
+  params.num_items = 40;
+  TransactionDatabase db = GenerateQuest(params, &rng);
+  ThreadPool pool(8);
+  FrequencyOracle vertical(&db, 15, /*use_vertical=*/true, &pool);
+  FrequencyOracle horizontal(&db, 15, /*use_vertical=*/false, &pool);
+  LevelwiseResult v = RunLevelwise(&vertical);
+  LevelwiseResult h = RunLevelwise(&horizontal);
+  EXPECT_EQ(v.theory, h.theory);
+  EXPECT_EQ(v.negative_border, h.negative_border);
+  EXPECT_EQ(v.queries, h.queries);
+}
+
+TEST(ParallelDeterminismTest, TransversalsIdenticalAcrossThreadCounts) {
+  Rng rng(17);
+  for (int i = 0; i < 6; ++i) {
+    // Large-edge hypergraphs: the regime where Corollary 15 applies.
+    Hypergraph h = RandomCoSmall(12, 6, 4, &rng);
+    Hypergraph base(12);
+    uint64_t base_queries = 0;
+    for (size_t threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      LevelwiseTransversals algo(Bitset::npos, &pool);
+      Hypergraph tr = algo.Compute(h);
+      if (threads == kThreadCounts[0]) {
+        base = tr;
+        base_queries = algo.queries();
+        // Sanity: agrees with Berge on the sequential run.
+        BergeTransversals berge;
+        EXPECT_TRUE(berge.Compute(h).SameEdgeSet(tr));
+        continue;
+      }
+      EXPECT_TRUE(base.SameEdgeSet(tr))
+          << "Tr(H) differs at " << threads << " threads";
+      EXPECT_EQ(base_queries, algo.queries())
+          << "query count differs at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, KeyAndFdMinersIdenticalAcrossThreadCounts) {
+  Rng rng(23);
+  RelationInstance r = RandomRelationWithId(60, 9, 3, &rng);
+
+  std::vector<Bitset> base_keys, base_lhs;
+  uint64_t base_key_queries = 0, base_fd_queries = 0;
+  for (size_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    NonKeyOracle key_oracle(&r, &pool);
+    CountingOracle key_counter(&key_oracle);
+    LevelwiseOptions opts;
+    opts.record_theory = false;
+    LevelwiseResult keys = RunLevelwise(&key_counter, opts);
+
+    FdViolationOracle fd_oracle(&r, 2, &pool);
+    CountingOracle fd_counter(&fd_oracle);
+    LevelwiseResult fds = RunLevelwise(&fd_counter, opts);
+
+    if (threads == kThreadCounts[0]) {
+      base_keys = keys.negative_border;
+      base_key_queries = key_counter.raw_queries();
+      base_lhs = fds.negative_border;
+      base_fd_queries = fd_counter.raw_queries();
+      // Cross-check against the query-free agree-set route.
+      KeyMiningResult agree = KeysViaAgreeSets(r);
+      EXPECT_TRUE(SameFamily(agree.minimal_keys, keys.negative_border));
+      continue;
+    }
+    EXPECT_EQ(base_keys, keys.negative_border);
+    EXPECT_EQ(base_key_queries, key_counter.raw_queries());
+    EXPECT_EQ(base_lhs, fds.negative_border);
+    EXPECT_EQ(base_fd_queries, fd_counter.raw_queries());
+  }
+}
+
+TEST(ParallelDeterminismTest, CachedOracleAccountingStaysExact) {
+  Rng rng(29);
+  auto patterns = RandomPatterns(16, 4, 5, &rng);
+  TransactionDatabase db = PlantedDatabase(16, patterns, 5, 10, 2, &rng);
+  ThreadPool pool(8);
+  FrequencyOracle oracle(&db, 5, /*use_vertical=*/true, &pool);
+  CachedOracle cached(&oracle);
+
+  Bitset probe = patterns[0];
+  bool first = cached.IsInteresting(probe);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(cached.IsInteresting(probe), first);
+  }
+  // Every ask is charged (the paper's measure), but the data was touched
+  // only once.
+  EXPECT_EQ(cached.raw_queries(), 10u);
+  EXPECT_EQ(cached.inner_evaluations(), 1u);
+  EXPECT_EQ(cached.cache_size(), 1u);
+
+  // Batch path: hits answered from cache, misses forwarded as one batch.
+  std::vector<Bitset> batch = {probe, Bitset(16), probe.WithoutBit(
+                                                      probe.FindFirst())};
+  std::vector<uint8_t> out = cached.EvaluateBatch(batch);
+  EXPECT_EQ(out[0], first ? 1 : 0);
+  EXPECT_EQ(out[1], 1);  // ∅ is frequent in a nonempty db with minsup 5
+  EXPECT_EQ(cached.raw_queries(), 13u);
+  EXPECT_EQ(cached.inner_evaluations(), 3u);  // 1 + the two new sentences
+}
+
+TEST(ParallelDeterminismTest, SupportAtLeastAgreesWithExactSupport) {
+  Rng rng(31);
+  QuestParams params;
+  params.num_transactions = 400;
+  params.num_items = 30;
+  TransactionDatabase db = GenerateQuest(params, &rng);
+  db.EnsureVerticalIndex();
+  for (int i = 0; i < 200; ++i) {
+    size_t size = 1 + rng.UniformIndex(4);
+    Bitset x = Bitset::FromIndices(
+        30, rng.SampleWithoutReplacement(30, size));
+    size_t support = db.Support(x);
+    for (size_t threshold :
+         {size_t{0}, size_t{1}, support, support + 1, size_t{400}}) {
+      EXPECT_EQ(db.SupportAtLeastPrebuilt(x, threshold),
+                support >= threshold)
+          << x.ToString() << " support=" << support
+          << " threshold=" << threshold;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hgm

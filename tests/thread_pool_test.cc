@@ -1,0 +1,111 @@
+// ThreadPool / AtomicCounter unit tests: chunk coverage, determinism of
+// the partitioning contract, nesting, and counter exactness under
+// concurrent increments.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace hgm {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{3}, size_t{8}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{64},
+                     size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      pool.ParallelFor(n, [&](size_t begin, size_t end, size_t chunk) {
+        EXPECT_LE(begin, end);
+        EXPECT_LT(chunk, threads);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i << " with "
+                                     << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesAreContiguousAndOrdered) {
+  ThreadPool pool(4);
+  const size_t n = 103;
+  std::vector<std::pair<size_t, size_t>> ranges(pool.num_threads(),
+                                                {0, 0});
+  pool.ParallelFor(n, [&](size_t begin, size_t end, size_t chunk) {
+    ranges[chunk] = {begin, end};
+  });
+  // Chunk c covers [c*n/t, (c+1)*n/t): a pure function of (n, t).
+  for (size_t c = 0; c < ranges.size(); ++c) {
+    EXPECT_EQ(ranges[c].first, c * n / ranges.size());
+    EXPECT_EQ(ranges[c].second, (c + 1) * n / ranges.size());
+  }
+}
+
+TEST(ThreadPoolTest, SequentialPoolRunsInline) {
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(10, [&](size_t, size_t, size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(8, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      // Nested call must not deadlock; it executes inline in this lane.
+      pool.ParallelFor(5, [&](size_t b2, size_t e2, size_t) {
+        total.fetch_add(e2 - b2);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8u * 5u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(17, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 17u * 16u / 2u);
+  }
+}
+
+TEST(AtomicCounterTest, ExactUnderConcurrentIncrements) {
+  AtomicCounter counter;
+  ThreadPool pool(8);
+  const size_t n = 100000;
+  pool.ParallelFor(n, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) ++counter;
+  });
+  EXPECT_EQ(counter.load(), n);
+  counter += 5;
+  EXPECT_EQ(static_cast<uint64_t>(counter), n + 5);
+  // Copy semantics (needed by result structs returned by value).
+  AtomicCounter copy = counter;
+  ++copy;
+  EXPECT_EQ(copy.load(), n + 6);
+  EXPECT_EQ(counter.load(), n + 5);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountRespectsEnv) {
+  // Only checks the parsing contract loosely: positive values >= 1.
+  EXPECT_GE(DefaultThreadCount(), 1u);
+  EXPECT_GE(GlobalPool()->num_threads(), 1u);
+  EXPECT_EQ(PoolOrGlobal(nullptr), GlobalPool());
+  ThreadPool own(2);
+  EXPECT_EQ(PoolOrGlobal(&own), &own);
+}
+
+}  // namespace
+}  // namespace hgm
