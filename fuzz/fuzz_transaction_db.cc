@@ -1,0 +1,42 @@
+/// \file fuzz_transaction_db.cc
+/// \brief Fuzzes the basket parser and support-counting equivalences.
+///
+/// Arbitrary bytes go through TransactionDatabase::ParseBasketText, which
+/// must either reject them with a Status (never crash, never allocate
+/// unboundedly — the parser's id and line caps are what this target
+/// pounds on) or produce a database on which the three support paths
+/// agree: the horizontal scan, the vertical bitmap intersection, and the
+/// early-exit threshold test at the exact boundary.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/check.h"
+#include "mining/transaction_db.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = hgm::TransactionDatabase::ParseBasketText(text);
+  if (!parsed.ok()) return 0;  // rejected cleanly: the expected outcome
+  hgm::TransactionDatabase& db = parsed.value();
+
+  // Differential support counting stays cheap on small universes only;
+  // a parse that inferred a huge sparse universe is still a success for
+  // the parser, just not worth a vertical index.
+  if (db.num_items() == 0 || db.num_items() > 512) return 0;
+  if (db.num_transactions() == 0 || db.num_transactions() > 256) return 0;
+
+  size_t checked = 0;
+  for (const hgm::Bitset& row : db.rows()) {
+    if (++checked > 32) break;
+    size_t horizontal = db.Support(row);
+    size_t vertical = db.SupportVertical(row);
+    HGMINE_CHECK_EQ(horizontal, vertical)
+        << " for itemset " << row.ToString();
+    HGMINE_CHECK_GE(horizontal, 1u);  // a row always supports itself
+    HGMINE_CHECK(db.SupportAtLeast(row, horizontal));
+    HGMINE_CHECK(!db.SupportAtLeast(row, horizontal + 1));
+  }
+  return 0;
+}

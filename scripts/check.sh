@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# The pre-PR gate: lint wall + the full build/test matrix.
+#
+#   1. format + tidy          (scripts/lint.sh; skipped when clang absent)
+#   2. plain build            -DHGMINE_WERROR=ON, full ctest
+#   3. audited build          -DHGMINE_AUDIT=ON, full ctest with every
+#                             paper-contract auditor live
+#   4. ASan+UBSan build       HGMINE_SANITIZE=address
+#   5. TSan build             HGMINE_SANITIZE=thread (parallel batch layer)
+#
+# Stages 4 and 5 are skipped with --fast.  Build dirs are check-* so they
+# never collide with a developer's build/.
+#
+# Usage: scripts/check.sh [--fast]
+
+set -eu
+cd "$(dirname "$0")/.."
+
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+
+JOBS="$(nproc 2> /dev/null || echo 4)"
+
+run_matrix_entry() {
+  local name="$1"
+  shift
+  echo "==== check: $name ===="
+  cmake -B "check-$name" -S . "$@" > /dev/null
+  cmake --build "check-$name" -j "$JOBS" > /dev/null
+  (cd "check-$name" && ctest --output-on-failure -j "$JOBS")
+}
+
+echo "==== check: lint wall ===="
+if scripts/lint.sh build; then
+  echo "lint: clean"
+else
+  code=$?
+  if [ "$code" -eq 77 ]; then
+    echo "lint: skipped (clang tools not installed)"
+  else
+    echo "lint: FAILED" >&2
+    exit "$code"
+  fi
+fi
+
+run_matrix_entry plain -DHGMINE_WERROR=ON
+run_matrix_entry audit -DHGMINE_WERROR=ON -DHGMINE_AUDIT=ON
+
+if [ "$FAST" -eq 0 ]; then
+  run_matrix_entry asan -DHGMINE_SANITIZE=address
+  run_matrix_entry tsan -DHGMINE_SANITIZE=thread
+else
+  echo "==== check: sanitizer stages skipped (--fast) ===="
+fi
+
+echo "==== check: all stages passed ===="

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Applies clang-format in place to every first-party C++ file.
+set -eu
+cd "$(dirname "$0")/.."
+command -v clang-format > /dev/null 2>&1 || {
+  echo "format: clang-format not installed" >&2
+  exit 1
+}
+find src tests bench examples fuzz \
+  \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) 2> /dev/null \
+  -exec clang-format -i {} +

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Lint wall: clang-format (style drift) + clang-tidy (bugprone/performance/
+# concurrency/modernize) over the library, tests, benches, and examples.
+#
+# Wired into CTest as the `lint` label (see the root CMakeLists.txt).
+# Exits 77 — which CTest maps to SKIP via SKIP_RETURN_CODE — when neither
+# clang tool is installed, so plain tier-1 runs stay green on gcc-only
+# machines while clang-equipped CI enforces the wall.
+#
+# Usage: scripts/lint.sh [build-dir]
+#   build-dir: where compile_commands.json lives (default: build)
+
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+have_format=0
+have_tidy=0
+command -v clang-format > /dev/null 2>&1 && have_format=1
+command -v clang-tidy > /dev/null 2>&1 && have_tidy=1
+
+if [ "$have_format" -eq 0 ] && [ "$have_tidy" -eq 0 ]; then
+  echo "lint: clang-format and clang-tidy not installed; skipping" >&2
+  exit 77
+fi
+
+# All first-party C++ sources and headers.
+mapfile -t FILES < <(find src tests bench examples fuzz \
+  \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) 2> /dev/null | sort)
+
+status=0
+
+if [ "$have_format" -eq 1 ]; then
+  echo "lint: clang-format --dry-run -Werror over ${#FILES[@]} files"
+  if ! clang-format --dry-run -Werror "${FILES[@]}"; then
+    echo "lint: clang-format found style drift (run scripts/format.sh)" >&2
+    status=1
+  fi
+else
+  echo "lint: clang-format not installed; format check skipped" >&2
+fi
+
+if [ "$have_tidy" -eq 1 ]; then
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "lint: $BUILD_DIR/compile_commands.json missing;" \
+      "configure with cmake -B $BUILD_DIR -S . first" >&2
+    exit 1
+  fi
+  # Library sources carry the checked-in .clang-tidy config; headers are
+  # covered via HeaderFilterRegex.
+  mapfile -t TIDY_FILES < <(find src -name '*.cc' | sort)
+  echo "lint: clang-tidy over ${#TIDY_FILES[@]} sources"
+  if ! clang-tidy -p "$BUILD_DIR" --quiet "${TIDY_FILES[@]}"; then
+    echo "lint: clang-tidy reported findings" >&2
+    status=1
+  fi
+else
+  echo "lint: clang-tidy not installed; tidy check skipped" >&2
+fi
+
+exit "$status"

@@ -1,0 +1,120 @@
+#include "common/audit_stats.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace hgm {
+namespace audit {
+
+namespace {
+
+struct Tallies {
+  std::atomic<uint64_t> antichain{0};
+  std::atomic<uint64_t> closure{0};
+  std::atomic<uint64_t> duality{0};
+  std::atomic<uint64_t> minimality{0};
+  std::atomic<uint64_t> monotonicity{0};
+  std::atomic<uint64_t> violations{0};
+};
+
+Tallies& tallies() {
+  static Tallies t;
+  return t;
+}
+
+std::atomic<uint64_t>& slot(Contract c) {
+  Tallies& t = tallies();
+  switch (c) {
+    case Contract::kAntichain:
+      return t.antichain;
+    case Contract::kClosure:
+      return t.closure;
+    case Contract::kDuality:
+      return t.duality;
+    case Contract::kMinimality:
+      return t.minimality;
+    case Contract::kMonotonicity:
+      return t.monotonicity;
+  }
+  return t.antichain;  // unreachable
+}
+
+std::mutex& handler_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+FailureHandler& handler_slot() {
+  static FailureHandler h;
+  return h;
+}
+
+}  // namespace
+
+const char* ContractName(Contract c) {
+  switch (c) {
+    case Contract::kAntichain:
+      return "antichain";
+    case Contract::kClosure:
+      return "frontier-closure";
+    case Contract::kDuality:
+      return "theorem7-duality";
+    case Contract::kMinimality:
+      return "minimal-transversal";
+    case Contract::kMonotonicity:
+      return "oracle-monotonicity";
+  }
+  return "unknown";
+}
+
+AuditStats GlobalAuditStats() {
+  const Tallies& t = tallies();
+  AuditStats s;
+  s.antichain_checks = t.antichain.load(std::memory_order_relaxed);
+  s.closure_checks = t.closure.load(std::memory_order_relaxed);
+  s.duality_checks = t.duality.load(std::memory_order_relaxed);
+  s.minimality_checks = t.minimality.load(std::memory_order_relaxed);
+  s.monotonicity_checks = t.monotonicity.load(std::memory_order_relaxed);
+  s.violations = t.violations.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetAuditStats() {
+  Tallies& t = tallies();
+  t.antichain.store(0, std::memory_order_relaxed);
+  t.closure.store(0, std::memory_order_relaxed);
+  t.duality.store(0, std::memory_order_relaxed);
+  t.minimality.store(0, std::memory_order_relaxed);
+  t.monotonicity.store(0, std::memory_order_relaxed);
+  t.violations.store(0, std::memory_order_relaxed);
+}
+
+void ChargeChecks(Contract c, uint64_t n) {
+  slot(c).fetch_add(n, std::memory_order_relaxed);
+}
+
+void ReportViolation(Contract c, const std::string& detail) {
+  tallies().violations.fetch_add(1, std::memory_order_relaxed);
+  FailureHandler h;
+  {
+    std::lock_guard<std::mutex> lock(handler_mu());
+    h = handler_slot();
+  }
+  if (h) {
+    h(ContractName(c), detail);
+    return;
+  }
+  std::cerr << "paper-contract violation [" << ContractName(c)
+            << "]: " << detail << std::endl;
+  std::abort();
+}
+
+void SetAuditFailureHandler(FailureHandler handler) {
+  std::lock_guard<std::mutex> lock(handler_mu());
+  handler_slot() = std::move(handler);
+}
+
+}  // namespace audit
+}  // namespace hgm

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file audit_stats.h
+/// \brief Counters and failure routing for the paper-contract audit layer.
+///
+/// This is the dependency-free substrate of the audit layer (core/audit.h
+/// holds the theorem-level auditors; hypergraph/transversal_audit.h the
+/// engine-emission checks).  It lives in common/ so every library layer can
+/// charge checks without an upward dependency.
+///
+/// Counters are process-wide and atomic: auditors may fire from inside a
+/// parallel batch evaluation.  Tests snapshot them via GlobalAuditStats()
+/// to assert "N contracts checked, 0 violated", and install a capturing
+/// failure handler to exercise deliberately broken engines without dying.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace hgm {
+namespace audit {
+
+#if defined(HGMINE_AUDIT)
+/// True in -DHGMINE_AUDIT=ON builds; gates every hot-path auditor call.
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// The audited paper contracts.
+enum class Contract {
+  /// Borders are antichains (Section 2).
+  kAntichain,
+  /// Levelwise frontiers are downward closed (Theorem 10's apriori-gen
+  /// completeness contract).
+  kClosure,
+  /// Bd-(S) = Tr(H(S)) (Theorem 7).
+  kDuality,
+  /// Every emitted transversal is minimal (Lemma 18).
+  kMinimality,
+  /// Oracle answers are monotone downward (Section 2 precondition).
+  kMonotonicity,
+};
+
+/// Human-readable contract name ("antichain", "theorem7-duality", ...).
+const char* ContractName(Contract c);
+
+/// Snapshot of the process-wide tallies.
+struct AuditStats {
+  uint64_t antichain_checks = 0;
+  uint64_t closure_checks = 0;
+  uint64_t duality_checks = 0;
+  uint64_t minimality_checks = 0;
+  uint64_t monotonicity_checks = 0;
+  /// Contract violations witnessed across all auditors.
+  uint64_t violations = 0;
+
+  /// Total contract instances checked.
+  uint64_t checks() const {
+    return antichain_checks + closure_checks + duality_checks +
+           minimality_checks + monotonicity_checks;
+  }
+};
+
+/// Reads the process-wide audit tallies.
+AuditStats GlobalAuditStats();
+
+/// Zeroes the process-wide audit tallies.
+void ResetAuditStats();
+
+/// Charges \p n contract checks of kind \p c.
+void ChargeChecks(Contract c, uint64_t n);
+
+/// Records a violation of \p c and invokes the failure handler (fatal by
+/// default: prints the contract and detail, then aborts).
+void ReportViolation(Contract c, const std::string& detail);
+
+/// Called with the violated contract name and a formatted description of
+/// the offending family/set.
+using FailureHandler =
+    std::function<void(const std::string& contract, const std::string& detail)>;
+
+/// Installs \p handler; passing nullptr restores the fatal default.
+void SetAuditFailureHandler(FailureHandler handler);
+
+}  // namespace audit
+}  // namespace hgm

@@ -1,0 +1,104 @@
+#include "core/audit.h"
+
+#include <sstream>
+#include <string>
+#include <unordered_set>
+
+#include "core/theory.h"
+#include "hypergraph/transversal_berge.h"
+
+namespace hgm {
+namespace audit {
+
+namespace {
+
+std::string FamilyToString(std::span<const Bitset> family, size_t limit = 8) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < family.size() && i < limit; ++i) {
+    if (i) os << ", ";
+    os << family[i].ToString();
+  }
+  if (family.size() > limit) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+bool AuditAntichain(std::span<const Bitset> family, const char* where) {
+  ChargeChecks(Contract::kAntichain, family.size());
+  for (size_t i = 0; i < family.size(); ++i) {
+    for (size_t j = 0; j < family.size(); ++j) {
+      if (i != j && family[i].IsSubsetOf(family[j])) {
+        ReportViolation(
+            Contract::kAntichain,
+            std::string(where) + ": " + family[i].ToString() +
+                " is contained in " + family[j].ToString() + " within " +
+                FamilyToString(family));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool AuditFrontierClosure(std::span<const Bitset> lower,
+                          std::span<const Bitset> upper, const char* where) {
+  ChargeChecks(Contract::kClosure, upper.size());
+  std::unordered_set<Bitset, BitsetHash> lower_set(lower.begin(),
+                                                   lower.end());
+  for (const Bitset& u : upper) {
+    for (size_t v = u.FindFirst(); v != Bitset::npos; v = u.FindNext(v)) {
+      Bitset sub = u.WithoutBit(v);
+      if (!lower_set.contains(sub)) {
+        ReportViolation(
+            Contract::kClosure,
+            std::string(where) + ": frontier member " + u.ToString() +
+                " has subset " + sub.ToString() +
+                " missing from the previous frontier (theory is not "
+                "downward closed)");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool AuditBorderDuality(const std::vector<Bitset>& positive,
+                        const std::vector<Bitset>& negative, size_t num_items,
+                        const char* where) {
+  ChargeChecks(Contract::kDuality, 1);
+  BergeTransversals berge;
+  std::vector<Bitset> expected =
+      NegativeBorderViaTransversals(positive, num_items, &berge);
+  if (!SameFamily(expected, negative)) {
+    ReportViolation(
+        Contract::kDuality,
+        std::string(where) + ": Bd- " + FamilyToString(negative) +
+            " != Tr(H(Bd+)) " + FamilyToString(expected) + " for Bd+ " +
+            FamilyToString(positive));
+    return false;
+  }
+  return true;
+}
+
+bool AuditMonotonePair(const Bitset& x, bool x_interesting, const Bitset& y,
+                       bool y_interesting, const char* where) {
+  ChargeChecks(Contract::kMonotonicity, 1);
+  bool bad = (x.IsSubsetOf(y) && y_interesting && !x_interesting) ||
+             (y.IsSubsetOf(x) && x_interesting && !y_interesting);
+  if (bad) {
+    const Bitset& sup = x.IsSubsetOf(y) ? y : x;
+    const Bitset& sub = x.IsSubsetOf(y) ? x : y;
+    ReportViolation(Contract::kMonotonicity,
+                    std::string(where) + ": " + sup.ToString() +
+                        " is interesting but its subset " + sub.ToString() +
+                        " is not (predicate is not monotone downward)");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace audit
+}  // namespace hgm

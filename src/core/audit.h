@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file audit.h
+/// \brief Paper-contract auditors: every theorem as a runtime check.
+///
+/// The paper's guarantees are checkable invariants, and this module turns
+/// them into auditors that the hot paths invoke when the build is
+/// configured with -DHGMINE_AUDIT=ON (which defines HGMINE_AUDIT and flips
+/// audit::kEnabled to true):
+///
+///  * borders are antichains (Section 2's Bd+/Bd- definitions),
+///  * every levelwise frontier is downward closed w.r.t. the previous one
+///    (the apriori-gen completeness contract behind Theorem 10),
+///  * Bd-(S) = Tr(H(S)) — Theorem 7 — cross-checked with an independent
+///    Berge dualization after Dualize-and-Advance and levelwise runs,
+///  * every transversal any engine emits is a *minimal* transversal
+///    (Lemma 18; see hypergraph/transversal_audit.h, re-exported here),
+///  * oracle answers are monotone downward (the Section 2 precondition of
+///    every algorithm in core/).
+///
+/// Auditors are always compiled (bit-rot in a check is a build error) and
+/// callable from tests in any configuration; only the hot-path call sites
+/// are gated on audit::kEnabled.  Each auditor tallies into the global
+/// AuditStats (common/audit_stats.h) so tests and the audited ctest run
+/// can assert "N contracts checked, 0 violated".  A violation invokes the
+/// installed failure handler — fatal by default, capturable in tests.
+///
+/// Auditors never query an oracle: they only inspect already-materialized
+/// families, so Theorem 10 / Theorem 21 query accounting is identical in
+/// audited and plain builds.
+
+#include <span>
+#include <vector>
+
+#include "common/audit_stats.h"
+#include "common/bitset.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/transversal_audit.h"
+
+namespace hgm {
+namespace audit {
+
+/// Checks that \p family is an antichain: no member contained in another.
+/// Charges one antichain check per member.
+bool AuditAntichain(std::span<const Bitset> family, const char* where);
+
+/// Checks that every member of \p upper has all its one-smaller subsets in
+/// \p lower — the frontier contract of Algorithm 9: interesting (k+1)-sets
+/// only ever extend interesting k-sets.  Charges one closure check per
+/// member of \p upper.
+bool AuditFrontierClosure(std::span<const Bitset> lower,
+                          std::span<const Bitset> upper, const char* where);
+
+/// Theorem 7 cross-check: \p negative must equal Tr(H(\p positive)) where
+/// H(S) has one edge per member of Bd+(S), the complement.  Recomputes the
+/// transversals independently with Berge.  Charges one duality check.
+bool AuditBorderDuality(const std::vector<Bitset>& positive,
+                        const std::vector<Bitset>& negative, size_t num_items,
+                        const char* where);
+
+/// Monotonicity spot check: with x ⊆ y, an interesting y forces an
+/// interesting x (the quality predicate is monotone downward).  If neither
+/// containment holds the pair is vacuously consistent.  Charges one
+/// monotonicity check.
+bool AuditMonotonePair(const Bitset& x, bool x_interesting, const Bitset& y,
+                       bool y_interesting, const char* where);
+
+}  // namespace audit
+}  // namespace hgm

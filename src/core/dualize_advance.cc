@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/audit.h"
 #include "core/theory.h"
 #include "hypergraph/transversal_berge.h"
 #include "hypergraph/transversal_fk.h"
@@ -52,6 +53,14 @@ DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
     auto enumerator = make_enumerator();
     enumerator->Reset(complements);
 
+    // Lemma 18 contract: whatever the enumerator hands out must be a
+    // minimal transversal of min(complements).
+    Hypergraph audited_complements(0);
+    if (audit::kEnabled) {
+      audited_complements = complements;
+      audited_complements.Minimize();
+    }
+
     std::vector<Bitset> non_interesting;
     Bitset x(n);
     bool advanced = false;
@@ -59,6 +68,10 @@ DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
     while (enumerator->Next(&x)) {
       ++result.transversals_enumerated;
       ++enumerated_this_iteration;
+      if (audit::kEnabled) {
+        audit::AuditMinimalTransversal(audited_complements, x,
+                                       "dualize-advance enumerator");
+      }
       if (ask(x)) {
         // Counterexample (Step 6): extend to a new maximal set.
         maximal.push_back(extend_to_maximal(std::move(x)));
@@ -81,6 +94,14 @@ DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
   CanonicalSort(&maximal);
   result.positive_border = std::move(maximal);
   CanonicalSort(&result.negative_border);
+
+  if (audit::kEnabled) {
+    audit::AuditAntichain(result.positive_border, "dualize-advance Bd+");
+    // Theorem 7 on the final iteration: the certifying transversal set is
+    // exactly Bd-(MTh), cross-checked with an independent Berge run.
+    audit::AuditBorderDuality(result.positive_border,
+                              result.negative_border, n, "dualize-advance");
+  }
   return result;
 }
 

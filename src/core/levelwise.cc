@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/apriori_gen.h"
+#include "core/audit.h"
 #include "core/theory.h"
 
 namespace hgm {
@@ -24,6 +25,10 @@ LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
     // Nothing is interesting; Th = ∅ and Bd- = {∅}.
     result.negative_border.push_back(Bitset(n));
     result.interesting_per_level.push_back(0);
+    if (audit::kEnabled) {
+      audit::AuditBorderDuality(result.positive_border,
+                                result.negative_border, n, "levelwise");
+    }
     return result;
   }
   result.interesting_per_level.push_back(1);
@@ -81,6 +86,16 @@ LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
     for (const auto& s : next) {
       next_sets.push_back(Bitset::FromIndices(n, s));
     }
+    if (audit::kEnabled) {
+      // Frontier contract behind Theorem 10: every interesting (k+1)-set
+      // extends only interesting k-sets (the theory is downward closed).
+      std::vector<Bitset> level_sets;
+      level_sets.reserve(level.size());
+      for (const auto& s : level) {
+        level_sets.push_back(Bitset::FromIndices(n, s));
+      }
+      audit::AuditFrontierClosure(level_sets, next_sets, "levelwise");
+    }
     for (const auto& s : level) {
       Bitset x = Bitset::FromIndices(n, s);
       bool extended = false;
@@ -96,6 +111,7 @@ LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
   }
   // Whatever remains in `level` when the loop exits on the max_level cap is
   // maximal within the truncated lattice.
+  const bool truncated = !level.empty();
   for (const auto& s : level) {
     maximal_candidates.push_back(Bitset::FromIndices(n, s));
   }
@@ -108,6 +124,17 @@ LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
 
   CanonicalSort(&result.negative_border);
   if (options.record_theory) CanonicalSort(&result.theory);
+
+  if (audit::kEnabled) {
+    audit::AuditAntichain(result.positive_border, "levelwise Bd+");
+    audit::AuditAntichain(result.negative_border, "levelwise Bd-");
+    // Theorem 7 only relates the borders of the *full* theory; a max_level
+    // cap truncates both, so the cross-check applies to complete runs.
+    if (!truncated) {
+      audit::AuditBorderDuality(result.positive_border,
+                                result.negative_border, n, "levelwise");
+    }
+  }
   return result;
 }
 

@@ -20,8 +20,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/audit_stats.h"
 #include "common/bitset.h"
 #include "common/thread_pool.h"
+#include "core/audit.h"
 
 namespace hgm {
 
@@ -184,6 +186,7 @@ class CachedOracle : public InterestingnessOracle {
     bool v = inner_->IsInteresting(x);
     ++inner_evaluations_;
     std::unique_lock<std::shared_mutex> lock(mu_);
+    if (audit::kEnabled) AuditSpotCheck(x, v);
     cache_.emplace(x, v);
     return v;
   }
@@ -214,6 +217,7 @@ class CachedOracle : public InterestingnessOracle {
       std::unique_lock<std::shared_mutex> lock(mu_);
       for (size_t j = 0; j < misses.size(); ++j) {
         out[miss_idx[j]] = answers[j];
+        if (audit::kEnabled) AuditSpotCheck(misses[j], answers[j] != 0);
         cache_.emplace(std::move(misses[j]), answers[j] != 0);
       }
     }
@@ -235,11 +239,31 @@ class CachedOracle : public InterestingnessOracle {
   }
 
  private:
+  /// Audit-mode monotonicity spot check (Section 2 precondition): the new
+  /// answer is cross-checked against a ring of recent inner evaluations.
+  /// Never queries the inner oracle, so Theorem 21 accounting is
+  /// unchanged.  Caller must hold the unique lock.
+  void AuditSpotCheck(const Bitset& x, bool v) {
+    for (const auto& [y, y_answer] : audit_ring_) {
+      audit::AuditMonotonePair(x, v, y, y_answer, "CachedOracle");
+    }
+    if (audit_ring_.size() < kAuditRingCapacity) {
+      audit_ring_.emplace_back(x, v);
+    } else {
+      audit_ring_[audit_ring_next_] = {x, v};
+      audit_ring_next_ = (audit_ring_next_ + 1) % kAuditRingCapacity;
+    }
+  }
+
+  static constexpr size_t kAuditRingCapacity = 16;
+
   InterestingnessOracle* inner_;
   AtomicCounter raw_queries_;
   AtomicCounter inner_evaluations_;
   mutable std::shared_mutex mu_;
   std::unordered_map<Bitset, bool, BitsetHash> cache_;
+  std::vector<std::pair<Bitset, bool>> audit_ring_;
+  size_t audit_ring_next_ = 0;
 };
 
 /// \brief Debug wrapper that checks the monotonicity precondition.

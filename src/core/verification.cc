@@ -1,5 +1,6 @@
 #include "core/verification.h"
 
+#include "core/audit.h"
 #include "core/theory.h"
 #include "hypergraph/transversal_berge.h"
 
@@ -28,6 +29,11 @@ VerificationResult VerifyMaxTheory(const std::vector<Bitset>& s,
   // Bd-(S) from S alone, via Theorem 7.
   std::vector<Bitset> bd_minus = NegativeBorderViaTransversals(s, n, engine);
   result.border_size = s.size() + bd_minus.size();
+  if (audit::kEnabled) {
+    // Cross-checks the caller-chosen engine against an independent Berge
+    // dualization (a real check whenever engine != Berge).
+    audit::AuditBorderDuality(s, bd_minus, n, "verification");
+  }
 
   bool ok = true;
   // Positive side: every maximal element must be interesting.

@@ -1,8 +1,13 @@
 #include "fd/relation.h"
 
-#include <cassert>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "common/check.h"
+#include "common/parse.h"
 
 namespace hgm {
 
@@ -38,7 +43,7 @@ RelationInstance RelationInstance::FromRows(
 }
 
 void RelationInstance::AddRow(std::vector<uint64_t> values) {
-  assert(values.size() == num_attributes_);
+  HGMINE_DCHECK_EQ(values.size(), num_attributes_);
   rows_.push_back(std::move(values));
 }
 
@@ -83,9 +88,54 @@ bool RelationInstance::SatisfiesFd(const Bitset& lhs, size_t rhs) const {
   return true;
 }
 
+Result<RelationInstance> RelationInstance::ParseCsvText(
+    std::string_view text, const std::string& origin) {
+  std::vector<std::vector<uint64_t>> rows;
+  std::vector<std::string_view> tokens;
+  size_t width = 0;
+
+  Status s = ForEachDataLine(
+      text, origin, [&](size_t line_no, std::string_view line) {
+        SplitDataTokens(line, &tokens);
+        if (tokens.empty()) return Status::OK();  // blank row: skip
+        if (width == 0) {
+          width = tokens.size();
+        } else if (tokens.size() != width) {
+          return Status::InvalidArgument(
+              origin + ":" + std::to_string(line_no) + ": row has " +
+              std::to_string(tokens.size()) + " values, expected " +
+              std::to_string(width));
+        }
+        std::vector<uint64_t> row;
+        row.reserve(tokens.size());
+        for (std::string_view token : tokens) {
+          uint64_t v = 0;
+          Status ts = ParseUnsignedToken(
+              token, std::numeric_limits<uint64_t>::max(), origin, line_no,
+              &v);
+          if (!ts.ok()) return ts;
+          row.push_back(v);
+        }
+        rows.push_back(std::move(row));
+        return Status::OK();
+      });
+  if (!s.ok()) return s;
+  return RelationInstance::FromRows(width, rows);
+}
+
+Result<RelationInstance> RelationInstance::LoadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failure on " + path);
+  return ParseCsvText(buffer.str(), path);
+}
+
 RelationInstance RandomRelation(size_t num_rows, size_t num_attributes,
                                 uint64_t domain, Rng* rng) {
-  assert(domain > 0);
+  HGMINE_DCHECK_GT(domain, 0u);
   RelationInstance r(num_attributes);
   for (size_t i = 0; i < num_rows; ++i) {
     std::vector<uint64_t> row(num_attributes);
@@ -98,7 +148,7 @@ RelationInstance RandomRelation(size_t num_rows, size_t num_attributes,
 RelationInstance RandomRelationWithId(size_t num_rows,
                                       size_t num_attributes,
                                       uint64_t domain, Rng* rng) {
-  assert(num_attributes >= 1 && domain > 0);
+  HGMINE_DCHECK(num_attributes >= 1 && domain > 0);
   RelationInstance r(num_attributes);
   for (size_t i = 0; i < num_rows; ++i) {
     std::vector<uint64_t> row(num_attributes);

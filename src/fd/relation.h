@@ -10,10 +10,13 @@
 /// ([16, 12]).  This module provides the relation substrate.
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bitset.h"
 #include "common/random.h"
+#include "common/status.h"
 
 namespace hgm {
 
@@ -48,6 +51,18 @@ class RelationInstance {
   /// True iff any two rows agreeing on every attribute of \p lhs also
   /// agree on \p rhs — the FD lhs -> rhs holds in this instance.
   bool SatisfiesFd(const Bitset& lhs, size_t rhs) const;
+
+  /// Parses integer-CSV text: one row per line, comma- or whitespace-
+  /// separated uint64 values; '#' lines and blank lines are skipped.  The
+  /// first data row fixes the column count; a later row with a different
+  /// width is an InvalidArgument.  Values span the full uint64 range
+  /// (they are opaque codes, not ids).  Failures name \p origin and the
+  /// offending line.
+  static Result<RelationInstance> ParseCsvText(
+      std::string_view text, const std::string& origin = "<csv>");
+
+  /// Loads an integer-CSV file (see ParseCsvText).
+  static Result<RelationInstance> LoadCsvFile(const std::string& path);
 
  private:
   size_t num_attributes_;

@@ -1,8 +1,11 @@
 #include "hypergraph/hypergraph.h"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 #include <unordered_set>
+
+#include "common/parse.h"
 
 namespace hgm {
 
@@ -155,6 +158,55 @@ std::string Hypergraph::Format(const std::vector<std::string>& names) const {
   }
   os << "}";
   return os.str();
+}
+
+Result<Hypergraph> Hypergraph::ParseEdgeListText(std::string_view text,
+                                                 size_t num_vertices,
+                                                 const std::string& origin) {
+  std::vector<std::vector<size_t>> edges;
+  size_t max_id = 0;
+  bool any_vertex = false;
+  std::vector<std::string_view> tokens;
+  const uint64_t id_cap =
+      num_vertices != 0 ? static_cast<uint64_t>(num_vertices) - 1
+                        : kMaxParseId;
+
+  Status s = ForEachDataLine(
+      text, origin, [&](size_t line_no, std::string_view line) {
+        SplitDataTokens(line, &tokens);
+        if (tokens.empty()) {
+          return Status::InvalidArgument(
+              origin + ":" + std::to_string(line_no) +
+              ": empty edge (an empty edge admits no transversal)");
+        }
+        std::vector<size_t> edge;
+        edge.reserve(tokens.size());
+        for (std::string_view token : tokens) {
+          uint64_t id = 0;
+          Status ts =
+              ParseUnsignedToken(token, id_cap, origin, line_no, &id);
+          if (!ts.ok()) return ts;
+          edge.push_back(static_cast<size_t>(id));
+          max_id = std::max(max_id, static_cast<size_t>(id));
+          any_vertex = true;
+        }
+        edges.push_back(std::move(edge));
+        return Status::OK();
+      });
+  if (!s.ok()) return s;
+
+  size_t n = num_vertices != 0 ? num_vertices : (any_vertex ? max_id + 1 : 0);
+  return Hypergraph::FromEdgeLists(n, edges);
+}
+
+Result<Hypergraph> Hypergraph::LoadEdgeListFile(const std::string& path,
+                                                size_t num_vertices) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failure on " + path);
+  return ParseEdgeListText(buffer.str(), num_vertices, path);
 }
 
 void AntichainMinimize(std::vector<Bitset>* sets) {

@@ -9,9 +9,11 @@
 /// simple hypergraph min(H) with the same transversals.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/check.h"
 #include "common/status.h"
 
 namespace hgm {
@@ -47,7 +49,7 @@ class Hypergraph {
 
   /// Appends an edge.  The edge universe must match num_vertices().
   void AddEdge(Bitset edge) {
-    assert(edge.size() == num_vertices_);
+    HGMINE_DCHECK_EQ(edge.size(), num_vertices_);
     edges_.push_back(std::move(edge));
   }
 
@@ -114,6 +116,21 @@ class Hypergraph {
 
   /// Renders using vertex \p names (e.g. "{AC, D}").
   std::string Format(const std::vector<std::string>& names) const;
+
+  /// Parses edge-list text: one edge per line, whitespace- or comma-
+  /// separated vertex ids; '#' lines are skipped.  A blank (or
+  /// comment-only) line is rejected as an empty edge — an empty edge makes
+  /// every instance infeasible, so in a text file it is always a mistake.
+  /// \p num_vertices 0 means "infer as max id + 1".  Hardened against
+  /// malformed input (overlong lines, out-of-range ids, signs, non-numeric
+  /// tokens); failures name \p origin and the offending line.
+  static Result<Hypergraph> ParseEdgeListText(
+      std::string_view text, size_t num_vertices = 0,
+      const std::string& origin = "<edge-list>");
+
+  /// Loads an edge-list file (see ParseEdgeListText).
+  static Result<Hypergraph> LoadEdgeListFile(const std::string& path,
+                                             size_t num_vertices = 0);
 
  private:
   size_t num_vertices_;

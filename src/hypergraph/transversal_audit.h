@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file transversal_audit.h
+/// \brief Lemma 18 emission contract: engines emit only minimal
+/// transversals, each exactly once.
+///
+/// Header-only so the transversal engines (which sit below core/) can
+/// audit their own output; core/audit.h re-exports these for callers that
+/// include the full audit layer.  Hot paths gate calls on audit::kEnabled.
+
+#include <span>
+#include <string>
+#include <unordered_set>
+
+#include "common/audit_stats.h"
+#include "common/bitset.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hgm {
+namespace audit {
+
+/// Checks that \p t is a minimal transversal of \p reduced, which must
+/// already be minimized (engines all minimize their input first).  Charges
+/// one minimality check.
+inline bool AuditMinimalTransversal(const Hypergraph& reduced,
+                                    const Bitset& t, const char* where) {
+  ChargeChecks(Contract::kMinimality, 1);
+  if (!reduced.IsMinimalTransversal(t)) {
+    const char* why = reduced.IsTransversal(t)
+                          ? "is a transversal but not minimal"
+                          : "misses an edge entirely";
+    ReportViolation(Contract::kMinimality,
+                    std::string(where) + ": emitted set " + t.ToString() +
+                        " " + why + " of " + reduced.ToString());
+    return false;
+  }
+  return true;
+}
+
+/// Checks every member of \p transversals with AuditMinimalTransversal
+/// against min(\p input), and that the family is duplicate-free.
+inline bool AuditMinimalTransversals(const Hypergraph& input,
+                                     std::span<const Bitset> transversals,
+                                     const char* where) {
+  Hypergraph reduced = input;
+  reduced.Minimize();
+  std::unordered_set<Bitset, BitsetHash> seen;
+  for (const Bitset& t : transversals) {
+    if (!AuditMinimalTransversal(reduced, t, where)) return false;
+    if (!seen.insert(t).second) {
+      ReportViolation(Contract::kMinimality,
+                      std::string(where) + ": transversal " + t.ToString() +
+                          " emitted twice");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace audit
+}  // namespace hgm

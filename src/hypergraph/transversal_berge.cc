@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "hypergraph/transversal_audit.h"
+
 namespace hgm {
 
 namespace {
@@ -83,6 +85,9 @@ Hypergraph BergeTransversals::Compute(const Hypergraph& h) {
   }
 
   for (auto& t : current) result.AddEdge(std::move(t));
+  if (audit::kEnabled) {
+    audit::AuditMinimalTransversals(input, result.edges(), "berge");
+  }
   return result;
 }
 

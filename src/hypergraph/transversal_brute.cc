@@ -1,13 +1,15 @@
 #include "hypergraph/transversal_brute.h"
 
-#include <cassert>
+#include "common/check.h"
+#include "hypergraph/transversal_audit.h"
 
 namespace hgm {
 
 Hypergraph BruteForceTransversals::Compute(const Hypergraph& h) {
   stats_ = TransversalStats();
   const size_t n = h.num_vertices();
-  assert(n <= 26 && "brute-force transversal enumeration needs small n");
+  HGMINE_CHECK_LE(n, 26)
+      << "; brute-force transversal enumeration walks all 2^n subsets";
 
   Hypergraph input = h;
   input.Minimize();
@@ -23,6 +25,9 @@ Hypergraph BruteForceTransversals::Compute(const Hypergraph& h) {
     ++stats_.candidates;
     ++stats_.checks;
     if (input.IsMinimalTransversal(x)) result.AddEdge(std::move(x));
+  }
+  if (audit::kEnabled) {
+    audit::AuditMinimalTransversals(input, result.edges(), "brute");
   }
   return result;
 }

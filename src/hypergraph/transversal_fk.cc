@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "hypergraph/transversal_audit.h"
 #include "hypergraph/transversal_berge.h"
 
 namespace hgm {
@@ -255,6 +256,9 @@ Hypergraph FkTransversals::Compute(const Hypergraph& h) {
     ++stats_.candidates;
   }
   stats_.recursion_nodes = en.recursion_nodes();
+  if (audit::kEnabled) {
+    audit::AuditMinimalTransversals(h, result.edges(), "fk");
+  }
   return result;
 }
 

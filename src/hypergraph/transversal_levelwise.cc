@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/apriori_gen.h"
+#include "hypergraph/transversal_audit.h"
 
 namespace hgm {
 
@@ -80,6 +81,9 @@ Hypergraph LevelwiseTransversals::Compute(const Hypergraph& h) {
       }
     }
     level = std::move(next);
+  }
+  if (audit::kEnabled) {
+    audit::AuditMinimalTransversals(input, result.edges(), "levelwise-htr");
   }
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "hypergraph/transversal_audit.h"
+
 namespace hgm {
 
 void MmcsEnumerator::Reset(const Hypergraph& h) {
@@ -140,6 +142,9 @@ Hypergraph MmcsTransversals::Compute(const Hypergraph& h) {
     ++stats_.candidates;
   }
   stats_.recursion_nodes = en.nodes();
+  if (audit::kEnabled) {
+    audit::AuditMinimalTransversals(h, result.edges(), "mmcs");
+  }
   return result;
 }
 

@@ -1,9 +1,11 @@
 #include "mining/transaction_db.h"
 
 #include <bit>
-#include <cassert>
 #include <fstream>
 #include <sstream>
+
+#include "common/check.h"
+#include "common/parse.h"
 
 namespace hgm {
 
@@ -17,7 +19,7 @@ TransactionDatabase TransactionDatabase::FromRows(
 }
 
 void TransactionDatabase::AddTransaction(Bitset row) {
-  assert(row.size() == num_items_);
+  HGMINE_DCHECK_EQ(row.size(), num_items_);
   rows_.push_back(std::move(row));
   vertical_valid_ = false;
 }
@@ -60,7 +62,8 @@ bool TransactionDatabase::SupportAtLeast(const Bitset& itemset,
 
 bool TransactionDatabase::SupportAtLeastPrebuilt(const Bitset& itemset,
                                                  size_t threshold) const {
-  assert(vertical_valid_);
+  HGMINE_DCHECK(vertical_valid_)
+      << "; call EnsureVerticalIndex() before concurrent tidset reads";
   if (threshold == 0) return true;
   if (threshold > rows_.size()) return false;
   std::vector<size_t> items = itemset.Indices();
@@ -134,38 +137,48 @@ void TransactionDatabase::BuildVerticalIndex() {
   vertical_valid_ = true;
 }
 
-Result<TransactionDatabase> TransactionDatabase::LoadBasketFile(
-    const std::string& path, size_t num_items) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
+Result<TransactionDatabase> TransactionDatabase::ParseBasketText(
+    std::string_view text, size_t num_items, const std::string& origin) {
   std::vector<std::vector<size_t>> rows;
   size_t max_id = 0;
   bool any_item = false;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::vector<size_t> items;
-    long long id;
-    while (ls >> id) {
-      if (id < 0) {
-        return Status::InvalidArgument("negative item id in " + path);
-      }
-      items.push_back(static_cast<size_t>(id));
-      max_id = std::max(max_id, static_cast<size_t>(id));
-      any_item = true;
-    }
-    if (!ls.eof()) {
-      return Status::InvalidArgument("non-numeric token in " + path);
-    }
-    rows.push_back(std::move(items));
-  }
+  std::vector<std::string_view> tokens;
+  // Ids above the declared universe fail fast; with an inferred universe
+  // the shared kMaxParseId cap still bounds the allocation.
+  const uint64_t id_cap =
+      num_items != 0 ? static_cast<uint64_t>(num_items) - 1 : kMaxParseId;
+
+  Status s = ForEachDataLine(
+      text, origin, [&](size_t line_no, std::string_view line) {
+        SplitDataTokens(line, &tokens);
+        std::vector<size_t> items;
+        items.reserve(tokens.size());
+        for (std::string_view token : tokens) {
+          uint64_t id = 0;
+          Status ts =
+              ParseUnsignedToken(token, id_cap, origin, line_no, &id);
+          if (!ts.ok()) return ts;
+          items.push_back(static_cast<size_t>(id));
+          max_id = std::max(max_id, static_cast<size_t>(id));
+          any_item = true;
+        }
+        rows.push_back(std::move(items));
+        return Status::OK();
+      });
+  if (!s.ok()) return s;
+
   size_t n = num_items != 0 ? num_items : (any_item ? max_id + 1 : 0);
-  if (any_item && max_id >= n) {
-    return Status::OutOfRange("item id exceeds declared universe in " +
-                              path);
-  }
   return TransactionDatabase::FromRows(n, rows);
+}
+
+Result<TransactionDatabase> TransactionDatabase::LoadBasketFile(
+    const std::string& path, size_t num_items) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failure on " + path);
+  return ParseBasketText(buffer.str(), num_items, path);
 }
 
 Status TransactionDatabase::SaveBasketFile(const std::string& path) const {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bitset.h"
@@ -91,9 +92,18 @@ class TransactionDatabase {
   /// Average transaction length.
   double AvgTransactionSize() const;
 
-  /// Loads a basket-format file: one transaction per line, whitespace-
-  /// separated non-negative item ids; lines starting with '#' skipped.
-  /// \p num_items 0 means "infer as max id + 1".
+  /// Parses basket-format text: one transaction per line, whitespace- or
+  /// comma-separated non-negative item ids; lines starting with '#' are
+  /// skipped and a blank line is an empty transaction.  \p num_items 0
+  /// means "infer as max id + 1".  Hardened against malformed input —
+  /// overlong lines, ids beyond kMaxParseId or the declared universe,
+  /// signs, overflow, and non-numeric tokens all yield a Status naming
+  /// \p origin and the offending line.
+  static Result<TransactionDatabase> ParseBasketText(
+      std::string_view text, size_t num_items = 0,
+      const std::string& origin = "<basket>");
+
+  /// Loads a basket-format file (see ParseBasketText).
   static Result<TransactionDatabase> LoadBasketFile(const std::string& path,
                                                     size_t num_items = 0);
 

@@ -200,7 +200,9 @@ TEST_P(BitsetPropertyTest, AlgebraIdentities) {
     EXPECT_TRUE(a.IntersectionCountAtLeast(b, 0));
     EXPECT_TRUE(a.IntersectionCountAtLeast(b, exact));
     EXPECT_FALSE(a.IntersectionCountAtLeast(b, exact + 1));
-    if (exact > 0) EXPECT_TRUE(a.IntersectionCountAtLeast(b, exact - 1));
+    if (exact > 0) {
+      EXPECT_TRUE(a.IntersectionCountAtLeast(b, exact - 1));
+    }
     EXPECT_TRUE(a.CountAtLeast(a.Count()));
     EXPECT_FALSE(a.CountAtLeast(a.Count() + 1));
     // Double complement.

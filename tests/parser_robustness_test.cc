@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "common/parse.h"
+#include "common/status.h"
+#include "fd/relation.h"
+#include "hypergraph/hypergraph.h"
+#include "mining/transaction_db.h"
+
+namespace hgm {
+namespace {
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& contents) {
+  std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+  return path;
+}
+
+// ---------------------------------------------------------------- basket
+
+TEST(BasketParserTest, ParsesWellFormedInput) {
+  auto r = TransactionDatabase::ParseBasketText(
+      "# comment\n0 1 2\n1,3\n\n0 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_items(), 4u);       // inferred as max id + 1
+  EXPECT_EQ(r->num_transactions(), 4u);  // blank line = empty transaction
+  EXPECT_EQ(r->row(0), Bitset(4, {0, 1, 2}));
+  EXPECT_EQ(r->row(1), Bitset(4, {1, 3}));  // comma separators accepted
+  EXPECT_TRUE(r->row(2).None());
+  EXPECT_EQ(r->Support(Bitset(4, {3})), 2u);
+}
+
+TEST(BasketParserTest, HandlesCrLfAndTrailingNoNewline) {
+  auto r = TransactionDatabase::ParseBasketText("0 1\r\n1 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_transactions(), 2u);
+  EXPECT_EQ(r->row(1), Bitset(3, {1, 2}));
+}
+
+TEST(BasketParserTest, RejectsNegativeId) {
+  auto r = TransactionDatabase::ParseBasketText("0 -1 2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find(":1:"), std::string::npos);
+}
+
+TEST(BasketParserTest, RejectsNonNumericToken) {
+  auto r = TransactionDatabase::ParseBasketText("0 1\n2 x 3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Errors are located: "<origin>:<line>:".
+  EXPECT_NE(r.status().message().find("<basket>:2:"), std::string::npos);
+}
+
+TEST(BasketParserTest, RejectsUint64Overflow) {
+  auto r =
+      TransactionDatabase::ParseBasketText("99999999999999999999999999");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BasketParserTest, RejectsIdBeyondGlobalCap) {
+  // One huge token must not allocate a gigantic inferred universe.
+  auto r = TransactionDatabase::ParseBasketText("4294967295");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BasketParserTest, RejectsIdOutsideDeclaredUniverse) {
+  auto r = TransactionDatabase::ParseBasketText("0 1 7", /*num_items=*/4);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BasketParserTest, RejectsOverlongLine) {
+  std::string bomb(kMaxParseLineLength + 1, '1');
+  auto r = TransactionDatabase::ParseBasketText(bomb);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("exceeds"), std::string::npos);
+}
+
+TEST(BasketParserTest, FileRoundTrip) {
+  std::string path = WriteTempFile("baskets.txt", "0 1\n2\n");
+  auto r = TransactionDatabase::LoadBasketFile(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_transactions(), 2u);
+  // Errors from a file name the file, not "<basket>".
+  std::string bad = WriteTempFile("bad_baskets.txt", "0\nzz\n");
+  auto rb = TransactionDatabase::LoadBasketFile(bad);
+  ASSERT_FALSE(rb.ok());
+  EXPECT_NE(rb.status().message().find("bad_baskets.txt:2:"),
+            std::string::npos);
+}
+
+TEST(BasketParserTest, MissingFileIsIOError) {
+  auto r = TransactionDatabase::LoadBasketFile("/nonexistent/x.basket");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+// ------------------------------------------------------------- edge list
+
+TEST(EdgeListParserTest, ParsesWellFormedInput) {
+  auto r = Hypergraph::ParseEdgeListText("# H\n0 1\n1 2\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_vertices(), 3u);
+  EXPECT_EQ(r->num_edges(), 2u);
+  EXPECT_TRUE(r->IsSimple());
+}
+
+TEST(EdgeListParserTest, RejectsEmptyEdgeLine) {
+  // Unlike baskets (blank line = empty transaction), a blank edge line is
+  // an error: an empty edge makes the instance infeasible.
+  auto r = Hypergraph::ParseEdgeListText("0 1\n\n1 2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("empty edge"), std::string::npos);
+  EXPECT_NE(r.status().message().find(":2:"), std::string::npos);
+}
+
+TEST(EdgeListParserTest, RejectsVertexOutsideDeclaredUniverse) {
+  auto r = Hypergraph::ParseEdgeListText("0 5\n", /*num_vertices=*/3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EdgeListParserTest, FileLoadAndMissingFile) {
+  std::string path = WriteTempFile("edges.txt", "0 1\n0 2\n");
+  auto r = Hypergraph::LoadEdgeListFile(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_edges(), 2u);
+  auto missing = Hypergraph::LoadEdgeListFile("/nonexistent/h.edges");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+}
+
+// ------------------------------------------------------------------ csv
+
+TEST(CsvParserTest, ParsesWellFormedInput) {
+  auto r = RelationInstance::ParseCsvText(
+      "# relation\n1,2,3\n4,5,6\n\n7,8,9\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_attributes(), 3u);
+  EXPECT_EQ(r->num_rows(), 3u);  // blank row skipped
+  EXPECT_EQ(r->row(2), (std::vector<uint64_t>{7, 8, 9}));
+}
+
+TEST(CsvParserTest, AcceptsFullUint64Range) {
+  // Values are opaque codes, not ids: no kMaxParseId cap applies.
+  auto r =
+      RelationInstance::ParseCsvText("18446744073709551615,0\n1,2\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->row(0)[0], 18446744073709551615ull);
+}
+
+TEST(CsvParserTest, RejectsRaggedRows) {
+  auto r = RelationInstance::ParseCsvText("1,2,3\n4,5\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("expected 3"), std::string::npos);
+  EXPECT_NE(r.status().message().find(":2:"), std::string::npos);
+}
+
+TEST(CsvParserTest, RejectsSignedAndOverflowingValues) {
+  auto neg = RelationInstance::ParseCsvText("1,-2\n");
+  ASSERT_FALSE(neg.ok());
+  EXPECT_EQ(neg.status().code(), StatusCode::kInvalidArgument);
+  auto over = RelationInstance::ParseCsvText("18446744073709551616\n");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CsvParserTest, FileLoadAndMissingFile) {
+  std::string path = WriteTempFile("rel.csv", "1,2\n3,4\n1,2\n");
+  auto r = RelationInstance::LoadCsvFile(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 3u);
+  EXPECT_FALSE(r->IsKey(Bitset::Full(2)));  // rows 0 and 2 collide
+  auto missing = RelationInstance::LoadCsvFile("/nonexistent/r.csv");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+}
+
+// ------------------------------------------------------- shared helpers
+
+TEST(ParseHelpersTest, ForEachDataLineNumbersAndComments) {
+  std::vector<std::pair<size_t, std::string>> seen;
+  Status s = ForEachDataLine(
+      "a\n# skip\nb\r\n\nc", "x", [&](size_t no, std::string_view line) {
+        seen.emplace_back(no, std::string(line));
+        return Status::OK();
+      });
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(seen.size(), 4u);  // comment skipped, blank still delivered
+  EXPECT_EQ(seen[0], (std::pair<size_t, std::string>{1, "a"}));
+  EXPECT_EQ(seen[1], (std::pair<size_t, std::string>{3, "b"}));
+  EXPECT_EQ(seen[2], (std::pair<size_t, std::string>{4, ""}));
+  EXPECT_EQ(seen[3], (std::pair<size_t, std::string>{5, "c"}));
+}
+
+TEST(ParseHelpersTest, ParseUnsignedTokenEdgeCases) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUnsignedToken("007", 100, "x", 1, &v).ok());
+  EXPECT_EQ(v, 7u);
+  EXPECT_EQ(ParseUnsignedToken("", 100, "x", 1, &v).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseUnsignedToken("+3", 100, "x", 1, &v).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseUnsignedToken("3.5", 100, "x", 1, &v).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseUnsignedToken("101", 100, "x", 1, &v).code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace hgm

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bitset.h"
+#include "core/dualize_advance.h"
+#include "core/levelwise.h"
+#include "core/oracle.h"
+#include "mining/frequency_oracle.h"
+#include "mining/transaction_db.h"
+
+namespace hgm {
+namespace {
+
+/// Paper Figure 1: r over R = {A,B,C,D}, min_support 2.
+///   Th  = {∅, A, B, C, D, AB, AC, BC, BD, ABC}   (10 sentences)
+///   MTh = Bd+ = {BD, ABC}
+///   Bd- = {AD, CD}
+/// Theorem 10: the levelwise algorithm evaluates q exactly
+/// |Th| + |Bd-(Th)| = 12 times.  These counts must be identical in plain
+/// and -DHGMINE_AUDIT=ON builds — auditors never query the oracle.
+TransactionDatabase Figure1Db() {
+  return TransactionDatabase::FromRows(
+      4, {{0, 1, 2}, {0, 1, 2}, {1, 3}, {1, 3}, {0, 3}});
+}
+
+bool ContainsSet(const std::vector<Bitset>& family, const Bitset& x) {
+  return std::find(family.begin(), family.end(), x) != family.end();
+}
+
+class QueryAccountingTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(QueryAccountingTest, Theorem10ExactOnFigure1) {
+  const bool use_vertical = GetParam();
+  TransactionDatabase db = Figure1Db();
+  FrequencyOracle freq(&db, 2, use_vertical);
+  CountingOracle counting(&freq);
+
+  LevelwiseResult result = RunLevelwise(&counting);
+
+  EXPECT_EQ(result.theory.size(), 10u);
+  EXPECT_EQ(result.negative_border.size(), 2u);
+  EXPECT_EQ(result.queries,
+            result.theory.size() + result.negative_border.size());
+  EXPECT_EQ(result.queries, 12u);
+  // The algorithm's own tally and the oracle-side meter must agree:
+  // every generated candidate is evaluated exactly once (Theorem 10's
+  // proof hinges on this no-revisit property).
+  EXPECT_EQ(counting.raw_queries(), result.queries);
+  EXPECT_EQ(counting.distinct_queries(), result.queries);
+  EXPECT_EQ(result.candidates, result.queries);
+
+  EXPECT_EQ(result.positive_border.size(), 2u);
+  EXPECT_TRUE(ContainsSet(result.positive_border, Bitset(4, {1, 3})));
+  EXPECT_TRUE(
+      ContainsSet(result.positive_border, Bitset(4, {0, 1, 2})));
+  EXPECT_TRUE(ContainsSet(result.negative_border, Bitset(4, {0, 3})));
+  EXPECT_TRUE(ContainsSet(result.negative_border, Bitset(4, {2, 3})));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, QueryAccountingTest,
+                         ::testing::Bool());
+
+TEST(QueryAccountingCachedTest, CachedOracleAccountingOnDualizeAdvance) {
+  TransactionDatabase db = Figure1Db();
+  FrequencyOracle freq(&db, 2);
+  CachedOracle cached(&freq);
+
+  DualizeAdvanceResult result = RunDualizeAdvance(&cached);
+
+  EXPECT_EQ(result.positive_border.size(), 2u);
+  EXPECT_EQ(result.negative_border.size(), 2u);
+  // |MTh| + 1 iterations: one per discovered maximal set plus the
+  // certifying pass (the paper's termination argument).
+  EXPECT_EQ(result.iterations, 3u);
+
+  // Every ask is charged (Theorem 21's measure counts repeats), while
+  // the data is touched at most once per distinct sentence.
+  EXPECT_EQ(cached.raw_queries(), result.queries);
+  EXPECT_LE(cached.inner_evaluations(), cached.raw_queries());
+  EXPECT_EQ(cached.inner_evaluations(), cached.cache_size());
+
+  // A second identical run answers entirely from cache: raw doubles,
+  // inner evaluations stay put.
+  const uint64_t inner_after_first = cached.inner_evaluations();
+  DualizeAdvanceResult again = RunDualizeAdvance(&cached);
+  EXPECT_EQ(again.queries, result.queries);
+  EXPECT_EQ(cached.raw_queries(), 2 * result.queries);
+  EXPECT_EQ(cached.inner_evaluations(), inner_after_first);
+}
+
+TEST(QueryAccountingCachedTest, LevelwiseThroughCacheMatchesTheorem10) {
+  TransactionDatabase db = Figure1Db();
+  FrequencyOracle freq(&db, 2);
+  CachedOracle cached(&freq);
+
+  LevelwiseResult result = RunLevelwise(&cached);
+  EXPECT_EQ(result.queries, 12u);
+  EXPECT_EQ(cached.raw_queries(), 12u);
+  // Levelwise never repeats a candidate, so the cache never hits.
+  EXPECT_EQ(cached.inner_evaluations(), 12u);
+}
+
+}  // namespace
+}  // namespace hgm

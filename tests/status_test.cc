@@ -1,0 +1,96 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace hgm {
+namespace {
+
+TEST(StatusTest, OkDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("bad"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("missing"), StatusCode::kNotFound, "NotFound"},
+      {Status::IOError("disk"), StatusCode::kIOError, "IOError"},
+      {Status::FailedPrecondition("early"),
+       StatusCode::kFailedPrecondition, "FailedPrecondition"},
+      {Status::OutOfRange("big"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::Internal("bug"), StatusCode::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    // ToString renders "<code>: <message>".
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos)
+        << c.status.ToString();
+    EXPECT_NE(c.status.ToString().find(c.status.message()),
+              std::string::npos);
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::NotFound("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, ArrowAndMutation) {
+  Result<std::string> r(std::string("abc"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  r.value() += "d";
+  EXPECT_EQ(*r, "abcd");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ErrorPropagationPattern) {
+  // The codebase-wide idiom: check ok(), forward status() upward.
+  auto fails = []() -> Result<int> {
+    return Status::InvalidArgument("inner failure");
+  };
+  auto caller = [&]() -> Status {
+    Result<int> r = fails();
+    if (!r.ok()) return r.status();
+    return Status::OK();
+  };
+  Status s = caller();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "inner failure");
+}
+
+}  // namespace
+}  // namespace hgm
