@@ -33,6 +33,8 @@
 #include "core/theory.h"
 #include "mining/apriori.h"
 #include "mining/generators.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -59,9 +61,16 @@ struct RunRecord {
   uint64_t support_counts = 0;
   double ms = 0.0;
   bool agree = true;  // identical to the section's reference run
+  // Telemetry (thread-sweep runs only; metrics are on during the sweep).
+  bool has_telemetry = false;
+  uint64_t pool_busy_us = 0;
+  uint64_t pool_batches = 0;
+  double pool_utilization = 0.0;  // busy time / (wall time * lanes)
 };
 
-void WriteJson(const std::vector<RunRecord>& records, const char* path) {
+void WriteJson(const std::vector<RunRecord>& records,
+               const hgm::obs::MetricsSnapshot& final_snapshot,
+               const char* path) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"bench_counting\",\n  \"runs\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
@@ -72,10 +81,17 @@ void WriteJson(const std::vector<RunRecord>& records, const char* path) {
         << r.threads << ", \"frequent\": " << r.frequent
         << ", \"negative_border\": " << r.negative_border
         << ", \"support_counts\": " << r.support_counts << ", \"ms\": "
-        << r.ms << ", \"agree\": " << (r.agree ? "true" : "false") << "}"
-        << (i + 1 < records.size() ? "," : "") << "\n";
+        << r.ms << ", \"agree\": " << (r.agree ? "true" : "false");
+    if (r.has_telemetry) {
+      out << ", \"telemetry\": {\"pool_busy_us\": " << r.pool_busy_us
+          << ", \"pool_batches\": " << r.pool_batches
+          << ", \"pool_utilization\": " << r.pool_utilization << "}";
+    }
+    out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"telemetry\": ";
+  hgm::obs::WriteJsonSnapshot(final_snapshot, out, 2);
+  out << "\n}\n";
 }
 
 bool SameFrequent(const AprioriResult& a, const AprioriResult& b) {
@@ -96,6 +112,7 @@ bool SameFrequent(const AprioriResult& a, const AprioriResult& b) {
 int main() {
   std::vector<RunRecord> records;
   int failures = 0;
+  StopWatch watch;  // one shared watch; every timing below is a Lap pair
 
   // ---- Part 1: backend ablation (sequential, as in the seed). ----------
   std::cout << "=== ablation: Apriori support counting "
@@ -124,9 +141,9 @@ int main() {
       AprioriOptions opts;
       opts.counting = mode;
       opts.pool = &sequential;
-      StopWatch sw;
+      watch.Lap();  // discard setup time; the next lap is the run alone
       AprioriResult r = MineFrequentSets(&db, c.minsup, opts);
-      *ms = sw.Millis();
+      *ms = watch.LapMillis();
       records.push_back({"ablation", ModeName(mode), c.rows, c.items,
                          c.minsup, 1, r.frequent.size(),
                          r.negative_border.size(), r.support_counts.load(),
@@ -174,7 +191,11 @@ int main() {
   const size_t big_minsup = 2500;
 
   TablePrinter sweep({"backend", "threads", "|Th|", "|Bd-|", "queries",
-                      "ms", "speedup", "identical"});
+                      "ms", "speedup", "util", "identical"});
+  // Metrics stay on for the sweep so each run's pool-utilization figure
+  // (busy worker time / wall time / lanes) lands in the JSON telemetry
+  // section; the registry is reset per run to keep figures per-run.
+  obs::EnableMetrics(true);
   const size_t kThreads[] = {1, 2, 4, 8};
   for (SupportCountingMode mode :
        {SupportCountingMode::kTidsets, SupportCountingMode::kHorizontal,
@@ -186,9 +207,16 @@ int main() {
       AprioriOptions opts;
       opts.counting = mode;
       opts.pool = &pool;
-      StopWatch sw;
+      obs::MetricsRegistry::Global().Reset();
+      watch.Lap();
       AprioriResult r = MineFrequentSets(&big_db, big_minsup, opts);
-      double ms = sw.Millis();
+      double ms = watch.LapMillis();
+      obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+      const uint64_t busy_us = snap.CounterValue("pool.busy_us");
+      const double util =
+          ms > 0 ? static_cast<double>(busy_us) /
+                       (ms * 1000.0 * static_cast<double>(threads))
+                 : 0.0;
 
       bool identical = true;
       if (threads == 1) {
@@ -213,12 +241,21 @@ int main() {
           .Add(shown.support_counts.load())
           .Add(ms, 2)
           .Add(base_ms / ms, 2)
+          .Add(util, 2)
           .Add(identical ? "yes" : "NO");
-      records.push_back({"thread_sweep", ModeName(mode),
-                         big.num_transactions, big.num_items, big_minsup,
-                         threads, shown.frequent.size(),
-                         shown.negative_border.size(),
-                         shown.support_counts.load(), ms, identical});
+      RunRecord rec{"thread_sweep",       ModeName(mode),
+                    big.num_transactions, big.num_items,
+                    big_minsup,           threads,
+                    shown.frequent.size(),
+                    shown.negative_border.size(),
+                    shown.support_counts.load(),
+                    ms,
+                    identical};
+      rec.has_telemetry = true;
+      rec.pool_busy_us = busy_us;
+      rec.pool_batches = snap.CounterValue("pool.batches");
+      rec.pool_utilization = util;
+      records.push_back(rec);
     }
   }
   sweep.Print();
@@ -229,7 +266,8 @@ int main() {
                "thread\ncount (asserted above).  Speedup tracks the "
                "machine's core count.\n";
 
-  WriteJson(records, "BENCH_counting.json");
+  WriteJson(records, obs::MetricsRegistry::Global().Snapshot(),
+            "BENCH_counting.json");
   std::cout << "\nwrote BENCH_counting.json (" << records.size()
             << " runs)\n";
   std::cout << (failures == 0 ? "ALL RUNS AGREE\n" : "MISMATCH\n");

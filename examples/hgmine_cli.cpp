@@ -3,11 +3,19 @@
 // Usage:
 //   hgmine_cli mine <basket-file> <min-support> [--rules <min-conf>]
 //                   [--maximal] [--closed] [--algo levelwise|dualize|dfs]
+//                   [--metrics=<path|->] [--trace=<path>]
 //   hgmine_cli demo
 //
 // Basket format: one transaction per line, whitespace-separated item ids;
 // '#' comments.  `demo` writes a small file and mines it, so the tool is
 // runnable with no inputs.
+//
+// --metrics=-      prints the telemetry registry as a table, plus the
+//                  paper-bound report (Theorem 10 / Corollary 13 ratios)
+//                  when a levelwise or dualize run populated its gauges;
+// --metrics=<path> writes the same data as JSON;
+// --trace=<path>   writes Chrome/Perfetto trace-event JSON (load it in
+//                  chrome://tracing or ui.perfetto.dev).
 
 #include <cstdlib>
 #include <fstream>
@@ -20,6 +28,10 @@
 #include "mining/max_miner.h"
 #include "mining/rules.h"
 #include "mining/transaction_db.h"
+#include "obs/bound_report.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -28,8 +40,48 @@ int Usage() {
       << "usage: hgmine_cli mine <basket-file> <min-support>\n"
          "                  [--rules <min-conf>] [--maximal] [--closed]\n"
          "                  [--algo levelwise|dualize|dfs]\n"
+         "                  [--metrics=<path|->] [--trace=<path>]\n"
          "       hgmine_cli demo\n";
   return 2;
+}
+
+/// Exports the metrics registry (plus any bound report whose gauges are
+/// populated) to stdout as tables, or to a file as one JSON object.
+int ExportMetrics(const std::string& dest) {
+  using namespace hgm;
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  const bool have_levelwise = snap.GaugeValue("levelwise.last_width") != 0;
+  const bool have_da = snap.GaugeValue("da.last_width") != 0;
+  if (dest == "-") {
+    std::cout << "\ntelemetry:\n";
+    obs::PrintMetricsTable(snap, std::cout);
+    if (have_levelwise) {
+      std::cout << "\nlevelwise bound report:\n";
+      obs::LevelwiseBoundReportFromRegistry(snap).Print(std::cout);
+    }
+    if (have_da) {
+      std::cout << "\ndualize-advance bound report:\n";
+      obs::DualizeAdvanceBoundReportFromRegistry(snap).Print(std::cout);
+    }
+    return 0;
+  }
+  std::ofstream out(dest);
+  if (!out) {
+    std::cerr << "error: cannot write metrics to " << dest << "\n";
+    return 1;
+  }
+  out << "{\"metrics\": ";
+  obs::WriteJsonSnapshot(snap, out, 2);
+  if (have_levelwise) {
+    out << ",\n\"levelwise_bounds\": ";
+    obs::LevelwiseBoundReportFromRegistry(snap).WriteJson(out, 2);
+  }
+  if (have_da) {
+    out << ",\n\"dualize_advance_bounds\": ";
+    obs::DualizeAdvanceBoundReportFromRegistry(snap).WriteJson(out, 2);
+  }
+  out << "}\n";
+  return 0;
 }
 
 std::vector<std::string> ItemNames(size_t n) {
@@ -61,12 +113,20 @@ int main(int argc, char** argv) {
                                                   nullptr, 10));
   bool want_maximal = false, want_closed = false, want_rules = false;
   double min_conf = 0.5;
+  std::string metrics_dest;  // empty = not requested; "-" = stdout
+  std::string trace_path;
   MaxMinerAlgorithm algo = MaxMinerAlgorithm::kDualizeAdvance;
   for (size_t i = 3; i < args.size(); ++i) {
     if (args[i] == "--maximal") {
       want_maximal = true;
     } else if (args[i] == "--closed") {
       want_closed = true;
+    } else if (args[i].rfind("--metrics=", 0) == 0) {
+      metrics_dest = args[i].substr(10);
+      if (metrics_dest.empty()) return Usage();
+    } else if (args[i].rfind("--trace=", 0) == 0) {
+      trace_path = args[i].substr(8);
+      if (trace_path.empty()) return Usage();
     } else if (args[i] == "--rules" && i + 1 < args.size()) {
       want_rules = true;
       min_conf = std::strtod(args[++i].c_str(), nullptr);
@@ -85,6 +145,9 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
+
+  if (!metrics_dest.empty()) obs::EnableMetrics(true);
+  if (!trace_path.empty()) obs::Tracer::Global().Start();
 
   auto loaded = TransactionDatabase::LoadBasketFile(path);
   if (!loaded.ok()) {
@@ -134,5 +197,23 @@ int main(int argc, char** argv) {
       std::cout << "  " << FormatRule(rule, names) << "\n";
     }
   }
-  return 0;
+
+  int rc = 0;
+  if (!trace_path.empty()) {
+    obs::Tracer::Global().Stop();
+    std::ofstream out(trace_path);
+    if (out) {
+      obs::Tracer::Global().WriteJson(out);
+      std::cout << "\nwrote " << obs::Tracer::Global().num_events()
+                << " trace events to " << trace_path << "\n";
+    } else {
+      std::cerr << "error: cannot write trace to " << trace_path << "\n";
+      rc = 1;
+    }
+  }
+  if (!metrics_dest.empty()) {
+    int metrics_rc = ExportMetrics(metrics_dest);
+    if (metrics_rc != 0) rc = metrics_rc;
+  }
+  return rc;
 }

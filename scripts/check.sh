@@ -3,12 +3,14 @@
 #
 #   1. format + tidy          (scripts/lint.sh; skipped when clang absent)
 #   2. plain build            -DHGMINE_WERROR=ON, full ctest
-#   3. audited build          -DHGMINE_AUDIT=ON, full ctest with every
+#   3. telemetry smoke        scripts/obs_smoke.sh + ctest -L obs on the
+#                             plain build (Theorem-10 meter, trace shape)
+#   4. audited build          -DHGMINE_AUDIT=ON, full ctest with every
 #                             paper-contract auditor live
-#   4. ASan+UBSan build       HGMINE_SANITIZE=address
-#   5. TSan build             HGMINE_SANITIZE=thread (parallel batch layer)
+#   5. ASan+UBSan build       HGMINE_SANITIZE=address
+#   6. TSan build             HGMINE_SANITIZE=thread (parallel batch layer)
 #
-# Stages 4 and 5 are skipped with --fast.  Build dirs are check-* so they
+# Stages 5 and 6 are skipped with --fast.  Build dirs are check-* so they
 # never collide with a developer's build/.
 #
 # Usage: scripts/check.sh [--fast]
@@ -44,6 +46,11 @@ else
 fi
 
 run_matrix_entry plain -DHGMINE_WERROR=ON
+
+echo "==== check: telemetry smoke ===="
+scripts/obs_smoke.sh check-plain/examples/hgmine_cli
+(cd check-plain && ctest -L obs --output-on-failure -j "$JOBS")
+
 run_matrix_entry audit -DHGMINE_WERROR=ON -DHGMINE_AUDIT=ON
 
 if [ "$FAST" -eq 0 ]; then

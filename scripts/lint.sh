@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Lint wall: clang-format (style drift) + clang-tidy (bugprone/performance/
-# concurrency/modernize) over the library, tests, benches, and examples.
+# concurrency/modernize) over the library (including the src/obs telemetry
+# layer), tests, benches, and examples.
 #
 # Wired into CTest as the `lint` label (see the root CMakeLists.txt).
 # Exits 77 — which CTest maps to SKIP via SKIP_RETURN_CODE — when neither

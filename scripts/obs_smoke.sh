@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Telemetry smoke: run hgmine_cli on the paper's Figure 1 with --metrics
+# and --trace, then check the end-to-end observability invariants:
+#
+#   * the --metrics=- table reports oracle.raw_queries == 12 — Theorem 10's
+#     |Th| + |Bd-| meter for the maximal-levelwise pass on Figure 1;
+#   * the bound report prints a Theorem 10 line that holds exactly;
+#   * the trace file is Perfetto-loadable JSON (object form, balanced
+#     B/E events) and contains a span for every levelwise level.
+#
+# Usage: scripts/obs_smoke.sh [path-to-hgmine_cli]
+set -eu
+cd "$(dirname "$0")/.."
+
+CLI="${1:-build/examples/hgmine_cli}"
+if [ ! -x "$CLI" ]; then
+  echo "obs_smoke: $CLI is not an executable (build it first)" >&2
+  exit 2
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cat > "$TMP/fig1.basket" << 'EOF'
+# Figure 1 of Gunopulos/Khardon/Mannila/Toivonen, PODS'97
+0 1 2
+0 1 2
+1 3
+1 3
+0 3
+EOF
+
+"$CLI" mine "$TMP/fig1.basket" 2 --maximal --algo levelwise \
+  --metrics=- --trace="$TMP/trace.json" > "$TMP/out.txt"
+
+fail() {
+  echo "obs_smoke: FAIL: $1" >&2
+  sed 's/^/  | /' "$TMP/out.txt" >&2
+  exit 1
+}
+
+# Theorem 10 meter: the maximal-levelwise pass asks the counting oracle
+# exactly |Th| + |Bd-| = 12 times on Figure 1.
+grep -Eq 'oracle\.raw_queries *\| counter *\| *12 \|' "$TMP/out.txt" ||
+  fail "--metrics=- table does not report oracle.raw_queries == 12"
+
+# The bound report must print and hold exactly.
+grep -q 'Theorem 10' "$TMP/out.txt" ||
+  fail "bound report is missing its Theorem 10 line"
+grep -q 'VIOLATED' "$TMP/out.txt" &&
+  fail "a paper bound reports VIOLATED" || true
+
+# Trace shape: object form, one span per levelwise level, balanced B/E.
+[ -s "$TMP/trace.json" ] || fail "trace file is empty"
+head -n 1 "$TMP/trace.json" | grep -q '{"traceEvents": \[' ||
+  fail "trace does not start with the traceEvents object"
+begins="$(grep -c '"ph": "B"' "$TMP/trace.json")"
+ends="$(grep -c '"ph": "E"' "$TMP/trace.json")"
+[ "$begins" -eq "$ends" ] ||
+  fail "unbalanced trace spans: $begins begins vs $ends ends"
+levels="$(grep -c '"name": "levelwise.level".*"ph": "B"' "$TMP/trace.json")"
+[ "$levels" -ge 3 ] ||
+  fail "expected >= 3 levelwise.level spans, saw $levels"
+
+# When a JSON parser is on the box, insist the whole file parses.
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$TMP/trace.json" > /dev/null ||
+    fail "trace is not valid JSON"
+fi
+
+echo "obs_smoke: OK ($begins spans, $levels levelwise levels," \
+  "oracle.raw_queries == 12)"

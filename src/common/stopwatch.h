@@ -10,10 +10,13 @@ namespace hgm {
 /// Monotonic stopwatch; starts running on construction.
 class StopWatch {
  public:
-  StopWatch() : start_(Clock::now()) {}
+  StopWatch() : start_(Clock::now()), lap_(start_) {}
 
-  /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  /// Restarts the stopwatch (and the current lap).
+  void Reset() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   /// Elapsed time in seconds since construction or the last Reset().
   double Seconds() const {
@@ -26,9 +29,24 @@ class StopWatch {
   /// Elapsed time in microseconds.
   double Micros() const { return Seconds() * 1e6; }
 
+  /// Seconds since the last Lap() (or Reset()/construction), and starts
+  /// the next lap.  One watch times a sequence of phases back to back —
+  /// the phase tracer and the benches use this instead of one watch per
+  /// measured segment.
+  double Lap() {
+    Clock::time_point now = Clock::now();
+    double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
+  }
+
+  /// Lap() in milliseconds.
+  double LapMillis() { return Lap() * 1e3; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace hgm

@@ -23,6 +23,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace hgm {
 
 /// A copyable counter with atomic increments, for query tallies that are
@@ -108,8 +112,16 @@ class ThreadPool {
                    const std::function<void(size_t, size_t, size_t)>& fn) {
     if (n == 0) return;
     const size_t chunks = num_threads();
+    // Telemetry: one span + batch/item tallies per ParallelFor; per-chunk
+    // busy time accumulates inside RunChunk.  All gated on the relaxed
+    // enabled flags, so an idle registry costs two loads per batch.
+    HGM_OBS_COUNT("pool.batches", 1);
+    HGM_OBS_COUNT("pool.items", n);
+    HGM_OBS_OBSERVE("pool.batch_items", n);
+    obs::TraceSpan batch_span("pool.batch", "pool",
+                              {{"items", n}, {"chunks", chunks}});
     if (chunks == 1 || in_worker_) {
-      fn(0, n, 0);
+      RunTimed(fn, 0, n, 0);
       return;
     }
     Batch batch;
@@ -153,10 +165,26 @@ class ThreadPool {
     std::atomic<size_t> refs{0};  // workers currently inside the batch
   };
 
+  /// Invokes one chunk, charging pool.chunks / pool.busy_us (the per-lane
+  /// busy-time tally behind the utilization figures) when metrics are on.
+  static void RunTimed(const std::function<void(size_t, size_t, size_t)>& fn,
+                       size_t begin, size_t end, size_t c) {
+    if (!obs::MetricsOn()) {
+      fn(begin, end, c);
+      return;
+    }
+    obs::TraceSpan chunk_span("pool.chunk", "pool",
+                              {{"chunk", c}, {"items", end - begin}});
+    StopWatch sw;
+    fn(begin, end, c);
+    HGM_OBS_COUNT("pool.chunks", 1);
+    HGM_OBS_COUNT("pool.busy_us", static_cast<uint64_t>(sw.Micros()));
+  }
+
   void RunChunk(Batch* batch, size_t c) {
     const size_t begin = c * batch->n / batch->chunks;
     const size_t end = (c + 1) * batch->n / batch->chunks;
-    if (begin < end) (*batch->fn)(begin, end, c);
+    if (begin < end) RunTimed(*batch->fn, begin, end, c);
     if (batch->done.fetch_add(1) + 1 == batch->chunks) {
       std::lock_guard<std::mutex> lock(mu_);
       done_cv_.notify_all();

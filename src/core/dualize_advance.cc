@@ -6,13 +6,40 @@
 #include "core/theory.h"
 #include "hypergraph/transversal_berge.h"
 #include "hypergraph/transversal_fk.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hgm {
+
+namespace {
+
+/// Publishes the run's Theorem 21 / Lemma 20 quantities as gauges so
+/// obs::DualizeAdvanceBoundReportFromRegistry can compute bound ratios.
+void PublishDualizeAdvanceGauges(const DualizeAdvanceResult& result,
+                                 size_t n) {
+  if (!obs::MetricsOn()) return;
+  size_t rank = 0;
+  for (const Bitset& m : result.positive_border) {
+    rank = std::max(rank, m.Count());
+  }
+  HGM_OBS_GAUGE_SET("da.last_queries", result.queries);
+  HGM_OBS_GAUGE_SET("da.last_positive_border", result.positive_border.size());
+  HGM_OBS_GAUGE_SET("da.last_negative_border", result.negative_border.size());
+  HGM_OBS_GAUGE_SET("da.last_rank", rank);
+  HGM_OBS_GAUGE_SET("da.last_width", n);
+  HGM_OBS_GAUGE_SET("da.last_iterations", result.iterations);
+  HGM_OBS_GAUGE_SET("da.last_max_enumerated",
+                    result.max_enumerated_one_iteration);
+}
+
+}  // namespace
 
 DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
                                        const DualizeAdvanceOptions& options) {
   DualizeAdvanceResult result;
   const size_t n = oracle->num_items();
+  HGM_OBS_COUNT("da.runs", 1);
+  obs::TraceSpan run_span("da.run", "core", {{"width", n}});
 
   auto make_enumerator = options.make_enumerator
                              ? options.make_enumerator
@@ -40,6 +67,9 @@ DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
   std::vector<Bitset> maximal;  // C_i
   while (true) {
     ++result.iterations;
+    obs::TraceSpan iter_span("da.iteration", "core",
+                             {{"iteration", result.iterations},
+                              {"maximal_so_far", maximal.size()}});
     // Step 3: complements of C_i; Tr of that hypergraph is Bd-(C_i).
     Hypergraph complements(n);
     for (const auto& m : maximal) complements.AddEdge(~m);
@@ -83,6 +113,11 @@ DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
     result.max_enumerated_one_iteration =
         std::max(result.max_enumerated_one_iteration,
                  enumerated_this_iteration);
+    HGM_OBS_COUNT("da.iterations", 1);
+    HGM_OBS_COUNT("da.transversals_enumerated", enumerated_this_iteration);
+    HGM_OBS_OBSERVE("da.iteration_transversals", enumerated_this_iteration);
+    iter_span.AddArg("transversals", enumerated_this_iteration);
+    iter_span.AddArg("advanced", advanced ? 1 : 0);
     if (!advanced) {
       // Step 8: every minimal transversal is non-interesting, so
       // C_i = MTh and the enumerated transversals are exactly Bd-(MTh).
@@ -102,6 +137,10 @@ DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
     audit::AuditBorderDuality(result.positive_border,
                               result.negative_border, n, "dualize-advance");
   }
+  HGM_OBS_COUNT("da.queries", result.queries);
+  PublishDualizeAdvanceGauges(result, n);
+  run_span.AddArg("queries", result.queries);
+  run_span.AddArg("iterations", result.iterations);
   return result;
 }
 

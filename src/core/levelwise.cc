@@ -1,17 +1,47 @@
 #include "core/levelwise.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/apriori_gen.h"
 #include "core/audit.h"
 #include "core/theory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hgm {
+
+namespace {
+
+/// Publishes the run's Theorem 10 / Corollary 13 quantities as gauges so
+/// obs::LevelwiseBoundReportFromRegistry can compute bound ratios without
+/// holding the result struct.
+void PublishLevelwiseGauges(const LevelwiseResult& result, size_t n) {
+  if (!obs::MetricsOn()) return;
+  size_t rank = 0;
+  for (const Bitset& m : result.positive_border) {
+    rank = std::max(rank, m.Count());
+  }
+  uint64_t interesting = 0;
+  for (size_t c : result.interesting_per_level) interesting += c;
+  HGM_OBS_GAUGE_SET("levelwise.last_queries", result.queries);
+  HGM_OBS_GAUGE_SET("levelwise.last_theory_size", interesting);
+  HGM_OBS_GAUGE_SET("levelwise.last_positive_border",
+                    result.positive_border.size());
+  HGM_OBS_GAUGE_SET("levelwise.last_negative_border",
+                    result.negative_border.size());
+  HGM_OBS_GAUGE_SET("levelwise.last_rank", rank);
+  HGM_OBS_GAUGE_SET("levelwise.last_width", n);
+}
+
+}  // namespace
 
 LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
                              const LevelwiseOptions& options) {
   LevelwiseResult result;
   const size_t n = oracle->num_items();
+  HGM_OBS_COUNT("levelwise.runs", 1);
+  obs::TraceSpan run_span("levelwise.run", "core", {{"width", n}});
 
   auto ask = [&](const Bitset& x) {
     ++result.queries;
@@ -21,6 +51,8 @@ LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
   // Level 0: the unique most general sentence, ∅.
   ++result.candidates;
   result.candidates_per_level.push_back(1);
+  HGM_OBS_COUNT("levelwise.candidates", 1);
+  HGM_OBS_COUNT("levelwise.queries", 1);
   if (!ask(Bitset(n))) {
     // Nothing is interesting; Th = ∅ and Bd- = {∅}.
     result.negative_border.push_back(Bitset(n));
@@ -29,8 +61,11 @@ LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
       audit::AuditBorderDuality(result.positive_border,
                                 result.negative_border, n, "levelwise");
     }
+    PublishLevelwiseGauges(result, n);
+    run_span.AddArg("queries", result.queries);
     return result;
   }
+  HGM_OBS_COUNT("levelwise.interesting", 1);
   result.interesting_per_level.push_back(1);
   if (options.record_theory) result.theory.push_back(Bitset(n));
 
@@ -42,6 +77,7 @@ LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
 
   for (size_t k = 0; !level.empty() && k < options.max_level; ++k) {
     result.levels = k + 1;
+    obs::TraceSpan level_span("levelwise.level", "core", {{"level", k + 1}});
     std::vector<ItemVec> candidates;
     if (k == 0) {
       candidates = SingletonCandidates(n);
@@ -54,6 +90,8 @@ LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
     }
     result.candidates += candidates.size();
     result.candidates_per_level.push_back(candidates.size());
+    HGM_OBS_COUNT("levelwise.candidates", candidates.size());
+    HGM_OBS_OBSERVE("levelwise.level_candidates", candidates.size());
 
     // Step 4 of Algorithm 9: evaluate the whole level C_l as one batch —
     // the queries are mutually independent, so a parallel oracle may
@@ -65,6 +103,7 @@ LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
       batch.push_back(Bitset::FromIndices(n, cand));
     }
     result.queries += batch.size();
+    HGM_OBS_COUNT("levelwise.queries", batch.size());
     std::vector<uint8_t> verdicts = oracle->EvaluateBatch(batch);
 
     std::vector<ItemVec> next;
@@ -77,6 +116,10 @@ LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
       }
     }
     result.interesting_per_level.push_back(next.size());
+    HGM_OBS_COUNT("levelwise.interesting", next.size());
+    level_span.AddArg("candidates", candidates.size());
+    level_span.AddArg("interesting", next.size());
+    level_span.AddArg("border_growth", result.negative_border.size());
 
     // An interesting k-set is maximal iff it has no interesting
     // (k+1)-superset; apriori-gen completeness guarantees every interesting
@@ -135,6 +178,9 @@ LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
                                 result.negative_border, n, "levelwise");
     }
   }
+  PublishLevelwiseGauges(result, n);
+  run_span.AddArg("queries", result.queries);
+  run_span.AddArg("levels", result.levels);
   return result;
 }
 

@@ -24,6 +24,7 @@
 #include "common/bitset.h"
 #include "common/thread_pool.h"
 #include "core/audit.h"
+#include "obs/metrics.h"
 
 namespace hgm {
 
@@ -98,35 +99,82 @@ class CountingOracle : public InterestingnessOracle {
 
   bool IsInteresting(const Bitset& x) override {
     ++raw_queries_;
+    HGM_OBS_COUNT("oracle.raw_queries", 1);
     if (memoize_) {
       {
         std::shared_lock<std::shared_mutex> lock(mu_);
         auto it = cache_.find(x);
-        if (it != cache_.end()) return it->second;
+        if (it != cache_.end()) {
+          HGM_OBS_COUNT("oracle.cache_hits", 1);
+          return it->second;
+        }
       }
       bool v = inner_->IsInteresting(x);
       std::unique_lock<std::shared_mutex> lock(mu_);
-      if (cache_.emplace(x, v).second) ++distinct_queries_;
+      if (cache_.emplace(x, v).second) {
+        ++distinct_queries_;
+        HGM_OBS_COUNT("oracle.distinct_queries", 1);
+      }
       return v;
     }
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
-      if (seen_.insert(x).second) ++distinct_queries_;
+      if (seen_.insert(x).second) {
+        ++distinct_queries_;
+        HGM_OBS_COUNT("oracle.distinct_queries", 1);
+      }
     }
     return inner_->IsInteresting(x);
   }
 
   std::vector<uint8_t> EvaluateBatch(
       std::span<const Bitset> batch) override {
-    if (memoize_) {
-      // Memoized path answers element-wise through the cache.
-      return InterestingnessOracle::EvaluateBatch(batch);
-    }
+    // A batch of size m is exactly m raw queries in both modes (the
+    // paper's cost-model contract).
     raw_queries_ += batch.size();
+    HGM_OBS_COUNT("oracle.raw_queries", batch.size());
+    if (memoize_) {
+      // Split hits from misses, then forward the misses as ONE inner
+      // batch (mirroring CachedOracle::EvaluateBatch) — answering
+      // element-wise here would silently lose the inner oracle's
+      // parallel batching.
+      std::vector<uint8_t> out(batch.size(), 0);
+      std::vector<size_t> miss_idx;
+      std::vector<Bitset> misses;
+      {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          auto it = cache_.find(batch[i]);
+          if (it != cache_.end()) {
+            out[i] = it->second ? 1 : 0;
+          } else {
+            miss_idx.push_back(i);
+            misses.push_back(batch[i]);
+          }
+        }
+      }
+      HGM_OBS_COUNT("oracle.cache_hits", batch.size() - misses.size());
+      if (!misses.empty()) {
+        std::vector<uint8_t> answers = inner_->EvaluateBatch(misses);
+        std::unique_lock<std::shared_mutex> lock(mu_);
+        for (size_t j = 0; j < misses.size(); ++j) {
+          out[miss_idx[j]] = answers[j];
+          if (cache_.emplace(std::move(misses[j]), answers[j] != 0)
+                  .second) {
+            ++distinct_queries_;
+            HGM_OBS_COUNT("oracle.distinct_queries", 1);
+          }
+        }
+      }
+      return out;
+    }
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
       for (const Bitset& x : batch) {
-        if (seen_.insert(x).second) ++distinct_queries_;
+        if (seen_.insert(x).second) {
+          ++distinct_queries_;
+          HGM_OBS_COUNT("oracle.distinct_queries", 1);
+        }
       }
     }
     return inner_->EvaluateBatch(batch);
@@ -176,15 +224,20 @@ class CachedOracle : public InterestingnessOracle {
 
   bool IsInteresting(const Bitset& x) override {
     ++raw_queries_;
+    HGM_OBS_COUNT("oracle.raw_queries", 1);
     {
       std::shared_lock<std::shared_mutex> lock(mu_);
       auto it = cache_.find(x);
-      if (it != cache_.end()) return it->second;
+      if (it != cache_.end()) {
+        HGM_OBS_COUNT("oracle.cache_hits", 1);
+        return it->second;
+      }
     }
     // Deterministic oracle: a racing double-evaluation of the same
     // sentence is wasted work, never a wrong answer.
     bool v = inner_->IsInteresting(x);
     ++inner_evaluations_;
+    HGM_OBS_COUNT("oracle.inner_evaluations", 1);
     std::unique_lock<std::shared_mutex> lock(mu_);
     if (audit::kEnabled) AuditSpotCheck(x, v);
     cache_.emplace(x, v);
@@ -194,6 +247,7 @@ class CachedOracle : public InterestingnessOracle {
   std::vector<uint8_t> EvaluateBatch(
       std::span<const Bitset> batch) override {
     raw_queries_ += batch.size();
+    HGM_OBS_COUNT("oracle.raw_queries", batch.size());
     std::vector<uint8_t> out(batch.size(), 0);
     // Split hits from misses, then forward the misses as one (possibly
     // parallel) inner batch.
@@ -211,9 +265,11 @@ class CachedOracle : public InterestingnessOracle {
         }
       }
     }
+    HGM_OBS_COUNT("oracle.cache_hits", batch.size() - misses.size());
     if (!misses.empty()) {
       std::vector<uint8_t> answers = inner_->EvaluateBatch(misses);
       inner_evaluations_ += misses.size();
+      HGM_OBS_COUNT("oracle.inner_evaluations", misses.size());
       std::unique_lock<std::shared_mutex> lock(mu_);
       for (size_t j = 0; j < misses.size(); ++j) {
         out[miss_idx[j]] = answers[j];

@@ -4,6 +4,8 @@
 
 #include "core/theory.h"
 #include "hypergraph/transversal_mmcs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hgm {
 
@@ -29,6 +31,8 @@ RandomWalkResult RunRandomizedDualizeAdvance(
     const RandomWalkOptions& options) {
   RandomWalkResult result;
   const size_t n = oracle->num_items();
+  HGM_OBS_COUNT("rw.runs", 1);
+  obs::TraceSpan run_span("rw.run", "core", {{"width", n}});
   // Walks from ∅ and repeated dualization rounds re-ask many sentences;
   // the thread-safe cache answers repeats for free while still charging
   // every ask to raw_queries(), so result.queries (the paper's measure)
@@ -53,22 +57,34 @@ RandomWalkResult RunRandomizedDualizeAdvance(
   // Walk rounds alternate with certification dualizations.
   while (true) {
     // --- random-walk phase -------------------------------------------
-    size_t stale = 0;
-    for (size_t w = 0;
-         w < options.walks_per_round && stale < options.stale_walk_limit;
-         ++w) {
-      ++result.walks;
-      Bitset m = RandomMaximalExtension(&counter, Bitset(n), rng);
-      if (add_maximal(m)) {
-        ++result.found_by_walks;
-        stale = 0;
-      } else {
-        ++stale;
+    {
+      obs::TraceSpan walk_span("rw.walk_round", "core",
+                               {{"maximal_so_far", maximal.size()}});
+      size_t stale = 0;
+      size_t walks_this_round = 0;
+      for (size_t w = 0;
+           w < options.walks_per_round && stale < options.stale_walk_limit;
+           ++w) {
+        ++result.walks;
+        ++walks_this_round;
+        Bitset m = RandomMaximalExtension(&counter, Bitset(n), rng);
+        if (add_maximal(m)) {
+          ++result.found_by_walks;
+          stale = 0;
+        } else {
+          ++stale;
+        }
       }
+      HGM_OBS_COUNT("rw.walks", walks_this_round);
+      walk_span.AddArg("walks", walks_this_round);
+      walk_span.AddArg("maximal_after", maximal.size());
     }
 
     // --- dualization phase --------------------------------------------
     ++result.dualizations;
+    HGM_OBS_COUNT("rw.dualizations", 1);
+    obs::TraceSpan dual_span("rw.dualization", "core",
+                             {{"round", result.dualizations}});
     Hypergraph complements(n);
     for (const auto& m : maximal) complements.AddEdge(~m);
     MmcsEnumerator enumerator;
@@ -95,6 +111,11 @@ RandomWalkResult RunRandomizedDualizeAdvance(
   result.positive_border = std::move(maximal);
   CanonicalSort(&result.negative_border);
   result.queries = counter.raw_queries();
+  HGM_OBS_COUNT("rw.found_by_walks", result.found_by_walks);
+  HGM_OBS_COUNT("rw.queries", result.queries);
+  run_span.AddArg("queries", result.queries);
+  run_span.AddArg("walks", result.walks);
+  run_span.AddArg("dualizations", result.dualizations);
   return result;
 }
 

@@ -5,6 +5,9 @@
 #include <limits>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace hgm {
 
 std::vector<MinimalOccurrence> FindMinimalOccurrences(
@@ -63,6 +66,10 @@ MinepiResult MineMinimalOccurrences(const EventSequence& seq,
                                     const MinepiParams& params) {
   MinepiResult result;
   if (seq.size() == 0) return result;
+  HGM_OBS_COUNT("minepi.runs", 1);
+  obs::TraceSpan run_span("minepi.run", "episodes",
+                          {{"events", seq.size()},
+                           {"types", seq.num_types()}});
   const size_t num_types = seq.num_types();
 
   auto count = [&](const SerialEpisode& e) {
@@ -90,6 +97,8 @@ MinepiResult MineMinimalOccurrences(const EventSequence& seq,
   // minimal occurrence of the longer episode injects into one of the
   // shorter's) makes the join complete; middle deletions are not used.
   for (size_t k = 1; !level.empty() && k < params.max_size; ++k) {
+    obs::TraceSpan level_span("minepi.level", "episodes",
+                              {{"level", k + 1}});
     std::vector<SerialEpisode> candidates;
     for (const auto& alpha : level) {
       for (const auto& beta : level) {
@@ -115,8 +124,12 @@ MinepiResult MineMinimalOccurrences(const EventSequence& seq,
       }
     }
     result.frequent_per_level.push_back(next.size());
+    level_span.AddArg("candidates", candidates.size());
+    level_span.AddArg("frequent", next.size());
     level = std::move(next);
   }
+  HGM_OBS_COUNT("minepi.occurrence_scans", result.occurrence_scans);
+  run_span.AddArg("occurrence_scans", result.occurrence_scans);
   return result;
 }
 

@@ -9,6 +9,8 @@
 #include "core/theory.h"
 #include "mining/apriori.h"
 #include "mining/transaction_db.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hgm {
 
@@ -78,6 +80,10 @@ ParallelWinepiResult MineParallelEpisodes(const EventSequence& seq,
                                           const WinepiParams& params) {
   ParallelWinepiResult result;
   if (seq.size() == 0) return result;
+  HGM_OBS_COUNT("winepi.parallel_runs", 1);
+  obs::TraceSpan span("winepi.parallel", "episodes",
+                      {{"events", seq.size()},
+                       {"types", seq.num_types()}});
   TransactionDatabase db = WindowDatabase(seq, params.window_width);
   const size_t num_windows = db.num_transactions();
   AprioriOptions opts;
@@ -94,6 +100,8 @@ ParallelWinepiResult MineParallelEpisodes(const EventSequence& seq,
   result.candidates_per_level = std::move(mined.candidates_per_level);
   result.frequent_per_level = std::move(mined.frequent_per_level);
   result.frequency_evaluations = mined.support_counts;
+  HGM_OBS_COUNT("winepi.frequency_evaluations", result.frequency_evaluations);
+  span.AddArg("frequency_evaluations", result.frequency_evaluations);
   return result;
 }
 
@@ -101,6 +109,10 @@ SerialWinepiResult MineSerialEpisodes(const EventSequence& seq,
                                       const WinepiParams& params) {
   SerialWinepiResult result;
   if (seq.size() == 0) return result;
+  HGM_OBS_COUNT("winepi.serial_runs", 1);
+  obs::TraceSpan run_span("winepi.serial", "episodes",
+                          {{"events", seq.size()},
+                           {"types", seq.num_types()}});
   const size_t num_types = seq.num_types();
 
   // Level 1: single event types.
@@ -120,6 +132,8 @@ SerialWinepiResult MineSerialEpisodes(const EventSequence& seq,
   result.frequent_per_level[1] = level.size();
 
   for (size_t k = 1; !level.empty() && k < params.max_size; ++k) {
+    obs::TraceSpan level_span("winepi.serial_level", "episodes",
+                              {{"level", k + 1}});
     // Join: alpha + beta.back() when alpha's suffix equals beta's prefix.
     std::set<SerialEpisode> level_set(level.begin(), level.end());
     std::vector<SerialEpisode> candidates;
@@ -158,8 +172,12 @@ SerialWinepiResult MineSerialEpisodes(const EventSequence& seq,
       }
     }
     result.frequent_per_level.push_back(next.size());
+    level_span.AddArg("candidates", candidates.size());
+    level_span.AddArg("frequent", next.size());
     level = std::move(next);
   }
+  HGM_OBS_COUNT("winepi.frequency_evaluations", result.frequency_evaluations);
+  run_span.AddArg("frequency_evaluations", result.frequency_evaluations);
   return result;
 }
 

@@ -6,11 +6,15 @@
 #include "core/theory.h"
 #include "hypergraph/hypergraph.h"
 #include "hypergraph/transversal_berge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hgm {
 
 FdMiningResult FdsForRhsViaHypergraph(const RelationInstance& r,
                                       size_t rhs) {
+  HGM_OBS_COUNT("fd.rhs_runs", 1);
+  obs::TraceSpan span("fd.rhs_hypergraph", "fd", {{"rhs", rhs}});
   FdMiningResult result;
   const size_t n = r.num_attributes();
   // Difference sets of row pairs that disagree on rhs.
@@ -33,6 +37,8 @@ FdMiningResult FdsForRhsViaHypergraph(const RelationInstance& r,
 }
 
 FdMiningResult FdsForRhsLevelwise(const RelationInstance& r, size_t rhs) {
+  HGM_OBS_COUNT("fd.rhs_runs", 1);
+  obs::TraceSpan span("fd.rhs_levelwise", "fd", {{"rhs", rhs}});
   FdViolationOracle oracle(&r, rhs);
   CountingOracle counter(&oracle);
   LevelwiseOptions opts;

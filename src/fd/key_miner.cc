@@ -4,6 +4,8 @@
 #include "core/levelwise.h"
 #include "core/theory.h"
 #include "hypergraph/transversal_berge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hgm {
 
@@ -20,6 +22,10 @@ std::vector<Bitset> MaximalAgreeSets(const RelationInstance& r) {
 }
 
 KeyMiningResult KeysViaAgreeSets(const RelationInstance& r) {
+  HGM_OBS_COUNT("keys.runs", 1);
+  obs::TraceSpan span("keys.agree_sets", "fd",
+                      {{"rows", r.num_rows()},
+                       {"attributes", r.num_attributes()}});
   KeyMiningResult result;
   result.maximal_non_keys = MaximalAgreeSets(r);
   const size_t n = r.num_attributes();
@@ -51,6 +57,10 @@ KeyMiningResult PackageBorders(std::vector<Bitset> positive_border,
 }  // namespace
 
 KeyMiningResult KeysLevelwise(const RelationInstance& r) {
+  HGM_OBS_COUNT("keys.runs", 1);
+  obs::TraceSpan span("keys.levelwise", "fd",
+                      {{"rows", r.num_rows()},
+                       {"attributes", r.num_attributes()}});
   NonKeyOracle oracle(&r);
   CountingOracle counter(&oracle);
   LevelwiseOptions opts;
@@ -64,6 +74,10 @@ KeyMiningResult KeysLevelwise(const RelationInstance& r) {
 }
 
 KeyMiningResult KeysDualizeAdvance(const RelationInstance& r) {
+  HGM_OBS_COUNT("keys.runs", 1);
+  obs::TraceSpan span("keys.dualize_advance", "fd",
+                      {{"rows", r.num_rows()},
+                       {"attributes", r.num_attributes()}});
   NonKeyOracle oracle(&r);
   // Dualize-and-Advance re-enumerates transversals across iterations and
   // so repeats queries; the cache answers repeats without touching the

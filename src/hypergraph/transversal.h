@@ -17,6 +17,8 @@
 
 #include "common/bitset.h"
 #include "hypergraph/hypergraph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hgm {
 
@@ -28,6 +30,47 @@ struct TransversalStats {
   uint64_t checks = 0;
   /// Recursive calls (Fredman-Khachiyan) or levels (levelwise).
   uint64_t recursion_nodes = 0;
+};
+
+/// RAII telemetry for one Compute() call: opens an "htr.<engine>.compute"
+/// trace span and, on destruction, rolls the stats delta accumulated during
+/// the call into htr.<engine>.* counters.  Engines instantiate one at the
+/// top of Compute() (after resetting stats_), which covers every return
+/// path.  Compute() is a cold entry point relative to its own inner loops,
+/// so the dynamic metric names here go through the registry map instead of
+/// the static-handle macros.
+class TransversalComputeScope {
+ public:
+  TransversalComputeScope(const std::string& engine, const Hypergraph& h,
+                          const TransversalStats* stats)
+      : engine_(engine),
+        stats_(stats),
+        before_(*stats),
+        span_("htr." + engine + ".compute", "htr",
+              {{"edges", h.num_edges()}, {"vertices", h.num_vertices()}}) {}
+
+  TransversalComputeScope(const TransversalComputeScope&) = delete;
+  TransversalComputeScope& operator=(const TransversalComputeScope&) = delete;
+
+  ~TransversalComputeScope() {
+    span_.AddArg("candidates", stats_->candidates - before_.candidates);
+    span_.AddArg("checks", stats_->checks - before_.checks);
+    if (!obs::MetricsOn()) return;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("htr." + engine_ + ".computes").Add(1);
+    reg.GetCounter("htr." + engine_ + ".candidates")
+        .Add(stats_->candidates - before_.candidates);
+    reg.GetCounter("htr." + engine_ + ".checks")
+        .Add(stats_->checks - before_.checks);
+    reg.GetCounter("htr." + engine_ + ".recursion_nodes")
+        .Add(stats_->recursion_nodes - before_.recursion_nodes);
+  }
+
+ private:
+  std::string engine_;
+  const TransversalStats* stats_;
+  TransversalStats before_;
+  obs::TraceSpan span_;  // destroyed after the body above, so AddArg works
 };
 
 /// Batch interface: computes Tr(H) in one call.

@@ -31,6 +31,7 @@ bool IsMinimalForPrefix(const std::vector<Bitset>& edges, size_t prefix_len,
 
 Hypergraph BergeTransversals::Compute(const Hypergraph& h) {
   stats_ = TransversalStats();
+  TransversalComputeScope obs_scope(name(), h, &stats_);
   peak_intermediate_size_ = 0;
 
   Hypergraph input = h;

@@ -7,6 +7,7 @@ namespace hgm {
 
 Hypergraph BruteForceTransversals::Compute(const Hypergraph& h) {
   stats_ = TransversalStats();
+  TransversalComputeScope obs_scope(name(), h, &stats_);
   const size_t n = h.num_vertices();
   HGMINE_CHECK_LE(n, 26)
       << "; brute-force transversal enumeration walks all 2^n subsets";

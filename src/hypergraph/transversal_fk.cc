@@ -247,6 +247,7 @@ bool FkTransversalEnumerator::Next(Bitset* out) {
 
 Hypergraph FkTransversals::Compute(const Hypergraph& h) {
   stats_ = TransversalStats();
+  TransversalComputeScope obs_scope(name(), h, &stats_);
   FkTransversalEnumerator en;
   en.Reset(h);
   Hypergraph result(h.num_vertices());

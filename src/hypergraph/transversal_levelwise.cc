@@ -10,6 +10,7 @@ namespace hgm {
 
 Hypergraph LevelwiseTransversals::Compute(const Hypergraph& h) {
   stats_ = TransversalStats();
+  TransversalComputeScope obs_scope(name(), h, &stats_);
   queries_ = 0;
   levels_ = 0;
   const size_t n = h.num_vertices();

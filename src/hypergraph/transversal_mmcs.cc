@@ -133,6 +133,7 @@ bool MmcsEnumerator::Next(Bitset* out) {
 
 Hypergraph MmcsTransversals::Compute(const Hypergraph& h) {
   stats_ = TransversalStats();
+  TransversalComputeScope obs_scope(name(), h, &stats_);
   MmcsEnumerator en;
   en.Reset(h);
   Hypergraph result(h.num_vertices());

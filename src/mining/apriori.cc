@@ -7,6 +7,8 @@
 #include "common/apriori_gen.h"
 #include "core/theory.h"
 #include "mining/hash_tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hgm {
 
@@ -28,6 +30,9 @@ AprioriResult MineFrequentSets(TransactionDatabase* db, size_t min_support,
   const size_t n = db->num_items();
   const size_t num_rows = db->num_transactions();
   ThreadPool* pool = PoolOrGlobal(options.pool);
+  HGM_OBS_COUNT("apriori.runs", 1);
+  obs::TraceSpan run_span("apriori.run", "mining",
+                          {{"items", n}, {"rows", num_rows}});
 
   // Level 0: the empty itemset.
   ++result.support_counts;
@@ -47,6 +52,8 @@ AprioriResult MineFrequentSets(TransactionDatabase* db, size_t min_support,
   // Level 1: items.
   std::vector<LevelEntry> level;
   {
+    obs::TraceSpan level_span("apriori.level", "mining",
+                              {{"level", 1}, {"candidates", n}});
     result.candidates_per_level.push_back(n);
     size_t kept = 0;
     for (size_t item = 0; item < n; ++item) {
@@ -67,6 +74,9 @@ AprioriResult MineFrequentSets(TransactionDatabase* db, size_t min_support,
       }
     }
     result.frequent_per_level.push_back(kept);
+    HGM_OBS_COUNT("apriori.candidates", n);
+    HGM_OBS_COUNT("apriori.frequent", kept);
+    level_span.AddArg("frequent", kept);
   }
 
   std::vector<Bitset> maximal;
@@ -74,6 +84,8 @@ AprioriResult MineFrequentSets(TransactionDatabase* db, size_t min_support,
 
   // Levels k -> k+1.
   for (size_t k = 1; !level.empty() && k < options.max_level; ++k) {
+    obs::TraceSpan level_span("apriori.level", "mining",
+                              {{"level", k + 1}});
     // Membership set for the prune step.
     std::unordered_set<Bitset, BitsetHash> level_set;
     for (const auto& e : level) {
@@ -171,6 +183,11 @@ AprioriResult MineFrequentSets(TransactionDatabase* db, size_t min_support,
     }
     result.candidates_per_level.push_back(candidates.size());
     result.frequent_per_level.push_back(next.size());
+    HGM_OBS_COUNT("apriori.candidates", candidates.size());
+    HGM_OBS_COUNT("apriori.frequent", next.size());
+    HGM_OBS_OBSERVE("apriori.level_candidates", candidates.size());
+    level_span.AddArg("candidates", candidates.size());
+    level_span.AddArg("frequent", next.size());
 
     // Maximality: a frequent k-set is maximal iff no frequent
     // (k+1)-superset exists.  The join marks only the two parents, so
@@ -205,6 +222,9 @@ AprioriResult MineFrequentSets(TransactionDatabase* db, size_t min_support,
               if (ca != cb) return ca < cb;
               return a.items < b.items;
             });
+  HGM_OBS_COUNT("apriori.support_counts", result.support_counts);
+  run_span.AddArg("support_counts", result.support_counts);
+  run_span.AddArg("maximal", result.maximal.size());
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "common/thread_pool.h"
 #include "core/oracle.h"
 #include "mining/transaction_db.h"
+#include "obs/metrics.h"
 
 namespace hgm {
 
@@ -37,6 +38,7 @@ class FrequencyOracle : public InterestingnessOracle {
         pool_(PoolOrGlobal(pool)) {}
 
   bool IsInteresting(const Bitset& x) override {
+    HGM_OBS_COUNT("freq.support_queries", 1);
     if (use_vertical_) return db_->SupportAtLeast(x, min_support_);
     return db_->Support(x) >= min_support_;
   }
@@ -45,6 +47,9 @@ class FrequencyOracle : public InterestingnessOracle {
       std::span<const Bitset> batch) override {
     std::vector<uint8_t> out(batch.size(), 0);
     if (batch.empty()) return out;
+    HGM_OBS_COUNT("freq.support_queries", batch.size());
+    HGM_OBS_COUNT("freq.batches", 1);
+    HGM_OBS_OBSERVE("freq.batch_size", batch.size());
     if (use_vertical_) {
       // Parallel across candidates: each evaluates its own word-streamed
       // tidset intersection against the prebuilt vertical index.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace hgm {
 
 CandidateHashTree::CandidateHashTree(const std::vector<ItemVec>& candidates,
@@ -16,6 +18,9 @@ CandidateHashTree::CandidateHashTree(const std::vector<ItemVec>& candidates,
     assert(candidates_[c].size() == k_);
     Insert(0, 0, c);
   }
+  HGM_OBS_COUNT("hash_tree.builds", 1);
+  HGM_OBS_COUNT("hash_tree.nodes", nodes_.size());
+  HGM_OBS_OBSERVE("hash_tree.candidates", candidates_.size());
 }
 
 void CandidateHashTree::Insert(size_t node, size_t depth,
@@ -49,13 +54,16 @@ void CandidateHashTree::Visit(size_t node, size_t depth,
                               const std::vector<uint32_t>& row,
                               size_t start, const Bitset& row_bits,
                               int64_t tid, std::vector<int64_t>* last_tid,
-                              std::vector<size_t>* counts) const {
+                              std::vector<size_t>* counts,
+                              VisitTally* tally) const {
   const Node& nd = nodes_[node];
+  ++tally->node_visits;
   if (nd.is_leaf) {
     for (uint32_t c : nd.leaf_candidates) {
       // A leaf can be reached along several hash paths of the same
       // transaction; the per-candidate tid marker prevents double counts.
       if ((*last_tid)[c] == tid) continue;
+      ++tally->leaf_tests;
       bool contained = true;
       for (uint32_t item : candidates_[c]) {
         if (!row_bits.Test(item)) {
@@ -77,7 +85,7 @@ void CandidateHashTree::Visit(size_t node, size_t depth,
     int32_t child = nd.children[Hash(row[i])];
     if (child >= 0) {
       Visit(static_cast<size_t>(child), depth + 1, row, i + 1, row_bits,
-            tid, last_tid, counts);
+            tid, last_tid, counts, tally);
     }
   }
 }
@@ -110,6 +118,7 @@ void CandidateHashTree::CountChunk(const TransactionDatabase& db,
                                    std::vector<size_t>* counts) const {
   std::vector<int64_t> last_tid(candidates_.size(), -1);
   std::vector<uint32_t> row_items;
+  VisitTally tally;  // chunk-local; flushed once below
   for (size_t t = row_begin; t < row_end; ++t) {
     const Bitset& row = db.row(t);
     const int64_t tid = static_cast<int64_t>(t) + 1;
@@ -117,8 +126,11 @@ void CandidateHashTree::CountChunk(const TransactionDatabase& db,
     row_items.clear();
     row.ForEach(
         [&](size_t v) { row_items.push_back(static_cast<uint32_t>(v)); });
-    Visit(0, 0, row_items, 0, row, tid, &last_tid, counts);
+    Visit(0, 0, row_items, 0, row, tid, &last_tid, counts, &tally);
   }
+  HGM_OBS_COUNT("hash_tree.rows_scanned", row_end - row_begin);
+  HGM_OBS_COUNT("hash_tree.node_visits", tally.node_visits);
+  HGM_OBS_COUNT("hash_tree.leaf_tests", tally.leaf_tests);
 }
 
 std::vector<size_t> CountSupportsHashTree(

@@ -51,6 +51,14 @@ class CandidateHashTree {
     std::vector<int32_t> children;           // kFanout entries, -1 = none
   };
 
+  /// Per-chunk telemetry tallies, accumulated locally during a chunk walk
+  /// and flushed to the metrics registry once per chunk (so the recursive
+  /// hot path never touches shared counters).
+  struct VisitTally {
+    uint64_t node_visits = 0;
+    uint64_t leaf_tests = 0;
+  };
+
   size_t Hash(uint32_t item) const { return item % kFanout; }
   void Insert(size_t node, size_t depth, uint32_t candidate_index);
   void SplitLeaf(size_t node, size_t depth);
@@ -58,8 +66,8 @@ class CandidateHashTree {
                   size_t row_end, std::vector<size_t>* counts) const;
   void Visit(size_t node, size_t depth, const std::vector<uint32_t>& row,
              size_t start, const Bitset& row_bits, int64_t tid,
-             std::vector<int64_t>* last_tid,
-             std::vector<size_t>* counts) const;
+             std::vector<int64_t>* last_tid, std::vector<size_t>* counts,
+             VisitTally* tally) const;
 
   std::vector<ItemVec> candidates_;
   size_t k_ = 0;

@@ -1,0 +1,99 @@
+#include "obs/export.h"
+
+#include <cctype>
+
+#include "common/table_printer.h"
+
+namespace hgm {
+namespace obs {
+
+namespace {
+
+std::string Indent(int n) { return std::string(static_cast<size_t>(n), ' '); }
+
+}  // namespace
+
+void WriteJsonSnapshot(const MetricsSnapshot& snap, std::ostream& os,
+                       int indent) {
+  const std::string pad = Indent(indent);
+  const std::string in1 = Indent(indent + 2);
+  const std::string in2 = Indent(indent + 4);
+  os << "{\n" << in1 << "\"counters\": {";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i ? "," : "") << "\n"
+       << in2 << "\"" << snap.counters[i].first
+       << "\": " << snap.counters[i].second;
+  }
+  os << (snap.counters.empty() ? "" : "\n" + in1) << "},\n";
+  os << in1 << "\"gauges\": {";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i ? "," : "") << "\n"
+       << in2 << "\"" << snap.gauges[i].first
+       << "\": " << snap.gauges[i].second;
+  }
+  os << (snap.gauges.empty() ? "" : "\n" + in1) << "},\n";
+  os << in1 << "\"histograms\": {";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    os << (i ? "," : "") << "\n"
+       << in2 << "\"" << name << "\": {\"count\": " << h.count
+       << ", \"sum\": " << h.sum << ", \"max\": " << h.max
+       << ", \"buckets\": [";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b ? ", " : "") << "[" << h.buckets[b].first << ", "
+         << h.buckets[b].second << "]";
+    }
+    os << "]}";
+  }
+  os << (snap.histograms.empty() ? "" : "\n" + in1) << "}\n" << pad << "}";
+  if (indent == 0) os << "\n";
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "hgm_";
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+
+void WritePrometheus(const MetricsSnapshot& snap, std::ostream& os) {
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = PrometheusName(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = PrometheusName(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string p = PrometheusName(name);
+    os << "# TYPE " << p << " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [upper, count] : h.buckets) {
+      cumulative += count;
+      os << p << "_bucket{le=\"" << upper << "\"} " << cumulative << "\n";
+    }
+    os << p << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << p << "_sum " << h.sum << "\n";
+    os << p << "_count " << h.count << "\n";
+  }
+}
+
+void PrintMetricsTable(const MetricsSnapshot& snap, std::ostream& os) {
+  TablePrinter t({"metric", "kind", "value", "detail"});
+  for (const auto& [name, value] : snap.counters) {
+    t.NewRow().Add(name).Add("counter").Add(value).Add("");
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    t.NewRow().Add(name).Add("gauge").Add(value).Add("");
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    t.NewRow().Add(name).Add("histogram").Add(h.count).Add(
+        "sum=" + std::to_string(h.sum) + " max=" + std::to_string(h.max));
+  }
+  t.Print(os);
+}
+
+}  // namespace obs
+}  // namespace hgm

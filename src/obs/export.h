@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file export.h
+/// \brief Exporters for the metrics registry: JSON snapshot,
+/// Prometheus-style text, and a human-readable table.
+///
+/// All three render a MetricsSnapshot, so a single consistent snapshot can
+/// be exported through several formats (the CLI's --metrics flag, the
+/// bench JSON telemetry sections, and interactive table dumps).
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace hgm {
+namespace obs {
+
+/// Writes the snapshot as a JSON object:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {name: {"count":..,"sum":..,"max":..,
+///                          "buckets":[[upper,count],...]}, ...}}
+void WriteJsonSnapshot(const MetricsSnapshot& snap, std::ostream& os,
+                       int indent = 0);
+
+/// Writes the snapshot in Prometheus text exposition format.  Metric
+/// names are prefixed "hgm_" with non-alphanumerics mapped to '_';
+/// histograms expand to cumulative _bucket{le="..."} series plus _sum and
+/// _count.
+void WritePrometheus(const MetricsSnapshot& snap, std::ostream& os);
+
+/// Renders the snapshot as an aligned text table (via TablePrinter):
+/// one row per counter/gauge, histograms as count/sum/max rows.
+void PrintMetricsTable(const MetricsSnapshot& snap, std::ostream& os);
+
+/// Prometheus-safe name: "oracle.raw_queries" -> "hgm_oracle_raw_queries".
+std::string PrometheusName(const std::string& name);
+
+}  // namespace obs
+}  // namespace hgm

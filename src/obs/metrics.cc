@@ -1,0 +1,112 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace hgm {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next_shard{0};
+  thread_local size_t shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+void EnableMetrics(bool on) {
+  internal::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name,
+                                       uint64_t fallback) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name,
+                                    int64_t fallback) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->Count();
+    hs.sum = h->Sum();
+    hs.max = h->Max();
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      uint64_t c = h->BucketCount(b);
+      if (c != 0) {
+        hs.buckets.emplace_back(Histogram::BucketUpperBound(b), c);
+      }
+    }
+    snap.histograms.emplace_back(name, std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace hgm

@@ -1,0 +1,253 @@
+#pragma once
+
+/// \file metrics.h
+/// \brief Process-wide metrics registry: named counters, gauges, and
+/// log-bucketed histograms.
+///
+/// The paper's entire contribution is cost accounting — Theorem 10's exact
+/// |Th| + |Bd-(Th)| query count, Corollary 13's 2^k*n*|MTh| bound, Theorem
+/// 21's |MTh|*(|Bd-| + rank*width) bound — and this registry makes those
+/// quantities continuously observable instead of scattered struct fields.
+/// Every miner, oracle, transversal engine, and the thread pool charge
+/// named metrics here; exporters (obs/export.h) snapshot them as JSON,
+/// Prometheus text, or a human table, and obs/bound_report.h computes
+/// observed-vs-theoretical ratios from the live values.
+///
+/// Design constraints, in order:
+///  1. near-zero overhead when idle: every hot-path charge is gated on
+///     MetricsOn(), a single relaxed atomic load, and resolves its metric
+///     handle at most once (function-local static);
+///  2. thread-safe and *exact* under concurrency: counters are sharded
+///     across cache-line-padded atomic cells (one shard per thread, modulo
+///     kMetricShards) so parallel oracle batches never contend on one line,
+///     and reads sum the shards — modeled on audit_stats' process-wide
+///     atomic tallies;
+///  3. registration is lazy and lock-guarded (cold path only); handles
+///     returned by the registry are stable for the process lifetime.
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hgm {
+namespace obs {
+
+namespace internal {
+/// The process-wide "metrics requested" flag behind MetricsOn().
+extern std::atomic<bool> g_metrics_enabled;
+
+/// Shard index of the calling thread (round-robin assigned at first use).
+size_t ThisThreadShard();
+}  // namespace internal
+
+/// Counter shard count; threads map onto shards round-robin, so up to
+/// kMetricShards threads increment without sharing a cache line.
+inline constexpr size_t kMetricShards = 16;
+
+/// True iff telemetry collection was requested (EnableMetrics).  All hot
+/// paths gate their charges on this: one relaxed load when idle.
+inline bool MetricsOn() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns metric collection on or off (off is the process default).
+void EnableMetrics(bool on = true);
+
+/// A named monotone counter, sharded per-thread to avoid contention on the
+/// hot oracle path.  Value() sums the shards (read single-threaded after
+/// the parallel region, like AtomicCounter).
+class Counter {
+ public:
+  void Add(uint64_t d) {
+    shards_[internal::ThisThreadShard()].v.fetch_add(
+        d, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kMetricShards];
+  std::string name_;
+};
+
+/// A named point-in-time value (last-write-wins; e.g. "|Bd-| of the most
+/// recent levelwise run").
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::atomic<int64_t> v_{0};
+  std::string name_;
+};
+
+/// A log-bucketed histogram over non-negative integer observations
+/// (batch sizes, per-level candidate counts, span durations in
+/// microseconds).  Bucket b >= 1 holds values in [2^(b-1), 2^b - 1];
+/// bucket 0 holds the value 0.  Exact count/sum/max under concurrent
+/// Observe() calls.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;  // bit_width(uint64) + 1
+
+  void Observe(uint64_t v) {
+    buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Count in bucket \p b (see class comment for the value range).
+  uint64_t BucketCount(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket \p b: 0 for b = 0, else 2^b - 1.
+  static uint64_t BucketUpperBound(size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~uint64_t{0};
+    return (uint64_t{1} << b) - 1;
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::string name_;
+};
+
+/// Point-in-time copy of one histogram, for exporters.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  /// (inclusive upper bound, count) for every nonempty bucket, ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+};
+
+/// Point-in-time copy of the whole registry, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Value of counter \p name, or \p fallback if never registered.
+  uint64_t CounterValue(const std::string& name, uint64_t fallback = 0) const;
+  /// Value of gauge \p name, or \p fallback if never registered.
+  int64_t GaugeValue(const std::string& name, int64_t fallback = 0) const;
+};
+
+/// The process-wide metric namespace.  Get* registers on first use (cold,
+/// mutex-guarded) and returns a stable reference; hot paths cache it in a
+/// function-local static (see HGM_OBS_COUNT).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Copies every metric's current value, sorted by name.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (registrations persist).
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  // std::map: deterministic export order; unique_ptr: stable addresses.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace hgm
+
+/// Charges \p delta to counter \p name iff metrics are on.  The registry
+/// lookup runs at most once per call site (function-local static), so the
+/// steady-state cost is one relaxed load + one sharded relaxed add.
+#define HGM_OBS_COUNT(name, delta)                                        \
+  do {                                                                    \
+    if (hgm::obs::MetricsOn()) {                                          \
+      static hgm::obs::Counter& hgm_obs_counter_ =                        \
+          hgm::obs::MetricsRegistry::Global().GetCounter(name);           \
+      hgm_obs_counter_.Add(static_cast<uint64_t>(delta));                 \
+    }                                                                     \
+  } while (0)
+
+/// Records \p value into histogram \p name iff metrics are on.
+#define HGM_OBS_OBSERVE(name, value)                                      \
+  do {                                                                    \
+    if (hgm::obs::MetricsOn()) {                                          \
+      static hgm::obs::Histogram& hgm_obs_histogram_ =                    \
+          hgm::obs::MetricsRegistry::Global().GetHistogram(name);         \
+      hgm_obs_histogram_.Observe(static_cast<uint64_t>(value));           \
+    }                                                                     \
+  } while (0)
+
+/// Sets gauge \p name to \p value iff metrics are on.
+#define HGM_OBS_GAUGE_SET(name, value)                                    \
+  do {                                                                    \
+    if (hgm::obs::MetricsOn()) {                                          \
+      static hgm::obs::Gauge& hgm_obs_gauge_ =                            \
+          hgm::obs::MetricsRegistry::Global().GetGauge(name);             \
+      hgm_obs_gauge_.Set(static_cast<int64_t>(value));                    \
+    }                                                                     \
+  } while (0)

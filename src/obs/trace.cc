@@ -1,0 +1,153 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace hgm {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+/// Small dense thread ids for the "tid" field (thread::id is opaque).
+uint32_t ThisThreadTraceId() {
+  static std::atomic<uint32_t> next_tid{1};
+  thread_local uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// Escapes a string for embedding in a JSON string literal.  Span names
+/// are engine/phase identifiers, so this is mostly a no-op, but parser
+/// well-formedness must not depend on that.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace internal
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never dies
+  return *tracer;
+}
+
+void Tracer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    origin_.Reset();
+  }
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::NowMicros() const {
+  return static_cast<uint64_t>(origin_.Micros());
+}
+
+void Tracer::Emit(char phase, const std::string& name, const char* category,
+                  uint64_t ts_us, const std::string& args_json) {
+  Event e;
+  e.phase = phase;
+  e.name = name;
+  e.category = category;
+  e.ts_us = ts_us;
+  e.tid = internal::ThisThreadTraceId();
+  e.args_json = args_json;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void Tracer::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\": [\n";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    os << "  {\"name\": \"" << internal::JsonEscape(e.name)
+       << "\", \"cat\": \"" << e.category << "\", \"ph\": \"" << e.phase
+       << "\", \"ts\": " << e.ts_us << ", \"pid\": 1, \"tid\": " << e.tid;
+    if (!e.args_json.empty()) {
+      os << ", \"args\": {" << e.args_json << "}";
+    }
+    os << "}" << (i + 1 < events_.size() ? "," : "") << "\n";
+  }
+  os << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+namespace {
+
+void AppendArg(std::string* out, const char* key, uint64_t value) {
+  if (!out->empty()) *out += ", ";
+  *out += "\"";
+  *out += key;
+  *out += "\": ";
+  *out += std::to_string(value);
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(std::string name, const char* category,
+                     std::initializer_list<TraceArg> args)
+    : active_(TracingOn()),
+      name_(active_ ? std::move(name) : std::string()),
+      category_(category) {
+  if (!active_) return;
+  std::string begin_args;
+  for (const TraceArg& a : args) AppendArg(&begin_args, a.first, a.second);
+  Tracer& tracer = Tracer::Global();
+  tracer.Emit('B', name_, category_, tracer.NowMicros(), begin_args);
+}
+
+void TraceSpan::AddArg(const char* key, uint64_t value) {
+  if (!active_) return;
+  AppendArg(&end_args_, key, value);
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::Global();
+  tracer.Emit('E', name_, category_, tracer.NowMicros(), end_args_);
+}
+
+}  // namespace obs
+}  // namespace hgm

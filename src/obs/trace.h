@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file trace.h
+/// \brief Phase tracer emitting Chrome/Perfetto trace-event JSON.
+///
+/// Every structural phase of the miners opens a TraceSpan: each levelwise
+/// level, each Dualize-and-Advance iteration, each transversal-engine
+/// compute, each random-walk round, each thread-pool batch.  When tracing
+/// is off (the process default) a span is one relaxed load in the
+/// constructor and nothing else; when on, it records paired "B"/"E"
+/// duration events with per-thread ids, which load directly in
+/// chrome://tracing and ui.perfetto.dev.
+///
+/// Timestamps are microseconds on the steady clock relative to Start(),
+/// so traces are immune to wall-clock steps and diffable across runs.
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace hgm {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// True iff span collection was requested (Tracer::Start).
+inline bool TracingOn() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// One span argument: a named integer (counts, level numbers, sizes).
+using TraceArg = std::pair<const char*, uint64_t>;
+
+/// The process-wide trace-event collector.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Clears the buffer, re-zeroes the time origin, and starts collecting.
+  void Start();
+
+  /// Stops collecting; buffered events stay available for WriteJson.
+  void Stop();
+
+  /// Serializes the buffer as Chrome trace-event JSON (JSON-object form,
+  /// {"traceEvents": [...]}).  Call after Stop(); spans still open on
+  /// other threads would otherwise serialize unbalanced.
+  void WriteJson(std::ostream& os) const;
+
+  /// Buffered event count ("B" and "E" each count once).
+  size_t num_events() const;
+
+  /// Drops all buffered events.
+  void Clear();
+
+  /// Microseconds since Start() on the steady clock.
+  uint64_t NowMicros() const;
+
+  /// Appends one raw event; used by TraceSpan.  \p args_json is either
+  /// empty or a JSON object body like "\"level\":3" (no braces).
+  void Emit(char phase, const std::string& name, const char* category,
+            uint64_t ts_us, const std::string& args_json);
+
+ private:
+  Tracer() = default;
+
+  struct Event {
+    char phase;  // 'B' or 'E'
+    std::string name;
+    const char* category;
+    uint64_t ts_us;
+    uint32_t tid;
+    std::string args_json;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  StopWatch origin_;  // Start() resets it; NowMicros() reads it
+};
+
+/// RAII duration span.  Construction emits "B", destruction emits "E";
+/// args attached at either point ride on the matching event.  A span
+/// constructed while tracing is off stays inert even if tracing starts
+/// before its destructor runs, so every "B" has its "E".
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, const char* category = "hgm",
+                     std::initializer_list<TraceArg> args = {});
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an argument to the closing "E" event (e.g. a count that is
+  /// only known once the phase finishes).
+  void AddArg(const char* key, uint64_t value);
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_;
+  std::string name_;
+  const char* category_;
+  std::string end_args_;
+};
+
+}  // namespace obs
+}  // namespace hgm

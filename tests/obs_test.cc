@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/levelwise.h"
+#include "core/oracle.h"
+#include "mining/frequency_oracle.h"
+#include "mining/transaction_db.h"
+#include "obs/bound_report.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hgm {
+namespace {
+
+/// Every test owns the process-global registry/tracer state: it turns
+/// telemetry on or off explicitly and resets both on entry and exit, so
+/// test order never matters.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::EnableMetrics(false);
+    obs::Tracer::Global().Stop();
+    obs::MetricsRegistry::Global().Reset();
+    obs::Tracer::Global().Clear();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+TEST_F(ObsTest, CountersExactUnderConcurrentHammering) {
+  obs::EnableMetrics(true);
+  obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("test.hammer");
+  obs::Histogram& hist =
+      obs::MetricsRegistry::Global().GetHistogram("test.hammer_hist");
+
+  ThreadPool pool(8);
+  const size_t kItems = 100000;
+  pool.ParallelFor(kItems, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      counter.Add(1);
+      hist.Observe(i % 1000);
+    }
+  });
+
+  EXPECT_EQ(counter.Value(), kItems);
+  EXPECT_EQ(hist.Count(), kItems);
+  // Sum of i % 1000 over [0, 100000): 100 full cycles of 0..999.
+  EXPECT_EQ(hist.Sum(), 100u * (999u * 1000u / 2));
+  EXPECT_EQ(hist.Max(), 999u);
+  // Bucket totals must account for every observation exactly.
+  uint64_t bucket_total = 0;
+  for (size_t b = 0; b < obs::Histogram::kBuckets; ++b) {
+    bucket_total += hist.BucketCount(b);
+  }
+  EXPECT_EQ(bucket_total, kItems);
+}
+
+TEST_F(ObsTest, CounterChargesAreDroppedWhileDisabled) {
+  // Macro-site charges are inert when metrics are off...
+  HGM_OBS_COUNT("test.gated", 5);
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.CounterValue("test.gated", 0), 0u);
+  // ...and take effect once enabled.
+  obs::EnableMetrics(true);
+  HGM_OBS_COUNT("test.gated", 5);
+  snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.CounterValue("test.gated", 0), 5u);
+}
+
+TEST_F(ObsTest, GaugeSetAndSnapshotLookup) {
+  obs::EnableMetrics(true);
+  HGM_OBS_GAUGE_SET("test.gauge", 42);
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.GaugeValue("test.gauge"), 42);
+  EXPECT_EQ(snap.GaugeValue("test.unregistered", -7), -7);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("test.buckets");
+  // Bucket 0 holds exactly 0; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  h.Observe(4);
+  h.Observe(7);
+  h.Observe(8);
+  EXPECT_EQ(h.BucketCount(0), 1u);  // {0}
+  EXPECT_EQ(h.BucketCount(1), 1u);  // {1}
+  EXPECT_EQ(h.BucketCount(2), 2u);  // {2, 3}
+  EXPECT_EQ(h.BucketCount(3), 2u);  // {4, 7}
+  EXPECT_EQ(h.BucketCount(4), 1u);  // {8}
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(3), 7u);
+}
+
+/// Minimal line-oriented parse of the tracer's own output format: one
+/// event per line with fixed key order.  Extracts (ph, tid, ts, name).
+struct ParsedEvent {
+  char phase;
+  uint32_t tid;
+  uint64_t ts;
+  std::string name;
+};
+
+std::vector<ParsedEvent> ParseTraceEvents(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t name_pos = line.find("{\"name\": \"");
+    if (name_pos == std::string::npos) continue;
+    ParsedEvent e;
+    size_t start = name_pos + 10;
+    size_t end = line.find('"', start);
+    e.name = line.substr(start, end - start);
+    size_t ph = line.find("\"ph\": \"");
+    EXPECT_NE(ph, std::string::npos) << line;
+    e.phase = line[ph + 7];
+    size_t ts = line.find("\"ts\": ");
+    EXPECT_NE(ts, std::string::npos) << line;
+    e.ts = std::stoull(line.substr(ts + 6));
+    size_t tid = line.find("\"tid\": ");
+    EXPECT_NE(tid, std::string::npos) << line;
+    e.tid = static_cast<uint32_t>(std::stoul(line.substr(tid + 7)));
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+TEST_F(ObsTest, TraceJsonIsWellFormedAndNestingBalanced) {
+  obs::EnableMetrics(true);
+  obs::Tracer::Global().Start();
+  {
+    obs::TraceSpan outer("outer", "test", {{"a", 1}});
+    {
+      obs::TraceSpan inner("inner", "test");
+      inner.AddArg("late", 2);
+    }
+    {
+      obs::TraceSpan inner2("inner", "test");
+    }
+  }
+  // Spans opened from pool workers get their own tids and must balance
+  // per-tid too.
+  ThreadPool pool(4);
+  pool.ParallelFor(64, [&](size_t, size_t, size_t c) {
+    obs::TraceSpan chunk_work("work", "test", {{"chunk", c}});
+  });
+  obs::Tracer::Global().Stop();
+
+  std::ostringstream os;
+  obs::Tracer::Global().WriteJson(os);
+  const std::string json = os.str();
+
+  // Structural checks of the container object.
+  EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u) << json.substr(0, 60);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+
+  std::vector<ParsedEvent> events = ParseTraceEvents(json);
+  ASSERT_GE(events.size(), 6u);
+  EXPECT_EQ(events.size(), obs::Tracer::Global().num_events());
+
+  // Per-tid: every E closes the most recent open B of the same name, and
+  // timestamps never go backwards.
+  std::map<uint32_t, std::vector<std::string>> stacks;
+  std::map<uint32_t, uint64_t> last_ts;
+  for (const ParsedEvent& e : events) {
+    EXPECT_TRUE(e.phase == 'B' || e.phase == 'E') << e.phase;
+    auto it = last_ts.find(e.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(e.ts, it->second);
+    }
+    last_ts[e.tid] = e.ts;
+    std::vector<std::string>& stack = stacks[e.tid];
+    if (e.phase == 'B') {
+      stack.push_back(e.name);
+    } else {
+      ASSERT_FALSE(stack.empty()) << "unmatched E for " << e.name;
+      EXPECT_EQ(stack.back(), e.name);
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+}
+
+TEST_F(ObsTest, SpanConstructedBeforeStartStaysInert) {
+  obs::EnableMetrics(true);
+  obs::TraceSpan pre("pre-start", "test");
+  obs::Tracer::Global().Start();
+  // `pre` was latched inactive; its destructor must not emit a dangling E.
+  {
+    obs::TraceSpan during("during", "test");
+  }
+  obs::Tracer::Global().Stop();
+  EXPECT_EQ(obs::Tracer::Global().num_events(), 2u);
+}
+
+TEST_F(ObsTest, ExportersRoundTripRegisteredValues) {
+  obs::EnableMetrics(true);
+  obs::MetricsRegistry::Global().GetCounter("round.counter").Add(123);
+  obs::MetricsRegistry::Global().GetGauge("round.gauge").Set(-5);
+  obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("round.hist");
+  h.Observe(3);
+  h.Observe(10);
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+
+  // Snapshot lookups.
+  EXPECT_EQ(snap.CounterValue("round.counter"), 123u);
+  EXPECT_EQ(snap.GaugeValue("round.gauge"), -5);
+
+  // JSON exporter carries names and exact values.
+  std::ostringstream json;
+  obs::WriteJsonSnapshot(snap, json);
+  EXPECT_NE(json.str().find("\"round.counter\": 123"), std::string::npos)
+      << json.str();
+  EXPECT_NE(json.str().find("\"round.gauge\": -5"), std::string::npos);
+  EXPECT_NE(json.str().find("\"round.hist\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.str().find("\"sum\": 13"), std::string::npos);
+
+  // Prometheus exporter: sanitized names, cumulative histogram series.
+  std::ostringstream prom;
+  obs::WritePrometheus(snap, prom);
+  EXPECT_NE(prom.str().find("hgm_round_counter 123"), std::string::npos)
+      << prom.str();
+  EXPECT_NE(prom.str().find("hgm_round_gauge -5"), std::string::npos);
+  EXPECT_NE(prom.str().find("hgm_round_hist_count 2"), std::string::npos);
+  EXPECT_NE(prom.str().find("hgm_round_hist_sum 13"), std::string::npos);
+  EXPECT_NE(prom.str().find("le=\"+Inf\"} 2"), std::string::npos);
+
+  // Table exporter mentions every metric by name.
+  std::ostringstream table;
+  obs::PrintMetricsTable(snap, table);
+  EXPECT_NE(table.str().find("round.counter"), std::string::npos);
+  EXPECT_NE(table.str().find("round.gauge"), std::string::npos);
+  EXPECT_NE(table.str().find("round.hist"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusNameSanitization) {
+  EXPECT_EQ(obs::PrometheusName("oracle.raw_queries"),
+            "hgm_oracle_raw_queries");
+  EXPECT_EQ(obs::PrometheusName("htr.fk.computes"), "hgm_htr_fk_computes");
+}
+
+/// Paper Figure 1 (PODS'97): levelwise needs exactly |Th| + |Bd-| = 12
+/// queries.  The disabled registry must not change that count, and the
+/// enabled registry must *observe* it without changing it either.
+TEST_F(ObsTest, DisabledRegistryAddsNoQueriesToFigure1Run) {
+  TransactionDatabase db = TransactionDatabase::FromRows(
+      4, {{0, 1, 2}, {0, 1, 2}, {1, 3}, {1, 3}, {0, 3}});
+  FrequencyOracle freq(&db, 2);
+  CountingOracle counting(&freq);
+
+  ASSERT_FALSE(obs::MetricsOn());
+  LevelwiseResult result = RunLevelwise(&counting);
+  EXPECT_EQ(result.queries, 12u);
+  EXPECT_EQ(counting.raw_queries(), 12u);
+
+  // Nothing was charged while disabled.
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.CounterValue("oracle.raw_queries", 0), 0u);
+  EXPECT_EQ(snap.CounterValue("levelwise.queries", 0), 0u);
+}
+
+TEST_F(ObsTest, EnabledRegistryObservesExactlyTwelveQueries) {
+  TransactionDatabase db = TransactionDatabase::FromRows(
+      4, {{0, 1, 2}, {0, 1, 2}, {1, 3}, {1, 3}, {0, 3}});
+  FrequencyOracle freq(&db, 2);
+  CountingOracle counting(&freq);
+
+  obs::EnableMetrics(true);
+  LevelwiseResult result = RunLevelwise(&counting);
+  EXPECT_EQ(result.queries, 12u);
+  EXPECT_EQ(counting.raw_queries(), 12u);
+
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.CounterValue("oracle.raw_queries"), 12u);
+  EXPECT_EQ(snap.CounterValue("levelwise.queries"), 12u);
+  EXPECT_EQ(snap.GaugeValue("levelwise.last_queries"), 12);
+  EXPECT_EQ(snap.GaugeValue("levelwise.last_theory_size"), 10);
+  EXPECT_EQ(snap.GaugeValue("levelwise.last_negative_border"), 2);
+  EXPECT_EQ(snap.GaugeValue("levelwise.last_positive_border"), 2);
+  EXPECT_EQ(snap.GaugeValue("levelwise.last_rank"), 3);
+  EXPECT_EQ(snap.GaugeValue("levelwise.last_width"), 4);
+
+  // The bound report built from those gauges: Theorem 10 holds exactly,
+  // and the Corollary 13 ratio is below 1.
+  obs::BoundReport report = obs::LevelwiseBoundReportFromRegistry(snap);
+  EXPECT_TRUE(report.AllHold());
+  ASSERT_FALSE(report.lines().empty());
+  const obs::BoundLine& thm10 = report.lines()[0];
+  EXPECT_TRUE(thm10.exact);
+  EXPECT_EQ(thm10.observed, 12.0);
+  EXPECT_EQ(thm10.allowed, 12.0);
+  EXPECT_EQ(thm10.Ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace hgm

@@ -90,6 +90,98 @@ TEST(QueryAccountingCachedTest, CachedOracleAccountingOnDualizeAdvance) {
   EXPECT_EQ(cached.inner_evaluations(), inner_after_first);
 }
 
+/// Records every EvaluateBatch the inner oracle receives, so tests can
+/// assert that wrappers forward misses as whole batches instead of
+/// degrading to element-wise IsInteresting calls.
+class BatchRecordingOracle : public InterestingnessOracle {
+ public:
+  explicit BatchRecordingOracle(InterestingnessOracle* inner)
+      : inner_(inner) {}
+
+  bool IsInteresting(const Bitset& x) override {
+    ++single_calls_;
+    return inner_->IsInteresting(x);
+  }
+
+  std::vector<uint8_t> EvaluateBatch(
+      std::span<const Bitset> batch) override {
+    batch_sizes_.push_back(batch.size());
+    return inner_->EvaluateBatch(batch);
+  }
+
+  size_t num_items() const override { return inner_->num_items(); }
+
+  const std::vector<size_t>& batch_sizes() const { return batch_sizes_; }
+  size_t single_calls() const { return single_calls_; }
+
+ private:
+  InterestingnessOracle* inner_;
+  std::vector<size_t> batch_sizes_;
+  size_t single_calls_ = 0;
+};
+
+/// Regression: the memoized CountingOracle once answered batches with a
+/// sequential element-wise loop, silently losing the inner oracle's
+/// parallel batching.  Misses must reach the inner oracle as ONE batch,
+/// and a batch of size m must charge exactly m raw queries regardless of
+/// how many answers came from cache.
+TEST(QueryAccountingMemoizedTest, MemoizedBatchForwardsMissesAsOneBatch) {
+  TransactionDatabase db = Figure1Db();
+  FrequencyOracle freq(&db, 2);
+  BatchRecordingOracle recorder(&freq);
+  CountingOracle memoized(&recorder, /*memoize=*/true);
+
+  // Fresh batch: all four are misses, forwarded as one inner batch.
+  std::vector<Bitset> first = {Bitset(4, {0}), Bitset(4, {1}),
+                               Bitset(4, {2}), Bitset(4, {3})};
+  std::vector<uint8_t> got = memoized.EvaluateBatch(first);
+  EXPECT_EQ(memoized.raw_queries(), 4u);
+  EXPECT_EQ(memoized.distinct_queries(), 4u);
+  ASSERT_EQ(recorder.batch_sizes().size(), 1u);
+  EXPECT_EQ(recorder.batch_sizes()[0], 4u);
+  EXPECT_EQ(recorder.single_calls(), 0u);
+
+  // Answers must match the sequential contract.
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(got[i] != 0, freq.IsInteresting(first[i])) << "index " << i;
+  }
+
+  // Mixed batch: two cached, two new.  Raw charges the full batch size;
+  // only the misses reach the inner oracle, still as one batch.
+  std::vector<Bitset> second = {Bitset(4, {0}), Bitset(4, {0, 1}),
+                                Bitset(4, {1}), Bitset(4, {0, 3})};
+  got = memoized.EvaluateBatch(second);
+  EXPECT_EQ(memoized.raw_queries(), 8u);
+  EXPECT_EQ(memoized.distinct_queries(), 6u);
+  ASSERT_EQ(recorder.batch_sizes().size(), 2u);
+  EXPECT_EQ(recorder.batch_sizes()[1], 2u);
+  EXPECT_EQ(recorder.single_calls(), 0u);
+  for (size_t i = 0; i < second.size(); ++i) {
+    EXPECT_EQ(got[i] != 0, freq.IsInteresting(second[i])) << "index " << i;
+  }
+
+  // Fully-cached batch: zero inner traffic, but m raw queries charged.
+  got = memoized.EvaluateBatch(second);
+  EXPECT_EQ(memoized.raw_queries(), 12u);
+  EXPECT_EQ(memoized.distinct_queries(), 6u);
+  EXPECT_EQ(recorder.batch_sizes().size(), 2u);
+}
+
+/// The memoized oracle must stay a drop-in for the plain one under the
+/// levelwise run: same answers, same Theorem-10 raw-query accounting.
+TEST(QueryAccountingMemoizedTest, MemoizedLevelwiseKeepsTheorem10Count) {
+  TransactionDatabase db = Figure1Db();
+  FrequencyOracle freq(&db, 2);
+  CountingOracle memoized(&freq, /*memoize=*/true);
+
+  LevelwiseResult result = RunLevelwise(&memoized);
+  EXPECT_EQ(result.queries, 12u);
+  EXPECT_EQ(memoized.raw_queries(), 12u);
+  EXPECT_EQ(memoized.distinct_queries(), 12u);
+  EXPECT_EQ(result.positive_border.size(), 2u);
+  EXPECT_EQ(result.negative_border.size(), 2u);
+}
+
 TEST(QueryAccountingCachedTest, LevelwiseThroughCacheMatchesTheorem10) {
   TransactionDatabase db = Figure1Db();
   FrequencyOracle freq(&db, 2);
