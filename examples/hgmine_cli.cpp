@@ -3,13 +3,16 @@
 // Usage:
 //   hgmine_cli mine <basket-file> <min-support> [--rules <min-conf>]
 //                   [--maximal] [--closed] [--algo levelwise|dualize|dfs]
-//                   [--metrics=<path|->] [--trace=<path>]
+//                   [--shards=K] [--metrics=<path|->] [--trace=<path>]
 //   hgmine_cli demo
 //
 // Basket format: one transaction per line, whitespace-separated item ids;
 // '#' comments.  `demo` writes a small file and mines it, so the tool is
 // runnable with no inputs.
 //
+// --shards=K       mines through the sharded partition backend (K row
+//                  shards, two-phase confirmation) instead of the
+//                  single-database Apriori; output is bit-identical;
 // --metrics=-      prints the telemetry registry as a table, plus the
 //                  paper-bound report (Theorem 10 / Corollary 13 ratios)
 //                  when a levelwise or dualize run populated its gauges;
@@ -26,7 +29,9 @@
 #include "mining/apriori.h"
 #include "mining/closed.h"
 #include "mining/max_miner.h"
+#include "mining/partition.h"
 #include "mining/rules.h"
+#include "mining/sharded_db.h"
 #include "mining/transaction_db.h"
 #include "obs/bound_report.h"
 #include "obs/export.h"
@@ -39,7 +44,7 @@ int Usage() {
   std::cerr
       << "usage: hgmine_cli mine <basket-file> <min-support>\n"
          "                  [--rules <min-conf>] [--maximal] [--closed]\n"
-         "                  [--algo levelwise|dualize|dfs]\n"
+         "                  [--algo levelwise|dualize|dfs] [--shards=K]\n"
          "                  [--metrics=<path|->] [--trace=<path>]\n"
          "       hgmine_cli demo\n";
   return 2;
@@ -52,6 +57,7 @@ int ExportMetrics(const std::string& dest) {
   obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
   const bool have_levelwise = snap.GaugeValue("levelwise.last_width") != 0;
   const bool have_da = snap.GaugeValue("da.last_width") != 0;
+  const bool have_partition = snap.GaugeValue("partition.last_shards") != 0;
   if (dest == "-") {
     std::cout << "\ntelemetry:\n";
     obs::PrintMetricsTable(snap, std::cout);
@@ -62,6 +68,10 @@ int ExportMetrics(const std::string& dest) {
     if (have_da) {
       std::cout << "\ndualize-advance bound report:\n";
       obs::DualizeAdvanceBoundReportFromRegistry(snap).Print(std::cout);
+    }
+    if (have_partition) {
+      std::cout << "\npartition bound report:\n";
+      obs::PartitionBoundReportFromRegistry(snap).Print(std::cout);
     }
     return 0;
   }
@@ -79,6 +89,10 @@ int ExportMetrics(const std::string& dest) {
   if (have_da) {
     out << ",\n\"dualize_advance_bounds\": ";
     obs::DualizeAdvanceBoundReportFromRegistry(snap).WriteJson(out, 2);
+  }
+  if (have_partition) {
+    out << ",\n\"partition_bounds\": ";
+    obs::PartitionBoundReportFromRegistry(snap).WriteJson(out, 2);
   }
   out << "}\n";
   return 0;
@@ -113,6 +127,7 @@ int main(int argc, char** argv) {
                                                   nullptr, 10));
   bool want_maximal = false, want_closed = false, want_rules = false;
   double min_conf = 0.5;
+  size_t num_shards = 0;  // 0 = single-database Apriori path
   std::string metrics_dest;  // empty = not requested; "-" = stdout
   std::string trace_path;
   MaxMinerAlgorithm algo = MaxMinerAlgorithm::kDualizeAdvance;
@@ -121,6 +136,10 @@ int main(int argc, char** argv) {
       want_maximal = true;
     } else if (args[i] == "--closed") {
       want_closed = true;
+    } else if (args[i].rfind("--shards=", 0) == 0) {
+      num_shards = static_cast<size_t>(
+          std::strtoull(args[i].c_str() + 9, nullptr, 10));
+      if (num_shards == 0) return Usage();
     } else if (args[i].rfind("--metrics=", 0) == 0) {
       metrics_dest = args[i].substr(10);
       if (metrics_dest.empty()) return Usage();
@@ -158,17 +177,39 @@ int main(int argc, char** argv) {
   std::cout << "loaded " << db.num_transactions() << " transactions over "
             << db.num_items() << " items from " << path << "\n";
 
-  AprioriResult mined = MineFrequentSets(&db, min_support);
-  std::cout << mined.frequent.size() << " frequent itemsets at support >= "
-            << min_support << " (" << mined.support_counts
-            << " support counts)\n";
-  TablePrinter levels({"size", "candidates", "frequent"});
-  for (size_t k = 0; k < mined.candidates_per_level.size(); ++k) {
-    levels.NewRow().Add(k).Add(mined.candidates_per_level[k]).Add(
-        k < mined.frequent_per_level.size() ? mined.frequent_per_level[k]
-                                            : 0);
+  AprioriResult mined;
+  if (num_shards > 0) {
+    ShardedTransactionDatabase sharded =
+        ShardedTransactionDatabase::Split(db, num_shards);
+    PartitionResult part = MinePartitioned(&sharded, min_support);
+    std::cout << part.frequent.size()
+              << " frequent itemsets at support >= " << min_support
+              << " via " << part.num_shards << " shards ("
+              << part.phase2_evaluations << " phase-2 full-pass sets, "
+              << part.phase2_rejected << " rejected)\n";
+    TablePrinter shards({"shard", "rows", "local minsup", "local frequent"});
+    for (size_t k = 0; k < part.num_shards; ++k) {
+      shards.NewRow()
+          .Add(k)
+          .Add(sharded.manifest()[k].row_end - sharded.manifest()[k].row_begin)
+          .Add(part.local_thresholds[k])
+          .Add(part.local_frequent_per_shard[k]);
+    }
+    shards.Print();
+    mined = AsAprioriResult(part);
+  } else {
+    mined = MineFrequentSets(&db, min_support);
+    std::cout << mined.frequent.size()
+              << " frequent itemsets at support >= " << min_support << " ("
+              << mined.support_counts << " support counts)\n";
+    TablePrinter levels({"size", "candidates", "frequent"});
+    for (size_t k = 0; k < mined.candidates_per_level.size(); ++k) {
+      levels.NewRow().Add(k).Add(mined.candidates_per_level[k]).Add(
+          k < mined.frequent_per_level.size() ? mined.frequent_per_level[k]
+                                              : 0);
+    }
+    levels.Print();
   }
-  levels.Print();
 
   auto names = ItemNames(db.num_items());
   if (want_maximal) {
@@ -185,7 +226,12 @@ int main(int argc, char** argv) {
               << mined.frequent.size() << " frequent)\n";
   }
   if (want_rules) {
-    auto rules = GenerateRules(mined, db.num_transactions(), min_conf);
+    auto rules_or = GenerateRules(mined, db.num_transactions(), min_conf);
+    if (!rules_or.ok()) {
+      std::cerr << "error: " << rules_or.status().ToString() << "\n";
+      return 1;
+    }
+    const auto& rules = rules_or.value();
     std::cout << "\n" << rules.size() << " rules at confidence >= "
               << min_conf << ":\n";
     size_t shown = 0;

@@ -51,7 +51,7 @@ int main() {
             << ", negative border: " << mined.negative_border.size()
             << ", support counts: " << mined.support_counts << "\n\n";
 
-  auto rules = GenerateRules(mined, db.num_transactions(), 0.8);
+  auto rules = GenerateRules(mined, db.num_transactions(), 0.8).value();
   std::cout << "top association rules (conf >= 0.8):\n";
   std::vector<std::string> names;
   for (size_t i = 0; i < params.num_items; ++i) {

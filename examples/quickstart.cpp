@@ -72,7 +72,7 @@ int main() {
 
   // 5. Association rules (Section 2).
   AprioriResult mined = MineFrequentSets(&db, min_support);
-  auto rules = GenerateRules(mined, db.num_transactions(), 0.6);
+  auto rules = GenerateRules(mined, db.num_transactions(), 0.6).value();
   std::cout << "[rules]  confidence >= 0.6:\n";
   for (const auto& rule : rules) {
     std::cout << "  " << FormatRule(rule, lang.names()) << "\n";

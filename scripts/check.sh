@@ -5,12 +5,15 @@
 #   2. plain build            -DHGMINE_WERROR=ON, full ctest
 #   3. telemetry smoke        scripts/obs_smoke.sh + ctest -L obs on the
 #                             plain build (Theorem-10 meter, trace shape)
-#   4. audited build          -DHGMINE_AUDIT=ON, full ctest with every
+#   4. shard determinism      ctest -L partition + -L sampling on the
+#                             plain build (partition miner bit-identical
+#                             to Apriori at every K and thread count)
+#   5. audited build          -DHGMINE_AUDIT=ON, full ctest with every
 #                             paper-contract auditor live
-#   5. ASan+UBSan build       HGMINE_SANITIZE=address
-#   6. TSan build             HGMINE_SANITIZE=thread (parallel batch layer)
+#   6. ASan+UBSan build       HGMINE_SANITIZE=address
+#   7. TSan build             HGMINE_SANITIZE=thread (parallel batch layer)
 #
-# Stages 5 and 6 are skipped with --fast.  Build dirs are check-* so they
+# Stages 6 and 7 are skipped with --fast.  Build dirs are check-* so they
 # never collide with a developer's build/.
 #
 # Usage: scripts/check.sh [--fast]
@@ -50,6 +53,10 @@ run_matrix_entry plain -DHGMINE_WERROR=ON
 echo "==== check: telemetry smoke ===="
 scripts/obs_smoke.sh check-plain/examples/hgmine_cli
 (cd check-plain && ctest -L obs --output-on-failure -j "$JOBS")
+
+echo "==== check: shard determinism ===="
+(cd check-plain && ctest -L partition --output-on-failure -j "$JOBS")
+(cd check-plain && ctest -L sampling --output-on-failure -j "$JOBS")
 
 run_matrix_entry audit -DHGMINE_WERROR=ON -DHGMINE_AUDIT=ON
 

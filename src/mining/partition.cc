@@ -1,0 +1,190 @@
+#include "mining/partition.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "core/theory.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/transversal_berge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hgm {
+
+PartitionResult MinePartitioned(ShardedTransactionDatabase* db,
+                                size_t min_support,
+                                const PartitionOptions& options) {
+  // At threshold 0 every subset of the universe is "frequent" — mining
+  // the full lattice is never the intent, so clamp like the local
+  // thresholds do.
+  if (min_support == 0) min_support = 1;
+  PartitionResult result;
+  const size_t n = db->num_items();
+  const size_t num_rows = db->num_transactions();
+  const size_t num_shards = db->num_shards();
+  result.num_shards = num_shards;
+  result.local_thresholds = db->LocalThresholds(min_support);
+  result.local_frequent_per_shard.assign(num_shards, 0);
+  ThreadPool* pool = PoolOrGlobal(options.pool);
+  HGM_OBS_COUNT("partition.runs", 1);
+  obs::TraceSpan run_span("partition.run", "mining",
+                          {{"shards", num_shards},
+                           {"rows", num_rows},
+                           {"items", n}});
+
+  // ---- Phase 1: mine each shard locally at its scaled threshold. ----
+  //
+  // One shard per ParallelFor index; each local Apriori gets the shared
+  // single-thread pool so it never issues a nested ParallelFor onto the
+  // outer pool's batch state (a 1-thread pool always runs its one chunk
+  // inline).  Results land in index-addressed slots, so phase 1 is
+  // deterministic at any thread count.
+  std::vector<AprioriResult> local(num_shards);
+  {
+    obs::TraceSpan phase1_span("partition.phase1", "mining",
+                               {{"shards", num_shards}});
+    ThreadPool seq(1);
+    AprioriOptions local_options;
+    local_options.record_all = true;
+    local_options.counting = options.local_counting;
+    local_options.pool = &seq;
+    pool->ParallelFor(num_shards,
+                      [&](size_t begin, size_t end, size_t /*chunk*/) {
+                        for (size_t k = begin; k < end; ++k) {
+                          obs::TraceSpan shard_span(
+                              "partition.shard", "mining",
+                              {{"shard", k},
+                               {"threshold", result.local_thresholds[k]}});
+                          local[k] = MineFrequentSets(
+                              &db->shard(k), result.local_thresholds[k],
+                              local_options);
+                          shard_span.AddArg("frequent",
+                                            local[k].frequent.size());
+                        }
+                      });
+    for (size_t k = 0; k < num_shards; ++k) {
+      result.local_frequent_per_shard[k] = local[k].frequent.size();
+      HGM_OBS_COUNT("partition.local_frequent", local[k].frequent.size());
+    }
+  }
+
+  // ---- Phase 2: confirm the candidate union with batched full passes. --
+  //
+  // The union of the per-shard frequent families is downward closed (each
+  // family is), and by the partition lemma it contains every globally
+  // frequent set.  Walk it levelwise: a size-k candidate is counted only
+  // when all its (k-1)-subsets were confirmed globally frequent, so every
+  // counted set is either frequent (in Th) or minimal infrequent (in
+  // Bd-(Th)) — the confirmation pass obeys the Theorem 10 query bound.
+  obs::TraceSpan phase2_span("partition.phase2", "mining");
+  std::unordered_set<Bitset, BitsetHash> candidate_union;
+  size_t max_size = 0;
+  for (const AprioriResult& lr : local) {
+    for (const FrequentItemset& f : lr.frequent) {
+      if (candidate_union.insert(f.items).second) {
+        max_size = std::max(max_size, f.items.Count());
+      }
+    }
+  }
+  result.candidate_union_size = candidate_union.size();
+  HGM_OBS_GAUGE_SET("partition.last_candidate_union",
+                    static_cast<int64_t>(candidate_union.size()));
+
+  // Candidates grouped by size; deterministic order within a level.
+  std::vector<std::vector<Bitset>> by_size(max_size + 1);
+  for (const Bitset& x : candidate_union) by_size[x.Count()].push_back(x);
+  for (std::vector<Bitset>& level : by_size) CanonicalSort(&level);
+
+  std::unordered_set<Bitset, BitsetHash> confirmed;
+  for (size_t k = 0; k <= max_size; ++k) {
+    std::vector<Bitset> batch;
+    for (const Bitset& x : by_size[k]) {
+      bool all_subsets_frequent = true;
+      if (k > 0) {
+        std::vector<size_t> items = x.Indices();
+        for (size_t drop = 0; all_subsets_frequent && drop < items.size();
+             ++drop) {
+          all_subsets_frequent = confirmed.contains(x.WithoutBit(items[drop]));
+        }
+      }
+      if (all_subsets_frequent) batch.push_back(x);
+    }
+    if (batch.empty()) break;  // no level-k survivors => none above either
+    ++result.phase2_levels;
+    std::vector<size_t> supports = db->CountSupports(batch, pool);
+    result.phase2_evaluations += batch.size();
+    HGM_OBS_COUNT("partition.phase2_candidates", batch.size());
+    for (size_t c = 0; c < batch.size(); ++c) {
+      if (supports[c] >= min_support) {
+        confirmed.insert(batch[c]);
+        result.frequent.push_back({batch[c], supports[c]});
+      } else {
+        ++result.phase2_rejected;
+      }
+    }
+  }
+  HGM_OBS_COUNT("partition.phase2_rejected", result.phase2_rejected);
+
+  std::sort(result.frequent.begin(), result.frequent.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              size_t ca = a.items.Count(), cb = b.items.Count();
+              if (ca != cb) return ca < cb;
+              return a.items < b.items;
+            });
+
+  // Maximal frequent sets; empty when even ∅ failed (matching Apriori's
+  // early-out shape, where the theory is empty and Bd- = {∅}).
+  if (!result.frequent.empty()) {
+    std::vector<Bitset> maximal;
+    maximal.reserve(result.frequent.size());
+    for (const FrequentItemset& f : result.frequent) {
+      maximal.push_back(f.items);
+    }
+    AntichainMaximize(&maximal);
+    CanonicalSort(&maximal);
+    result.maximal = std::move(maximal);
+  }
+
+  if (options.compute_negative_border) {
+    // Exact Bd-(Th) via Theorem 7 (transversals of the complemented
+    // positive border) — phase 2 only ever sees the minimal infrequent
+    // sets that were locally frequent somewhere, which is a subset.
+    if (result.frequent.empty()) {
+      result.negative_border.push_back(Bitset(n));
+    } else {
+      std::vector<Bitset> theory;
+      theory.reserve(result.frequent.size());
+      for (const FrequentItemset& f : result.frequent) {
+        theory.push_back(f.items);
+      }
+      BergeTransversals berge;
+      result.negative_border =
+          NegativeBorderViaTransversals(theory, n, &berge);
+      CanonicalSort(&result.negative_border);
+    }
+  }
+
+  HGM_OBS_GAUGE_SET("partition.last_shards",
+                    static_cast<int64_t>(num_shards));
+  HGM_OBS_GAUGE_SET("partition.last_phase2_evaluations",
+                    static_cast<int64_t>(result.phase2_evaluations));
+  HGM_OBS_GAUGE_SET("partition.last_theory_size",
+                    static_cast<int64_t>(result.frequent.size()));
+  HGM_OBS_GAUGE_SET("partition.last_negative_border",
+                    static_cast<int64_t>(result.negative_border.size()));
+  run_span.AddArg("frequent", result.frequent.size());
+  run_span.AddArg("phase2_evaluations", result.phase2_evaluations);
+  return result;
+}
+
+AprioriResult AsAprioriResult(const PartitionResult& result) {
+  AprioriResult out;
+  out.frequent = result.frequent;
+  out.maximal = result.maximal;
+  out.negative_border = result.negative_border;
+  out.support_counts += result.phase2_evaluations;
+  return out;
+}
+
+}  // namespace hgm

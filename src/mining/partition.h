@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file partition.h
+/// \brief Two-phase partition mining over a sharded database.
+///
+/// The deterministic cousin of the Toivonen-style sampling miner
+/// (mining/sampling.h), after Savasere-Omiecinski-Navathe: phase 1 mines
+/// each shard locally at a scaled threshold (the partition lemma
+/// guarantees no globally frequent set is missed), phase 2 unions the
+/// local frequent sets into a candidate family and confirms the global
+/// supports with batched full passes.  Phase 2 proceeds levelwise through
+/// the candidate union — a size-k candidate is counted only when all its
+/// (k-1)-subsets were confirmed globally frequent — so every evaluated
+/// set lies in Th ∪ Bd-(Th) and the paper's Theorem 10 query bound holds
+/// for the confirmation pass (a single undiscriminating batch over the
+/// whole union would not guarantee that).
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/thread_pool.h"
+#include "mining/apriori.h"
+#include "mining/sharded_db.h"
+
+namespace hgm {
+
+/// Options for MinePartitioned.
+struct PartitionOptions {
+  /// Worker pool; phase 1 runs one shard per task on it, phase 2 uses it
+  /// for the batched confirmation pass.  nullptr = global pool.
+  ThreadPool* pool = nullptr;
+  /// Support-counting backend for the per-shard local Apriori runs.
+  SupportCountingMode local_counting = SupportCountingMode::kTidsets;
+  /// Compute Bd-(Th) of the global theory (via Berge transversals,
+  /// Theorem 7) so the result matches MineFrequentSets field for field.
+  bool compute_negative_border = true;
+};
+
+/// Output of a partitioned mining run.
+struct PartitionResult {
+  /// Every globally frequent itemset with its exact global support,
+  /// canonically ordered by (size, value) — bit-identical to
+  /// MineFrequentSets on the unsharded database.
+  std::vector<FrequentItemset> frequent;
+  /// The maximal frequent itemsets.
+  std::vector<Bitset> maximal;
+  /// Bd-(Th); empty when options.compute_negative_border is false.
+  std::vector<Bitset> negative_border;
+
+  size_t num_shards = 0;
+  /// Phase-1 scaled threshold per shard.
+  std::vector<size_t> local_thresholds;
+  /// Locally frequent sets found per shard (before the union).
+  std::vector<size_t> local_frequent_per_shard;
+  /// Distinct sets in the phase-2 candidate union.
+  size_t candidate_union_size = 0;
+  /// Sets whose global support was counted in phase 2 (the full-pass
+  /// query measure; <= |Th| + |Bd-(Th)| by the levelwise pruning).
+  size_t phase2_evaluations = 0;
+  /// Levels walked by the phase-2 confirmation.
+  size_t phase2_levels = 0;
+  /// Phase-2 candidates counted but globally infrequent (locally
+  /// frequent somewhere, yet below the global threshold).
+  size_t phase2_rejected = 0;
+};
+
+/// Mines all itemsets with global support >= \p min_support from the
+/// sharded database.  min_support is clamped to >= 1 (at 0 every subset
+/// of the universe is "frequent"; callers wanting the full lattice should
+/// enumerate it directly).  Records `partition.*` metrics and per-shard
+/// trace spans.
+PartitionResult MinePartitioned(ShardedTransactionDatabase* db,
+                                size_t min_support,
+                                const PartitionOptions& options = {});
+
+/// Repackages a PartitionResult as an AprioriResult (frequent / maximal /
+/// negative border carried over, support_counts = phase-2 evaluations) so
+/// downstream consumers like GenerateRules run unchanged.
+AprioriResult AsAprioriResult(const PartitionResult& result);
+
+}  // namespace hgm

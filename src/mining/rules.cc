@@ -6,9 +6,18 @@
 
 namespace hgm {
 
-std::vector<AssociationRule> GenerateRules(const AprioriResult& mined,
-                                           size_t num_rows,
-                                           double min_confidence) {
+Result<std::vector<AssociationRule>> GenerateRules(const AprioriResult& mined,
+                                                   size_t num_rows,
+                                                   double min_confidence) {
+  // An empty frequent list alongside a non-empty theory means the input
+  // was mined with record_all = false; every rule would be dropped by the
+  // antecedent lookups below, so fail loudly instead of returning nothing.
+  if (mined.frequent.empty() && !mined.maximal.empty()) {
+    return Status::FailedPrecondition(
+        "GenerateRules needs the full frequent-set list: mine with "
+        "AprioriOptions::record_all = true");
+  }
+
   std::unordered_map<Bitset, size_t, BitsetHash> support;
   support.reserve(mined.frequent.size());
   for (const auto& f : mined.frequent) support[f.items] = f.support;
@@ -20,9 +29,14 @@ std::vector<AssociationRule> GenerateRules(const AprioriResult& mined,
          a = f.items.FindNext(a)) {
       Bitset antecedent = f.items.WithoutBit(a);
       auto it = support.find(antecedent);
-      // Subsets of frequent sets are frequent, so the antecedent is
-      // always present when the result was mined with record_all.
-      if (it == support.end() || it->second == 0) continue;
+      // Subsets of frequent sets are frequent, so a missing or zero
+      // antecedent support means the input list was truncated or
+      // inconsistent — surface it rather than dropping the rule.
+      if (it == support.end() || it->second == 0) {
+        return Status::FailedPrecondition(
+            "frequent-set list is not downward closed: missing support "
+            "for an antecedent of a frequent set");
+      }
       double confidence = static_cast<double>(f.support) /
                           static_cast<double>(it->second);
       if (confidence + 1e-12 < min_confidence) continue;
@@ -66,7 +80,13 @@ std::string FormatRule(const AssociationRule& rule,
   os.setf(std::ios::fixed);
   os.precision(2);
   os << " (sup " << rule.support << ", conf " << rule.confidence
-     << ", lift " << rule.lift << ")";
+     << ", lift ";
+  if (rule.lift.has_value()) {
+    os << *rule.lift;
+  } else {
+    os << "n/a";
+  }
+  os << ")";
   return os.str();
 }
 

@@ -7,10 +7,12 @@
 /// rules from them is straightforward.  For each frequent set Z, and for
 /// each A in Z one can test the confidence of the rule Z \ A => A."
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/status.h"
 #include "mining/apriori.h"
 
 namespace hgm {
@@ -25,19 +27,27 @@ struct AssociationRule {
   size_t support = 0;
   /// support(X ∪ {A}) / support(X).
   double confidence = 0.0;
-  /// confidence / frequency(A); > 1 means positive correlation.
-  double lift = 0.0;
+  /// confidence / frequency(A); > 1 means positive correlation.  Absent
+  /// when it could not be computed (num_rows == 0, or the consequent
+  /// singleton had no recorded support).
+  std::optional<double> lift;
 };
 
 /// Generates every rule Z \ A => A with Z frequent, |Z| >= 2, and
 /// confidence >= \p min_confidence, from an AprioriResult mined with
 /// record_all = true.  \p num_rows is the database size (for lift).
 /// Rules are sorted by descending (confidence, support).
-std::vector<AssociationRule> GenerateRules(const AprioriResult& mined,
-                                           size_t num_rows,
-                                           double min_confidence);
+///
+/// Returns FailedPrecondition when \p mined lacks the frequent-set list
+/// (mined with record_all = false) or when a rule's antecedent support is
+/// missing/zero — a truncated or inconsistent input that would previously
+/// drop rules silently.
+Result<std::vector<AssociationRule>> GenerateRules(const AprioriResult& mined,
+                                                   size_t num_rows,
+                                                   double min_confidence);
 
-/// Renders "BD => A (sup 3, conf 0.75, lift 1.20)" using item \p names.
+/// Renders "BD => A (sup 3, conf 0.75, lift 1.20)" using item \p names;
+/// an uncomputed lift prints as "lift n/a".
 std::string FormatRule(const AssociationRule& rule,
                        const std::vector<std::string>& names);
 

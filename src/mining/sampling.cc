@@ -1,5 +1,6 @@
 #include "mining/sampling.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
@@ -18,18 +19,35 @@ SamplingResult MineWithSampling(TransactionDatabase* db, size_t min_support,
     return result;
   }
 
+  // No set (not even ∅, whose support is `rows`) can reach the threshold,
+  // and the unclamped lowered fraction would exceed 1.  Answer without
+  // touching the database.
+  if (min_support > rows) return result;
+
+  // --- 0. Clamp degenerate options to their nearest defined value. -----
+  // sample_size == 0 would mine an empty sample whose theory is empty and
+  // push ALL discovery into the repair loop (a levelwise full-database
+  // mine); the smallest sample that exercises the sampling path is 1 row.
+  const size_t sample_size =
+      options.sample_size == 0 ? 1 : options.sample_size;
+  // threshold_lowering is a multiplier <= 1 by contract; above 1 it would
+  // RAISE the sample threshold (guaranteeing misses), and below 0 the
+  // size_t cast of the negative lowered threshold is undefined.
+  const double lowering =
+      std::min(1.0, std::max(0.0, options.threshold_lowering));
+
   // --- 1. Draw the sample (with replacement). -------------------------
   TransactionDatabase sample(n);
-  for (size_t i = 0; i < options.sample_size; ++i) {
+  for (size_t i = 0; i < sample_size; ++i) {
     sample.AddTransaction(db->row(rng->UniformIndex(rows)));
   }
 
   // --- 2. Mine the sample at a lowered threshold. ----------------------
   double full_fraction =
       static_cast<double>(min_support) / static_cast<double>(rows);
-  double lowered = full_fraction * options.threshold_lowering;
+  double lowered = full_fraction * lowering;
   auto sample_minsup = static_cast<size_t>(
-      std::ceil(lowered * static_cast<double>(options.sample_size) - 1e-9));
+      std::ceil(lowered * static_cast<double>(sample_size) - 1e-9));
   if (sample_minsup == 0) sample_minsup = 1;
   AprioriOptions mine_opts;
   mine_opts.record_all = true;

@@ -23,12 +23,17 @@
 
 namespace hgm {
 
-/// Options for sampling-based mining.
+/// Options for sampling-based mining.  Degenerate values are clamped to
+/// the nearest defined setting rather than left undefined: sample_size 0
+/// behaves as 1 (a 0-row sample would push the entire mine into the
+/// repair loop), and threshold_lowering is clamped into [0, 1] (above 1
+/// it would *raise* the sample threshold; below 0 the threshold cast is
+/// undefined behavior).
 struct SamplingOptions {
-  /// Rows drawn (with replacement) into the sample.
+  /// Rows drawn (with replacement) into the sample; 0 behaves as 1.
   size_t sample_size = 1000;
-  /// Multiplier < 1 applied to the support threshold on the sample, to
-  /// lower the chance of missing a truly frequent set.
+  /// Multiplier <= 1 applied to the support threshold on the sample, to
+  /// lower the chance of missing a truly frequent set; clamped to [0, 1].
   double threshold_lowering = 0.75;
 };
 
@@ -49,7 +54,9 @@ struct SamplingResult {
 };
 
 /// Mines the exact sigma-frequent sets of \p db by sampling.
-/// \p min_support is the absolute threshold on the full database.
+/// \p min_support is the absolute threshold on the full database; when it
+/// exceeds the row count no set can qualify and the function returns an
+/// empty result with zero full-database evaluations.
 SamplingResult MineWithSampling(TransactionDatabase* db, size_t min_support,
                                 const SamplingOptions& options, Rng* rng);
 

@@ -1,0 +1,121 @@
+#include "mining/sharded_db.h"
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace hgm {
+
+ShardedTransactionDatabase ShardedTransactionDatabase::Split(
+    const TransactionDatabase& db, size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  ShardedTransactionDatabase out;
+  out.num_items_ = db.num_items();
+  out.num_rows_ = db.num_transactions();
+  out.shards_.reserve(num_shards);
+  out.manifest_.reserve(num_shards);
+  const size_t rows = db.num_transactions();
+  for (size_t k = 0; k < num_shards; ++k) {
+    const size_t begin = k * rows / num_shards;
+    const size_t end = (k + 1) * rows / num_shards;
+    TransactionDatabase shard(db.num_items());
+    for (size_t t = begin; t < end; ++t) shard.AddTransaction(db.row(t));
+    out.shards_.push_back(std::move(shard));
+    out.manifest_.push_back(ShardManifestEntry{begin, end, 0, 0});
+  }
+  return out;
+}
+
+void ShardedTransactionDatabase::EnsureVerticalIndexes() {
+  for (TransactionDatabase& shard : shards_) shard.EnsureVerticalIndex();
+}
+
+size_t ShardedTransactionDatabase::Support(const Bitset& itemset) const {
+  size_t total = 0;
+  for (const TransactionDatabase& shard : shards_) {
+    total += shard.Support(itemset);
+  }
+  return total;
+}
+
+bool ShardedTransactionDatabase::SupportAtLeast(const Bitset& itemset,
+                                                size_t threshold) {
+  EnsureVerticalIndexes();
+  return SupportAtLeastPrebuilt(itemset, threshold);
+}
+
+bool ShardedTransactionDatabase::SupportAtLeastPrebuilt(
+    const Bitset& itemset, size_t threshold) const {
+  if (threshold == 0) return true;
+  if (threshold > num_rows_) return false;
+  size_t count = 0;
+  for (const TransactionDatabase& shard : shards_) {
+    count += shard.SupportVerticalPrebuilt(itemset, threshold - count);
+    if (count >= threshold) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> ShardedTransactionDatabase::CountSupports(
+    std::span<const Bitset> batch, ThreadPool* pool) {
+  EnsureVerticalIndexes();
+  std::vector<size_t> totals(batch.size(), 0);
+  if (batch.empty()) return totals;
+  ThreadPool* p = PoolOrGlobal(pool);
+  // Parallel across candidates; each candidate sums its exact per-shard
+  // counts in shard order into its own slot, so the result is independent
+  // of the thread count.
+  p->ParallelFor(batch.size(),
+                 [&](size_t begin, size_t end, size_t /*chunk*/) {
+                   for (size_t c = begin; c < end; ++c) {
+                     size_t count = 0;
+                     for (const TransactionDatabase& shard : shards_) {
+                       count += shard.SupportVerticalPrebuilt(batch[c]);
+                     }
+                     totals[c] = count;
+                   }
+                 });
+  HGM_OBS_COUNT("partition.full_pass_sets", batch.size());
+  return totals;
+}
+
+std::vector<size_t> ShardedTransactionDatabase::LocalThresholds(
+    size_t min_support) const {
+  std::vector<size_t> thresholds;
+  thresholds.reserve(shards_.size());
+  for (const TransactionDatabase& shard : shards_) {
+    // ceil(min_support * rows_k / rows) without floating point; the >= 1
+    // clamp keeps empty shards (and min_support == 0) from mining the
+    // whole lattice, and only strengthens the partition lemma.
+    size_t scaled = 1;
+    if (num_rows_ != 0) {
+      scaled = (min_support * shard.num_transactions() + num_rows_ - 1) /
+               num_rows_;
+    }
+    thresholds.push_back(scaled == 0 ? 1 : scaled);
+  }
+  return thresholds;
+}
+
+bool ShardedFrequencyOracle::IsInteresting(const Bitset& x) {
+  HGM_OBS_COUNT("sharded.support_queries", 1);
+  return db_->SupportAtLeastPrebuilt(x, min_support_);
+}
+
+std::vector<uint8_t> ShardedFrequencyOracle::EvaluateBatch(
+    std::span<const Bitset> batch) {
+  std::vector<uint8_t> out(batch.size(), 0);
+  if (batch.empty()) return out;
+  HGM_OBS_COUNT("sharded.support_queries", batch.size());
+  pool_->ParallelFor(batch.size(),
+                     [&](size_t begin, size_t end, size_t /*chunk*/) {
+                       for (size_t c = begin; c < end; ++c) {
+                         out[c] = db_->SupportAtLeastPrebuilt(batch[c],
+                                                              min_support_)
+                                      ? 1
+                                      : 0;
+                       }
+                     });
+  return out;
+}
+
+}  // namespace hgm

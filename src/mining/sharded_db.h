@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file sharded_db.h
+/// \brief K-way sharded transaction storage for partitioned mining.
+///
+/// The paper's analysis (Theorem 10, Corollary 13) counts Is-interesting
+/// queries and treats the database pass behind each query as cheap; at the
+/// ROADMAP's scale the pass itself dominates and the rows no longer fit in
+/// one node's RAM.  ShardedTransactionDatabase splits the rows into K
+/// contiguous shards — each a self-contained TransactionDatabase with its
+/// own vertical tidset index — described by a row-range / byte-offset
+/// manifest, so an mmap or streaming loader can replace the in-memory
+/// shards later without touching the mining code above.
+///
+/// ShardedFrequencyOracle exposes the sharded store through the standard
+/// InterestingnessOracle interface, so the levelwise algorithm,
+/// Dualize-and-Advance, and every other oracle-driven engine run on it
+/// unchanged.  The two-phase partition miner (mining/partition.h) is the
+/// backend built on top that stops assuming a full-data pass is free.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/thread_pool.h"
+#include "core/oracle.h"
+#include "mining/transaction_db.h"
+
+namespace hgm {
+
+/// Where one shard's rows live: a global row range now, byte offsets for a
+/// future file-backed loader (both zero when the shard was built from an
+/// in-memory database).
+struct ShardManifestEntry {
+  size_t row_begin = 0;    ///< global index of the shard's first row
+  size_t row_end = 0;      ///< one past the shard's last row
+  uint64_t byte_begin = 0; ///< file offset of the first row, 0 if in-memory
+  uint64_t byte_end = 0;   ///< one past the last row's bytes, 0 if in-memory
+};
+
+/// A 0/1 relation stored as K contiguous row shards.
+class ShardedTransactionDatabase {
+ public:
+  /// Splits \p db into \p num_shards contiguous row ranges.  Boundaries
+  /// use the ThreadPool chunk formula (k * rows / K), so the split is a
+  /// pure function of (rows, K).  K is clamped to >= 1; shards may be
+  /// empty when K > rows.
+  static ShardedTransactionDatabase Split(const TransactionDatabase& db,
+                                          size_t num_shards);
+
+  size_t num_items() const { return num_items_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_transactions() const { return num_rows_; }
+
+  TransactionDatabase& shard(size_t k) { return shards_[k]; }
+  const TransactionDatabase& shard(size_t k) const { return shards_[k]; }
+  const std::vector<ShardManifestEntry>& manifest() const {
+    return manifest_;
+  }
+
+  /// Builds every shard's vertical index (idempotent); required before
+  /// the concurrent counting paths below.
+  void EnsureVerticalIndexes();
+
+  /// Exact support of \p itemset: per-shard supports summed in shard
+  /// order (horizontal scan; needs no index).
+  size_t Support(const Bitset& itemset) const;
+
+  /// True iff Support(itemset) >= threshold.  Accumulates capped
+  /// per-shard tidset counts and stops at the first shard where the
+  /// running total reaches the threshold.
+  bool SupportAtLeast(const Bitset& itemset, size_t threshold);
+
+  /// Const variant for concurrent use; EnsureVerticalIndexes() must have
+  /// been called.
+  bool SupportAtLeastPrebuilt(const Bitset& itemset,
+                              size_t threshold) const;
+
+  /// Exact supports for every itemset of \p batch — the batched "one full
+  /// pass" primitive behind partition phase 2.  Parallel across
+  /// candidates (each streams its tidset intersection shard by shard in
+  /// shard order, writing to its own slot), so results are bit-for-bit
+  /// identical at any thread count.  \p pool nullptr means the global
+  /// pool.
+  std::vector<size_t> CountSupports(std::span<const Bitset> batch,
+                                    ThreadPool* pool = nullptr);
+
+  /// Per-shard thresholds for phase-1 local mining at global threshold
+  /// \p min_support: ceil(min_support * shard_rows / rows), clamped to
+  /// >= 1.  Since sum_k (s_k - 1) < min_support, a set infrequent in
+  /// every shard at its local threshold is globally infrequent — i.e.
+  /// every globally frequent set is locally frequent somewhere (the
+  /// partition lemma), so phase 1 has no false negatives.
+  std::vector<size_t> LocalThresholds(size_t min_support) const;
+
+ private:
+  size_t num_items_ = 0;
+  size_t num_rows_ = 0;
+  std::vector<TransactionDatabase> shards_;
+  std::vector<ShardManifestEntry> manifest_;
+};
+
+/// Is-interesting oracle "is X sigma-frequent?" answered against a
+/// sharded store: drop-in for FrequencyOracle wherever an
+/// InterestingnessOracle is expected, so Levelwise / Dualize-and-Advance
+/// run unchanged on the sharded backend.
+class ShardedFrequencyOracle : public InterestingnessOracle {
+ public:
+  /// \param db  the sharded relation (not owned; must outlive the oracle).
+  /// Builds every shard's vertical index up front so batch evaluation can
+  /// read tidsets concurrently.
+  ShardedFrequencyOracle(ShardedTransactionDatabase* db, size_t min_support,
+                         ThreadPool* pool = nullptr)
+      : db_(db), min_support_(min_support), pool_(PoolOrGlobal(pool)) {
+    db_->EnsureVerticalIndexes();
+  }
+
+  bool IsInteresting(const Bitset& x) override;
+
+  /// Parallel across candidates; each candidate accumulates capped
+  /// per-shard counts in shard order into its own slot.
+  std::vector<uint8_t> EvaluateBatch(std::span<const Bitset> batch) override;
+
+  size_t num_items() const override { return db_->num_items(); }
+  size_t min_support() const { return min_support_; }
+
+ private:
+  ShardedTransactionDatabase* db_;
+  size_t min_support_;
+  ThreadPool* pool_;
+};
+
+}  // namespace hgm

@@ -82,6 +82,26 @@ bool TransactionDatabase::SupportAtLeastPrebuilt(const Bitset& itemset,
   return false;
 }
 
+size_t TransactionDatabase::SupportVerticalPrebuilt(const Bitset& itemset,
+                                                    size_t cap) const {
+  HGMINE_DCHECK(vertical_valid_)
+      << "; call EnsureVerticalIndex() before concurrent tidset reads";
+  if (cap == 0) return 0;
+  std::vector<size_t> items = itemset.Indices();
+  if (items.empty()) return rows_.size();
+  const std::vector<uint64_t>& first = vertical_[items[0]].words();
+  size_t count = 0;
+  for (size_t wi = 0; wi < first.size(); ++wi) {
+    uint64_t w = first[wi];
+    for (size_t j = 1; w != 0 && j < items.size(); ++j) {
+      w &= vertical_[items[j]].words()[wi];
+    }
+    count += static_cast<size_t>(std::popcount(w));
+    if (count >= cap) return count;
+  }
+  return count;
+}
+
 std::vector<size_t> TransactionDatabase::CountSupportsHorizontal(
     std::span<const Bitset> itemsets, ThreadPool* pool) const {
   std::vector<size_t> totals(itemsets.size(), 0);

@@ -70,6 +70,15 @@ class TransactionDatabase {
   bool SupportAtLeastPrebuilt(const Bitset& itemset,
                               size_t threshold) const;
 
+  /// Capped support count via the prebuilt vertical index: streams the
+  /// word-wise AND of the item tidsets and stops once the running count
+  /// reaches \p cap.  Returns the exact support when it is below the cap
+  /// and some value >= cap otherwise (callers accumulating partial counts
+  /// across shards only need "at least cap").  Const and thread-safe for
+  /// concurrent use; EnsureVerticalIndex() must have been called.
+  size_t SupportVerticalPrebuilt(const Bitset& itemset,
+                                 size_t cap = Bitset::npos) const;
+
   /// Counts, for every itemset of \p itemsets, the number of rows
   /// containing it.  Scans disjoint transaction chunks in parallel (one
   /// chunk per pool thread), keeping per-chunk partial counts that are

@@ -101,6 +101,19 @@ BoundReport DualizeAdvanceBoundReport(const DualizeAdvanceBoundInputs& in) {
   return report;
 }
 
+BoundReport PartitionBoundReport(const PartitionBoundInputs& in) {
+  BoundReport report;
+  report.Add({"Partition phase 2", "|Th| + |Bd-| full-pass sets",
+              static_cast<double>(in.phase2_evaluations),
+              static_cast<double>(in.theory_size + in.negative_border_size),
+              /*exact=*/false});
+  report.Add({"Partition recall", "|Th| <= candidate union",
+              static_cast<double>(in.theory_size),
+              static_cast<double>(in.candidate_union_size),
+              /*exact=*/false});
+  return report;
+}
+
 BoundReport LevelwiseBoundReportFromRegistry(const MetricsSnapshot& snap) {
   LevelwiseBoundInputs in;
   in.queries =
@@ -131,6 +144,19 @@ BoundReport DualizeAdvanceBoundReportFromRegistry(
   in.max_enumerated_one_iteration =
       static_cast<uint64_t>(snap.GaugeValue("da.last_max_enumerated"));
   return DualizeAdvanceBoundReport(in);
+}
+
+BoundReport PartitionBoundReportFromRegistry(const MetricsSnapshot& snap) {
+  PartitionBoundInputs in;
+  in.phase2_evaluations = static_cast<uint64_t>(
+      snap.GaugeValue("partition.last_phase2_evaluations"));
+  in.theory_size =
+      static_cast<uint64_t>(snap.GaugeValue("partition.last_theory_size"));
+  in.negative_border_size = static_cast<uint64_t>(
+      snap.GaugeValue("partition.last_negative_border"));
+  in.candidate_union_size = static_cast<uint64_t>(
+      snap.GaugeValue("partition.last_candidate_union"));
+  return PartitionBoundReport(in);
 }
 
 }  // namespace obs

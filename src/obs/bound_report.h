@@ -91,6 +91,20 @@ struct DualizeAdvanceBoundInputs {
 
 BoundReport DualizeAdvanceBoundReport(const DualizeAdvanceBoundInputs& in);
 
+/// Inputs for the partition-mining phase-2 bounds.  The confirmation
+/// pass walks the candidate union levelwise, so the sets it counts lie
+/// in Th ∪ Bd-(Th) — the same Theorem 10 budget the levelwise algorithm
+/// gets — and the recall line records how much of the union phase 1
+/// over-generated.
+struct PartitionBoundInputs {
+  uint64_t phase2_evaluations = 0;
+  uint64_t theory_size = 0;
+  uint64_t negative_border_size = 0;
+  uint64_t candidate_union_size = 0;
+};
+
+BoundReport PartitionBoundReport(const PartitionBoundInputs& in);
+
 /// Builds the levelwise report from the `levelwise.last_*` gauges the
 /// instrumented RunLevelwise sets (requires metrics to have been on
 /// during the run).
@@ -100,6 +114,10 @@ BoundReport LevelwiseBoundReportFromRegistry(const MetricsSnapshot& snap);
 /// sets.
 BoundReport DualizeAdvanceBoundReportFromRegistry(
     const MetricsSnapshot& snap);
+
+/// Builds the partition report from the `partition.last_*` gauges
+/// MinePartitioned sets.
+BoundReport PartitionBoundReportFromRegistry(const MetricsSnapshot& snap);
 
 }  // namespace obs
 }  // namespace hgm

@@ -78,7 +78,7 @@ TEST_F(MarketBasketPipelineTest, EverythingAgreesWithEverything) {
   EXPECT_EQ(v.queries, v.border_size);
 
   // 6. Rules are internally consistent with the mined supports.
-  auto rules = GenerateRules(apriori, db_.num_transactions(), 0.7);
+  auto rules = GenerateRules(apriori, db_.num_transactions(), 0.7).value();
   for (const auto& rule : rules) {
     Bitset whole = rule.antecedent.WithBit(rule.consequent);
     EXPECT_EQ(rule.support, db_.Support(whole));

@@ -345,7 +345,7 @@ TEST(MaxMinerTest, ToStringNames) {
 TEST(RulesTest, Fig1Rules) {
   TransactionDatabase db = Fig1Database();
   AprioriResult mined = MineFrequentSets(&db, 2);
-  auto rules = GenerateRules(mined, db.num_transactions(), 0.0);
+  auto rules = GenerateRules(mined, db.num_transactions(), 0.0).value();
   // Frequent sets of size >= 2: AB, AC, BC, BD, ABC -> 2+2+2+2+3 = 11
   // rules before confidence filtering.
   EXPECT_EQ(rules.size(), 11u);
@@ -358,7 +358,8 @@ TEST(RulesTest, Fig1Rules) {
       EXPECT_EQ(r.support, 2u);
       EXPECT_NEAR(r.confidence, 2.0 / 3.0, 1e-12);
       // lift = conf / freq(B) = (2/3) / (4/5).
-      EXPECT_NEAR(r.lift, (2.0 / 3.0) / 0.8, 1e-12);
+      ASSERT_TRUE(r.lift.has_value());
+      EXPECT_NEAR(*r.lift, (2.0 / 3.0) / 0.8, 1e-12);
     }
   }
   EXPECT_TRUE(found);
@@ -371,8 +372,8 @@ TEST(RulesTest, Fig1Rules) {
 TEST(RulesTest, ConfidenceThresholdFilters) {
   TransactionDatabase db = Fig1Database();
   AprioriResult mined = MineFrequentSets(&db, 2);
-  auto all = GenerateRules(mined, db.num_transactions(), 0.0);
-  auto strict = GenerateRules(mined, db.num_transactions(), 0.9);
+  auto all = GenerateRules(mined, db.num_transactions(), 0.0).value();
+  auto strict = GenerateRules(mined, db.num_transactions(), 0.9).value();
   EXPECT_LT(strict.size(), all.size());
   for (const auto& r : strict) EXPECT_GE(r.confidence, 0.9);
 }
@@ -381,7 +382,7 @@ TEST(RulesTest, ConfidenceBoundaryIsInclusive) {
   TransactionDatabase db = Fig1Database();
   AprioriResult mined = MineFrequentSets(&db, 2);
   // A => C: support(AC)=2, support(A)=3, confidence 2/3.
-  auto rules = GenerateRules(mined, db.num_transactions(), 2.0 / 3.0);
+  auto rules = GenerateRules(mined, db.num_transactions(), 2.0 / 3.0).value();
   bool found = false;
   for (const auto& r : rules) {
     if (r.antecedent == Bitset(4, {0}) && r.consequent == 2) found = true;
@@ -403,7 +404,58 @@ TEST(RulesTest, FormatRule) {
 TEST(RulesTest, NoRulesFromSingletonTheory) {
   TransactionDatabase db = TransactionDatabase::FromRows(3, {{0}, {0}});
   AprioriResult mined = MineFrequentSets(&db, 2);
-  EXPECT_TRUE(GenerateRules(mined, 2, 0.0).empty());
+  EXPECT_TRUE(GenerateRules(mined, 2, 0.0).value().empty());
+}
+
+// Regression (silent drop): mined without record_all, the old code
+// returned an empty rule list as if the theory had no rules; now the
+// missing frequent-set list is a FailedPrecondition.
+TEST(RulesTest, RecordAllOffIsFailedPrecondition) {
+  TransactionDatabase db = Fig1Database();
+  AprioriOptions opts;
+  opts.record_all = false;
+  AprioriResult mined = MineFrequentSets(&db, 2, opts);
+  ASSERT_TRUE(mined.frequent.empty());
+  ASSERT_FALSE(mined.maximal.empty());
+  auto rules = GenerateRules(mined, db.num_transactions(), 0.0);
+  ASSERT_FALSE(rules.ok());
+  EXPECT_EQ(rules.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// A truncated frequent list (antecedent removed) is surfaced, not
+// silently skipped.
+TEST(RulesTest, TruncatedFrequentListIsFailedPrecondition) {
+  TransactionDatabase db = Fig1Database();
+  AprioriResult mined = MineFrequentSets(&db, 2);
+  std::erase_if(mined.frequent, [](const FrequentItemset& f) {
+    return f.items == Bitset(4, {3});  // drop singleton D: antecedent of D=>B
+  });
+  auto rules = GenerateRules(mined, db.num_transactions(), 0.0);
+  ASSERT_FALSE(rules.ok());
+  EXPECT_EQ(rules.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// Regression: lift used to print as 0.00 when it was never computed
+// (consequent singleton absent or num_rows == 0); it is now optional.
+TEST(RulesTest, FormatRuleWithoutLiftPrintsNA) {
+  AssociationRule r;
+  r.antecedent = Bitset(4, {1, 3});
+  r.consequent = 0;
+  r.support = 3;
+  r.confidence = 0.75;
+  ASSERT_FALSE(r.lift.has_value());
+  std::vector<std::string> names{"A", "B", "C", "D"};
+  EXPECT_EQ(FormatRule(r, names), "BD => A (sup 3, conf 0.75, lift n/a)");
+}
+
+// num_rows == 0 means frequency(A) is undefined, so lift stays unset on
+// every generated rule instead of defaulting to 0.
+TEST(RulesTest, LiftUnsetWhenNumRowsZero) {
+  TransactionDatabase db = Fig1Database();
+  AprioriResult mined = MineFrequentSets(&db, 2);
+  auto rules = GenerateRules(mined, /*num_rows=*/0, 0.0).value();
+  ASSERT_FALSE(rules.empty());
+  for (const auto& r : rules) EXPECT_FALSE(r.lift.has_value());
 }
 
 // ---------------------------------------------------------------------

@@ -22,6 +22,8 @@
 #include "mining/apriori.h"
 #include "mining/frequency_oracle.h"
 #include "mining/generators.h"
+#include "mining/partition.h"
+#include "mining/sharded_db.h"
 
 namespace hgm {
 namespace {
@@ -225,6 +227,52 @@ TEST(ParallelDeterminismTest, CachedOracleAccountingStaysExact) {
   EXPECT_EQ(out[1], 1);  // ∅ is frequent in a nonempty db with minsup 5
   EXPECT_EQ(cached.raw_queries(), 13u);
   EXPECT_EQ(cached.inner_evaluations(), 3u);  // 1 + the two new sentences
+}
+
+// Tentpole acceptance: the two-phase partition miner is bit-identical to
+// the single-database Apriori baseline — same frequent sets with the same
+// exact supports, same maximal sets, same Bd-(Th) — for every shard count
+// and at every thread count, and its phase-2 full-pass budget never
+// exceeds the Theorem 10 allowance |Th| + |Bd-(Th)|.
+TEST(ParallelDeterminismTest, PartitionMinerMatchesAprioriAtAnyShardCount) {
+  for (uint64_t seed : {7u, 21u}) {
+    Rng rng(seed);
+    QuestParams params;
+    params.num_transactions = 1200;
+    params.num_items = 50;
+    params.avg_transaction_size = 7;
+    TransactionDatabase db = GenerateQuest(params, &rng);
+    const size_t minsup = 25;
+
+    ThreadPool sequential(1);
+    AprioriOptions base_opts;
+    base_opts.pool = &sequential;
+    AprioriResult base = MineFrequentSets(&db, minsup, base_opts);
+    const size_t theorem10 =
+        base.frequent.size() + base.negative_border.size();
+
+    for (size_t shards : {size_t{1}, size_t{2}, size_t{7}}) {
+      for (size_t threads : kThreadCounts) {
+        ShardedTransactionDatabase sharded =
+            ShardedTransactionDatabase::Split(db, shards);
+        ThreadPool pool(threads);
+        PartitionOptions opts;
+        opts.pool = &pool;
+        PartitionResult r = MinePartitioned(&sharded, minsup, opts);
+        EXPECT_TRUE(SameItemsets(base.frequent, r.frequent))
+            << "frequent sets differ at K=" << shards << ", " << threads
+            << " threads";
+        EXPECT_EQ(base.maximal, r.maximal)
+            << "maximal sets differ at K=" << shards << ", " << threads
+            << " threads";
+        EXPECT_EQ(base.negative_border, r.negative_border)
+            << "negative border differs at K=" << shards << ", " << threads
+            << " threads";
+        EXPECT_LE(r.phase2_evaluations, theorem10)
+            << "phase-2 pass exceeded |Th| + |Bd-| at K=" << shards;
+      }
+    }
+  }
 }
 
 TEST(ParallelDeterminismTest, SupportAtLeastAgreesWithExactSupport) {

@@ -123,5 +123,89 @@ TEST(SamplingTest, EmptyDatabase) {
   EXPECT_FALSE(r.miss_detected);
 }
 
+// ---------------------------------------------------------------------
+// Regression tests for degenerate SamplingOptions (previously undefined).
+// ---------------------------------------------------------------------
+
+// min_support > rows: no set (not even ∅) can qualify, and the unclamped
+// lowered fraction exceeded 1 so sample_minsup > sample_size.  The run
+// must answer "empty theory" without a single full-database evaluation
+// (the old code burned a border check on it).
+TEST(SamplingTest, MinSupportAboveRowCountShortCircuits) {
+  Rng rng(88);
+  auto patterns = RandomPatterns(10, 2, 4, &rng);
+  TransactionDatabase db = PlantedDatabase(10, patterns, 6, 15, 2, &rng);
+  SamplingOptions opts;
+  Rng srng(5);
+  SamplingResult r =
+      MineWithSampling(&db, db.num_transactions() + 1, opts, &srng);
+  EXPECT_TRUE(r.frequent.empty());
+  EXPECT_FALSE(r.miss_detected);
+  EXPECT_EQ(r.full_db_evaluations, 0u);
+  EXPECT_EQ(r.repair_passes, 0u);
+}
+
+// sample_size == 0 behaves as 1 (documented clamp): with the same seed
+// both runs draw the same single row and produce identical results —
+// previously the 0-row sample had an empty theory and the repair loop
+// re-mined the whole database levelwise.
+TEST(SamplingTest, ZeroSampleSizeBehavesAsOne) {
+  Rng rng(89);
+  auto patterns = RandomPatterns(12, 2, 5, &rng);
+  TransactionDatabase db = PlantedDatabase(12, patterns, 8, 20, 2, &rng);
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    SamplingOptions zero;
+    zero.sample_size = 0;
+    Rng rng_zero(seed);
+    SamplingResult r_zero = MineWithSampling(&db, 8, zero, &rng_zero);
+
+    SamplingOptions one;
+    one.sample_size = 1;
+    Rng rng_one(seed);
+    SamplingResult r_one = MineWithSampling(&db, 8, one, &rng_one);
+
+    ExpectExact(&db, 8, r_zero);
+    EXPECT_EQ(r_zero.full_db_evaluations, r_one.full_db_evaluations);
+    EXPECT_EQ(r_zero.repair_passes, r_one.repair_passes);
+    EXPECT_EQ(r_zero.miss_detected, r_one.miss_detected);
+  }
+}
+
+// threshold_lowering outside [0, 1] is clamped: > 1 behaves exactly as
+// 1.0 (previously it RAISED the sample threshold above the full-database
+// fraction), and < 0 no longer hits the undefined negative-to-size_t
+// threshold cast — it behaves as 0.0, the most conservative sample mine.
+TEST(SamplingTest, ThresholdLoweringIsClampedIntoUnitInterval) {
+  Rng rng(90);
+  QuestParams params;
+  params.num_transactions = 400;
+  params.num_items = 18;
+  params.avg_transaction_size = 5;
+  TransactionDatabase db = GenerateQuest(params, &rng);
+
+  SamplingOptions above;
+  above.sample_size = 100;
+  above.threshold_lowering = 4.5;
+  Rng rng_above(7);
+  SamplingResult r_above = MineWithSampling(&db, 30, above, &rng_above);
+
+  SamplingOptions unit;
+  unit.sample_size = 100;
+  unit.threshold_lowering = 1.0;
+  Rng rng_unit(7);
+  SamplingResult r_unit = MineWithSampling(&db, 30, unit, &rng_unit);
+
+  ExpectExact(&db, 30, r_above);
+  EXPECT_EQ(r_above.full_db_evaluations, r_unit.full_db_evaluations);
+  EXPECT_EQ(r_above.repair_passes, r_unit.repair_passes);
+
+  SamplingOptions below;
+  below.sample_size = 100;
+  below.threshold_lowering = -0.5;
+  Rng rng_below(7);
+  SamplingResult r_below = MineWithSampling(&db, 30, below, &rng_below);
+  ExpectExact(&db, 30, r_below);
+}
+
 }  // namespace
 }  // namespace hgm
