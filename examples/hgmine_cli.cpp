@@ -4,6 +4,9 @@
 //   hgmine_cli mine <basket-file> <min-support> [--rules <min-conf>]
 //                   [--maximal] [--closed] [--algo levelwise|dualize|dfs]
 //                   [--shards=K] [--metrics=<path|->] [--trace=<path>]
+//                   [--deadline-ms=N] [--max-queries=N]
+//                   [--checkpoint=<path>] [--resume=<path>]
+//                   [--chaos-seed=N]
 //   hgmine_cli demo
 //
 // Basket format: one transaction per line, whitespace-separated item ids;
@@ -18,14 +21,31 @@
 //                  when a levelwise or dualize run populated its gauges;
 // --metrics=<path> writes the same data as JSON;
 // --trace=<path>   writes Chrome/Perfetto trace-event JSON (load it in
-//                  chrome://tracing or ui.perfetto.dev).
+//                  chrome://tracing or ui.perfetto.dev);
+// --deadline-ms=N  wall-clock budget: the miner stops at the next level
+//                  boundary after N ms and reports its certified prefix;
+// --max-queries=N  support-count budget, same anytime semantics;
+// --checkpoint=<p> where to write the resume state when a budget trips
+//                  (exit code 3 marks the partial run);
+// --resume=<p>     continue a checkpointed run; the combined output is
+//                  bit-identical to one uninterrupted run;
+// --chaos-seed=N   (with --shards) injects seeded transient shard faults
+//                  into phase 1 to exercise the retry/failover path; the
+//                  mined output must be identical to a fault-free run.
+//
+// Exit codes: 0 complete, 1 I/O or internal error, 2 usage error,
+// 3 budget tripped (partial result; checkpoint written if requested).
 
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <optional>
 #include <string>
 
+#include "common/parse.h"
 #include "common/table_printer.h"
+#include "core/checkpoint.h"
 #include "mining/apriori.h"
 #include "mining/closed.h"
 #include "mining/max_miner.h"
@@ -37,6 +57,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "testing/fault_injection.h"
 
 namespace {
 
@@ -46,8 +67,23 @@ int Usage() {
          "                  [--rules <min-conf>] [--maximal] [--closed]\n"
          "                  [--algo levelwise|dualize|dfs] [--shards=K]\n"
          "                  [--metrics=<path|->] [--trace=<path>]\n"
+         "                  [--deadline-ms=N] [--max-queries=N]\n"
+         "                  [--checkpoint=<path>] [--resume=<path>]\n"
+         "                  [--chaos-seed=N]\n"
          "       hgmine_cli demo\n";
   return 2;
+}
+
+/// Strict flag-value parsing: --foo=12x, --foo=-3, and --foo=99999999...
+/// are all usage errors with one-line messages, not silent zeros.
+bool ParseFlagUint(const std::string& flag, const std::string& value,
+                   uint64_t max_value, uint64_t* out) {
+  hgm::Status s = hgm::ParseUnsignedToken(value, max_value, flag, 0, out);
+  if (!s.ok()) {
+    std::cerr << "error: " << s.message() << "\n";
+    return false;
+  }
+  return true;
 }
 
 /// Exports the metrics registry (plus any bound report whose gauges are
@@ -123,13 +159,25 @@ int main(int argc, char** argv) {
   }
   if (args.size() < 3 || args[0] != "mine") return Usage();
   path = args[1];
-  min_support = static_cast<size_t>(std::strtoull(args[2].c_str(),
-                                                  nullptr, 10));
+  {
+    uint64_t v = 0;
+    if (!ParseFlagUint("min-support", args[2],
+                       std::numeric_limits<uint32_t>::max(), &v)) {
+      return 2;
+    }
+    min_support = static_cast<size_t>(v);
+  }
   bool want_maximal = false, want_closed = false, want_rules = false;
   double min_conf = 0.5;
   size_t num_shards = 0;  // 0 = single-database Apriori path
   std::string metrics_dest;  // empty = not requested; "-" = stdout
   std::string trace_path;
+  uint64_t deadline_ms = 0;
+  uint64_t max_queries = 0;
+  std::string checkpoint_path;  // where to save on a budget trip
+  std::string resume_path;      // checkpoint to continue from
+  bool have_chaos = false;
+  uint64_t chaos_seed = 0;
   MaxMinerAlgorithm algo = MaxMinerAlgorithm::kDualizeAdvance;
   for (size_t i = 3; i < args.size(); ++i) {
     if (args[i] == "--maximal") {
@@ -137,9 +185,40 @@ int main(int argc, char** argv) {
     } else if (args[i] == "--closed") {
       want_closed = true;
     } else if (args[i].rfind("--shards=", 0) == 0) {
-      num_shards = static_cast<size_t>(
-          std::strtoull(args[i].c_str() + 9, nullptr, 10));
-      if (num_shards == 0) return Usage();
+      uint64_t v = 0;
+      if (!ParseFlagUint("--shards", args[i].substr(9), 1u << 20, &v)) {
+        return 2;
+      }
+      num_shards = static_cast<size_t>(v);
+      if (num_shards == 0) {
+        std::cerr << "error: --shards must be >= 1\n";
+        return 2;
+      }
+    } else if (args[i].rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseFlagUint("--deadline-ms", args[i].substr(14),
+                         std::numeric_limits<uint32_t>::max(),
+                         &deadline_ms)) {
+        return 2;
+      }
+    } else if (args[i].rfind("--max-queries=", 0) == 0) {
+      if (!ParseFlagUint("--max-queries", args[i].substr(14),
+                         std::numeric_limits<uint64_t>::max() - 1,
+                         &max_queries)) {
+        return 2;
+      }
+    } else if (args[i].rfind("--checkpoint=", 0) == 0) {
+      checkpoint_path = args[i].substr(13);
+      if (checkpoint_path.empty()) return Usage();
+    } else if (args[i].rfind("--resume=", 0) == 0) {
+      resume_path = args[i].substr(9);
+      if (resume_path.empty()) return Usage();
+    } else if (args[i].rfind("--chaos-seed=", 0) == 0) {
+      if (!ParseFlagUint("--chaos-seed", args[i].substr(13),
+                         std::numeric_limits<uint64_t>::max() - 1,
+                         &chaos_seed)) {
+        return 2;
+      }
+      have_chaos = true;
     } else if (args[i].rfind("--metrics=", 0) == 0) {
       metrics_dest = args[i].substr(10);
       if (metrics_dest.empty()) return Usage();
@@ -148,7 +227,14 @@ int main(int argc, char** argv) {
       if (trace_path.empty()) return Usage();
     } else if (args[i] == "--rules" && i + 1 < args.size()) {
       want_rules = true;
-      min_conf = std::strtod(args[++i].c_str(), nullptr);
+      char* end = nullptr;
+      min_conf = std::strtod(args[++i].c_str(), &end);
+      if (end == args[i].c_str() || *end != '\0' || min_conf < 0 ||
+          min_conf > 1) {
+        std::cerr << "error: --rules confidence must be a number in [0,1]"
+                  << ", got '" << args[i] << "'\n";
+        return 2;
+      }
     } else if (args[i] == "--algo" && i + 1 < args.size()) {
       const std::string& a = args[++i];
       if (a == "levelwise") {
@@ -158,11 +244,18 @@ int main(int argc, char** argv) {
       } else if (a == "dfs") {
         algo = MaxMinerAlgorithm::kDepthFirst;
       } else {
-        return Usage();
+        std::cerr << "error: unknown --algo '" << a << "'\n";
+        return 2;
       }
     } else {
+      std::cerr << "error: unknown argument '" << args[i] << "'\n";
       return Usage();
     }
+  }
+  if (have_chaos && num_shards == 0) {
+    std::cerr << "error: --chaos-seed requires --shards=K (faults are "
+                 "injected into phase-1 shard mining)\n";
+    return 2;
   }
 
   if (!metrics_dest.empty()) obs::EnableMetrics(true);
@@ -177,16 +270,90 @@ int main(int argc, char** argv) {
   std::cout << "loaded " << db.num_transactions() << " transactions over "
             << db.num_items() << " items from " << path << "\n";
 
+  RunBudget budget;
+  budget.max_duration = std::chrono::milliseconds(deadline_ms);
+  budget.max_queries = max_queries;
+
+  std::optional<Checkpoint> resume_from;
+  if (!resume_path.empty()) {
+    auto cp = LoadCheckpointFile(resume_path);
+    if (!cp.ok()) {
+      std::cerr << "error: " << cp.status().ToString() << "\n";
+      return 1;
+    }
+    resume_from = std::move(cp.value());
+    const char* want = num_shards > 0 ? "partition" : "apriori";
+    if (resume_from->kind != want) {
+      std::cerr << "error: checkpoint kind '" << resume_from->kind
+                << "' does not match this invocation (expected '" << want
+                << "'; match the original run's --shards)\n";
+      return 2;
+    }
+  }
+
+  // Shared partial-run epilogue: report the stop, persist the checkpoint
+  // when asked, and exit 3 so scripts can tell "partial" from "failed".
+  auto finish_partial = [&](StopReason reason,
+                            const std::optional<Checkpoint>& cp) -> int {
+    std::cout << "stopped early (" << StopReasonName(reason)
+              << "); result above is the certified prefix\n";
+    if (!checkpoint_path.empty()) {
+      if (!cp) {
+        std::cerr << "error: budget tripped but no checkpoint was produced\n";
+        return 1;
+      }
+      Status s = SaveCheckpointFile(*cp, checkpoint_path);
+      if (!s.ok()) {
+        std::cerr << "error: " << s.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "checkpoint written to " << checkpoint_path
+                << " (resume with --resume=" << checkpoint_path << ")\n";
+    }
+    return 3;
+  };
+
   AprioriResult mined;
   if (num_shards > 0) {
     ShardedTransactionDatabase sharded =
         ShardedTransactionDatabase::Split(db, num_shards);
-    PartitionResult part = MinePartitioned(&sharded, min_support);
+    PartitionOptions popts;
+    popts.budget = budget;
+    if (have_chaos) {
+      // Seeded transient faults in phase 1; the retry rounds must heal
+      // them and reproduce the fault-free output bit for bit.
+      FaultSpec spec;
+      spec.transient_rate = 0.4;
+      spec.seed = chaos_seed;
+      popts.shard_fault_hook = MakeShardFaultSchedule(spec);
+      popts.retry.max_attempts = 6;
+    }
+    PartitionResult part;
+    if (resume_from) {
+      auto resumed = ResumePartition(&sharded, *resume_from, popts);
+      if (!resumed.ok()) {
+        std::cerr << "error: " << resumed.status().ToString() << "\n";
+        return 1;
+      }
+      part = std::move(resumed.value());
+    } else {
+      part = MinePartitioned(&sharded, min_support, popts);
+    }
+    if (!part.status.ok()) {
+      std::cerr << "warning: " << part.status.ToString() << "\n";
+    }
     std::cout << part.frequent.size()
               << " frequent itemsets at support >= " << min_support
               << " via " << part.num_shards << " shards ("
               << part.phase2_evaluations << " phase-2 full-pass sets, "
-              << part.phase2_rejected << " rejected)\n";
+              << part.phase2_rejected << " rejected";
+    if (part.shard_retries > 0) {
+      std::cout << ", " << part.shard_retries << " shard retries";
+    }
+    std::cout << ")\n";
+    if (part.stop_reason != StopReason::kCompleted) {
+      return finish_partial(part.stop_reason, part.checkpoint);
+    }
     TablePrinter shards({"shard", "rows", "local minsup", "local frequent"});
     for (size_t k = 0; k < part.num_shards; ++k) {
       shards.NewRow()
@@ -198,10 +365,24 @@ int main(int argc, char** argv) {
     shards.Print();
     mined = AsAprioriResult(part);
   } else {
-    mined = MineFrequentSets(&db, min_support);
+    AprioriOptions aopts;
+    aopts.budget = budget;
+    if (resume_from) {
+      auto resumed = ResumeFrequentSets(&db, *resume_from, aopts);
+      if (!resumed.ok()) {
+        std::cerr << "error: " << resumed.status().ToString() << "\n";
+        return 1;
+      }
+      mined = std::move(resumed.value());
+    } else {
+      mined = MineFrequentSets(&db, min_support, aopts);
+    }
     std::cout << mined.frequent.size()
               << " frequent itemsets at support >= " << min_support << " ("
               << mined.support_counts << " support counts)\n";
+    if (mined.stop_reason != StopReason::kCompleted) {
+      return finish_partial(mined.stop_reason, mined.checkpoint);
+    }
     TablePrinter levels({"size", "candidates", "frequent"});
     for (size_t k = 0; k < mined.candidates_per_level.size(); ++k) {
       levels.NewRow().Add(k).Add(mined.candidates_per_level[k]).Add(

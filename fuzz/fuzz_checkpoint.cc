@@ -1,0 +1,46 @@
+/// \file fuzz_checkpoint.cc
+/// \brief Fuzzes the checkpoint parser — the whole --resume attack
+/// surface of the CLI.
+///
+/// Arbitrary bytes go through ParseCheckpoint, which must either reject
+/// them with a Status or accept them within the documented allocation
+/// ceilings (kMaxCheckpoint*) — never crash, never allocation-bomb.
+/// Accepted checkpoints are then re-serialized and re-parsed: the v1
+/// text format is canonical, so Serialize(Parse(x)) must be a fixed
+/// point and the second parse must agree field for field.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/check.h"
+#include "core/checkpoint.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = hgm::ParseCheckpoint(text);
+  if (!parsed.ok()) return 0;
+
+  // Accepted input: the ceilings must actually have been enforced.
+  HGMINE_CHECK(parsed->sections.size() <= hgm::kMaxCheckpointSections);
+  HGMINE_CHECK(parsed->scalars.size() <= hgm::kMaxCheckpointScalars);
+  uint64_t total_bits = 0;
+  for (const auto& [name, entries] : parsed->sections) {
+    HGMINE_CHECK(name.size() <= hgm::kMaxCheckpointNameLength);
+    HGMINE_CHECK(entries.size() <= hgm::kMaxCheckpointEntries);
+    total_bits += static_cast<uint64_t>(parsed->width) * entries.size();
+  }
+  HGMINE_CHECK(total_bits <= hgm::kMaxCheckpointTotalBits);
+
+  // Round-trip: serialization is canonical and reparseable.
+  std::string canonical = hgm::SerializeCheckpoint(*parsed);
+  auto reparsed = hgm::ParseCheckpoint(canonical);
+  HGMINE_CHECK(reparsed.ok());
+  HGMINE_CHECK(reparsed->kind == parsed->kind);
+  HGMINE_CHECK(reparsed->width == parsed->width);
+  HGMINE_CHECK(reparsed->scalars == parsed->scalars);
+  HGMINE_CHECK(reparsed->sections.size() == parsed->sections.size());
+  HGMINE_CHECK(hgm::SerializeCheckpoint(*reparsed) == canonical);
+  return 0;
+}

@@ -8,12 +8,17 @@
 #   4. shard determinism      ctest -L partition + -L sampling on the
 #                             plain build (partition miner bit-identical
 #                             to Apriori at every K and thread count)
-#   5. audited build          -DHGMINE_AUDIT=ON, full ctest with every
+#   5. robustness             ctest -L robustness on the plain build
+#                             (budget trips, checkpoint/resume identity,
+#                             the seeded chaos matrix, the CLI smoke)
+#   6. audited build          -DHGMINE_AUDIT=ON, full ctest with every
 #                             paper-contract auditor live
-#   6. ASan+UBSan build       HGMINE_SANITIZE=address
-#   7. TSan build             HGMINE_SANITIZE=thread (parallel batch layer)
+#   7. ASan+UBSan build       HGMINE_SANITIZE=address
+#   8. TSan build             HGMINE_SANITIZE=thread (parallel batch
+#                             layer; full ctest includes the chaos suite,
+#                             so fault injection runs under TSan too)
 #
-# Stages 6 and 7 are skipped with --fast.  Build dirs are check-* so they
+# Stages 7 and 8 are skipped with --fast.  Build dirs are check-* so they
 # never collide with a developer's build/.
 #
 # Usage: scripts/check.sh [--fast]
@@ -57,6 +62,11 @@ scripts/obs_smoke.sh check-plain/examples/hgmine_cli
 echo "==== check: shard determinism ===="
 (cd check-plain && ctest -L partition --output-on-failure -j "$JOBS")
 (cd check-plain && ctest -L sampling --output-on-failure -j "$JOBS")
+
+echo "==== check: robustness ===="
+# Budget trips, checkpoint/resume bit-identity, the seeded chaos matrix,
+# checkpoint parser hardening, and the CLI fault-tolerance smoke.
+(cd check-plain && ctest -L robustness --output-on-failure -j "$JOBS")
 
 run_matrix_entry audit -DHGMINE_WERROR=ON -DHGMINE_AUDIT=ON
 

@@ -1,0 +1,189 @@
+#pragma once
+
+/// \file run_budget.h
+/// \brief Runtime enforcement of the paper's resource budgets.
+///
+/// Theorem 10 prices a levelwise run at |Th ∪ Bd-(Th)| Is-interesting
+/// queries and Theorem 21 bounds Dualize-and-Advance the same way — the
+/// results are *budgets*, and this header makes them enforceable at
+/// runtime: a RunBudget caps wall-clock time, Is-interesting queries, and
+/// candidate-set bytes, and a BudgetTracker polls it at the engines' safe
+/// boundaries (level edges, iteration edges, phase edges).  A tripped
+/// budget does not kill the run; the engine stops at the boundary and
+/// returns the certified prefix computed so far plus a Checkpoint to
+/// resume from (core/checkpoint.h).
+///
+/// RetryPolicy is the companion knob for the sharded backend's failover:
+/// seeded exponential backoff with deterministic jitter, so chaos tests
+/// replay bit-identically from a seed.
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/cancellation.h"
+#include "common/random.h"
+#include "obs/metrics.h"
+
+namespace hgm {
+
+/// Why a run stopped where it did.
+enum class StopReason {
+  kCompleted = 0,   ///< ran to the natural end; result is total
+  kDeadline,        ///< wall-clock deadline reached
+  kQueryBudget,     ///< next step would exceed the Is-interesting cap
+  kMemoryBudget,    ///< next candidate set would exceed the byte cap
+  kCancelled,       ///< the cancellation token was flipped
+};
+
+/// Human-readable StopReason, for logs and checkpoints.
+inline const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kCompleted:
+      return "completed";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kQueryBudget:
+      return "query_budget";
+    case StopReason::kMemoryBudget:
+      return "memory_budget";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Resource envelope for one mining run.  Zero fields mean "unlimited";
+/// a default RunBudget never trips, so budget-aware engines cost nothing
+/// when no budget is set.
+struct RunBudget {
+  /// Wall-clock allowance; 0 = no deadline.  The deadline is computed
+  /// once when the tracker starts, so resumed runs get a fresh window.
+  std::chrono::milliseconds max_duration{0};
+  /// Cap on Is-interesting evaluations (the paper's cost measure);
+  /// 0 = unlimited.  Enforced *before* each batch: a level whose batch
+  /// would cross the cap is not evaluated at all, keeping the completed-
+  /// level-prefix semantics exact.
+  uint64_t max_queries = 0;
+  /// Cap on the bytes held by one candidate level's bitsets; 0 = off.
+  uint64_t max_candidate_bytes = 0;
+  /// Cooperative stop signal, polled at the same boundaries.
+  CancellationToken cancel;
+
+  bool Unlimited() const {
+    return max_duration.count() == 0 && max_queries == 0 &&
+           max_candidate_bytes == 0 && !cancel.cancelled();
+  }
+
+  /// True when some check could ever trip — engines use this to decide
+  /// whether to pay for partial-result bookkeeping up front.
+  bool CanTrip() const {
+    return max_duration.count() > 0 || max_queries > 0 ||
+           max_candidate_bytes > 0 || cancel.attached();
+  }
+};
+
+/// Per-run budget state: owns the resolved deadline and answers "may I
+/// start the next step?" at checkpointable boundaries.  Records each trip
+/// once under the robustness.* counters.
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(const RunBudget& budget, uint64_t queries_so_far = 0)
+      : budget_(budget), queries_(queries_so_far) {
+    if (budget_.max_duration.count() > 0) {
+      deadline_ = std::chrono::steady_clock::now() + budget_.max_duration;
+      has_deadline_ = true;
+    }
+  }
+
+  /// Adds \p n evaluations to the running tally (call after each batch).
+  void ChargeQueries(uint64_t n) { queries_ += n; }
+  uint64_t queries() const { return queries_; }
+
+  /// Checks the boundary conditions that need no lookahead: cancellation
+  /// and the wall clock.  Returns kCompleted when the run may continue.
+  StopReason CheckBoundary() {
+    if (budget_.cancel.cancelled()) {
+      return Trip(StopReason::kCancelled);
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return Trip(StopReason::kDeadline);
+    }
+    return StopReason::kCompleted;
+  }
+
+  /// Full pre-batch check: boundary conditions plus "would evaluating a
+  /// batch of \p batch_queries queries holding \p batch_bytes bytes cross
+  /// a cap?".
+  StopReason CheckBeforeBatch(uint64_t batch_queries, uint64_t batch_bytes) {
+    StopReason r = CheckBoundary();
+    if (r != StopReason::kCompleted) return r;
+    if (budget_.max_queries != 0 &&
+        queries_ + batch_queries > budget_.max_queries) {
+      return Trip(StopReason::kQueryBudget);
+    }
+    if (budget_.max_candidate_bytes != 0 &&
+        batch_bytes > budget_.max_candidate_bytes) {
+      return Trip(StopReason::kMemoryBudget);
+    }
+    return StopReason::kCompleted;
+  }
+
+ private:
+  StopReason Trip(StopReason reason) {
+    if (!tripped_) {
+      tripped_ = true;
+      switch (reason) {
+        case StopReason::kDeadline:
+          HGM_OBS_COUNT("robustness.deadline_hits", 1);
+          break;
+        case StopReason::kQueryBudget:
+          HGM_OBS_COUNT("robustness.query_budget_hits", 1);
+          break;
+        case StopReason::kMemoryBudget:
+          HGM_OBS_COUNT("robustness.memory_budget_hits", 1);
+          break;
+        case StopReason::kCancelled:
+          HGM_OBS_COUNT("robustness.cancellations", 1);
+          break;
+        case StopReason::kCompleted:
+          break;
+      }
+    }
+    return reason;
+  }
+
+  RunBudget budget_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  bool tripped_ = false;
+  uint64_t queries_ = 0;
+};
+
+/// Seeded exponential backoff with deterministic jitter, for shard
+/// failover and oracle retries.  Delay for attempt a (0-based) is
+/// base_us * 2^a plus up to 100% jitter, capped at max_us; the jitter is
+/// a pure function of (seed, salt, attempt), so a chaos run replays the
+/// exact same schedule from its seed.
+struct RetryPolicy {
+  /// Total tries per task, first attempt included.  >= 1.
+  size_t max_attempts = 3;
+  /// Base backoff; 0 disables sleeping entirely (the test default).
+  uint64_t base_backoff_us = 0;
+  /// Backoff ceiling.
+  uint64_t max_backoff_us = 100000;
+  /// Jitter seed.
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  uint64_t DelayUs(size_t attempt, uint64_t salt) const {
+    if (base_backoff_us == 0) return 0;
+    uint64_t exp = base_backoff_us;
+    for (size_t i = 0; i < attempt && exp < max_backoff_us; ++i) exp *= 2;
+    if (exp > max_backoff_us) exp = max_backoff_us;
+    uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ull) ^ attempt;
+    uint64_t jitter = SplitMix64(state) % (exp + 1);
+    uint64_t total = exp + jitter;
+    return total > max_backoff_us ? max_backoff_us : total;
+  }
+};
+
+}  // namespace hgm

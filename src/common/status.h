@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  kUnavailable,
 };
 
 /// \brief The outcome of a fallible operation: success, or a code plus a
@@ -62,6 +63,11 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// A dependency (shard, replica, task) failed past its retry cap; the
+  /// operation may have produced a certified partial result.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -95,6 +101,8 @@ class Status {
         return "OutOfRange";
       case StatusCode::kInternal:
         return "Internal";
+      case StatusCode::kUnavailable:
+        return "Unavailable";
     }
     return "Unknown";
   }

@@ -18,11 +18,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -108,8 +110,18 @@ class ThreadPool {
   /// [0, num_threads()).  Blocks until every chunk has finished.  Chunk
   /// boundaries are a pure function of (n, num_threads()); callers that
   /// accumulate per-chunk partials must reduce them in chunk order.
+  ///
+  /// Exception safety: if a chunk throws, the first exception is
+  /// captured, the remaining unclaimed chunks are abandoned, and the
+  /// exception is rethrown here once every worker has left the batch —
+  /// the pool itself stays healthy and reusable.  If \p cancel is
+  /// cancelled, chunks not yet started are skipped and CancelledError is
+  /// thrown at the join point (a chunk already running is not
+  /// interrupted; fn may also poll the token itself).  In both cases the
+  /// per-chunk outputs are incomplete and must be discarded.
   void ParallelFor(size_t n,
-                   const std::function<void(size_t, size_t, size_t)>& fn) {
+                   const std::function<void(size_t, size_t, size_t)>& fn,
+                   const CancellationToken& cancel = {}) {
     if (n == 0) return;
     const size_t chunks = num_threads();
     // Telemetry: one span + batch/item tallies per ParallelFor; per-chunk
@@ -121,6 +133,7 @@ class ThreadPool {
     obs::TraceSpan batch_span("pool.batch", "pool",
                               {{"items", n}, {"chunks", chunks}});
     if (chunks == 1 || in_worker_) {
+      cancel.ThrowIfCancelled("ParallelFor");
       RunTimed(fn, 0, n, 0);
       return;
     }
@@ -128,6 +141,7 @@ class ThreadPool {
     batch.fn = &fn;
     batch.n = n;
     batch.chunks = chunks;
+    batch.cancel = &cancel;
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -153,6 +167,10 @@ class ThreadPool {
       });
       current_ = nullptr;
     }
+    if (batch.error) std::rethrow_exception(batch.error);
+    if (batch.abandoned.load(std::memory_order_acquire)) {
+      throw CancelledError("cancelled in ParallelFor");
+    }
   }
 
  private:
@@ -163,6 +181,13 @@ class ThreadPool {
     std::atomic<size_t> next{1};  // chunk 0 belongs to the caller
     std::atomic<size_t> done{0};
     std::atomic<size_t> refs{0};  // workers currently inside the batch
+    /// First exception thrown by any chunk (guarded by the pool mutex);
+    /// rethrown at the join point.
+    std::exception_ptr error;
+    /// Set on exception or external cancellation: chunks claimed after
+    /// this point are marked done without running.
+    std::atomic<bool> abandoned{false};
+    const CancellationToken* cancel = nullptr;
   };
 
   /// Invokes one chunk, charging pool.chunks / pool.busy_us (the per-lane
@@ -182,9 +207,27 @@ class ThreadPool {
   }
 
   void RunChunk(Batch* batch, size_t c) {
-    const size_t begin = c * batch->n / batch->chunks;
-    const size_t end = (c + 1) * batch->n / batch->chunks;
-    if (begin < end) RunTimed(*batch->fn, begin, end, c);
+    // Cancellation / first-exception check at the chunk boundary: an
+    // abandoned batch still counts every chunk done (the join waits on
+    // that), it just stops doing work.
+    bool run = !batch->abandoned.load(std::memory_order_acquire);
+    if (run && batch->cancel != nullptr && batch->cancel->cancelled()) {
+      batch->abandoned.store(true, std::memory_order_release);
+      run = false;
+    }
+    if (run) {
+      const size_t begin = c * batch->n / batch->chunks;
+      const size_t end = (c + 1) * batch->n / batch->chunks;
+      if (begin < end) {
+        try {
+          RunTimed(*batch->fn, begin, end, c);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!batch->error) batch->error = std::current_exception();
+          batch->abandoned.store(true, std::memory_order_release);
+        }
+      }
+    }
     if (batch->done.fetch_add(1) + 1 == batch->chunks) {
       std::lock_guard<std::mutex> lock(mu_);
       done_cv_.notify_all();

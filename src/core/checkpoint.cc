@@ -1,0 +1,299 @@
+#include "core/checkpoint.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/parse.h"
+#include "obs/metrics.h"
+
+namespace hgm {
+
+namespace {
+
+constexpr char kHeader[] = "hgmine-checkpoint v1";
+
+bool ValidName(std::string_view name) {
+  if (name.empty() || name.size() > kMaxCheckpointNameLength) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Status Fail(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("checkpoint:" + std::to_string(line_no) +
+                                 ": " + what);
+}
+
+}  // namespace
+
+void Checkpoint::SetScalar(const std::string& name, uint64_t value) {
+  for (auto& [n, v] : scalars) {
+    if (n == name) {
+      v = value;
+      return;
+    }
+  }
+  scalars.emplace_back(name, value);
+}
+
+bool Checkpoint::GetScalar(const std::string& name, uint64_t* out) const {
+  for (const auto& [n, v] : scalars) {
+    if (n == name) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<CheckpointEntry>* Checkpoint::AddSection(const std::string& name) {
+  sections.emplace_back(name, std::vector<CheckpointEntry>{});
+  return &sections.back().second;
+}
+
+const std::vector<CheckpointEntry>* Checkpoint::FindSection(
+    const std::string& name) const {
+  for (const auto& [n, entries] : sections) {
+    if (n == name) return &entries;
+  }
+  return nullptr;
+}
+
+std::string SerializeCheckpoint(const Checkpoint& cp) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "kind " << cp.kind << "\n";
+  out << "width " << cp.width << "\n";
+  for (const auto& [name, value] : cp.scalars) {
+    out << "scalar " << name << " " << value << "\n";
+  }
+  for (const auto& [name, entries] : cp.sections) {
+    out << "section " << name << " " << entries.size() << "\n";
+    for (const CheckpointEntry& e : entries) {
+      out << e.items.Count() << " " << e.value;
+      e.items.ForEach([&](size_t v) { out << " " << v; });
+      out << "\n";
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<Checkpoint> ParseCheckpoint(std::string_view text) {
+  Checkpoint cp;
+  // Parser state machine: header -> kind -> width -> body (scalars and
+  // sections, a section swallowing its declared entry lines) -> end.
+  enum class Expect { kHeader, kKind, kWidth, kBody, kEntry, kDone };
+  Expect expect = Expect::kHeader;
+  size_t pending_entries = 0;        // entry lines left in the open section
+  std::vector<CheckpointEntry>* open_section = nullptr;
+  size_t total_entries = 0;
+  uint64_t total_bits = 0;
+  std::vector<std::string_view> tokens;
+
+  Status s = ForEachDataLine(
+      text, "checkpoint",
+      [&](size_t line_no, std::string_view line) -> Status {
+        SplitDataTokens(line, &tokens);
+        if (tokens.empty()) return Status::OK();  // blank line
+        switch (expect) {
+          case Expect::kHeader: {
+            if (line != kHeader) {
+              return Fail(line_no, "missing 'hgmine-checkpoint v1' header");
+            }
+            expect = Expect::kKind;
+            return Status::OK();
+          }
+          case Expect::kKind: {
+            if (tokens.size() != 2 || tokens[0] != "kind" ||
+                !ValidName(tokens[1])) {
+              return Fail(line_no, "expected 'kind <name>'");
+            }
+            cp.kind = std::string(tokens[1]);
+            expect = Expect::kWidth;
+            return Status::OK();
+          }
+          case Expect::kWidth: {
+            uint64_t w = 0;
+            if (tokens.size() != 2 || tokens[0] != "width") {
+              return Fail(line_no, "expected 'width <n>'");
+            }
+            Status ps = ParseUnsignedToken(tokens[1], kMaxParseId + 1,
+                                          "checkpoint", line_no, &w);
+            if (!ps.ok()) return ps;
+            cp.width = static_cast<size_t>(w);
+            expect = Expect::kBody;
+            return Status::OK();
+          }
+          case Expect::kEntry: {
+            // "<k> <value> <item>*k", every item < width.
+            uint64_t k = 0;
+            Status ps = ParseUnsignedToken(tokens[0], cp.width, "checkpoint",
+                                           line_no, &k);
+            if (!ps.ok()) return ps;
+            if (tokens.size() != 2 + static_cast<size_t>(k)) {
+              return Fail(line_no,
+                          "entry declares " + std::to_string(k) +
+                              " items but carries " +
+                              std::to_string(tokens.size() - 2));
+            }
+            total_bits += cp.width;
+            if (total_bits > kMaxCheckpointTotalBits) {
+              return Fail(line_no, "checkpoint exceeds the total-bits cap");
+            }
+            CheckpointEntry entry;
+            ps = ParseUnsignedToken(tokens[1],
+                                    std::numeric_limits<uint64_t>::max(),
+                                    "checkpoint", line_no, &entry.value);
+            if (!ps.ok()) return ps;
+            entry.items = Bitset(cp.width);
+            for (size_t i = 2; i < tokens.size(); ++i) {
+              uint64_t id = 0;
+              ps = ParseUnsignedToken(tokens[i],
+                                      cp.width == 0 ? 0 : cp.width - 1,
+                                      "checkpoint", line_no, &id);
+              if (!ps.ok()) return ps;
+              if (entry.items.Test(static_cast<size_t>(id))) {
+                return Fail(line_no, "duplicate item id in entry");
+              }
+              entry.items.Set(static_cast<size_t>(id));
+            }
+            open_section->push_back(std::move(entry));
+            if (--pending_entries == 0) expect = Expect::kBody;
+            return Status::OK();
+          }
+          case Expect::kBody: {
+            if (tokens[0] == "end") {
+              if (tokens.size() != 1) return Fail(line_no, "trailing tokens");
+              expect = Expect::kDone;
+              return Status::OK();
+            }
+            if (tokens[0] == "scalar") {
+              if (tokens.size() != 3 || !ValidName(tokens[1])) {
+                return Fail(line_no, "expected 'scalar <name> <value>'");
+              }
+              if (cp.scalars.size() >= kMaxCheckpointScalars) {
+                return Fail(line_no, "too many scalars");
+              }
+              uint64_t v = 0;
+              Status ps = ParseUnsignedToken(
+                  tokens[2], std::numeric_limits<uint64_t>::max(),
+                  "checkpoint", line_no, &v);
+              if (!ps.ok()) return ps;
+              cp.scalars.emplace_back(std::string(tokens[1]), v);
+              return Status::OK();
+            }
+            if (tokens[0] == "section") {
+              if (tokens.size() != 3 || !ValidName(tokens[1])) {
+                return Fail(line_no, "expected 'section <name> <count>'");
+              }
+              if (cp.sections.size() >= kMaxCheckpointSections) {
+                return Fail(line_no, "too many sections");
+              }
+              uint64_t count = 0;
+              Status ps = ParseUnsignedToken(tokens[2], kMaxCheckpointEntries,
+                                             "checkpoint", line_no, &count);
+              if (!ps.ok()) return ps;
+              total_entries += static_cast<size_t>(count);
+              if (total_entries > kMaxCheckpointEntries) {
+                return Fail(line_no, "too many entries across sections");
+              }
+              open_section = cp.AddSection(std::string(tokens[1]));
+              open_section->reserve(static_cast<size_t>(count));
+              pending_entries = static_cast<size_t>(count);
+              if (pending_entries > 0) expect = Expect::kEntry;
+              return Status::OK();
+            }
+            return Fail(line_no, "expected 'scalar', 'section', or 'end'");
+          }
+          case Expect::kDone:
+            return Fail(line_no, "content after 'end'");
+        }
+        return Fail(line_no, "unreachable parser state");
+      });
+  if (!s.ok()) return s;
+  if (expect != Expect::kDone) {
+    return Status::InvalidArgument(
+        "checkpoint: truncated (missing 'end' terminator)");
+  }
+  return cp;
+}
+
+Status SaveCheckpointFile(const Checkpoint& cp, const std::string& path) {
+  std::string text = SerializeCheckpoint(cp);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open checkpoint file for writing: " +
+                           path);
+  }
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("short write to checkpoint file: " + path);
+  }
+  HGM_OBS_COUNT("robustness.checkpoints", 1);
+  HGM_OBS_COUNT("robustness.checkpoint_bytes", text.size());
+  return Status::OK();
+}
+
+Result<Checkpoint> LoadCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open checkpoint file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IOError("read error on " + path);
+  Result<Checkpoint> parsed = ParseCheckpoint(buf.str());
+  if (parsed.ok()) HGM_OBS_COUNT("robustness.resumes", 1);
+  return parsed;
+}
+
+void AddSetSection(Checkpoint* cp, const std::string& name,
+                   const std::vector<Bitset>& sets) {
+  std::vector<CheckpointEntry>* section = cp->AddSection(name);
+  section->reserve(sets.size());
+  for (const Bitset& s : sets) section->push_back({s, 0});
+}
+
+void AddCountSection(Checkpoint* cp, const std::string& name,
+                     const std::vector<size_t>& counts) {
+  std::vector<CheckpointEntry>* section = cp->AddSection(name);
+  section->reserve(counts.size());
+  for (size_t c : counts) section->push_back({Bitset(cp->width), c});
+}
+
+Status ReadSetSection(const Checkpoint& cp, const std::string& name,
+                      size_t width, std::vector<Bitset>* out) {
+  out->clear();
+  const std::vector<CheckpointEntry>* section = cp.FindSection(name);
+  if (section == nullptr) return Status::OK();
+  out->reserve(section->size());
+  for (const CheckpointEntry& e : *section) {
+    if (e.items.size() != width) {
+      return Status::InvalidArgument("checkpoint section '" + name +
+                                     "' has a set over " +
+                                     std::to_string(e.items.size()) +
+                                     " items, expected " +
+                                     std::to_string(width));
+    }
+    out->push_back(e.items);
+  }
+  return Status::OK();
+}
+
+Status ReadCountSection(const Checkpoint& cp, const std::string& name,
+                        std::vector<size_t>* out) {
+  out->clear();
+  const std::vector<CheckpointEntry>* section = cp.FindSection(name);
+  if (section == nullptr) return Status::OK();
+  out->reserve(section->size());
+  for (const CheckpointEntry& e : *section) {
+    out->push_back(static_cast<size_t>(e.value));
+  }
+  return Status::OK();
+}
+
+}  // namespace hgm

@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file checkpoint.h
+/// \brief Serializable resume points for budgeted / interrupted runs.
+///
+/// The enumeration-delay view of the transversal-generation literature
+/// treats every prefix of a computation as a certified partial answer.
+/// A Checkpoint is the machine form of that prefix: the engine-specific
+/// state (frontier, accumulated borders, query tally) captured at a safe
+/// boundary — a completed level of Algorithm 9, an iteration edge of
+/// Algorithm 16, a phase-2 level of the partition miner — from which
+/// Resume* continues bit-identically to an uninterrupted run.
+///
+/// The container is deliberately generic (named uint64 scalars plus named
+/// ordered sections of (itemset, value) entries) so one hardened
+/// serializer serves every engine and one fuzz target
+/// (fuzz/fuzz_checkpoint.cc) covers the whole parsing surface.  The text
+/// format is line-oriented:
+///
+///   hgmine-checkpoint v1
+///   kind levelwise
+///   width 5
+///   scalar queries 12
+///   section frontier 2
+///   2 0 1 3          <- |items| value item...
+///   0 7              <- the empty set with value 7
+///   end
+///
+/// Parsing runs through the common/parse.h caps (line length, id range)
+/// plus checkpoint-specific ceilings on sections, entries, and total
+/// bitset bytes, so arbitrary bytes are rejected with a Status — never an
+/// allocation bomb, never UB.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/run_budget.h"
+#include "common/status.h"
+
+namespace hgm {
+
+/// One checkpointed set with an attached value (a support count, a
+/// per-level tally, ... — meaning is up to the owning section).
+struct CheckpointEntry {
+  Bitset items;
+  uint64_t value = 0;
+};
+
+/// Engine-agnostic resume state; see file comment for the text format.
+struct Checkpoint {
+  /// Which engine wrote this ("levelwise", "dualize_advance", "apriori",
+  /// "partition").  Resume functions reject mismatched kinds.
+  std::string kind;
+  /// Universe size the itemsets are over.
+  size_t width = 0;
+  /// Named counters, in insertion order.
+  std::vector<std::pair<std::string, uint64_t>> scalars;
+  /// Named entry lists, in insertion order (order is load-bearing: e.g.
+  /// Dualize-and-Advance replays its maximal sets in discovery order).
+  std::vector<std::pair<std::string, std::vector<CheckpointEntry>>> sections;
+
+  void SetScalar(const std::string& name, uint64_t value);
+  /// False (and *out untouched) when the scalar is absent.
+  bool GetScalar(const std::string& name, uint64_t* out) const;
+
+  /// Appends an empty section and returns its entry list.
+  std::vector<CheckpointEntry>* AddSection(const std::string& name);
+  /// nullptr when absent.
+  const std::vector<CheckpointEntry>* FindSection(
+      const std::string& name) const;
+};
+
+/// Parser ceilings (beyond the shared common/parse.h caps).
+inline constexpr size_t kMaxCheckpointSections = 64;
+inline constexpr size_t kMaxCheckpointScalars = 4096;
+inline constexpr size_t kMaxCheckpointNameLength = 64;
+inline constexpr size_t kMaxCheckpointEntries = size_t{1} << 21;
+/// Total bits across all parsed entry bitsets (width * entries); bounds
+/// the memory a hostile checkpoint can make the parser allocate.
+inline constexpr uint64_t kMaxCheckpointTotalBits = uint64_t{1} << 28;
+
+/// Renders \p cp in the v1 text format (always parseable back).
+std::string SerializeCheckpoint(const Checkpoint& cp);
+
+/// Parses the v1 text format with full validation; every failure is a
+/// Status naming the offending line.
+Result<Checkpoint> ParseCheckpoint(std::string_view text);
+
+/// Serialize + write; charges robustness.checkpoints /
+/// robustness.checkpoint_bytes.
+Status SaveCheckpointFile(const Checkpoint& cp, const std::string& path);
+
+/// Read + parse; charges robustness.resumes on success.
+Result<Checkpoint> LoadCheckpointFile(const std::string& path);
+
+// -- Conveniences for the engines' To/From checkpoint conversions. -------
+
+/// Appends a section holding \p sets (values 0).
+void AddSetSection(Checkpoint* cp, const std::string& name,
+                   const std::vector<Bitset>& sets);
+
+/// Appends a section of empty itemsets carrying \p counts as values
+/// (used for per-level tallies).
+void AddCountSection(Checkpoint* cp, const std::string& name,
+                     const std::vector<size_t>& counts);
+
+/// Extracts a section's itemsets, checking each is over \p width items.
+/// Missing sections read as empty (engines treat them as "none").
+Status ReadSetSection(const Checkpoint& cp, const std::string& name,
+                      size_t width, std::vector<Bitset>* out);
+
+/// Extracts a count section's values.
+Status ReadCountSection(const Checkpoint& cp, const std::string& name,
+                        std::vector<size_t>* out);
+
+/// \brief A certified partial answer from a budgeted run.
+///
+/// Invariants (asserted by the audit layer in chaos tests): `theory` is
+/// downward closed — it is the union of fully evaluated levels — and
+/// `positive_border` / `negative_border` are antichains; the negative
+/// border contains only sentences *certified* non-interesting by an
+/// actual evaluation.  `checkpoint` resumes the run; resuming yields
+/// bit-identical output to a never-interrupted run.
+struct PartialTheory {
+  StopReason stop_reason = StopReason::kCompleted;
+  std::vector<Bitset> theory;
+  std::vector<Bitset> positive_border;
+  std::vector<Bitset> negative_border;
+  uint64_t queries = 0;
+  Checkpoint checkpoint;
+};
+
+}  // namespace hgm

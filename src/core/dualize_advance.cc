@@ -1,6 +1,8 @@
 #include "core/dualize_advance.h"
 
 #include <algorithm>
+#include <unordered_set>
+#include <utility>
 
 #include "core/audit.h"
 #include "core/theory.h"
@@ -32,14 +34,72 @@ void PublishDualizeAdvanceGauges(const DualizeAdvanceResult& result,
                     result.max_enumerated_one_iteration);
 }
 
-}  // namespace
+/// Mutable algorithm state at an iteration boundary.
+struct DaState {
+  DualizeAdvanceResult result;   // accumulating counters
+  std::vector<Bitset> maximal;   // C_i in discovery order (order drives the
+                                 // complements hypergraph, so it is part of
+                                 // the bit-identical-resume contract)
+  /// Minimal non-interesting sets certified by completed iterations.  Any
+  /// transversal of Bd-(C_i)'s complement hypergraph that tests
+  /// non-interesting is genuinely minimal non-interesting: its proper
+  /// subsets all sit inside some member of C_i.  Only maintained when the
+  /// budget can trip (it exists solely to certify partial answers).
+  std::vector<Bitset> certified_negative;
+  std::unordered_set<Bitset, BitsetHash> certified_seen;
+};
 
-DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
-                                       const DualizeAdvanceOptions& options) {
-  DualizeAdvanceResult result;
+/// Freezes \p state into a kind="dualize_advance" checkpoint.
+Checkpoint MakeDaCheckpoint(const DaState& state, size_t n) {
+  Checkpoint cp;
+  cp.kind = "dualize_advance";
+  cp.width = n;
+  cp.SetScalar("queries", state.result.queries);
+  cp.SetScalar("transversals_enumerated",
+               state.result.transversals_enumerated);
+  cp.SetScalar("iterations", state.result.iterations);
+  cp.SetScalar("max_enumerated", state.result.max_enumerated_one_iteration);
+  AddSetSection(&cp, "maximal", state.maximal);
+  AddSetSection(&cp, "certified_negative", state.certified_negative);
+  AddCountSection(&cp, "intermediate_border_sizes",
+                  state.result.intermediate_border_sizes);
+  return cp;
+}
+
+/// Certified partial answer for a trip at an iteration boundary: the
+/// maximal sets found so far plus the accumulated certified negatives.
+/// Both are antichains by construction (maximality resp. minimality), so
+/// no antichain pass is needed — the audit asserts it anyway.
+DualizeAdvanceResult FinishPartial(DaState&& state, size_t n,
+                                   StopReason reason) {
+  // Freeze the checkpoint before any move empties the state's containers.
+  Checkpoint cp = MakeDaCheckpoint(state, n);
+  DualizeAdvanceResult result = std::move(state.result);
+  result.stop_reason = reason;
+  result.checkpoint = std::move(cp);
+  result.positive_border = state.maximal;
+  CanonicalSort(&result.positive_border);
+  result.negative_border = std::move(state.certified_negative);
+  CanonicalSort(&result.negative_border);
+  if (audit::kEnabled) {
+    audit::AuditAntichain(result.positive_border,
+                          "dualize-advance partial Bd+");
+    audit::AuditAntichain(result.negative_border,
+                          "dualize-advance partial Bd-");
+  }
+  PublishDualizeAdvanceGauges(result, n);
+  return result;
+}
+
+/// The outer loop of Algorithm 16 plus the finishing passes, shared by
+/// fresh and resumed runs.  Consumes \p state.
+DualizeAdvanceResult RunIterations(InterestingnessOracle* oracle,
+                                   const DualizeAdvanceOptions& options,
+                                   DaState&& state) {
   const size_t n = oracle->num_items();
-  HGM_OBS_COUNT("da.runs", 1);
-  obs::TraceSpan run_span("da.run", "core", {{"width", n}});
+  DualizeAdvanceResult& result = state.result;
+  BudgetTracker tracker(options.budget, result.queries);
+  const bool track_partials = options.budget.CanTrip();
 
   auto make_enumerator = options.make_enumerator
                              ? options.make_enumerator
@@ -50,11 +110,15 @@ DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
 
   auto ask = [&](const Bitset& x) {
     ++result.queries;
+    tracker.ChargeQueries(1);
     return oracle->IsInteresting(x);
   };
 
   // Greedy extension (Step 9): add one attribute at a time while the set
-  // stays interesting; at most width(L) = n queries per rank level.
+  // stays interesting; at most width(L) = n queries per rank level.  Runs
+  // unchecked — a discovered counterexample is always fully extended, so
+  // the checkpoint never holds a half-maximal set (bounded overshoot of
+  // at most n queries past the cap).
   auto extend_to_maximal = [&](Bitset x) {
     for (size_t v = 0; v < n; ++v) {
       if (x.Test(v)) continue;
@@ -64,8 +128,22 @@ DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
     return x;
   };
 
-  std::vector<Bitset> maximal;  // C_i
+  std::vector<Bitset>& maximal = state.maximal;  // C_i
   while (true) {
+    // Checkpointable boundary.  The lookahead of one query is the
+    // iteration's minimum spend whenever the complement hypergraph has a
+    // transversal at all; blocking a zero-query certifying pass here is a
+    // conservative trip the resume completes.
+    StopReason boundary = tracker.CheckBeforeBatch(1, 0);
+    if (boundary != StopReason::kCompleted) {
+      return FinishPartial(std::move(state), n, boundary);
+    }
+    // Snapshot for mid-iteration trips: an aborted iteration must leave
+    // no trace, so the resumed run replays it bit-identically.
+    const uint64_t queries0 = result.queries;
+    const uint64_t transversals0 = result.transversals_enumerated;
+    const size_t borders0 = result.intermediate_border_sizes.size();
+
     ++result.iterations;
     obs::TraceSpan iter_span("da.iteration", "core",
                              {{"iteration", result.iterations},
@@ -81,6 +159,11 @@ DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
     }
 
     auto enumerator = make_enumerator();
+    // A cancel mid-enumeration surfaces as CancelledError from deep inside
+    // the engine; the boundary checks above remain the graceful
+    // partial-result path, this is the backstop for enumerations whose
+    // single Next() call is itself long-running.
+    enumerator->SetCancellation(options.budget.cancel);
     enumerator->Reset(complements);
 
     // Lemma 18 contract: whatever the enumerator hands out must be a
@@ -96,6 +179,15 @@ DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
     bool advanced = false;
     size_t enumerated_this_iteration = 0;
     while (enumerator->Next(&x)) {
+      StopReason mid = tracker.CheckBeforeBatch(1, 0);
+      if (mid != StopReason::kCompleted) {
+        // Roll the aborted iteration back to the boundary snapshot.
+        result.queries = queries0;
+        result.transversals_enumerated = transversals0;
+        result.intermediate_border_sizes.resize(borders0);
+        --result.iterations;
+        return FinishPartial(std::move(state), n, mid);
+      }
       ++result.transversals_enumerated;
       ++enumerated_this_iteration;
       if (audit::kEnabled) {
@@ -118,6 +210,13 @@ DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
     HGM_OBS_OBSERVE("da.iteration_transversals", enumerated_this_iteration);
     iter_span.AddArg("transversals", enumerated_this_iteration);
     iter_span.AddArg("advanced", advanced ? 1 : 0);
+    if (track_partials) {
+      for (const Bitset& s : non_interesting) {
+        if (state.certified_seen.insert(s).second) {
+          state.certified_negative.push_back(s);
+        }
+      }
+    }
     if (!advanced) {
       // Step 8: every minimal transversal is non-interesting, so
       // C_i = MTh and the enumerated transversals are exactly Bd-(MTh).
@@ -127,21 +226,90 @@ DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
   }
 
   CanonicalSort(&maximal);
-  result.positive_border = std::move(maximal);
-  CanonicalSort(&result.negative_border);
+  DualizeAdvanceResult out = std::move(result);
+  out.positive_border = std::move(maximal);
+  CanonicalSort(&out.negative_border);
 
   if (audit::kEnabled) {
-    audit::AuditAntichain(result.positive_border, "dualize-advance Bd+");
+    audit::AuditAntichain(out.positive_border, "dualize-advance Bd+");
     // Theorem 7 on the final iteration: the certifying transversal set is
     // exactly Bd-(MTh), cross-checked with an independent Berge run.
-    audit::AuditBorderDuality(result.positive_border,
-                              result.negative_border, n, "dualize-advance");
+    audit::AuditBorderDuality(out.positive_border, out.negative_border, n,
+                              "dualize-advance");
   }
-  HGM_OBS_COUNT("da.queries", result.queries);
-  PublishDualizeAdvanceGauges(result, n);
-  run_span.AddArg("queries", result.queries);
-  run_span.AddArg("iterations", result.iterations);
-  return result;
+  HGM_OBS_COUNT("da.queries", out.queries);
+  PublishDualizeAdvanceGauges(out, n);
+  return out;
+}
+
+}  // namespace
+
+DualizeAdvanceResult RunDualizeAdvance(InterestingnessOracle* oracle,
+                                       const DualizeAdvanceOptions& options) {
+  const size_t n = oracle->num_items();
+  HGM_OBS_COUNT("da.runs", 1);
+  obs::TraceSpan run_span("da.run", "core", {{"width", n}});
+  DaState state;
+  DualizeAdvanceResult out = RunIterations(oracle, options, std::move(state));
+  run_span.AddArg("queries", out.queries);
+  run_span.AddArg("iterations", out.iterations);
+  return out;
+}
+
+Result<DualizeAdvanceResult> ResumeDualizeAdvance(
+    InterestingnessOracle* oracle, const Checkpoint& checkpoint,
+    const DualizeAdvanceOptions& options) {
+  const size_t n = oracle->num_items();
+  if (checkpoint.kind != "dualize_advance") {
+    return Status::InvalidArgument("checkpoint kind '" + checkpoint.kind +
+                                   "' is not 'dualize_advance'");
+  }
+  if (checkpoint.width != n) {
+    return Status::InvalidArgument(
+        "checkpoint width " + std::to_string(checkpoint.width) +
+        " does not match the oracle's " + std::to_string(n) + " items");
+  }
+  HGM_OBS_COUNT("da.runs", 1);
+  obs::TraceSpan run_span("da.resume", "core", {{"width", n}});
+
+  DaState state;
+  uint64_t v = 0;
+  if (checkpoint.GetScalar("queries", &v)) state.result.queries = v;
+  if (checkpoint.GetScalar("transversals_enumerated", &v)) {
+    state.result.transversals_enumerated = v;
+  }
+  if (checkpoint.GetScalar("iterations", &v)) {
+    state.result.iterations = static_cast<size_t>(v);
+  }
+  if (checkpoint.GetScalar("max_enumerated", &v)) {
+    state.result.max_enumerated_one_iteration = static_cast<size_t>(v);
+  }
+  Status s = ReadSetSection(checkpoint, "maximal", n, &state.maximal);
+  if (!s.ok()) return s;
+  s = ReadSetSection(checkpoint, "certified_negative", n,
+                     &state.certified_negative);
+  if (!s.ok()) return s;
+  for (const Bitset& b : state.certified_negative) {
+    state.certified_seen.insert(b);
+  }
+  s = ReadCountSection(checkpoint, "intermediate_border_sizes",
+                       &state.result.intermediate_border_sizes);
+  if (!s.ok()) return s;
+
+  DualizeAdvanceResult out = RunIterations(oracle, options, std::move(state));
+  run_span.AddArg("queries", out.queries);
+  run_span.AddArg("iterations", out.iterations);
+  return out;
+}
+
+PartialTheory AsPartialTheory(const DualizeAdvanceResult& result) {
+  PartialTheory partial;
+  partial.stop_reason = result.stop_reason;
+  partial.positive_border = result.positive_border;
+  partial.negative_border = result.negative_border;
+  partial.queries = result.queries;
+  if (result.checkpoint) partial.checkpoint = *result.checkpoint;
+  return partial;
 }
 
 }  // namespace hgm

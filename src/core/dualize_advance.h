@@ -26,9 +26,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/run_budget.h"
+#include "core/checkpoint.h"
 #include "core/oracle.h"
 #include "hypergraph/transversal.h"
 
@@ -55,6 +58,17 @@ struct DualizeAdvanceResult {
   /// If options.measure_intermediate_borders: |Tr(complements of C_i))| for
   /// each iteration i — the quantity Example 19 blows up to 2^{n/2}.
   std::vector<size_t> intermediate_border_sizes;
+
+  /// kCompleted for a full run.  Otherwise the budget tripped at (or the
+  /// token cancelled within) an iteration: `positive_border` holds the
+  /// maximal interesting sets certified so far (each genuinely maximal,
+  /// so the set is an antichain), `negative_border` holds minimal
+  /// non-interesting sets certified by completed iterations, and
+  /// `checkpoint` resumes the run.  An aborted iteration leaves no trace
+  /// in the counters, so resuming replays it bit-identically.
+  StopReason stop_reason = StopReason::kCompleted;
+  /// Resume state; engaged iff stop_reason != kCompleted.
+  std::optional<Checkpoint> checkpoint;
 };
 
 /// Options for RunDualizeAdvance.
@@ -65,10 +79,27 @@ struct DualizeAdvanceOptions {
   /// If set, each iteration additionally dualizes C_i in full (with Berge)
   /// to record |Bd-(C_i)|.  Expensive; for the Example 19 experiment.
   bool measure_intermediate_borders = false;
+  /// Resource envelope, checked at iteration boundaries and before every
+  /// Is-interesting query inside an iteration.  A counterexample's greedy
+  /// extension always runs to completion (at most width extra queries),
+  /// so discovered maximal sets are never half-extended.
+  RunBudget budget;
 };
 
 /// Runs Algorithm 16 against \p oracle (monotone downward).
 DualizeAdvanceResult RunDualizeAdvance(
     InterestingnessOracle* oracle, const DualizeAdvanceOptions& options = {});
+
+/// Continues an interrupted run from \p checkpoint (kind
+/// "dualize_advance") against the same oracle.  The final output is
+/// bit-identical to a never-interrupted run's; options.budget applies
+/// afresh with queries counted cumulatively.
+Result<DualizeAdvanceResult> ResumeDualizeAdvance(
+    InterestingnessOracle* oracle, const Checkpoint& checkpoint,
+    const DualizeAdvanceOptions& options = {});
+
+/// The certified-partial view of \p result.  `theory` is left empty — the
+/// algorithm never materializes Th, only its borders.
+PartialTheory AsPartialTheory(const DualizeAdvanceResult& result);
 
 }  // namespace hgm

@@ -18,9 +18,12 @@
 /// sets this is 2^k * n * |MTh| (Corollary 13).
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/run_budget.h"
+#include "core/checkpoint.h"
 #include "core/oracle.h"
 
 namespace hgm {
@@ -47,6 +50,15 @@ struct LevelwiseResult {
   /// counts, as in the classic association-mining tables of [2].
   std::vector<size_t> candidates_per_level;
   std::vector<size_t> interesting_per_level;
+
+  /// kCompleted for a full run.  Anything else means the budget tripped
+  /// (or the token was cancelled) at a level boundary: the result is the
+  /// certified completed-level prefix — theory still downward closed,
+  /// borders still antichains, negative border containing only sentences
+  /// actually evaluated — and `checkpoint` resumes the run.
+  StopReason stop_reason = StopReason::kCompleted;
+  /// Resume state; engaged iff stop_reason != kCompleted.
+  std::optional<Checkpoint> checkpoint;
 };
 
 /// Options controlling a levelwise run.
@@ -58,10 +70,28 @@ struct LevelwiseOptions {
   /// If false, `theory` is left empty to save memory on large runs
   /// (borders and counters are still filled in).
   bool record_theory = true;
+  /// Resource envelope (wall clock, Is-interesting queries, candidate
+  /// bytes, cancellation), enforced at level boundaries; a level whose
+  /// batch would cross a cap is never evaluated.  Default: unlimited.
+  RunBudget budget;
 };
 
 /// Runs Algorithm 9 against \p oracle (which must be monotone downward).
 LevelwiseResult RunLevelwise(InterestingnessOracle* oracle,
                              const LevelwiseOptions& options = {});
+
+/// Continues an interrupted run from \p checkpoint (kind "levelwise",
+/// written by a budget-tripped RunLevelwise) against the same oracle.
+/// The resumed run's final output — theory, both borders, all counters —
+/// is bit-identical to a never-interrupted run's.  options.budget applies
+/// afresh (with queries counted cumulatively across the original run);
+/// options.record_theory is taken from the checkpoint.
+Result<LevelwiseResult> ResumeLevelwise(InterestingnessOracle* oracle,
+                                        const Checkpoint& checkpoint,
+                                        const LevelwiseOptions& options = {});
+
+/// The certified-partial view of \p result (for budget-tripped runs; for
+/// completed runs the checkpoint member is empty).
+PartialTheory AsPartialTheory(const LevelwiseResult& result);
 
 }  // namespace hgm

@@ -11,8 +11,8 @@
 
 namespace hgm {
 
-FdMiningResult FdsForRhsViaHypergraph(const RelationInstance& r,
-                                      size_t rhs) {
+FdMiningResult FdsForRhsViaHypergraph(const RelationInstance& r, size_t rhs,
+                                      const CancellationToken& cancel) {
   HGM_OBS_COUNT("fd.rhs_runs", 1);
   obs::TraceSpan span("fd.rhs_hypergraph", "fd", {{"rhs", rhs}});
   FdMiningResult result;
@@ -20,6 +20,7 @@ FdMiningResult FdsForRhsViaHypergraph(const RelationInstance& r,
   // Difference sets of row pairs that disagree on rhs.
   std::vector<Bitset> difference_sets;
   for (size_t t = 0; t < r.num_rows(); ++t) {
+    cancel.ThrowIfCancelled("difference-set scan");
     for (size_t u = t + 1; u < r.num_rows(); ++u) {
       if (r.row(t)[rhs] == r.row(u)[rhs]) continue;
       Bitset diff = ~r.AgreeSet(t, u);
@@ -31,19 +32,27 @@ FdMiningResult FdsForRhsViaHypergraph(const RelationInstance& r,
   AntichainMinimize(&difference_sets);
   for (auto& d : difference_sets) h.AddEdge(std::move(d));
   BergeTransversals berge;
+  berge.SetCancellation(cancel);
   result.minimal_lhs = berge.Compute(h).SortedEdges();
   CanonicalSort(&result.minimal_lhs);
   return result;
 }
 
-FdMiningResult FdsForRhsLevelwise(const RelationInstance& r, size_t rhs) {
+FdMiningResult FdsForRhsLevelwise(const RelationInstance& r, size_t rhs,
+                                  const CancellationToken& cancel) {
   HGM_OBS_COUNT("fd.rhs_runs", 1);
   obs::TraceSpan span("fd.rhs_levelwise", "fd", {{"rhs", rhs}});
   FdViolationOracle oracle(&r, rhs);
   CountingOracle counter(&oracle);
   LevelwiseOptions opts;
   opts.record_theory = false;
+  opts.budget.cancel = cancel;
   LevelwiseResult lw = RunLevelwise(&counter, opts);
+  // The FD result has no partial channel, so a graceful engine stop is
+  // surfaced in the bare-value style.
+  if (lw.stop_reason == StopReason::kCancelled) {
+    throw CancelledError("cancelled in fd.rhs_levelwise");
+  }
   FdMiningResult result;
   // Bd- = minimal determining sets; drop the trivial {rhs} -> rhs.
   for (auto& x : lw.negative_border) {
@@ -55,10 +64,12 @@ FdMiningResult FdsForRhsLevelwise(const RelationInstance& r, size_t rhs) {
   return result;
 }
 
-std::vector<FunctionalDependency> MineAllFds(const RelationInstance& r) {
+std::vector<FunctionalDependency> MineAllFds(const RelationInstance& r,
+                                             const CancellationToken& cancel) {
   std::vector<FunctionalDependency> fds;
   for (size_t a = 0; a < r.num_attributes(); ++a) {
-    FdMiningResult res = FdsForRhsViaHypergraph(r, a);
+    cancel.ThrowIfCancelled("fd.mine_all");
+    FdMiningResult res = FdsForRhsViaHypergraph(r, a, cancel);
     for (auto& lhs : res.minimal_lhs) {
       fds.push_back({std::move(lhs), a});
     }

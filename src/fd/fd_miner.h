@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/cancellation.h"
 #include "core/oracle.h"
 #include "fd/relation.h"
 
@@ -36,16 +37,22 @@ struct FdMiningResult {
   uint64_t queries = 0;
 };
 
-/// Minimal LHSs for \p rhs via difference sets + one HTR run.
-FdMiningResult FdsForRhsViaHypergraph(const RelationInstance& r, size_t rhs);
+/// Minimal LHSs for \p rhs via difference sets + one HTR run.  The
+/// O(rows^2) difference-set scan polls \p cancel once per outer row and
+/// throws CancelledError when flipped (the result has no partial channel);
+/// the token also covers the Berge dualization.
+FdMiningResult FdsForRhsViaHypergraph(const RelationInstance& r, size_t rhs,
+                                      const CancellationToken& cancel = {});
 
 /// Minimal LHSs for \p rhs via the levelwise algorithm over the violation
-/// oracle.
-FdMiningResult FdsForRhsLevelwise(const RelationInstance& r, size_t rhs);
+/// oracle.  A cancel observed at a level boundary throws CancelledError.
+FdMiningResult FdsForRhsLevelwise(const RelationInstance& r, size_t rhs,
+                                  const CancellationToken& cancel = {});
 
 /// All minimal non-trivial FDs of the instance (loops FdsForRhsViaHypergraph
-/// over every attribute).
-std::vector<FunctionalDependency> MineAllFds(const RelationInstance& r);
+/// over every attribute, polling \p cancel between attributes).
+std::vector<FunctionalDependency> MineAllFds(
+    const RelationInstance& r, const CancellationToken& cancel = {});
 
 /// Renders "AB -> C" with attribute \p names.
 std::string FormatFd(const FunctionalDependency& fd,

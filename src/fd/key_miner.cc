@@ -9,9 +9,11 @@
 
 namespace hgm {
 
-std::vector<Bitset> MaximalAgreeSets(const RelationInstance& r) {
+std::vector<Bitset> MaximalAgreeSets(const RelationInstance& r,
+                                     const CancellationToken& cancel) {
   std::vector<Bitset> agree;
   for (size_t t = 0; t < r.num_rows(); ++t) {
+    cancel.ThrowIfCancelled("agree-set scan");
     for (size_t u = t + 1; u < r.num_rows(); ++u) {
       agree.push_back(r.AgreeSet(t, u));
     }
@@ -21,13 +23,14 @@ std::vector<Bitset> MaximalAgreeSets(const RelationInstance& r) {
   return agree;
 }
 
-KeyMiningResult KeysViaAgreeSets(const RelationInstance& r) {
+KeyMiningResult KeysViaAgreeSets(const RelationInstance& r,
+                                 const CancellationToken& cancel) {
   HGM_OBS_COUNT("keys.runs", 1);
   obs::TraceSpan span("keys.agree_sets", "fd",
                       {{"rows", r.num_rows()},
                        {"attributes", r.num_attributes()}});
   KeyMiningResult result;
-  result.maximal_non_keys = MaximalAgreeSets(r);
+  result.maximal_non_keys = MaximalAgreeSets(r, cancel);
   const size_t n = r.num_attributes();
   // Minimal keys = Tr(complements of maximal agree sets).  With < 2 rows
   // there are no agree sets, the hypergraph is edge-free, and Tr = {∅}:
@@ -37,6 +40,7 @@ KeyMiningResult KeysViaAgreeSets(const RelationInstance& r) {
     disagreements.AddEdge(~a);
   }
   BergeTransversals berge;
+  berge.SetCancellation(cancel);
   result.minimal_keys = berge.Compute(disagreements).SortedEdges();
   CanonicalSort(&result.minimal_keys);
   return result;
@@ -56,7 +60,8 @@ KeyMiningResult PackageBorders(std::vector<Bitset> positive_border,
 
 }  // namespace
 
-KeyMiningResult KeysLevelwise(const RelationInstance& r) {
+KeyMiningResult KeysLevelwise(const RelationInstance& r,
+                              const CancellationToken& cancel) {
   HGM_OBS_COUNT("keys.runs", 1);
   obs::TraceSpan span("keys.levelwise", "fd",
                       {{"rows", r.num_rows()},
@@ -65,7 +70,13 @@ KeyMiningResult KeysLevelwise(const RelationInstance& r) {
   CountingOracle counter(&oracle);
   LevelwiseOptions opts;
   opts.record_theory = false;
+  opts.budget.cancel = cancel;
   LevelwiseResult lw = RunLevelwise(&counter, opts);
+  // The engine stops gracefully at the level boundary; the key result has
+  // no partial channel, so surface the stop in the bare-value style.
+  if (lw.stop_reason == StopReason::kCancelled) {
+    throw CancelledError("cancelled in keys.levelwise");
+  }
   // MTh = maximal non-keys; Bd- = minimal keys.  With <= 1 row nothing is
   // interesting and RunLevelwise already returns MTh = {} and Bd- = {∅}.
   return PackageBorders(std::move(lw.positive_border),
@@ -73,7 +84,8 @@ KeyMiningResult KeysLevelwise(const RelationInstance& r) {
                         counter.raw_queries());
 }
 
-KeyMiningResult KeysDualizeAdvance(const RelationInstance& r) {
+KeyMiningResult KeysDualizeAdvance(const RelationInstance& r,
+                                   const CancellationToken& cancel) {
   HGM_OBS_COUNT("keys.runs", 1);
   obs::TraceSpan span("keys.dualize_advance", "fd",
                       {{"rows", r.num_rows()},
@@ -84,7 +96,12 @@ KeyMiningResult KeysDualizeAdvance(const RelationInstance& r) {
   // data while raw_queries() still charges every ask (the paper's
   // measure), keeping reported query counts identical.
   CachedOracle cached(&oracle);
-  DualizeAdvanceResult da = RunDualizeAdvance(&cached);
+  DualizeAdvanceOptions opts;
+  opts.budget.cancel = cancel;
+  DualizeAdvanceResult da = RunDualizeAdvance(&cached, opts);
+  if (da.stop_reason == StopReason::kCancelled) {
+    throw CancelledError("cancelled in keys.dualize_advance");
+  }
   return PackageBorders(std::move(da.positive_border),
                         std::move(da.negative_border),
                         cached.raw_queries());

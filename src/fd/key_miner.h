@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/cancellation.h"
 #include "core/oracle.h"
 #include "fd/relation.h"
 #include "hypergraph/hypergraph.h"
@@ -39,17 +40,25 @@ struct KeyMiningResult {
   uint64_t queries = 0;
 };
 
-/// All pairwise agree sets of \p r, maximized to an antichain.
-std::vector<Bitset> MaximalAgreeSets(const RelationInstance& r);
+/// All pairwise agree sets of \p r, maximized to an antichain.  The
+/// O(rows^2) scan polls \p cancel once per outer row and throws
+/// CancelledError when flipped (key results have no partial channel).
+std::vector<Bitset> MaximalAgreeSets(const RelationInstance& r,
+                                     const CancellationToken& cancel = {});
 
 /// Agree sets + one HTR run; touches the data only to build agree sets.
-KeyMiningResult KeysViaAgreeSets(const RelationInstance& r);
+/// \p cancel covers both the pairwise scan and the Berge dualization.
+KeyMiningResult KeysViaAgreeSets(const RelationInstance& r,
+                                 const CancellationToken& cancel = {});
 
-/// Levelwise key mining (walks all non-key sets bottom-up).
-KeyMiningResult KeysLevelwise(const RelationInstance& r);
+/// Levelwise key mining (walks all non-key sets bottom-up).  A cancel
+/// observed at a level boundary throws CancelledError.
+KeyMiningResult KeysLevelwise(const RelationInstance& r,
+                              const CancellationToken& cancel = {});
 
-/// Dualize-and-Advance key mining.
-KeyMiningResult KeysDualizeAdvance(const RelationInstance& r);
+/// Dualize-and-Advance key mining; cancellation as in KeysLevelwise.
+KeyMiningResult KeysDualizeAdvance(const RelationInstance& r,
+                                   const CancellationToken& cancel = {});
 
 /// The non-key Is-interesting oracle (exposed for experiments):
 /// IsInteresting(X) = "some two rows agree on all of X".

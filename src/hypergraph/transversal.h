@@ -14,8 +14,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/bitset.h"
+#include "common/cancellation.h"
 #include "hypergraph/hypergraph.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -91,8 +93,24 @@ class TransversalAlgorithm {
   /// Counters from the most recent Compute() call.
   const TransversalStats& stats() const { return stats_; }
 
+  /// Installs a cooperative stop signal.  Transversal engines return bare
+  /// hypergraphs (no status channel), so a cancelled Compute() throws
+  /// CancelledError from a cheap internal boundary — per edge level,
+  /// every few thousand candidates — never mid-way through mutating the
+  /// result into an inconsistent state the caller could observe.
+  void SetCancellation(CancellationToken cancel) {
+    cancel_ = std::move(cancel);
+  }
+
  protected:
+  /// Polls the installed token; engines call this at batched intervals so
+  /// the no-cancellation path stays one predictable branch.
+  void CheckCancelled(const char* where) const {
+    cancel_.ThrowIfCancelled(where);
+  }
+
   TransversalStats stats_;
+  CancellationToken cancel_;
 };
 
 /// Incremental interface: yields minimal transversals one at a time.
@@ -115,6 +133,19 @@ class TransversalEnumerator {
   /// Produces the next minimal transversal; returns false when exhausted.
   /// The order is engine-specific but deterministic.
   virtual bool Next(Bitset* out) = 0;
+
+  /// Installs a cooperative stop signal; a cancelled Next() throws
+  /// CancelledError (same contract as TransversalAlgorithm).
+  void SetCancellation(CancellationToken cancel) {
+    cancel_ = std::move(cancel);
+  }
+
+ protected:
+  void CheckCancelled(const char* where) const {
+    cancel_.ThrowIfCancelled(where);
+  }
+
+  CancellationToken cancel_;
 };
 
 /// Wraps a batch algorithm as an enumerator (computes everything on the
@@ -135,6 +166,7 @@ class BatchEnumerator : public TransversalEnumerator {
 
   bool Next(Bitset* out) override {
     if (!computed_) {
+      algo_->SetCancellation(cancel_);
       result_ = algo_->Compute(hypergraph_).SortedEdges();
       computed_ = true;
     }

@@ -51,12 +51,17 @@ Hypergraph BergeTransversals::Compute(const Hypergraph& h) {
   current.push_back(Bitset(n));
   std::vector<uint8_t> scratch;
 
+  uint64_t polled = 0;
   for (size_t i = 0; i < edges.size(); ++i) {
+    CheckCancelled("berge");
     const Bitset& e = edges[i];
     std::vector<Bitset> next;
     next.reserve(current.size());
     std::unordered_set<Bitset, BitsetHash> seen;
     for (const Bitset& t : current) {
+      // The intermediate family can dwarf the edge count (the Berge blow-
+      // up), so also poll inside the per-edge sweep.
+      if ((++polled & 0xFFF) == 0) CheckCancelled("berge");
       if (t.Intersects(e)) {
         // Still a transversal of the longer prefix, and still minimal:
         // private edges only gain candidates as the prefix grows... they

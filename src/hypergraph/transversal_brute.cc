@@ -19,6 +19,7 @@ Hypergraph BruteForceTransversals::Compute(const Hypergraph& h) {
 
   const uint64_t limit = uint64_t{1} << n;
   for (uint64_t mask = 0; mask < limit; ++mask) {
+    if ((mask & 0xFFF) == 0) CheckCancelled("brute");
     Bitset x(n);
     for (size_t v = 0; v < n; ++v) {
       if ((mask >> v) & 1) x.Set(v);

@@ -62,6 +62,7 @@ DualityResult FkDualityTester::CheckRec(std::vector<Bitset> f,
                                         std::vector<Bitset> g,
                                         const Bitset& free, size_t depth) {
   ++recursion_nodes_;
+  cancel_.ThrowIfCancelled("fk");
   max_depth_ = std::max(max_depth_, depth);
   const size_t n = free.size();
 
@@ -230,6 +231,7 @@ bool FkTransversalEnumerator::Next(Bitset* out) {
   Hypergraph g(n);
   for (const auto& t : found_) g.AddEdge(t);
   FkDualityTester tester;
+  tester.SetCancellation(cancel_);
   DualityResult r = tester.Check(input_, g);
   recursion_nodes_ += tester.recursion_nodes();
   if (r.dual) {
@@ -249,6 +251,7 @@ Hypergraph FkTransversals::Compute(const Hypergraph& h) {
   stats_ = TransversalStats();
   TransversalComputeScope obs_scope(name(), h, &stats_);
   FkTransversalEnumerator en;
+  en.SetCancellation(cancel_);
   en.Reset(h);
   Hypergraph result(h.num_vertices());
   Bitset t;

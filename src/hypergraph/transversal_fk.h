@@ -41,6 +41,12 @@ class FkDualityTester {
   /// internally; they must share the vertex universe.
   DualityResult Check(const Hypergraph& f, const Hypergraph& g);
 
+  /// Installs a cooperative stop signal, polled once per recursion node;
+  /// a cancelled Check() throws CancelledError.
+  void SetCancellation(CancellationToken cancel) {
+    cancel_ = std::move(cancel);
+  }
+
   /// Recursion nodes visited by the most recent Check().
   uint64_t recursion_nodes() const { return recursion_nodes_; }
 
@@ -53,6 +59,7 @@ class FkDualityTester {
 
   uint64_t recursion_nodes_ = 0;
   size_t max_depth_ = 0;
+  CancellationToken cancel_;
 };
 
 /// Incremental minimal-transversal enumerator driven by duality witnesses.

@@ -37,6 +37,7 @@ Hypergraph LevelwiseTransversals::Compute(const Hypergraph& h) {
   std::unordered_set<Bitset, BitsetHash> level_set;
 
   for (size_t k = 0; !level.empty(); ++k) {
+    CheckCancelled("levelwise-htr");
     assert(k <= max_level_ && "levelwise exceeded max_level cap");
     levels_ = k;
     // Generate candidates of size k+1.

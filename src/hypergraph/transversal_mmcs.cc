@@ -93,7 +93,9 @@ bool MmcsEnumerator::Next(Bitset* out) {
     *out = Bitset(num_vertices_);
     return true;
   }
+  uint64_t turns = 0;
   while (!stack_.empty()) {
+    if ((++turns & 0x3FF) == 0) CheckCancelled("mmcs");
     Frame& f = stack_.back();
     if (f.has_applied) {
       Undo(&f);
@@ -135,6 +137,7 @@ Hypergraph MmcsTransversals::Compute(const Hypergraph& h) {
   stats_ = TransversalStats();
   TransversalComputeScope obs_scope(name(), h, &stats_);
   MmcsEnumerator en;
+  en.SetCancellation(cancel_);
   en.Reset(h);
   Hypergraph result(h.num_vertices());
   Bitset t;

@@ -12,10 +12,13 @@
 /// supports for rule generation.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/run_budget.h"
 #include "common/thread_pool.h"
+#include "core/checkpoint.h"
 #include "mining/transaction_db.h"
 
 namespace hgm {
@@ -42,6 +45,14 @@ struct AprioriResult {
   /// Candidates evaluated / found frequent, per level (index = set size).
   std::vector<size_t> candidates_per_level;
   std::vector<size_t> frequent_per_level;
+
+  /// kCompleted for a full run; otherwise the budget tripped at a level
+  /// boundary and the result is the certified completed-level prefix
+  /// (frequent sets with exact supports, antichain borders), resumable
+  /// from `checkpoint`.
+  StopReason stop_reason = StopReason::kCompleted;
+  /// Resume state; engaged iff stop_reason != kCompleted.
+  std::optional<Checkpoint> checkpoint;
 };
 
 /// How candidate supports are computed.
@@ -66,11 +77,28 @@ struct AprioriOptions {
   /// Worker pool for the per-level counting batch; nullptr = global pool.
   /// Results are bit-for-bit identical at every thread count.
   ThreadPool* pool = nullptr;
+  /// Resource envelope, enforced at level boundaries (a level whose batch
+  /// would cross a cap is never counted).  Support computations are the
+  /// query measure.  Default: unlimited.
+  RunBudget budget;
 };
 
 /// Mines all itemsets with support >= \p min_support.
 AprioriResult MineFrequentSets(TransactionDatabase* db, size_t min_support,
                                const AprioriOptions& options = {});
+
+/// Continues an interrupted run from \p checkpoint (kind "apriori",
+/// written by a budget-tripped MineFrequentSets) against the same
+/// database.  min_support and record_all are taken from the checkpoint;
+/// frontier covers are rebuilt from the database in tidset mode.  The
+/// final output is bit-identical to a never-interrupted run's.
+Result<AprioriResult> ResumeFrequentSets(TransactionDatabase* db,
+                                         const Checkpoint& checkpoint,
+                                         const AprioriOptions& options = {});
+
+/// The certified-partial view of \p result: `theory` carries the frequent
+/// itemsets (supports dropped), borders copied as-is.
+PartialTheory AsPartialTheory(const AprioriResult& result);
 
 /// Exhaustive reference miner (2^n subsets); for tests, n <= ~20.
 AprioriResult MineFrequentSetsBrute(TransactionDatabase* db,

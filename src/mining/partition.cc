@@ -1,9 +1,15 @@
 #include "mining/partition.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
 #include <unordered_set>
+#include <utility>
 
+#include "common/cancellation.h"
 #include "common/check.h"
+#include "core/audit.h"
 #include "core/theory.h"
 #include "hypergraph/hypergraph.h"
 #include "hypergraph/transversal_berge.h"
@@ -12,126 +18,332 @@
 
 namespace hgm {
 
-PartitionResult MinePartitioned(ShardedTransactionDatabase* db,
-                                size_t min_support,
-                                const PartitionOptions& options) {
-  // At threshold 0 every subset of the universe is "frequent" — mining
-  // the full lattice is never the intent, so clamp like the local
-  // thresholds do.
-  if (min_support == 0) min_support = 1;
+namespace {
+
+/// Everything a partition run carries across the phase-1 / phase-2 split —
+/// and everything a "partition" checkpoint must capture.
+struct PartitionState {
   PartitionResult result;
-  const size_t n = db->num_items();
-  const size_t num_rows = db->num_transactions();
-  const size_t num_shards = db->num_shards();
-  result.num_shards = num_shards;
-  result.local_thresholds = db->LocalThresholds(min_support);
-  result.local_frequent_per_shard.assign(num_shards, 0);
-  ThreadPool* pool = PoolOrGlobal(options.pool);
-  HGM_OBS_COUNT("partition.runs", 1);
-  obs::TraceSpan run_span("partition.run", "mining",
-                          {{"shards", num_shards},
-                           {"rows", num_rows},
-                           {"items", n}});
-
-  // ---- Phase 1: mine each shard locally at its scaled threshold. ----
-  //
-  // One shard per ParallelFor index; each local Apriori gets the shared
-  // single-thread pool so it never issues a nested ParallelFor onto the
-  // outer pool's batch state (a 1-thread pool always runs its one chunk
-  // inline).  Results land in index-addressed slots, so phase 1 is
-  // deterministic at any thread count.
-  std::vector<AprioriResult> local(num_shards);
-  {
-    obs::TraceSpan phase1_span("partition.phase1", "mining",
-                               {{"shards", num_shards}});
-    ThreadPool seq(1);
-    AprioriOptions local_options;
-    local_options.record_all = true;
-    local_options.counting = options.local_counting;
-    local_options.pool = &seq;
-    pool->ParallelFor(num_shards,
-                      [&](size_t begin, size_t end, size_t /*chunk*/) {
-                        for (size_t k = begin; k < end; ++k) {
-                          obs::TraceSpan shard_span(
-                              "partition.shard", "mining",
-                              {{"shard", k},
-                               {"threshold", result.local_thresholds[k]}});
-                          local[k] = MineFrequentSets(
-                              &db->shard(k), result.local_thresholds[k],
-                              local_options);
-                          shard_span.AddArg("frequent",
-                                            local[k].frequent.size());
-                        }
-                      });
-    for (size_t k = 0; k < num_shards; ++k) {
-      result.local_frequent_per_shard[k] = local[k].frequent.size();
-      HGM_OBS_COUNT("partition.local_frequent", local[k].frequent.size());
-    }
-  }
-
-  // ---- Phase 2: confirm the candidate union with batched full passes. --
-  //
-  // The union of the per-shard frequent families is downward closed (each
-  // family is), and by the partition lemma it contains every globally
-  // frequent set.  Walk it levelwise: a size-k candidate is counted only
-  // when all its (k-1)-subsets were confirmed globally frequent, so every
-  // counted set is either frequent (in Th) or minimal infrequent (in
-  // Bd-(Th)) — the confirmation pass obeys the Theorem 10 query bound.
-  obs::TraceSpan phase2_span("partition.phase2", "mining");
-  std::unordered_set<Bitset, BitsetHash> candidate_union;
-  size_t max_size = 0;
-  for (const AprioriResult& lr : local) {
-    for (const FrequentItemset& f : lr.frequent) {
-      if (candidate_union.insert(f.items).second) {
-        max_size = std::max(max_size, f.items.Count());
-      }
-    }
-  }
-  result.candidate_union_size = candidate_union.size();
-  HGM_OBS_GAUGE_SET("partition.last_candidate_union",
-                    static_cast<int64_t>(candidate_union.size()));
-
-  // Candidates grouped by size; deterministic order within a level.
-  std::vector<std::vector<Bitset>> by_size(max_size + 1);
-  for (const Bitset& x : candidate_union) by_size[x.Count()].push_back(x);
-  for (std::vector<Bitset>& level : by_size) CanonicalSort(&level);
-
+  size_t min_support = 1;
+  size_t n = 0;
+  /// False until phase 1's union is materialized.  A checkpoint taken
+  /// earlier stores no phase-1 output: phase 1 is a pure function of
+  /// (shards, min_support), so resume replays it bit-identically.
+  bool phase1_done = false;
+  /// Next phase-2 level to confirm (index into by_size).
+  size_t next_level = 0;
+  /// Candidate union grouped by size, each level canonically sorted.
+  std::vector<std::vector<Bitset>> by_size;
+  /// Sets confirmed globally frequent so far (supports in result.frequent).
   std::unordered_set<Bitset, BitsetHash> confirmed;
-  for (size_t k = 0; k <= max_size; ++k) {
-    std::vector<Bitset> batch;
-    for (const Bitset& x : by_size[k]) {
-      bool all_subsets_frequent = true;
-      if (k > 0) {
-        std::vector<size_t> items = x.Indices();
-        for (size_t drop = 0; all_subsets_frequent && drop < items.size();
-             ++drop) {
-          all_subsets_frequent = confirmed.contains(x.WithoutBit(items[drop]));
-        }
-      }
-      if (all_subsets_frequent) batch.push_back(x);
-    }
-    if (batch.empty()) break;  // no level-k survivors => none above either
-    ++result.phase2_levels;
-    std::vector<size_t> supports = db->CountSupports(batch, pool);
-    result.phase2_evaluations += batch.size();
-    HGM_OBS_COUNT("partition.phase2_candidates", batch.size());
-    for (size_t c = 0; c < batch.size(); ++c) {
-      if (supports[c] >= min_support) {
-        confirmed.insert(batch[c]);
-        result.frequent.push_back({batch[c], supports[c]});
-      } else {
-        ++result.phase2_rejected;
-      }
-    }
-  }
-  HGM_OBS_COUNT("partition.phase2_rejected", result.phase2_rejected);
+  /// Counted candidates that fell below min_support, in discovery order.
+  /// Every subset of each was confirmed frequent first, so these are
+  /// *certified* members of Bd-(Th) — the partial negative border.
+  std::vector<Bitset> rejected;
+};
 
-  std::sort(result.frequent.begin(), result.frequent.end(),
+void SortFrequent(std::vector<FrequentItemset>* frequent) {
+  std::sort(frequent->begin(), frequent->end(),
             [](const FrequentItemset& a, const FrequentItemset& b) {
               size_t ca = a.items.Count(), cb = b.items.Count();
               if (ca != cb) return ca < cb;
               return a.items < b.items;
             });
+}
+
+void PublishPartitionGauges(const PartitionResult& result) {
+  HGM_OBS_GAUGE_SET("partition.last_shards",
+                    static_cast<int64_t>(result.num_shards));
+  HGM_OBS_GAUGE_SET("partition.last_phase2_evaluations",
+                    static_cast<int64_t>(result.phase2_evaluations));
+  HGM_OBS_GAUGE_SET("partition.last_theory_size",
+                    static_cast<int64_t>(result.frequent.size()));
+  HGM_OBS_GAUGE_SET("partition.last_negative_border",
+                    static_cast<int64_t>(result.negative_border.size()));
+}
+
+Checkpoint MakePartitionCheckpoint(const PartitionState& state) {
+  Checkpoint cp;
+  cp.kind = "partition";
+  cp.width = state.n;
+  const PartitionResult& result = state.result;
+  cp.SetScalar("min_support", state.min_support);
+  cp.SetScalar("phase1_done", state.phase1_done ? 1 : 0);
+  cp.SetScalar("next_level", state.next_level);
+  cp.SetScalar("phase2_evaluations", result.phase2_evaluations);
+  cp.SetScalar("phase2_levels", result.phase2_levels);
+  cp.SetScalar("phase2_rejected", result.phase2_rejected);
+  cp.SetScalar("num_shards", result.num_shards);
+  cp.SetScalar("shard_retries", result.shard_retries);
+  cp.SetScalar("unavailable", result.status.ok() ? 0 : 1);
+  if (!state.phase1_done) return cp;
+  AddCountSection(&cp, "local_thresholds", result.local_thresholds);
+  AddCountSection(&cp, "local_frequent_per_shard",
+                  result.local_frequent_per_shard);
+  AddCountSection(&cp, "failed_shards", result.failed_shards);
+  // The union is serialized level by level (each level canonically
+  // sorted), never straight out of a hash set, so the checkpoint bytes
+  // are a pure function of the mining state.
+  std::vector<Bitset> union_flat;
+  for (const std::vector<Bitset>& level : state.by_size) {
+    union_flat.insert(union_flat.end(), level.begin(), level.end());
+  }
+  AddSetSection(&cp, "union", union_flat);
+  std::vector<CheckpointEntry>* conf = cp.AddSection("confirmed");
+  conf->reserve(result.frequent.size());
+  for (const FrequentItemset& f : result.frequent) {
+    conf->push_back({f.items, f.support});
+  }
+  AddSetSection(&cp, "rejected", state.rejected);
+  return cp;
+}
+
+/// Packages the confirmed prefix as a certified partial result: the
+/// confirmed sets are downward closed (a candidate is counted only after
+/// all its one-smaller subsets were confirmed), `maximal` is their
+/// antichain of maximal elements, and `negative_border` holds only the
+/// candidates certified infrequent by an actual count.
+PartitionResult FinishPartial(PartitionState* state, StopReason reason) {
+  PartitionResult& result = state->result;
+  result.stop_reason = reason;
+  result.checkpoint = MakePartitionCheckpoint(*state);
+  SortFrequent(&result.frequent);
+  result.maximal.clear();
+  if (!result.frequent.empty()) {
+    result.maximal.reserve(result.frequent.size());
+    for (const FrequentItemset& f : result.frequent) {
+      result.maximal.push_back(f.items);
+    }
+    AntichainMaximize(&result.maximal);
+    CanonicalSort(&result.maximal);
+  }
+  result.negative_border = state->rejected;
+  CanonicalSort(&result.negative_border);
+  audit::AuditAntichain(result.maximal, "partition.partial_maximal");
+  audit::AuditAntichain(result.negative_border,
+                        "partition.partial_negative_border");
+  HGM_OBS_COUNT("robustness.partial_results", 1);
+  PublishPartitionGauges(result);
+  return std::move(result);
+}
+
+/// Phase 1 with failover: mines every not-yet-done shard, collects the
+/// shards whose task threw, and re-mines only those in later rounds with
+/// the policy's seeded backoff.  CancelledError propagates (phase 1 is
+/// discarded whole on cancellation).  Returns false when shards remain
+/// failed after max_attempts; those land in result.failed_shards and the
+/// run is marked Unavailable.
+bool MineShardsWithFailover(ShardedTransactionDatabase* db,
+                            PartitionState* state,
+                            const PartitionOptions& options, ThreadPool* pool,
+                            std::vector<AprioriResult>* local) {
+  PartitionResult& result = state->result;
+  const size_t num_shards = db->num_shards();
+  // A 1-thread pool always runs its chunk inline, so the local Apriori
+  // runs never issue a nested ParallelFor onto the outer pool's batch
+  // state.
+  ThreadPool seq(1);
+  AprioriOptions local_options;
+  local_options.record_all = true;
+  local_options.counting = options.local_counting;
+  local_options.pool = &seq;
+  const size_t max_attempts =
+      options.retry.max_attempts < 1 ? 1 : options.retry.max_attempts;
+  std::vector<size_t> attempts(num_shards, 0);
+  std::vector<size_t> pending(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) pending[k] = k;
+  while (!pending.empty()) {
+    std::vector<uint8_t> failed(num_shards, 0);
+    pool->ParallelFor(
+        pending.size(),
+        [&](size_t begin, size_t end, size_t /*chunk*/) {
+          for (size_t i = begin; i < end; ++i) {
+            const size_t k = pending[i];
+            obs::TraceSpan shard_span(
+                "partition.shard", "mining",
+                {{"shard", k},
+                 {"threshold", result.local_thresholds[k]},
+                 {"attempt", attempts[k]}});
+            try {
+              if (options.shard_fault_hook) {
+                options.shard_fault_hook(k, attempts[k]);
+              }
+              (*local)[k] = MineFrequentSets(
+                  &db->shard(k), result.local_thresholds[k], local_options);
+            } catch (const CancelledError&) {
+              throw;  // cancellation is not a shard fault
+            } catch (const std::exception&) {
+              failed[k] = 1;
+              HGM_OBS_COUNT("robustness.shard_faults", 1);
+              shard_span.AddArg("failed", 1);
+              continue;
+            }
+            shard_span.AddArg("frequent", (*local)[k].frequent.size());
+          }
+        },
+        options.budget.cancel);
+    pending.clear();
+    for (size_t k = 0; k < num_shards; ++k) {
+      if (!failed[k]) continue;
+      if (attempts[k] + 1 >= max_attempts) {
+        result.failed_shards.push_back(k);
+        continue;
+      }
+      ++attempts[k];
+      ++result.shard_retries;
+      HGM_OBS_COUNT("robustness.retries", 1);
+      const uint64_t delay_us = options.retry.DelayUs(attempts[k] - 1, k);
+      if (options.sleeper) {
+        options.sleeper(delay_us);
+      } else if (delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      }
+      pending.push_back(k);
+    }
+  }
+  if (!result.failed_shards.empty()) {
+    std::string dropped;
+    for (size_t k : result.failed_shards) {
+      if (!dropped.empty()) dropped += ",";
+      dropped += std::to_string(k);
+    }
+    result.status = Status::Unavailable(
+        "shard(s) " + dropped + " failed after " +
+        std::to_string(max_attempts) +
+        " attempts; result is the surviving shards' certified union");
+    return false;
+  }
+  return true;
+}
+
+/// Runs the partition miner from \p state: phase 1 (unless a resumed
+/// checkpoint already carries its union) and the budgeted phase-2
+/// confirmation loop.  Shared by MinePartitioned and ResumePartition, so
+/// an interrupted-then-resumed run walks the exact code path of an
+/// uninterrupted one.
+PartitionResult RunPartition(ShardedTransactionDatabase* db,
+                             PartitionState& state,
+                             const PartitionOptions& options) {
+  PartitionResult& result = state.result;
+  ThreadPool* pool = PoolOrGlobal(options.pool);
+  const size_t n = state.n;
+  const size_t num_shards = db->num_shards();
+  obs::TraceSpan run_span("partition.run", "mining",
+                          {{"shards", num_shards},
+                           {"rows", db->num_transactions()},
+                           {"items", n}});
+  BudgetTracker tracker(options.budget, result.phase2_evaluations);
+
+  if (!state.phase1_done) {
+    // ---- Phase 1: mine each shard locally at its scaled threshold. ----
+    //
+    // One shard per ParallelFor index; results land in index-addressed
+    // slots, so phase 1 is deterministic at any thread count.  Nothing is
+    // recorded before the boundary check, so a trip here leaves a
+    // checkpoint that replays phase 1 from scratch — it is a pure
+    // function of (shards, min_support), so the replay is bit-identical.
+    if (StopReason r = tracker.CheckBoundary(); r != StopReason::kCompleted) {
+      return FinishPartial(&state, r);
+    }
+    result.local_thresholds = db->LocalThresholds(state.min_support);
+    result.local_frequent_per_shard.assign(num_shards, 0);
+    std::vector<AprioriResult> local(num_shards);
+    {
+      obs::TraceSpan phase1_span("partition.phase1", "mining",
+                                 {{"shards", num_shards}});
+      try {
+        MineShardsWithFailover(db, &state, options, pool, &local);
+      } catch (const CancelledError&) {
+        // Cancellation mid-phase-1 discards the phase whole; the partial
+        // result is empty and the checkpoint replays phase 1 on resume.
+        result.local_thresholds.clear();
+        result.local_frequent_per_shard.clear();
+        tracker.CheckBoundary();  // records the trip counter
+        return FinishPartial(&state, StopReason::kCancelled);
+      }
+    }
+    for (size_t k = 0; k < num_shards; ++k) {
+      result.local_frequent_per_shard[k] = local[k].frequent.size();
+      HGM_OBS_COUNT("partition.local_frequent", local[k].frequent.size());
+    }
+
+    // Union of the per-shard frequent families — downward closed (each
+    // family is), and by the partition lemma a superset of every globally
+    // frequent set (over the surviving shards, when some failed).
+    std::unordered_set<Bitset, BitsetHash> candidate_union;
+    size_t max_size = 0;
+    for (size_t k = 0; k < num_shards; ++k) {
+      for (const FrequentItemset& f : local[k].frequent) {
+        if (candidate_union.insert(f.items).second) {
+          max_size = std::max(max_size, f.items.Count());
+        }
+      }
+    }
+    result.candidate_union_size = candidate_union.size();
+    state.by_size.assign(max_size + 1, {});
+    for (const Bitset& x : candidate_union) {
+      state.by_size[x.Count()].push_back(x);
+    }
+    for (std::vector<Bitset>& level : state.by_size) CanonicalSort(&level);
+    state.phase1_done = true;
+    state.next_level = 0;
+  }
+  HGM_OBS_GAUGE_SET("partition.last_candidate_union",
+                    static_cast<int64_t>(result.candidate_union_size));
+
+  // ---- Phase 2: confirm the candidate union with batched full passes. --
+  //
+  // Walk the union levelwise: a size-k candidate is counted only when all
+  // its (k-1)-subsets were confirmed globally frequent, so every counted
+  // set is either frequent (in Th) or minimal infrequent (in Bd-(Th)) —
+  // the confirmation pass obeys the Theorem 10 query bound, and each
+  // level edge is a checkpointable boundary.
+  obs::TraceSpan phase2_span("partition.phase2", "mining");
+  for (size_t k = state.next_level; k < state.by_size.size(); ++k) {
+    state.next_level = k;
+    if (StopReason r = tracker.CheckBoundary(); r != StopReason::kCompleted) {
+      return FinishPartial(&state, r);
+    }
+    // Candidate selection is pure, so a level interrupted by the budget
+    // regenerates identically on resume.
+    std::vector<Bitset> batch;
+    for (const Bitset& x : state.by_size[k]) {
+      bool all_subsets_frequent = true;
+      if (k > 0) {
+        std::vector<size_t> items = x.Indices();
+        for (size_t drop = 0; all_subsets_frequent && drop < items.size();
+             ++drop) {
+          all_subsets_frequent =
+              state.confirmed.contains(x.WithoutBit(items[drop]));
+        }
+      }
+      if (all_subsets_frequent) batch.push_back(x);
+    }
+    if (batch.empty()) break;  // no level-k survivors => none above either
+    const uint64_t batch_bytes =
+        static_cast<uint64_t>(batch.size()) * ((n + 7) / 8);
+    if (StopReason r = tracker.CheckBeforeBatch(batch.size(), batch_bytes);
+        r != StopReason::kCompleted) {
+      return FinishPartial(&state, r);
+    }
+    ++result.phase2_levels;
+    std::vector<size_t> supports = db->CountSupports(batch, pool);
+    result.phase2_evaluations += batch.size();
+    tracker.ChargeQueries(batch.size());
+    HGM_OBS_COUNT("partition.phase2_candidates", batch.size());
+    for (size_t c = 0; c < batch.size(); ++c) {
+      if (supports[c] >= state.min_support) {
+        state.confirmed.insert(batch[c]);
+        result.frequent.push_back({batch[c], supports[c]});
+      } else {
+        ++result.phase2_rejected;
+        state.rejected.push_back(batch[c]);
+      }
+    }
+  }
+  HGM_OBS_COUNT("partition.phase2_rejected", result.phase2_rejected);
+
+  SortFrequent(&result.frequent);
 
   // Maximal frequent sets; empty when even ∅ failed (matching Apriori's
   // early-out shape, where the theory is empty and Bd- = {∅}).
@@ -151,6 +363,7 @@ PartitionResult MinePartitioned(ShardedTransactionDatabase* db,
     // positive border) — phase 2 only ever sees the minimal infrequent
     // sets that were locally frequent somewhere, which is a subset.
     if (result.frequent.empty()) {
+      result.negative_border.clear();
       result.negative_border.push_back(Bitset(n));
     } else {
       std::vector<Bitset> theory;
@@ -159,23 +372,146 @@ PartitionResult MinePartitioned(ShardedTransactionDatabase* db,
         theory.push_back(f.items);
       }
       BergeTransversals berge;
-      result.negative_border =
-          NegativeBorderViaTransversals(theory, n, &berge);
+      result.negative_border = NegativeBorderViaTransversals(theory, n, &berge);
       CanonicalSort(&result.negative_border);
     }
   }
 
-  HGM_OBS_GAUGE_SET("partition.last_shards",
-                    static_cast<int64_t>(num_shards));
-  HGM_OBS_GAUGE_SET("partition.last_phase2_evaluations",
-                    static_cast<int64_t>(result.phase2_evaluations));
-  HGM_OBS_GAUGE_SET("partition.last_theory_size",
-                    static_cast<int64_t>(result.frequent.size()));
-  HGM_OBS_GAUGE_SET("partition.last_negative_border",
-                    static_cast<int64_t>(result.negative_border.size()));
+  PublishPartitionGauges(result);
   run_span.AddArg("frequent", result.frequent.size());
   run_span.AddArg("phase2_evaluations", result.phase2_evaluations);
-  return result;
+  return std::move(result);
+}
+
+}  // namespace
+
+PartitionResult MinePartitioned(ShardedTransactionDatabase* db,
+                                size_t min_support,
+                                const PartitionOptions& options) {
+  // At threshold 0 every subset of the universe is "frequent" — mining
+  // the full lattice is never the intent, so clamp like the local
+  // thresholds do.
+  if (min_support == 0) min_support = 1;
+  PartitionState state;
+  state.min_support = min_support;
+  state.n = db->num_items();
+  state.result.num_shards = db->num_shards();
+  HGM_OBS_COUNT("partition.runs", 1);
+  return RunPartition(db, state, options);
+}
+
+Result<PartitionResult> ResumePartition(ShardedTransactionDatabase* db,
+                                        const Checkpoint& checkpoint,
+                                        const PartitionOptions& options) {
+  if (checkpoint.kind != "partition") {
+    return Status::InvalidArgument("checkpoint kind '" + checkpoint.kind +
+                                   "' is not 'partition'");
+  }
+  if (checkpoint.width != db->num_items()) {
+    return Status::InvalidArgument(
+        "checkpoint width " + std::to_string(checkpoint.width) +
+        " does not match database with " + std::to_string(db->num_items()) +
+        " items");
+  }
+  PartitionState state;
+  state.n = db->num_items();
+  uint64_t v = 0;
+  if (!checkpoint.GetScalar("min_support", &v)) {
+    return Status::InvalidArgument("partition checkpoint lacks min_support");
+  }
+  state.min_support = v == 0 ? 1 : static_cast<size_t>(v);
+  uint64_t phase1_done = 0;
+  checkpoint.GetScalar("phase1_done", &phase1_done);
+  PartitionResult& result = state.result;
+  result.num_shards = db->num_shards();
+  if (checkpoint.GetScalar("num_shards", &v) && phase1_done != 0 &&
+      v != db->num_shards()) {
+    return Status::InvalidArgument(
+        "checkpoint taken over " + std::to_string(v) +
+        " shards cannot resume on " + std::to_string(db->num_shards()));
+  }
+  HGM_OBS_COUNT("partition.runs", 1);
+  if (phase1_done == 0) {
+    // Interrupted before the union existed: phase 1 is a pure function of
+    // (shards, min_support), so just run the whole miner fresh.
+    return RunPartition(db, state, options);
+  }
+
+  if (checkpoint.GetScalar("phase2_evaluations", &v)) {
+    result.phase2_evaluations = static_cast<size_t>(v);
+  }
+  if (checkpoint.GetScalar("phase2_levels", &v)) {
+    result.phase2_levels = static_cast<size_t>(v);
+  }
+  if (checkpoint.GetScalar("phase2_rejected", &v)) {
+    result.phase2_rejected = static_cast<size_t>(v);
+  }
+  if (checkpoint.GetScalar("shard_retries", &v)) result.shard_retries = v;
+  if (checkpoint.GetScalar("unavailable", &v) && v != 0) {
+    result.status = Status::Unavailable(
+        "resumed from a run with failed shards; result is the surviving "
+        "shards' certified union");
+  }
+  if (!checkpoint.GetScalar("next_level", &v)) {
+    return Status::InvalidArgument("partition checkpoint lacks next_level");
+  }
+  state.next_level = static_cast<size_t>(v);
+
+  Status s = ReadCountSection(checkpoint, "local_thresholds",
+                              &result.local_thresholds);
+  if (!s.ok()) return s;
+  s = ReadCountSection(checkpoint, "local_frequent_per_shard",
+                       &result.local_frequent_per_shard);
+  if (!s.ok()) return s;
+  s = ReadCountSection(checkpoint, "failed_shards", &result.failed_shards);
+  if (!s.ok()) return s;
+
+  std::vector<Bitset> union_flat;
+  s = ReadSetSection(checkpoint, "union", state.n, &union_flat);
+  if (!s.ok()) return s;
+  result.candidate_union_size = union_flat.size();
+  size_t max_size = 0;
+  for (const Bitset& x : union_flat) max_size = std::max(max_size, x.Count());
+  state.by_size.assign(max_size + 1, {});
+  for (const Bitset& x : union_flat) state.by_size[x.Count()].push_back(x);
+  for (std::vector<Bitset>& level : state.by_size) CanonicalSort(&level);
+  if (state.next_level > state.by_size.size()) {
+    return Status::InvalidArgument(
+        "partition checkpoint next_level exceeds the candidate union's "
+        "largest size");
+  }
+
+  if (const std::vector<CheckpointEntry>* conf =
+          checkpoint.FindSection("confirmed")) {
+    result.frequent.reserve(conf->size());
+    for (const CheckpointEntry& e : *conf) {
+      if (e.items.size() != state.n) {
+        return Status::InvalidArgument(
+            "confirmed entry width does not match the checkpoint width");
+      }
+      result.frequent.push_back({e.items, static_cast<size_t>(e.value)});
+      state.confirmed.insert(e.items);
+    }
+  }
+  s = ReadSetSection(checkpoint, "rejected", state.n, &state.rejected);
+  if (!s.ok()) return s;
+
+  state.phase1_done = true;
+  return RunPartition(db, state, options);
+}
+
+PartialTheory AsPartialTheory(const PartitionResult& result) {
+  PartialTheory out;
+  out.stop_reason = result.stop_reason;
+  out.theory.reserve(result.frequent.size());
+  for (const FrequentItemset& f : result.frequent) {
+    out.theory.push_back(f.items);
+  }
+  out.positive_border = result.maximal;
+  out.negative_border = result.negative_border;
+  out.queries = result.phase2_evaluations;
+  if (result.checkpoint) out.checkpoint = *result.checkpoint;
+  return out;
 }
 
 AprioriResult AsAprioriResult(const PartitionResult& result) {

@@ -15,10 +15,15 @@
 /// for the confirmation pass (a single undiscriminating batch over the
 /// whole union would not guarantee that).
 
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/run_budget.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/checkpoint.h"
 #include "mining/apriori.h"
 #include "mining/sharded_db.h"
 
@@ -34,6 +39,23 @@ struct PartitionOptions {
   /// Compute Bd-(Th) of the global theory (via Berge transversals,
   /// Theorem 7) so the result matches MineFrequentSets field for field.
   bool compute_negative_border = true;
+  /// Resource envelope, checked at the phase boundary and before each
+  /// phase-2 confirmation level; phase-2 support counts are the query
+  /// measure.  Cancellation also interrupts phase 1 at ThreadPool chunk
+  /// boundaries (a cancelled phase 1 is discarded whole — it is stateless
+  /// per shard, so the resumed run replays it bit-identically).
+  RunBudget budget;
+  /// Phase-1 shard failover: a shard task that throws is re-mined in a
+  /// later round with this policy's seeded backoff; after max_attempts
+  /// the shard is dropped and the run returns Status Unavailable with the
+  /// surviving shards' certified union.
+  RetryPolicy retry;
+  /// Backoff sleeper (microseconds); tests inject a recorder.  Unset
+  /// sleeps for real (a no-op at the policy default base_backoff_us = 0).
+  std::function<void(uint64_t)> sleeper;
+  /// Test seam invoked as (shard, attempt) at the start of each shard
+  /// task; throwing simulates that shard's mining failing.
+  std::function<void(size_t, size_t)> shard_fault_hook;
 };
 
 /// Output of a partitioned mining run.
@@ -62,6 +84,25 @@ struct PartitionResult {
   /// Phase-2 candidates counted but globally infrequent (locally
   /// frequent somewhere, yet below the global threshold).
   size_t phase2_rejected = 0;
+
+  /// OK for a clean run.  Unavailable when one or more shards failed all
+  /// retry attempts: the result is then the certified union over the
+  /// surviving shards — every reported support is still exact (phase 2
+  /// counts against the full store), but sets frequent only in a failed
+  /// shard's candidates may be missing.
+  Status status = Status::OK();
+  /// Shards dropped after exhausting retry attempts (ascending).
+  std::vector<size_t> failed_shards;
+  /// Phase-1 shard re-mining attempts beyond each task's first.
+  uint64_t shard_retries = 0;
+
+  /// kCompleted for a full run.  Otherwise the budget tripped at a phase
+  /// or level boundary: `frequent` holds the confirmed levels (exact
+  /// supports, downward closed), `negative_border` only the candidates
+  /// certified infrequent so far, and `checkpoint` resumes the run.
+  StopReason stop_reason = StopReason::kCompleted;
+  /// Resume state; engaged iff stop_reason != kCompleted.
+  std::optional<Checkpoint> checkpoint;
 };
 
 /// Mines all itemsets with global support >= \p min_support from the
@@ -72,6 +113,21 @@ struct PartitionResult {
 PartitionResult MinePartitioned(ShardedTransactionDatabase* db,
                                 size_t min_support,
                                 const PartitionOptions& options = {});
+
+/// Continues an interrupted run from \p checkpoint (kind "partition")
+/// against the same sharded store.  min_support is taken from the
+/// checkpoint.  A checkpoint written before phase 1 completed replays
+/// phase 1 from scratch (it is stateless per shard); either way the final
+/// output is bit-identical to a never-interrupted run's.
+Result<PartitionResult> ResumePartition(ShardedTransactionDatabase* db,
+                                        const Checkpoint& checkpoint,
+                                        const PartitionOptions& options = {});
+
+/// The certified-partial view of \p result: `theory` carries the
+/// confirmed frequent sets, `negative_border` only certified-infrequent
+/// candidates (the complete Bd- of a finished run is computed via
+/// Theorem 7 instead).
+PartialTheory AsPartialTheory(const PartitionResult& result);
 
 /// Repackages a PartitionResult as an AprioriResult (frequent / maximal /
 /// negative border carried over, support_counts = phase-2 evaluations) so

@@ -1,0 +1,148 @@
+#include "testing/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/cancellation.h"
+#include "common/random.h"
+#include "obs/metrics.h"
+
+namespace hgm {
+
+namespace {
+
+/// Hash-stream tags keep the transient / permanent / latency decisions
+/// independent draws of the same (seed, index).
+constexpr uint64_t kTransientStream = 0x7472616e7369ull;  // "transi"
+constexpr uint64_t kPermanentStream = 0x7065726d616eull;  // "perman"
+constexpr uint64_t kLatencyStream = 0x6c6174656e63ull;    // "latenc"
+
+void SleepOr(const std::function<void(uint64_t)>& sleeper, uint64_t us) {
+  if (sleeper) {
+    sleeper(us);
+  } else if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+}  // namespace
+
+double FaultUniform(uint64_t seed, uint64_t stream, uint64_t index) {
+  uint64_t state = seed ^ (stream * 0x9e3779b97f4a7c15ull) ^
+                   (index * 0xbf58476d1ce4e5b9ull);
+  uint64_t h = SplitMix64(state);
+  // Top 53 bits -> [0, 1), the usual double construction.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void FaultInjectingOracle::MaybeFault(uint64_t base, uint64_t count) {
+  if (broken_.load(std::memory_order_acquire)) {
+    throw FaultError("oracle permanently failed (earlier injected fault)",
+                     /*transient=*/false);
+  }
+  for (uint64_t i = base; i < base + count; ++i) {
+    if (spec_.permanent_rate > 0 &&
+        FaultUniform(spec_.seed, kPermanentStream, i) < spec_.permanent_rate) {
+      broken_.store(true, std::memory_order_release);
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      HGM_OBS_COUNT("chaos.permanent_faults", 1);
+      throw FaultError("injected permanent fault at ask " + std::to_string(i),
+                       /*transient=*/false);
+    }
+    const bool scheduled =
+        std::find(spec_.fail_on.begin(), spec_.fail_on.end(), i) !=
+        spec_.fail_on.end();
+    if (scheduled ||
+        (spec_.transient_rate > 0 &&
+         FaultUniform(spec_.seed, kTransientStream, i) <
+             spec_.transient_rate)) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      HGM_OBS_COUNT("chaos.transient_faults", 1);
+      throw FaultError("injected transient fault at ask " + std::to_string(i),
+                       /*transient=*/true);
+    }
+    if (spec_.latency_rate > 0 &&
+        FaultUniform(spec_.seed, kLatencyStream, i) < spec_.latency_rate) {
+      HGM_OBS_COUNT("chaos.latency_spikes", 1);
+      SleepOr(sleeper_, spec_.latency_us);
+    }
+  }
+}
+
+bool FaultInjectingOracle::IsInteresting(const Bitset& x) {
+  const uint64_t base = asks_.fetch_add(1, std::memory_order_relaxed);
+  MaybeFault(base, 1);
+  return inner_->IsInteresting(x);
+}
+
+std::vector<uint8_t> FaultInjectingOracle::EvaluateBatch(
+    std::span<const Bitset> batch) {
+  // Reserve the whole index range up front and decide all faults before
+  // evaluating anything: the batch either fails whole (no answers leak
+  // from a failed attempt) or is delegated whole to the clean oracle.
+  const uint64_t base =
+      asks_.fetch_add(batch.size(), std::memory_order_relaxed);
+  MaybeFault(base, batch.size());
+  return inner_->EvaluateBatch(batch);
+}
+
+void RetryingOracle::BackOff(size_t attempt, uint64_t salt) {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  HGM_OBS_COUNT("robustness.retries", 1);
+  SleepOr(sleeper_, retry_.DelayUs(attempt, salt));
+}
+
+bool RetryingOracle::IsInteresting(const Bitset& x) {
+  const size_t attempts = retry_.max_attempts < 1 ? 1 : retry_.max_attempts;
+  for (size_t a = 0;; ++a) {
+    try {
+      return inner_->IsInteresting(x);
+    } catch (const CancelledError&) {
+      throw;
+    } catch (const FaultError& e) {
+      if (!e.transient() || a + 1 >= attempts) throw;
+      BackOff(a, /*salt=*/1);
+    }
+  }
+}
+
+std::vector<uint8_t> RetryingOracle::EvaluateBatch(
+    std::span<const Bitset> batch) {
+  const size_t attempts = retry_.max_attempts < 1 ? 1 : retry_.max_attempts;
+  for (size_t a = 0;; ++a) {
+    try {
+      return inner_->EvaluateBatch(batch);
+    } catch (const CancelledError&) {
+      throw;
+    } catch (const FaultError& e) {
+      if (!e.transient() || a + 1 >= attempts) throw;
+      BackOff(a, batch.size());
+    }
+  }
+}
+
+std::function<void(size_t, size_t)> MakeShardFaultSchedule(
+    const FaultSpec& spec) {
+  return [spec](size_t shard, size_t attempt) {
+    if (spec.permanent_rate > 0 &&
+        FaultUniform(spec.seed, kPermanentStream, shard) <
+            spec.permanent_rate) {
+      throw FaultError("injected permanent fault on shard " +
+                           std::to_string(shard),
+                       /*transient=*/false);
+    }
+    const uint64_t index = shard * 0x10001ull + attempt;
+    if (spec.transient_rate > 0 &&
+        FaultUniform(spec.seed, kTransientStream, index) <
+            spec.transient_rate) {
+      throw FaultError("injected transient fault on shard " +
+                           std::to_string(shard) + " attempt " +
+                           std::to_string(attempt),
+                       /*transient=*/true);
+    }
+  };
+}
+
+}  // namespace hgm

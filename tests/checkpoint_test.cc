@@ -1,0 +1,193 @@
+// Checkpoint container + serializer hardening: seeded round-trip
+// property (Serialize -> Parse -> Serialize is a fixed point for
+// arbitrary well-formed checkpoints), file round-trips, and rejection of
+// every malformed-input class the parser guards against — bad header,
+// unknown directives, truncation, count mismatches, out-of-range ids,
+// and the allocation-bomb ceilings.
+
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/random.h"
+
+namespace hgm {
+namespace {
+
+Bitset RandomSet(Rng* rng, size_t width) {
+  Bitset b(width);
+  for (size_t i = 0; i < width; ++i) {
+    if (rng->UniformInt(0, 2) == 0) b.Set(i);
+  }
+  return b;
+}
+
+Checkpoint RandomCheckpoint(uint64_t seed) {
+  Rng rng(seed);
+  Checkpoint cp;
+  cp.kind = (seed % 2 == 0) ? "levelwise" : "partition";
+  cp.width = 1 + rng.UniformIndex(24);
+  size_t scalars = rng.UniformIndex(6);
+  for (size_t i = 0; i < scalars; ++i) {
+    cp.SetScalar("scalar_" + std::to_string(i), rng());
+  }
+  size_t sections = rng.UniformIndex(5);
+  for (size_t s = 0; s < sections; ++s) {
+    auto* entries = cp.AddSection("section_" + std::to_string(s));
+    size_t count = rng.UniformIndex(10);
+    for (size_t e = 0; e < count; ++e) {
+      entries->push_back({RandomSet(&rng, cp.width), rng()});
+    }
+  }
+  return cp;
+}
+
+TEST(CheckpointRoundTripTest, SerializeParseSerializeIsAFixedPoint) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Checkpoint cp = RandomCheckpoint(seed);
+    std::string text = SerializeCheckpoint(cp);
+    auto parsed = ParseCheckpoint(text);
+    ASSERT_TRUE(parsed.ok()) << "seed " << seed << ": "
+                             << parsed.status().message();
+    EXPECT_EQ(parsed->kind, cp.kind);
+    EXPECT_EQ(parsed->width, cp.width);
+    EXPECT_EQ(parsed->scalars, cp.scalars);
+    ASSERT_EQ(parsed->sections.size(), cp.sections.size());
+    for (size_t s = 0; s < cp.sections.size(); ++s) {
+      EXPECT_EQ(parsed->sections[s].first, cp.sections[s].first);
+      ASSERT_EQ(parsed->sections[s].second.size(),
+                cp.sections[s].second.size());
+      for (size_t e = 0; e < cp.sections[s].second.size(); ++e) {
+        EXPECT_EQ(parsed->sections[s].second[e].items,
+                  cp.sections[s].second[e].items);
+        EXPECT_EQ(parsed->sections[s].second[e].value,
+                  cp.sections[s].second[e].value);
+      }
+    }
+    // The serialized form itself is canonical.
+    EXPECT_EQ(SerializeCheckpoint(*parsed), text) << "seed " << seed;
+  }
+}
+
+TEST(CheckpointRoundTripTest, FileSaveLoadRoundTrips) {
+  Checkpoint cp = RandomCheckpoint(7);
+  std::string path = testing::TempDir() + "/checkpoint_roundtrip.txt";
+  ASSERT_TRUE(SaveCheckpointFile(cp, path).ok());
+  auto loaded = LoadCheckpointFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(SerializeCheckpoint(*loaded), SerializeCheckpoint(cp));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundTripTest, LoadOfMissingFileIsAStatusNotACrash) {
+  auto loaded = LoadCheckpointFile("/nonexistent/dir/cp.txt");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(CheckpointScalarTest, GetScalarDistinguishesAbsentFromZero) {
+  Checkpoint cp;
+  cp.SetScalar("present", 0);
+  uint64_t out = 99;
+  EXPECT_TRUE(cp.GetScalar("present", &out));
+  EXPECT_EQ(out, 0u);
+  out = 99;
+  EXPECT_FALSE(cp.GetScalar("absent", &out));
+  EXPECT_EQ(out, 99u);
+}
+
+TEST(CheckpointSectionTest, CountSectionsRoundTripThroughHelpers) {
+  Checkpoint cp;
+  cp.kind = "levelwise";
+  cp.width = 5;
+  std::vector<size_t> counts = {3, 0, 7, 1};
+  AddCountSection(&cp, "per_level", counts);
+  AddSetSection(&cp, "sets", {Bitset::FromIndices(5, std::vector<int>{0, 3})});
+
+  auto parsed = ParseCheckpoint(SerializeCheckpoint(cp));
+  ASSERT_TRUE(parsed.ok());
+  std::vector<size_t> back;
+  ASSERT_TRUE(ReadCountSection(*parsed, "per_level", &back).ok());
+  EXPECT_EQ(back, counts);
+  std::vector<Bitset> sets;
+  ASSERT_TRUE(ReadSetSection(*parsed, "sets", 5, &sets).ok());
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_TRUE(sets[0].Test(0));
+  EXPECT_TRUE(sets[0].Test(3));
+  // Width-mismatched extraction is rejected.
+  std::vector<Bitset> wrong;
+  EXPECT_FALSE(ReadSetSection(*parsed, "sets", 4, &wrong).ok());
+  // Missing sections read as empty, not as an error.
+  std::vector<Bitset> missing;
+  ASSERT_TRUE(ReadSetSection(*parsed, "no_such", 5, &missing).ok());
+  EXPECT_TRUE(missing.empty());
+}
+
+/// Every string here must be rejected with a Status (never a crash or an
+/// allocation bomb).
+TEST(CheckpointParseTest, RejectsMalformedInputs) {
+  const char* kBad[] = {
+      // Wrong or missing header.
+      "",
+      "not-a-checkpoint\n",
+      "hgmine-checkpoint v2\nkind x\nwidth 1\nend\n",
+      // Missing kind / width.
+      "hgmine-checkpoint v1\nwidth 4\nend\n",
+      "hgmine-checkpoint v1\nkind levelwise\nend\n",
+      // Garbage numbers.
+      "hgmine-checkpoint v1\nkind x\nwidth banana\nend\n",
+      "hgmine-checkpoint v1\nkind x\nwidth 4\nscalar q -3\nend\n",
+      "hgmine-checkpoint v1\nkind x\nwidth 4\nscalar q 1 2\nend\n",
+      // Truncation: missing end, missing entries.
+      "hgmine-checkpoint v1\nkind x\nwidth 4\n",
+      "hgmine-checkpoint v1\nkind x\nwidth 4\nsection s 2\n1 0 0\nend\n",
+      // Entry shape errors: wrong item count, item out of width.
+      "hgmine-checkpoint v1\nkind x\nwidth 4\nsection s 1\n2 0 1\nend\n",
+      "hgmine-checkpoint v1\nkind x\nwidth 4\nsection s 1\n1 0 9\nend\n",
+      // Unknown directive and trailing junk after end.
+      "hgmine-checkpoint v1\nkind x\nwidth 4\nfrobnicate\nend\n",
+      "hgmine-checkpoint v1\nkind x\nwidth 4\nend\nextra\n",
+  };
+  for (const char* text : kBad) {
+    auto parsed = ParseCheckpoint(text);
+    EXPECT_FALSE(parsed.ok())
+        << "accepted malformed input:\n"
+        << text;
+  }
+}
+
+TEST(CheckpointParseTest, EnforcesAllocationCeilings) {
+  // A section claiming more entries than the global cap must be rejected
+  // before any proportional allocation happens.
+  std::string huge = "hgmine-checkpoint v1\nkind x\nwidth 4\nsection s " +
+                     std::to_string(kMaxCheckpointEntries + 1) + "\nend\n";
+  EXPECT_FALSE(ParseCheckpoint(huge).ok());
+
+  // Total-bits ceiling: enormous width times a plausible entry count.
+  std::string wide = "hgmine-checkpoint v1\nkind x\nwidth 1000000\nsection s " +
+                     std::to_string(kMaxCheckpointTotalBits / 1000000 + 2) +
+                     "\nend\n";
+  EXPECT_FALSE(ParseCheckpoint(wide).ok());
+
+  // Too many sections.
+  std::string sections = "hgmine-checkpoint v1\nkind x\nwidth 4\n";
+  for (size_t i = 0; i <= kMaxCheckpointSections; ++i) {
+    sections += "section s" + std::to_string(i) + " 0\n";
+  }
+  sections += "end\n";
+  EXPECT_FALSE(ParseCheckpoint(sections).ok());
+
+  // Over-long names.
+  std::string name(kMaxCheckpointNameLength + 1, 'a');
+  EXPECT_FALSE(
+      ParseCheckpoint("hgmine-checkpoint v1\nkind x\nwidth 4\nscalar " + name +
+                      " 1\nend\n")
+          .ok());
+}
+
+}  // namespace
+}  // namespace hgm

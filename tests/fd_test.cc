@@ -115,7 +115,7 @@ TEST(KeyMinerTest, EmpDeptMgrKeys) {
   ASSERT_EQ(expected.size(), 1u);
   EXPECT_EQ(expected[0], Bitset(3, {0}));
   for (auto* fn : {&KeysViaAgreeSets, &KeysLevelwise, &KeysDualizeAdvance}) {
-    KeyMiningResult k = (*fn)(r);
+    KeyMiningResult k = (*fn)(r, {});
     EXPECT_TRUE(SameFamily(k.minimal_keys, expected));
   }
 }

@@ -10,6 +10,7 @@
 
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "core/dualize_advance.h"
 #include "core/levelwise.h"
 #include "core/oracle.h"
 #include "core/theory.h"
@@ -24,6 +25,7 @@
 #include "mining/generators.h"
 #include "mining/partition.h"
 #include "mining/sharded_db.h"
+#include "testing/fault_injection.h"
 
 namespace hgm {
 namespace {
@@ -271,6 +273,68 @@ TEST(ParallelDeterminismTest, PartitionMinerMatchesAprioriAtAnyShardCount) {
         EXPECT_LE(r.phase2_evaluations, theorem10)
             << "phase-2 pass exceeded |Th| + |Bd-| at K=" << shards;
       }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ChaosMatrixIdenticalAcrossSeedsAndThreads) {
+  // The chaos matrix: seeds x {levelwise, dualize-advance, partition} x
+  // {1, 8} threads.  Healed runs under injected transient faults must
+  // stay bit-identical to the clean single-threaded answer — the fault
+  // schedule is a pure function of the seed and of ask indexes reserved
+  // batch-at-a-time, never of scheduling.
+  TransactionDatabase db = TransactionDatabase::FromRows(
+      4, {{0, 1, 2}, {0, 1, 2}, {1, 3}, {1, 3}, {0, 3}});
+  const size_t minsup = 2;
+
+  FrequencyOracle clean_oracle(&db, minsup);
+  LevelwiseResult clean_lw = RunLevelwise(&clean_oracle);
+  FrequencyOracle clean_da_oracle(&db, minsup);
+  DualizeAdvanceResult clean_da = RunDualizeAdvance(&clean_da_oracle);
+
+  RetryPolicy patient;
+  patient.max_attempts = 64;
+
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    FaultSpec spec;
+    spec.transient_rate = 0.25;
+    spec.seed = seed;
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      ThreadPool pool(threads);
+
+      FrequencyOracle lw_inner(&db, minsup, true, &pool);
+      FaultInjectingOracle lw_faulty(&lw_inner, spec);
+      RetryingOracle lw_healing(&lw_faulty, patient);
+      lw_healing.set_sleeper([](uint64_t) {});
+      LevelwiseResult lw = RunLevelwise(&lw_healing);
+      EXPECT_EQ(lw.theory, clean_lw.theory)
+          << "levelwise, seed " << seed << ", " << threads << " threads";
+      EXPECT_EQ(lw.negative_border, clean_lw.negative_border);
+      EXPECT_EQ(lw.queries, clean_lw.queries);
+
+      FrequencyOracle da_inner(&db, minsup, true, &pool);
+      FaultInjectingOracle da_faulty(&da_inner, spec);
+      RetryingOracle da_healing(&da_faulty, patient);
+      da_healing.set_sleeper([](uint64_t) {});
+      DualizeAdvanceResult da = RunDualizeAdvance(&da_healing);
+      EXPECT_EQ(da.positive_border, clean_da.positive_border)
+          << "dualize-advance, seed " << seed << ", " << threads
+          << " threads";
+      EXPECT_EQ(da.negative_border, clean_da.negative_border);
+
+      ShardedTransactionDatabase sharded =
+          ShardedTransactionDatabase::Split(db, 4);
+      PartitionOptions popts;
+      popts.pool = &pool;
+      popts.shard_fault_hook = MakeShardFaultSchedule(spec);
+      popts.retry.max_attempts = 24;
+      popts.sleeper = [](uint64_t) {};
+      PartitionResult part = MinePartitioned(&sharded, minsup, popts);
+      ASSERT_TRUE(part.status.ok())
+          << "partition, seed " << seed << ": " << part.status.message();
+      EXPECT_EQ(part.maximal, clean_lw.positive_border)
+          << "partition, seed " << seed << ", " << threads << " threads";
+      EXPECT_EQ(part.negative_border, clean_lw.negative_border);
     }
   }
 }

@@ -30,6 +30,8 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
        StatusCode::kFailedPrecondition, "FailedPrecondition"},
       {Status::OutOfRange("big"), StatusCode::kOutOfRange, "OutOfRange"},
       {Status::Internal("bug"), StatusCode::kInternal, "Internal"},
+      {Status::Unavailable("shard down"), StatusCode::kUnavailable,
+       "Unavailable"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

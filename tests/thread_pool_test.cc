@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace hgm {
@@ -79,6 +81,74 @@ TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
     });
     EXPECT_EQ(sum.load(), 17u * 16u / 2u);
   }
+}
+
+TEST(ThreadPoolTest, ChunkExceptionRethrownAtJoinAndPoolStaysHealthy) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(100, [&](size_t begin, size_t, size_t) {
+      if (begin == 0) throw std::runtime_error("chunk 0 exploded");
+    });
+    FAIL() << "exception was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 0 exploded");
+  }
+  // The pool survives the failed batch and keeps its full contract.
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(50, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 50u * 49u / 2u);
+}
+
+TEST(ThreadPoolTest, FirstOfSeveralExceptionsWins) {
+  // Every chunk throws; exactly one exception (the first recorded)
+  // reaches the join point, and it is one of the thrown ones.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.ParallelFor(4, [&](size_t begin, size_t, size_t) {
+        throw std::runtime_error("chunk " + std::to_string(begin));
+      });
+      FAIL() << "exception was swallowed";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("chunk ", 0), 0u);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, CancelledTokenSkipsChunksAndThrows) {
+  ThreadPool pool(4);
+  CancellationSource source;
+  source.RequestCancel();
+  std::atomic<size_t> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(
+          1000,
+          [&](size_t begin, size_t end, size_t) {
+            ran.fetch_add(end - begin);
+          },
+          source.token()),
+      CancelledError);
+  // Pre-cancelled: every chunk is skipped at its boundary check.
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ThreadPoolTest, ExceptionInsideNestedParallelForPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(4, [&](size_t, size_t, size_t) {
+        pool.ParallelFor(4, [&](size_t b, size_t, size_t) {
+          if (b == 0) throw std::runtime_error("nested");
+        });
+      }),
+      std::runtime_error);
+  // Still healthy afterwards.
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(10, [&](size_t begin, size_t end, size_t) {
+    count.fetch_add(end - begin);
+  });
+  EXPECT_EQ(count.load(), 10u);
 }
 
 TEST(AtomicCounterTest, ExactUnderConcurrentIncrements) {
