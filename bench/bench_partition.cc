@@ -1,15 +1,23 @@
 // Shard-count sweep for the two-phase partition miner.
 //
 // Phase 1 mines each of K row shards locally at the scaled threshold
-// (one shard per ThreadPool task); phase 2 confirms the candidate union
-// with batched full passes, walked levelwise so the evaluated sets stay
-// inside the Theorem 10 budget |Th| + |Bd-(Th)|.  The sweep runs
-// K in {1, 2, 4, 8} on a 50k-row Quest workload, asserts the frequent
-// sets, supports, maximal sets, and negative border are bit-identical to
-// the single-database Apriori baseline for every K, records the phase-2
-// full-pass count against the Theorem 10 allowance, and emits
-// BENCH_partition.json so future revisions have a trajectory to diff.
+// (sequential shards on the full pool when K is small, one shard per
+// pool task otherwise); phase 2 confirms the candidate union levelwise
+// with prefix-cached counting, reusing exact phase-1 sums for candidates
+// locally frequent in every shard.  The sweep runs K in {1, 2, 4, 8} x
+// threads {1, 4} on 50k- and 200k-row Quest workloads at 2.5% support,
+// asserts the frequent sets, supports, maximal sets, and negative border
+// are bit-identical to the single-thread Apriori baseline for every
+// configuration, and emits BENCH_partition.json with a
+// speedup_vs_apriori column so future revisions have a trajectory to
+// diff.
+//
+// `bench_partition --quick` is the CI perf smoke: one small fixture,
+// baseline plus the K=4 x T=4 configuration, failing on any output
+// mismatch or when the partition run is slower than 1.2x the
+// single-thread Apriori baseline.
 
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -37,17 +45,31 @@ struct RunRecord {
   size_t frequent = 0, negative_border = 0;
   size_t candidate_union = 0;
   uint64_t phase2_evaluations = 0;
+  uint64_t phase2_reused = 0;
   uint64_t theorem10_allowance = 0;
   double ms = 0.0;
+  double speedup_vs_apriori = 0.0;  // baseline_ms(rows) / ms
   bool agree = true;  // identical to the Apriori baseline
 };
 
-void WriteJson(const std::vector<RunRecord>& records, double baseline_ms,
+/// The per-workload Apriori reference point.
+struct BaselineRecord {
+  size_t rows = 0;
+  double ms = 0.0;
+};
+
+void WriteJson(const std::vector<RunRecord>& records,
+               const std::vector<BaselineRecord>& baselines,
                const hgm::obs::MetricsSnapshot& final_snapshot,
                const char* path) {
   std::ofstream out(path);
-  out << "{\n  \"bench\": \"bench_partition\",\n  \"baseline_apriori_ms\": "
-      << baseline_ms << ",\n  \"runs\": [\n";
+  out << "{\n  \"bench\": \"bench_partition\",\n  \"baselines\": [\n";
+  for (size_t i = 0; i < baselines.size(); ++i) {
+    out << "    {\"rows\": " << baselines[i].rows
+        << ", \"apriori_1thread_ms\": " << baselines[i].ms << "}"
+        << (i + 1 < baselines.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"runs\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const RunRecord& r = records[i];
     out << "    {\"shards\": " << r.shards << ", \"threads\": " << r.threads
@@ -56,8 +78,10 @@ void WriteJson(const std::vector<RunRecord>& records, double baseline_ms,
         << ", \"negative_border\": " << r.negative_border
         << ", \"candidate_union\": " << r.candidate_union
         << ", \"phase2_evaluations\": " << r.phase2_evaluations
+        << ", \"phase2_reused\": " << r.phase2_reused
         << ", \"theorem10_allowance\": " << r.theorem10_allowance
         << ", \"ms\": " << r.ms
+        << ", \"speedup_vs_apriori\": " << r.speedup_vs_apriori
         << ", \"agree\": " << (r.agree ? "true" : "false") << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
@@ -78,82 +102,140 @@ bool SameAsBaseline(const AprioriResult& base, const PartitionResult& r) {
          base.negative_border == r.negative_border;
 }
 
-}  // namespace
-
-int main() {
-  std::vector<RunRecord> records;
-  int failures = 0;
-  StopWatch watch;
-
+TransactionDatabase MakeWorkload(size_t rows, uint64_t seed) {
   QuestParams params;
-  params.num_transactions = 50000;
+  params.num_transactions = rows;
   params.num_items = 100;
   params.avg_transaction_size = 10;
-  Rng rng(1995);
-  TransactionDatabase db = GenerateQuest(params, &rng);
-  const size_t minsup = 1250;
+  Rng rng(seed);
+  return GenerateQuest(params, &rng);
+}
 
-  std::cout << "=== partition sweep: K shards x threads, |D| = "
-            << params.num_transactions << " ===\n";
+/// CI perf smoke: one small workload, K=4 x T=4 against the 1-thread
+/// Apriori baseline.  Exit 1 on an output mismatch or when the partition
+/// run exceeds 1.2x the baseline wall clock.
+int RunQuick() {
+  const size_t rows = 10000;
+  const size_t minsup = rows / 40;  // 2.5%
+  TransactionDatabase db = MakeWorkload(rows, 1995);
+  StopWatch watch;
 
-  obs::EnableMetrics(true);
   ThreadPool sequential(1);
   AprioriOptions base_opts;
   base_opts.pool = &sequential;
   watch.Lap();
   AprioriResult base = MineFrequentSets(&db, minsup, base_opts);
   const double baseline_ms = watch.LapMillis();
-  const uint64_t allowance =
-      base.frequent.size() + base.negative_border.size();
-  std::cout << "baseline Apriori (1 thread): " << base.frequent.size()
-            << " frequent, |Bd-| = " << base.negative_border.size()
-            << ", " << baseline_ms << " ms\n\n";
 
-  TablePrinter sweep({"K", "threads", "|Th|", "union", "phase2",
-                      "Thm10 allow", "ms", "vs apriori", "identical"});
+  ShardedTransactionDatabase sharded =
+      ShardedTransactionDatabase::Split(db, 4);
+  ThreadPool pool(4);
+  PartitionOptions opts;
+  opts.pool = &pool;
+  watch.Lap();
+  PartitionResult r = MinePartitioned(&sharded, minsup, opts);
+  const double partition_ms = watch.LapMillis();
+
+  const double ratio = partition_ms / baseline_ms;
+  std::cout << "perf smoke: apriori(T=1) " << baseline_ms
+            << " ms, partition(K=4,T=4) " << partition_ms << " ms, ratio "
+            << ratio << " (budget 1.2)\n";
+  if (!SameAsBaseline(base, r)) {
+    std::cout << "FAIL: partition output differs from Apriori\n";
+    return 1;
+  }
+  if (ratio > 1.2) {
+    std::cout << "FAIL: partition(K=4,T=4) exceeded 1.2x the "
+                 "single-thread Apriori baseline\n";
+    return 1;
+  }
+  std::cout << "OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) return RunQuick();
+
+  std::vector<RunRecord> records;
+  std::vector<BaselineRecord> baselines;
+  int failures = 0;
+  StopWatch watch;
+
+  obs::EnableMetrics(true);
+  const size_t kRows[] = {50000, 200000};
   const size_t kShards[] = {1, 2, 4, 8};
   const size_t kThreads[] = {1, 4};
-  for (size_t shards : kShards) {
-    for (size_t threads : kThreads) {
-      ShardedTransactionDatabase sharded =
-          ShardedTransactionDatabase::Split(db, shards);
-      ThreadPool pool(threads);
-      PartitionOptions opts;
-      opts.pool = &pool;
-      watch.Lap();  // discard the split; time the mine alone
-      PartitionResult r = MinePartitioned(&sharded, minsup, opts);
-      double ms = watch.LapMillis();
+  for (size_t rows : kRows) {
+    TransactionDatabase db = MakeWorkload(rows, 1995);
+    const size_t minsup = rows / 40;  // 2.5% of the rows
 
-      const bool agree =
-          SameAsBaseline(base, r) && r.phase2_evaluations <= allowance;
-      if (!agree) ++failures;
-      sweep.NewRow()
-          .Add(shards)
-          .Add(threads)
-          .Add(r.frequent.size())
-          .Add(r.candidate_union_size)
-          .Add(r.phase2_evaluations)
-          .Add(allowance)
-          .Add(ms, 2)
-          .Add(baseline_ms / ms, 2)
-          .Add(agree ? "yes" : "NO");
-      records.push_back({shards, threads, params.num_transactions,
-                         params.num_items, minsup, r.frequent.size(),
-                         r.negative_border.size(), r.candidate_union_size,
-                         r.phase2_evaluations, allowance, ms, agree});
+    std::cout << "=== partition sweep: K shards x threads, |D| = " << rows
+              << ", minsup = " << minsup << " ===\n";
+
+    ThreadPool sequential(1);
+    AprioriOptions base_opts;
+    base_opts.pool = &sequential;
+    watch.Lap();
+    AprioriResult base = MineFrequentSets(&db, minsup, base_opts);
+    const double baseline_ms = watch.LapMillis();
+    baselines.push_back({rows, baseline_ms});
+    const uint64_t allowance =
+        base.frequent.size() + base.negative_border.size();
+    std::cout << "baseline Apriori (1 thread): " << base.frequent.size()
+              << " frequent, |Bd-| = " << base.negative_border.size()
+              << ", " << baseline_ms << " ms\n\n";
+
+    TablePrinter sweep({"K", "threads", "|Th|", "union", "phase2",
+                        "reused", "Thm10 allow", "ms", "vs apriori",
+                        "identical"});
+    for (size_t shards : kShards) {
+      for (size_t threads : kThreads) {
+        ShardedTransactionDatabase sharded =
+            ShardedTransactionDatabase::Split(db, shards);
+        ThreadPool pool(threads);
+        PartitionOptions opts;
+        opts.pool = &pool;
+        watch.Lap();  // discard the split; time the mine alone
+        PartitionResult r = MinePartitioned(&sharded, minsup, opts);
+        double ms = watch.LapMillis();
+
+        const bool agree =
+            SameAsBaseline(base, r) && r.phase2_evaluations <= allowance;
+        if (!agree) ++failures;
+        const double speedup = baseline_ms / ms;
+        sweep.NewRow()
+            .Add(shards)
+            .Add(threads)
+            .Add(r.frequent.size())
+            .Add(r.candidate_union_size)
+            .Add(r.phase2_evaluations)
+            .Add(r.phase2_reused)
+            .Add(allowance)
+            .Add(ms, 2)
+            .Add(speedup, 2)
+            .Add(agree ? "yes" : "NO");
+        records.push_back({shards, threads, rows, size_t{100}, minsup,
+                           r.frequent.size(), r.negative_border.size(),
+                           r.candidate_union_size, r.phase2_evaluations,
+                           r.phase2_reused, allowance, ms, speedup, agree});
+      }
     }
+    sweep.Print();
+    std::cout << "\n";
   }
-  sweep.Print();
-  std::cout << "\nshape: local thresholds scale with shard size, so the "
-               "candidate union\nstays close to Th and the levelwise "
-               "phase-2 confirmation never exceeds\nthe Theorem 10 "
-               "allowance |Th| + |Bd-(Th)| (asserted).  Phase 1 "
-               "parallelizes\nacross shards; each shard's working set is "
-               "its own rows plus tidsets —\nthe knob that keeps "
-               "per-node memory bounded when the full database\n"
-               "cannot fit.\n";
+  std::cout << "shape: candidates locally frequent in every shard reuse "
+               "their exact\nphase-1 sums (at K=1 that is the whole "
+               "theory — zero phase-2 passes);\nthe rest are confirmed "
+               "levelwise with prefix-cached counting, inside\nthe "
+               "Theorem 10 allowance |Th| + |Bd-(Th)| (asserted).  "
+               "Phase 1 keeps\nthe full pool busy at any K; each shard's "
+               "working set is its own rows\nplus tidsets — the knob "
+               "that keeps per-node memory bounded when the\nfull "
+               "database cannot fit.\n";
 
-  WriteJson(records, baseline_ms, obs::MetricsRegistry::Global().Snapshot(),
+  WriteJson(records, baselines, obs::MetricsRegistry::Global().Snapshot(),
             "BENCH_partition.json");
   std::cout << "\nwrote BENCH_partition.json (" << records.size()
             << " runs)\n";

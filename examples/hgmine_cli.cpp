@@ -6,7 +6,7 @@
 //                   [--shards=K] [--metrics=<path|->] [--trace=<path>]
 //                   [--deadline-ms=N] [--max-queries=N]
 //                   [--checkpoint=<path>] [--resume=<path>]
-//                   [--chaos-seed=N]
+//                   [--chaos-seed=N] [--exact-border]
 //   hgmine_cli demo
 //
 // Basket format: one transaction per line, whitespace-separated item ids;
@@ -31,7 +31,10 @@
 //                  bit-identical to one uninterrupted run;
 // --chaos-seed=N   (with --shards) injects seeded transient shard faults
 //                  into phase 1 to exercise the retry/failover path; the
-//                  mined output must be identical to a fault-free run.
+//                  mined output must be identical to a fault-free run;
+// --exact-border   (with --shards) computes Bd-(Th) through the Theorem 7
+//                  transversal construction instead of the default
+//                  apriori-gen derivation — same family, independent path.
 //
 // Exit codes: 0 complete, 1 I/O or internal error, 2 usage error,
 // 3 budget tripped (partial result; checkpoint written if requested).
@@ -69,7 +72,7 @@ int Usage() {
          "                  [--metrics=<path|->] [--trace=<path>]\n"
          "                  [--deadline-ms=N] [--max-queries=N]\n"
          "                  [--checkpoint=<path>] [--resume=<path>]\n"
-         "                  [--chaos-seed=N]\n"
+         "                  [--chaos-seed=N] [--exact-border]\n"
          "       hgmine_cli demo\n";
   return 2;
 }
@@ -178,6 +181,7 @@ int main(int argc, char** argv) {
   std::string resume_path;      // checkpoint to continue from
   bool have_chaos = false;
   uint64_t chaos_seed = 0;
+  bool exact_border = false;  // partition Bd- via Theorem-7 transversals
   MaxMinerAlgorithm algo = MaxMinerAlgorithm::kDualizeAdvance;
   for (size_t i = 3; i < args.size(); ++i) {
     if (args[i] == "--maximal") {
@@ -212,6 +216,8 @@ int main(int argc, char** argv) {
     } else if (args[i].rfind("--resume=", 0) == 0) {
       resume_path = args[i].substr(9);
       if (resume_path.empty()) return Usage();
+    } else if (args[i] == "--exact-border") {
+      exact_border = true;
     } else if (args[i].rfind("--chaos-seed=", 0) == 0) {
       if (!ParseFlagUint("--chaos-seed", args[i].substr(13),
                          std::numeric_limits<uint64_t>::max() - 1,
@@ -255,6 +261,11 @@ int main(int argc, char** argv) {
   if (have_chaos && num_shards == 0) {
     std::cerr << "error: --chaos-seed requires --shards=K (faults are "
                  "injected into phase-1 shard mining)\n";
+    return 2;
+  }
+  if (exact_border && num_shards == 0) {
+    std::cerr << "error: --exact-border requires --shards=K (the "
+                 "single-database path always uses Theorem 7)\n";
     return 2;
   }
 
@@ -319,6 +330,7 @@ int main(int argc, char** argv) {
         ShardedTransactionDatabase::Split(db, num_shards);
     PartitionOptions popts;
     popts.budget = budget;
+    popts.border_via_transversals = exact_border;
     if (have_chaos) {
       // Seeded transient faults in phase 1; the retry rounds must heal
       // them and reproduce the fault-free output bit for bit.
@@ -346,6 +358,7 @@ int main(int argc, char** argv) {
               << " frequent itemsets at support >= " << min_support
               << " via " << part.num_shards << " shards ("
               << part.phase2_evaluations << " phase-2 full-pass sets, "
+              << part.phase2_reused << " reused from phase-1 counts, "
               << part.phase2_rejected << " rejected";
     if (part.shard_retries > 0) {
       std::cout << ", " << part.shard_retries << " shard retries";

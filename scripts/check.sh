@@ -11,14 +11,17 @@
 #   5. robustness             ctest -L robustness on the plain build
 #                             (budget trips, checkpoint/resume identity,
 #                             the seeded chaos matrix, the CLI smoke)
-#   6. audited build          -DHGMINE_AUDIT=ON, full ctest with every
+#   6. perf smoke             ctest -L perf on the plain build
+#                             (bench_partition --quick: K=4 x T=4 within
+#                             1.2x the single-thread Apriori wall clock)
+#   7. audited build          -DHGMINE_AUDIT=ON, full ctest with every
 #                             paper-contract auditor live
-#   7. ASan+UBSan build       HGMINE_SANITIZE=address
-#   8. TSan build             HGMINE_SANITIZE=thread (parallel batch
+#   8. ASan+UBSan build       HGMINE_SANITIZE=address
+#   9. TSan build             HGMINE_SANITIZE=thread (parallel batch
 #                             layer; full ctest includes the chaos suite,
 #                             so fault injection runs under TSan too)
 #
-# Stages 7 and 8 are skipped with --fast.  Build dirs are check-* so they
+# Stages 8 and 9 are skipped with --fast.  Build dirs are check-* so they
 # never collide with a developer's build/.
 #
 # Usage: scripts/check.sh [--fast]
@@ -67,6 +70,11 @@ echo "==== check: robustness ===="
 # Budget trips, checkpoint/resume bit-identity, the seeded chaos matrix,
 # checkpoint parser hardening, and the CLI fault-tolerance smoke.
 (cd check-plain && ctest -L robustness --output-on-failure -j "$JOBS")
+
+echo "==== check: perf smoke ===="
+# bench_partition --quick: partition(K=4, T=4) must match Apriori's
+# output exactly and finish within 1.2x its single-thread wall clock.
+(cd check-plain && ctest -L perf --output-on-failure)
 
 run_matrix_entry audit -DHGMINE_WERROR=ON -DHGMINE_AUDIT=ON
 

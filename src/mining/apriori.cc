@@ -154,7 +154,9 @@ AprioriResult RunAprioriLevels(TransactionDatabase* db,
     HGM_OBS_COUNT("apriori.candidates", n);
     HGM_OBS_COUNT("apriori.frequent", kept);
     level_span.AddArg("frequent", kept);
-    if (level.empty()) maximal.push_back(Bitset(n));  // ∅ is maximal
+    if (options.compute_maximal && level.empty()) {
+      maximal.push_back(Bitset(n));  // ∅ is maximal
+    }
     state.next_level = 2;
   }
 
@@ -284,28 +286,31 @@ AprioriResult RunAprioriLevels(TransactionDatabase* db,
     // Maximality: a frequent k-set is maximal iff no frequent
     // (k+1)-superset exists.  The join marks only the two parents, so
     // finish with a subset sweep for correctness.
-    for (size_t i = 0; i < level.size(); ++i) {
-      if (extended[i]) continue;
-      Bitset x = Bitset::FromIndices(n, level[i].items);
-      bool covered = false;
-      for (const auto& e : next) {
-        if (x.IsSubsetOf(Bitset::FromIndices(n, e.items))) {
-          covered = true;
-          break;
+    if (options.compute_maximal) {
+      for (size_t i = 0; i < level.size(); ++i) {
+        if (extended[i]) continue;
+        Bitset x = Bitset::FromIndices(n, level[i].items);
+        bool covered = false;
+        for (const auto& e : next) {
+          if (x.IsSubsetOf(Bitset::FromIndices(n, e.items))) {
+            covered = true;
+            break;
+          }
         }
+        if (!covered) maximal.push_back(std::move(x));
       }
-      if (!covered) maximal.push_back(std::move(x));
     }
     level = std::move(next);
   }
   // Sets remaining when the loop exits via the max_level cap are maximal
   // within the truncated lattice.
-  for (const auto& e : level) {
-    maximal.push_back(Bitset::FromIndices(n, e.items));
+  if (options.compute_maximal) {
+    for (const auto& e : level) {
+      maximal.push_back(Bitset::FromIndices(n, e.items));
+    }
+    AntichainMaximize(&maximal);
+    CanonicalSort(&maximal);
   }
-
-  AntichainMaximize(&maximal);
-  CanonicalSort(&maximal);
   AprioriResult out = std::move(result);
   out.maximal = std::move(maximal);
   CanonicalSort(&out.negative_border);

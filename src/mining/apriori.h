@@ -70,6 +70,11 @@ enum class SupportCountingMode {
 struct AprioriOptions {
   /// Keep the full frequent-set list with supports (needed for rules).
   bool record_all = true;
+  /// Track the maximal frequent sets (a per-level subset sweep).  Callers
+  /// that only consume `frequent` — partition phase 1 derives its global
+  /// maximal sets from the confirmed theory instead — turn this off and
+  /// get an empty `maximal`, skipping the sweep entirely.
+  bool compute_maximal = true;
   /// Support-counting backend; all three produce identical results.
   SupportCountingMode counting = SupportCountingMode::kTidsets;
   /// Stop after itemsets of this size.

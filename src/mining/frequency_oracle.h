@@ -14,6 +14,17 @@
 /// parallel (early-exiting at min_support), horizontal mode scans disjoint
 /// transaction chunks and reduces per-candidate partial counts.  Both
 /// produce bit-for-bit the answers of the sequential loop.
+///
+/// Counting-kernel seam: the vertical path here wants only a yes/no at a
+/// threshold, so it rides the capped early-exit chain kernel
+/// (SupportVerticalPrebuilt / ChainCountCapped).  Callers that need exact
+/// counts for a whole level — partition phase 2, the benchmarks — use
+/// TransactionDatabase::CountSupportsVertical with a PrefixCoverCache
+/// instead, which memoizes each candidate's (k-1)-prefix tidset so a
+/// size-k count is one cached-cover x item-tidset intersection rather
+/// than a k-way chain.  Same exact numbers from either kernel; the cache
+/// only changes the constant, and it is the seam a future FP-growth-style
+/// backend would slot into.
 
 #include "common/thread_pool.h"
 #include "core/oracle.h"

@@ -36,9 +36,17 @@ struct PartitionOptions {
   ThreadPool* pool = nullptr;
   /// Support-counting backend for the per-shard local Apriori runs.
   SupportCountingMode local_counting = SupportCountingMode::kTidsets;
-  /// Compute Bd-(Th) of the global theory (via Berge transversals,
-  /// Theorem 7) so the result matches MineFrequentSets field for field.
+  /// Compute Bd-(Th) of the global theory so the result matches
+  /// MineFrequentSets field for field.  By default the border is derived
+  /// combinatorially from the confirmed theory (apriori-gen's rejected
+  /// candidates — NegativeBorderViaGeneration), which keeps the heavy
+  /// transversal enumeration off the mining critical path.
   bool compute_negative_border = true;
+  /// Compute Bd-(Th) through Theorem 7 instead (Berge transversals of the
+  /// complemented positive border) — the independent cross-check path,
+  /// exposed on the CLI as --exact-border.  The family produced is
+  /// identical; only the cost differs.
+  bool border_via_transversals = false;
   /// Resource envelope, checked at the phase boundary and before each
   /// phase-2 confirmation level; phase-2 support counts are the query
   /// measure.  Cancellation also interrupts phase 1 at ThreadPool chunk
@@ -76,9 +84,17 @@ struct PartitionResult {
   std::vector<size_t> local_frequent_per_shard;
   /// Distinct sets in the phase-2 candidate union.
   size_t candidate_union_size = 0;
-  /// Sets whose global support was counted in phase 2 (the full-pass
-  /// query measure; <= |Th| + |Bd-(Th)| by the levelwise pruning).
+  /// Sets whose global support required a phase-2 database pass (the
+  /// full-pass query measure; <= |Th| + |Bd-(Th)| by the levelwise
+  /// pruning).  Candidates locally frequent in *every* shard are excluded:
+  /// their exact global support is the sum of the exact per-shard counts
+  /// phase 1 already produced (the rows partition), so no pass is spent.
   size_t phase2_evaluations = 0;
+  /// Candidates confirmed by exact-count reuse (locally frequent in every
+  /// shard, global support = sum of phase-1 local supports) — zero
+  /// database passes.  phase2_evaluations + phase2_reused is the number
+  /// of gated candidates phase 2 decided.
+  size_t phase2_reused = 0;
   /// Levels walked by the phase-2 confirmation.
   size_t phase2_levels = 0;
   /// Phase-2 candidates counted but globally infrequent (locally

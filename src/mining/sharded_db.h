@@ -80,12 +80,23 @@ class ShardedTransactionDatabase {
   bool SupportAtLeastPrebuilt(const Bitset& itemset,
                               size_t threshold) const;
 
+  /// Parallel threshold test: instead of walking shards serially under a
+  /// shrinking remaining-threshold cap, every shard counts concurrently
+  /// under its own proportional cap ceil(threshold * shard_rows / rows)
+  /// (the caps sum to >= threshold).  Capped counts are lower bounds, so
+  /// sum >= threshold proves yes and no-shard-capped proves no; only the
+  /// rare inconclusive middle re-walks the capped shards serially with
+  /// the exact remaining threshold.  Same answers as the serial variant.
+  bool SupportAtLeastPrebuilt(const Bitset& itemset, size_t threshold,
+                              ThreadPool* pool) const;
+
   /// Exact supports for every itemset of \p batch — the batched "one full
-  /// pass" primitive behind partition phase 2.  Parallel across
-  /// candidates (each streams its tidset intersection shard by shard in
-  /// shard order, writing to its own slot), so results are bit-for-bit
-  /// identical at any thread count.  \p pool nullptr means the global
-  /// pool.
+  /// pass" primitive behind partition phase 2.  Parallel across candidate
+  /// × shard pairs (each pair counts one exact per-shard support into its
+  /// own slot; per-candidate totals reduce in shard order), so results
+  /// are bit-for-bit identical at any thread count and small batches
+  /// still spread across K shards' worth of tasks.  \p pool nullptr means
+  /// the global pool.
   std::vector<size_t> CountSupports(std::span<const Bitset> batch,
                                     ThreadPool* pool = nullptr);
 

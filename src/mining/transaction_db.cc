@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "common/check.h"
@@ -60,6 +61,50 @@ bool TransactionDatabase::SupportAtLeast(const Bitset& itemset,
   return SupportAtLeastPrebuilt(itemset, threshold);
 }
 
+namespace {
+
+/// Capped popcount of the word-wise AND across an item-tidset chain:
+/// 4-word blocks with the early-exit compare hoisted to the block
+/// boundary, like Bitset::IntersectionCountCapped but over k chained
+/// tidsets.  Returns the exact count when below \p cap, else the (>= cap)
+/// running count at the block where it crossed.
+size_t ChainCountCapped(const std::vector<Bitset>& vertical,
+                        const std::vector<size_t>& items, size_t cap) {
+  const std::vector<uint64_t>& first = vertical[items[0]].words();
+  const size_t nw = first.size();
+  size_t count = 0;
+  size_t wi = 0;
+  for (; wi + 4 <= nw; wi += 4) {
+    uint64_t w0 = first[wi];
+    uint64_t w1 = first[wi + 1];
+    uint64_t w2 = first[wi + 2];
+    uint64_t w3 = first[wi + 3];
+    for (size_t j = 1; j < items.size(); ++j) {
+      const std::vector<uint64_t>& tid = vertical[items[j]].words();
+      w0 &= tid[wi];
+      w1 &= tid[wi + 1];
+      w2 &= tid[wi + 2];
+      w3 &= tid[wi + 3];
+      if ((w0 | w1 | w2 | w3) == 0) break;
+    }
+    count += static_cast<size_t>(std::popcount(w0)) +
+             static_cast<size_t>(std::popcount(w1)) +
+             static_cast<size_t>(std::popcount(w2)) +
+             static_cast<size_t>(std::popcount(w3));
+    if (count >= cap) return count;
+  }
+  for (; wi < nw; ++wi) {
+    uint64_t w = first[wi];
+    for (size_t j = 1; w != 0 && j < items.size(); ++j) {
+      w &= vertical[items[j]].words()[wi];
+    }
+    count += static_cast<size_t>(std::popcount(w));
+  }
+  return count;
+}
+
+}  // namespace
+
 bool TransactionDatabase::SupportAtLeastPrebuilt(const Bitset& itemset,
                                                  size_t threshold) const {
   HGMINE_DCHECK(vertical_valid_)
@@ -69,17 +114,7 @@ bool TransactionDatabase::SupportAtLeastPrebuilt(const Bitset& itemset,
   std::vector<size_t> items = itemset.Indices();
   if (items.empty()) return true;  // support(∅) = |r| >= threshold here
   if (items.size() == 1) return vertical_[items[0]].CountAtLeast(threshold);
-  const std::vector<uint64_t>& first = vertical_[items[0]].words();
-  size_t count = 0;
-  for (size_t wi = 0; wi < first.size(); ++wi) {
-    uint64_t w = first[wi];
-    for (size_t j = 1; w != 0 && j < items.size(); ++j) {
-      w &= vertical_[items[j]].words()[wi];
-    }
-    count += static_cast<size_t>(std::popcount(w));
-    if (count >= threshold) return true;
-  }
-  return false;
+  return ChainCountCapped(vertical_, items, threshold) >= threshold;
 }
 
 size_t TransactionDatabase::SupportVerticalPrebuilt(const Bitset& itemset,
@@ -89,17 +124,7 @@ size_t TransactionDatabase::SupportVerticalPrebuilt(const Bitset& itemset,
   if (cap == 0) return 0;
   std::vector<size_t> items = itemset.Indices();
   if (items.empty()) return rows_.size();
-  const std::vector<uint64_t>& first = vertical_[items[0]].words();
-  size_t count = 0;
-  for (size_t wi = 0; wi < first.size(); ++wi) {
-    uint64_t w = first[wi];
-    for (size_t j = 1; w != 0 && j < items.size(); ++j) {
-      w &= vertical_[items[j]].words()[wi];
-    }
-    count += static_cast<size_t>(std::popcount(w));
-    if (count >= cap) return count;
-  }
-  return count;
+  return ChainCountCapped(vertical_, items, cap);
 }
 
 std::vector<size_t> TransactionDatabase::CountSupportsHorizontal(
@@ -126,6 +151,28 @@ std::vector<size_t> TransactionDatabase::CountSupportsHorizontal(
   return totals;
 }
 
+std::vector<size_t> TransactionDatabase::CountSupportsVertical(
+    std::span<const Bitset> itemsets, PrefixCoverCache* cache,
+    ThreadPool* pool) {
+  BuildVerticalIndex();
+  std::vector<size_t> totals(itemsets.size(), 0);
+  if (itemsets.empty()) return totals;
+  HGMINE_DCHECK(cache != nullptr);
+  // Serial build pass: one AND per distinct not-yet-cached prefix.  The
+  // parallel pass below then only reads the cache.
+  for (const Bitset& x : itemsets) {
+    if (x.Count() >= 2) cache->EnsureCover(x.WithoutBit(x.FindLast()));
+  }
+  ThreadPool* p = PoolOrGlobal(pool);
+  p->ParallelFor(itemsets.size(),
+                 [&](size_t begin, size_t end, size_t /*chunk*/) {
+                   for (size_t c = begin; c < end; ++c) {
+                     totals[c] = cache->CountPrefixCached(itemsets[c]);
+                   }
+                 });
+  return totals;
+}
+
 void TransactionDatabase::EnsureVerticalIndex() { BuildVerticalIndex(); }
 
 std::vector<size_t> TransactionDatabase::ItemSupports() const {
@@ -139,6 +186,57 @@ std::vector<size_t> TransactionDatabase::ItemSupports() const {
 const Bitset& TransactionDatabase::ItemCover(size_t item) {
   BuildVerticalIndex();
   return vertical_[item];
+}
+
+const Bitset& TransactionDatabase::ItemCoverPrebuilt(size_t item) const {
+  HGMINE_DCHECK(vertical_valid_)
+      << "; call EnsureVerticalIndex() before concurrent tidset reads";
+  return vertical_[item];
+}
+
+const Bitset& PrefixCoverCache::EnsureCover(const Bitset& itemset) {
+  auto it = covers_.find(itemset);
+  if (it != covers_.end()) return it->second;
+  Bitset cover;
+  const size_t k = itemset.Count();
+  if (k == 0) {
+    cover = Bitset::Full(db_->num_transactions());
+  } else {
+    const size_t last = itemset.FindLast();
+    if (k == 1) {
+      cover = db_->ItemCoverPrebuilt(last);
+    } else {
+      // Copy-then-refine: the recursive EnsureCover may rehash the map,
+      // so the parent cover is copied out before the AND.
+      cover = EnsureCover(itemset.WithoutBit(last));
+      cover &= db_->ItemCoverPrebuilt(last);
+    }
+  }
+  return covers_.emplace(itemset, std::move(cover)).first->second;
+}
+
+size_t PrefixCoverCache::CountPrefixCached(const Bitset& itemset,
+                                           size_t cap) const {
+  const size_t k = itemset.Count();
+  if (k == 0) return db_->num_transactions();
+  const size_t last = itemset.FindLast();
+  if (k == 1) {
+    return db_->ItemCoverPrebuilt(last).IntersectionCountCapped(
+        db_->ItemCoverPrebuilt(last), cap);
+  }
+  auto it = covers_.find(itemset.WithoutBit(last));
+  if (it == covers_.end()) {
+    return db_->SupportVerticalPrebuilt(itemset, cap);
+  }
+  return it->second.IntersectionCountCapped(db_->ItemCoverPrebuilt(last),
+                                            cap);
+}
+
+void PrefixCoverCache::PruneBelow(size_t min_size) {
+  if (min_size == 0) return;
+  for (auto it = covers_.begin(); it != covers_.end();) {
+    it = it->first.Count() < min_size ? covers_.erase(it) : std::next(it);
+  }
 }
 
 double TransactionDatabase::AvgTransactionSize() const {

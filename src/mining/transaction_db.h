@@ -15,11 +15,15 @@
 #include <string_view>
 #include <vector>
 
+#include <unordered_map>
+
 #include "common/bitset.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 
 namespace hgm {
+
+class PrefixCoverCache;
 
 /// An in-memory 0/1 relation over a fixed item universe.
 class TransactionDatabase {
@@ -87,6 +91,17 @@ class TransactionDatabase {
   std::vector<size_t> CountSupportsHorizontal(
       std::span<const Bitset> itemsets, ThreadPool* pool = nullptr) const;
 
+  /// Exact supports via the vertical index and a prefix-tidset cache: a
+  /// size-k itemset intersects its memoized (k-1)-prefix cover with ONE
+  /// item tidset instead of re-chaining all k tidsets.  Builds the needed
+  /// prefix covers serially first (cheap, one AND each), then counts in
+  /// parallel against the read-only cache — identical results at any
+  /// thread count.  \p cache carries covers across calls (prune it as the
+  /// level advances); \p pool nullptr means the global pool.
+  std::vector<size_t> CountSupportsVertical(std::span<const Bitset> itemsets,
+                                            PrefixCoverCache* cache,
+                                            ThreadPool* pool = nullptr);
+
   /// Builds the vertical index now (idempotent).  Required before any
   /// concurrent use of the const tidset accessors, which cannot build it
   /// thread-safely on demand.
@@ -97,6 +112,10 @@ class TransactionDatabase {
 
   /// The vertical index: tidset bitmap of item \p item.  Built lazily.
   const Bitset& ItemCover(size_t item);
+
+  /// Const tidset accessor for concurrent readers; EnsureVerticalIndex()
+  /// must have been called.
+  const Bitset& ItemCoverPrebuilt(size_t item) const;
 
   /// Average transaction length.
   double AvgTransactionSize() const;
@@ -126,6 +145,52 @@ class TransactionDatabase {
   std::vector<Bitset> rows_;
   std::vector<Bitset> vertical_;  // item -> rows containing it
   bool vertical_valid_ = false;
+};
+
+/// Level-to-level prefix-tidset memoization for vertical support counting
+/// (the Eclat idea applied to the levelwise walk): the cover of a size-k
+/// set X is cover(X \ {max X}) ∩ tidset(max X), so counting a whole
+/// candidate level against cached (k-1)-prefix covers costs one AND per
+/// distinct prefix plus one capped AND-popcount per candidate, instead of
+/// re-chaining all k item tidsets per candidate.
+///
+/// Usage contract: EnsureCover builds covers and must run single-threaded
+/// (it mutates the map); CountPrefixCached only reads and is safe from
+/// concurrent workers once every needed prefix was built.  Covers are keyed
+/// by the exact itemset, so pruning with PruneBelow as the level advances
+/// keeps the cache at ~two generations of prefixes.
+///
+/// This is the kernel seam a future pattern-growth (FP-growth style)
+/// backend plugs into: anything that can produce a row cover for a prefix
+/// can serve CountPrefixCached's lookups.
+class PrefixCoverCache {
+ public:
+  /// \param db  the indexed relation (not owned; must outlive the cache).
+  /// EnsureVerticalIndex() must have been called on \p db before use.
+  explicit PrefixCoverCache(const TransactionDatabase* db) : db_(db) {}
+
+  /// Builds (memoizing every step of the chain) the row cover of
+  /// \p itemset and returns a reference valid until the next mutating
+  /// call.  Single-threaded: mutates the cache.
+  const Bitset& EnsureCover(const Bitset& itemset);
+
+  /// Support of \p itemset capped at \p cap (exact when below the cap):
+  /// one capped AND-popcount of the memoized (k-1)-prefix cover with the
+  /// last item's tidset.  Falls back to the uncached tidset chain when the
+  /// prefix was never built.  Read-only — safe for concurrent callers.
+  size_t CountPrefixCached(const Bitset& itemset,
+                           size_t cap = Bitset::npos) const;
+
+  /// Drops every memoized cover of size < \p min_size, bounding the cache
+  /// to the generations the current level can still reach.
+  void PruneBelow(size_t min_size);
+
+  /// Number of memoized covers (for tests and telemetry).
+  size_t entries() const { return covers_.size(); }
+
+ private:
+  const TransactionDatabase* db_;
+  std::unordered_map<Bitset, Bitset, BitsetHash> covers_;
 };
 
 }  // namespace hgm

@@ -217,5 +217,61 @@ TEST_P(BitsetPropertyTest, AlgebraIdentities) {
 INSTANTIATE_TEST_SUITE_P(Sizes, BitsetPropertyTest,
                          ::testing::Values(1, 7, 63, 64, 65, 100, 192, 500));
 
+// The unrolled capped intersection kernel: exact below the cap, a lower
+// bound >= cap at or above it, across the 4-word block boundaries the
+// unrolling introduces and the unaligned tails past them.
+TEST(BitsetTest, IntersectionCountCappedBoundaries) {
+  // Universe sizes probing block edges: within one block (<= 256 bits),
+  // exactly at a block edge, one past, and deep into the word-wise tail.
+  for (size_t n : {64u, 255u, 256u, 257u, 300u, 512u, 515u}) {
+    Bitset a = Bitset::Full(n);
+    Bitset b = Bitset::Full(n);
+    const size_t exact = n;
+    EXPECT_EQ(a.IntersectionCountCapped(b, Bitset::npos), exact);
+    EXPECT_EQ(a.IntersectionCountCapped(b, exact + 1), exact);
+    EXPECT_GE(a.IntersectionCountCapped(b, exact), exact);
+    if (exact > 0) {
+      EXPECT_GE(a.IntersectionCountCapped(b, exact - 1), exact - 1);
+    }
+    // Cap 0 is trivially met; the kernel must still not read past the
+    // words, and its result stays a lower bound of the exact count.
+    EXPECT_LE(a.IntersectionCountCapped(b, 0), exact);
+    EXPECT_TRUE(a.IntersectionCountAtLeast(b, 0));
+  }
+  // Sparse pattern straddling a block boundary: bits 250..260 set in
+  // both, so the count accumulates partly in an unrolled block and
+  // partly in the tail.
+  Bitset a(320), b(320);
+  for (size_t v = 250; v <= 260; ++v) {
+    a.Set(v);
+    b.Set(v);
+  }
+  a.Set(0);    // only in a
+  b.Set(319);  // only in b
+  EXPECT_EQ(a.IntersectionCountCapped(b, Bitset::npos), 11u);
+  EXPECT_EQ(a.IntersectionCountCapped(b, 12), 11u);
+  EXPECT_GE(a.IntersectionCountCapped(b, 11), 11u);
+  EXPECT_GE(a.IntersectionCountCapped(b, 5), 5u);
+  EXPECT_TRUE(a.IntersectionCountAtLeast(b, 11));
+  EXPECT_FALSE(a.IntersectionCountAtLeast(b, 12));
+  // Randomized agreement with the exact count at straddling caps.
+  Rng rng(77);
+  for (int iter = 0; iter < 40; ++iter) {
+    Bitset x(515), y(515);
+    for (size_t v = 0; v < 515; ++v) {
+      if (rng.Bernoulli(0.3)) x.Set(v);
+      if (rng.Bernoulli(0.3)) y.Set(v);
+    }
+    const size_t exact = x.IntersectionCount(y);
+    EXPECT_EQ(x.IntersectionCountCapped(y, Bitset::npos), exact);
+    EXPECT_EQ(x.IntersectionCountCapped(y, exact + 1), exact);
+    for (size_t cap : {size_t{1}, exact / 2, exact}) {
+      const size_t capped = x.IntersectionCountCapped(y, cap);
+      EXPECT_LE(capped, exact);
+      EXPECT_GE(capped, std::min(cap, exact));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hgm

@@ -1,0 +1,188 @@
+// Differential tests for the support-counting kernels behind partition
+// phase 2: the prefix-cached vertical batch counter must agree bit for
+// bit with the horizontal chunk scan and with the uncached capped tidset
+// chain, on dense and sparse databases at several thread counts; the
+// distributed-cap sharded threshold test must agree with the serial
+// shard walk; and the apriori-gen negative-border derivation must equal
+// the Theorem 7 transversal construction.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/theory.h"
+#include "hypergraph/transversal_berge.h"
+#include "mining/generators.h"
+#include "mining/sharded_db.h"
+#include "mining/transaction_db.h"
+
+namespace hgm {
+namespace {
+
+TransactionDatabase RandomDatabase(uint64_t seed, size_t rows, size_t n,
+                                   double density) {
+  Rng rng(seed);
+  TransactionDatabase db(n);
+  for (size_t t = 0; t < rows; ++t) {
+    Bitset row(n);
+    for (size_t v = 0; v < n; ++v) {
+      if (rng.Bernoulli(density)) row.Set(v);
+    }
+    db.AddTransaction(row);
+  }
+  return db;
+}
+
+std::vector<Bitset> RandomProbes(uint64_t seed, size_t n, size_t count,
+                                 size_t max_size) {
+  Rng rng(seed);
+  std::vector<Bitset> probes;
+  probes.push_back(Bitset(n));  // ∅ — the k = 0 corner
+  for (size_t i = 0; i < count; ++i) {
+    const size_t size = 1 + rng.UniformIndex(max_size);
+    probes.push_back(
+        Bitset::FromIndices(n, rng.SampleWithoutReplacement(n, size)));
+  }
+  return probes;
+}
+
+// The three exact-count kernels agree on dense and sparse data at every
+// thread count: prefix-cached vertical, horizontal chunk scan, and the
+// uncached capped chain (cap = npos makes it exact).
+TEST(CountingKernelTest, VerticalHorizontalAndChainAgree) {
+  struct Shape {
+    uint64_t seed;
+    double density;
+  };
+  for (const Shape& shape : {Shape{21, 0.45}, Shape{22, 0.06}}) {
+    TransactionDatabase db = RandomDatabase(shape.seed, 300, 24,
+                                            shape.density);
+    db.EnsureVerticalIndex();
+    std::vector<Bitset> probes = RandomProbes(shape.seed + 100, 24, 120, 5);
+    std::vector<size_t> reference(probes.size(), 0);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      reference[i] = db.Support(probes[i]);
+      EXPECT_EQ(db.SupportVerticalPrebuilt(probes[i]), reference[i]);
+    }
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      ThreadPool pool(threads);
+      std::vector<size_t> horizontal =
+          db.CountSupportsHorizontal(probes, &pool);
+      PrefixCoverCache cache(&db);
+      std::vector<size_t> vertical =
+          db.CountSupportsVertical(probes, &cache, &pool);
+      ASSERT_EQ(horizontal.size(), probes.size());
+      ASSERT_EQ(vertical.size(), probes.size());
+      for (size_t i = 0; i < probes.size(); ++i) {
+        EXPECT_EQ(horizontal[i], reference[i])
+            << "horizontal, probe " << probes[i].ToString() << " threads "
+            << threads;
+        EXPECT_EQ(vertical[i], reference[i])
+            << "prefix-cached, probe " << probes[i].ToString()
+            << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(CountingKernelTest, PrefixCoverCacheBuildsExactCovers) {
+  TransactionDatabase db = RandomDatabase(31, 200, 16, 0.3);
+  db.EnsureVerticalIndex();
+  PrefixCoverCache cache(&db);
+  Rng rng(32);
+  for (int iter = 0; iter < 50; ++iter) {
+    const size_t size = 1 + rng.UniformIndex(5);
+    Bitset x =
+        Bitset::FromIndices(16, rng.SampleWithoutReplacement(16, size));
+    EXPECT_EQ(cache.EnsureCover(x), db.Cover(x)) << x.ToString();
+    EXPECT_EQ(cache.CountPrefixCached(x), db.Support(x)) << x.ToString();
+  }
+  // Every chain step was memoized, so the cache holds at least one entry
+  // per probed prefix size.
+  EXPECT_GT(cache.entries(), 0u);
+}
+
+// CountPrefixCached stays exact when the prefix was never built (falls
+// back to the uncached chain) and after PruneBelow evicts it.
+TEST(CountingKernelTest, PrefixCacheFallbackAndPruneStayExact) {
+  TransactionDatabase db = RandomDatabase(41, 150, 12, 0.35);
+  db.EnsureVerticalIndex();
+  PrefixCoverCache cold(&db);
+  Bitset x(12, {2, 5, 9});
+  EXPECT_EQ(cold.CountPrefixCached(x), db.Support(x));  // nothing cached
+  EXPECT_EQ(cold.entries(), 0u);
+
+  PrefixCoverCache cache(&db);
+  cache.EnsureCover(x.WithoutBit(9));
+  const size_t warm = cache.entries();
+  EXPECT_GE(warm, 1u);
+  EXPECT_EQ(cache.CountPrefixCached(x), db.Support(x));
+  cache.PruneBelow(5);  // evicts everything built so far
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.CountPrefixCached(x), db.Support(x));
+  // Capped counting is a lower bound that is exact below the cap.
+  const size_t support = db.Support(x);
+  if (support > 1) {
+    EXPECT_GE(cache.CountPrefixCached(x, support - 1), support - 1);
+  }
+  EXPECT_EQ(cache.CountPrefixCached(x, support + 1), support);
+}
+
+// The distributed-cap parallel threshold test answers exactly like the
+// serial shard walk, across shard counts, thread counts, and thresholds
+// straddling the true support.
+TEST(CountingKernelTest, DistributedCapThresholdMatchesSerial) {
+  TransactionDatabase db = RandomDatabase(51, 400, 20, 0.25);
+  std::vector<Bitset> probes = RandomProbes(52, 20, 80, 4);
+  for (size_t k : {size_t{1}, size_t{3}, size_t{7}}) {
+    ShardedTransactionDatabase sharded =
+        ShardedTransactionDatabase::Split(db, k);
+    sharded.EnsureVerticalIndexes();
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      ThreadPool pool(threads);
+      for (const Bitset& x : probes) {
+        const size_t support = db.Support(x);
+        std::vector<size_t> thresholds = {0, 1, support, support + 1, 400};
+        if (support > 0) thresholds.push_back(support - 1);
+        for (size_t threshold : thresholds) {
+          EXPECT_EQ(sharded.SupportAtLeastPrebuilt(x, threshold, &pool),
+                    sharded.SupportAtLeastPrebuilt(x, threshold))
+              << x.ToString() << " K=" << k << " threads=" << threads
+              << " threshold=" << threshold;
+          EXPECT_EQ(sharded.SupportAtLeastPrebuilt(x, threshold, &pool),
+                    support >= threshold);
+        }
+      }
+    }
+  }
+}
+
+// The combinatorial border derivation (apriori-gen's rejected candidates)
+// produces exactly the Theorem 7 transversal border on random downward-
+// closed theories, including the empty and trivial corners.
+TEST(CountingKernelTest, BorderViaGenerationMatchesTransversals) {
+  BergeTransversals berge;
+  const size_t n = 10;
+  EXPECT_EQ(NegativeBorderViaGeneration({}, n),
+            NegativeBorderViaTransversals({}, n, &berge));
+  Rng rng(61);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<Bitset> seeds;
+    const size_t count = 1 + rng.UniformIndex(5);
+    for (size_t i = 0; i < count; ++i) {
+      const size_t size = 1 + rng.UniformIndex(5);
+      seeds.push_back(
+          Bitset::FromIndices(n, rng.SampleWithoutReplacement(n, size)));
+    }
+    std::vector<Bitset> theory = DownwardClosure(seeds, n);
+    std::vector<Bitset> generated = NegativeBorderViaGeneration(theory, n);
+    EXPECT_EQ(generated, NegativeBorderViaTransversals(theory, n, &berge));
+    EXPECT_EQ(generated, NegativeBorderBrute(theory, n));
+  }
+}
+
+}  // namespace
+}  // namespace hgm

@@ -254,6 +254,9 @@ TEST(ParallelDeterminismTest, PartitionMinerMatchesAprioriAtAnyShardCount) {
         base.frequent.size() + base.negative_border.size();
 
     for (size_t shards : {size_t{1}, size_t{2}, size_t{7}}) {
+      // The reuse/pass split must be a pure function of (db, K, minsup):
+      // captured at the first thread count, compared at the rest.
+      size_t first_evaluations = 0, first_reused = 0;
       for (size_t threads : kThreadCounts) {
         ShardedTransactionDatabase sharded =
             ShardedTransactionDatabase::Split(db, shards);
@@ -272,6 +275,28 @@ TEST(ParallelDeterminismTest, PartitionMinerMatchesAprioriAtAnyShardCount) {
             << " threads";
         EXPECT_LE(r.phase2_evaluations, theorem10)
             << "phase-2 pass exceeded |Th| + |Bd-| at K=" << shards;
+        if (threads == kThreadCounts[0]) {
+          first_evaluations = r.phase2_evaluations;
+          first_reused = r.phase2_reused;
+        } else {
+          EXPECT_EQ(r.phase2_evaluations, first_evaluations)
+              << "phase-2 pass count differs at K=" << shards << ", "
+              << threads << " threads";
+          EXPECT_EQ(r.phase2_reused, first_reused)
+              << "exact-count reuse differs at K=" << shards << ", "
+              << threads << " threads";
+        }
+      }
+      // The Theorem-7 transversal border is an independent construction
+      // of the same family the default derivation produced above.
+      {
+        ShardedTransactionDatabase sharded =
+            ShardedTransactionDatabase::Split(db, shards);
+        PartitionOptions opts;
+        opts.border_via_transversals = true;
+        PartitionResult r = MinePartitioned(&sharded, minsup, opts);
+        EXPECT_EQ(base.negative_border, r.negative_border)
+            << "transversal border differs at K=" << shards;
       }
     }
   }

@@ -268,6 +268,66 @@ TEST(PartitionMinerTest, AsAprioriResultFeedsRuleGeneration) {
   }
 }
 
+// Exact-count reuse: with a single shard the local threshold equals the
+// global one, so every union candidate is locally frequent in "every"
+// shard and phase 2 confirms the whole theory from phase-1 sums — zero
+// database passes.
+TEST(PartitionMinerTest, SingleShardReusesEveryCount) {
+  TransactionDatabase db = QuestDatabase(19);
+  AprioriResult expected = MineFrequentSets(&db, 20);
+  ShardedTransactionDatabase sharded =
+      ShardedTransactionDatabase::Split(db, 1);
+  PartitionResult r = MinePartitioned(&sharded, 20);
+  EXPECT_EQ(r.phase2_evaluations, 0u);
+  EXPECT_EQ(r.phase2_reused, expected.frequent.size());
+  EXPECT_EQ(r.phase2_rejected, 0u);
+  ASSERT_EQ(r.frequent.size(), expected.frequent.size());
+  for (size_t i = 0; i < r.frequent.size(); ++i) {
+    EXPECT_EQ(r.frequent[i].items, expected.frequent[i].items);
+    EXPECT_EQ(r.frequent[i].support, expected.frequent[i].support);
+  }
+  EXPECT_EQ(r.negative_border, expected.negative_border);
+}
+
+// Evaluations + reused = gated candidates decided, and reused candidates
+// are always confirmed (their summed local thresholds meet the global
+// one), so rejected <= evaluations.
+TEST(PartitionMinerTest, ReuseAccountingIsConsistent) {
+  TransactionDatabase db = QuestDatabase(23);
+  for (size_t k : {size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    ShardedTransactionDatabase sharded =
+        ShardedTransactionDatabase::Split(db, k);
+    PartitionResult r = MinePartitioned(&sharded, 20);
+    EXPECT_LE(r.phase2_rejected, r.phase2_evaluations) << "K=" << k;
+    EXPECT_LE(r.frequent.size(), r.phase2_evaluations + r.phase2_reused)
+        << "K=" << k;
+    EXPECT_EQ(r.phase2_evaluations + r.phase2_reused,
+              r.frequent.size() + r.phase2_rejected)
+        << "K=" << k;
+  }
+}
+
+// --exact-border: the Theorem 7 transversal construction and the default
+// apriori-gen derivation produce the identical Bd-(Th).
+TEST(PartitionMinerTest, TransversalBorderMatchesGeneration) {
+  TransactionDatabase db = QuestDatabase(29);
+  for (size_t k : {size_t{1}, size_t{3}}) {
+    ShardedTransactionDatabase sharded =
+        ShardedTransactionDatabase::Split(db, k);
+    PartitionResult generated = MinePartitioned(&sharded, 20);
+    PartitionOptions opts;
+    opts.border_via_transversals = true;
+    PartitionResult exact = MinePartitioned(&sharded, 20, opts);
+    EXPECT_EQ(generated.negative_border, exact.negative_border)
+        << "K=" << k;
+    ASSERT_EQ(generated.frequent.size(), exact.frequent.size());
+    for (size_t i = 0; i < generated.frequent.size(); ++i) {
+      EXPECT_EQ(generated.frequent[i].items, exact.frequent[i].items);
+      EXPECT_EQ(generated.frequent[i].support, exact.frequent[i].support);
+    }
+  }
+}
+
 // The BoundReport line for phase 2 holds: full-pass sets counted in
 // phase 2 never exceed |Th| + |Bd-(Th)| (the Theorem 10 budget the
 // levelwise algorithm itself would spend), and |Th| <= candidate union.

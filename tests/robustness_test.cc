@@ -277,6 +277,10 @@ TEST(RobustnessPartitionTest, ResumeIsBitIdenticalAtEveryTripPoint) {
       EXPECT_EQ(resumed->negative_border, clean.negative_border);
       EXPECT_EQ(resumed->phase2_levels, clean.phase2_levels);
       EXPECT_EQ(resumed->phase2_rejected, clean.phase2_rejected);
+      // The checkpoint carries the exact-count-reuse state, so the
+      // pass/reuse split of the combined run matches the clean one.
+      EXPECT_EQ(resumed->phase2_evaluations, clean.phase2_evaluations);
+      EXPECT_EQ(resumed->phase2_reused, clean.phase2_reused);
     }
     // And the clean sharded run agrees with Apriori field for field.
     ASSERT_EQ(clean.frequent.size(), reference.frequent.size());
