@@ -128,7 +128,7 @@ int main() {
   for (double fraction : {0.25, 0.5, 0.75}) {
     ResumeRecord rec;
     rec.trip_fraction = fraction;
-    rec.budget = static_cast<uint64_t>(total * fraction);
+    rec.budget = static_cast<uint64_t>(static_cast<double>(total) * fraction);
     AprioriOptions opts;
     opts.pool = &sequential;
     opts.budget.max_queries = rec.budget;

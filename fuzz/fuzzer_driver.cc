@@ -6,20 +6,26 @@
 /// (call LLVMFuzzerTestOneInput once per input) and a subset of its
 /// command line:
 ///
-///   fuzz_foo [file...] [-runs=N] [-max_len=N] [-seed=N]
+///   fuzz_foo [file-or-dir...] [-runs=N] [-max_len=N] [-seed=N]
 ///
-/// File arguments are replayed once each — the crash-reproduction
-/// workflow.  With no files, the driver generates `runs` deterministic
-/// pseudo-random inputs (splitmix64 keyed by -seed), biased toward
-/// digits, separators, comments, and sign characters so the text-parser
-/// targets actually reach their deep paths instead of bailing on the
-/// first byte.  Any contract violation aborts, which is the failure
-/// signal ctest sees.
+/// File arguments are replayed once each; a directory argument (the
+/// libFuzzer corpus convention — fuzz/corpus/<target>/) is expanded to
+/// its regular files, also replayed once each.  With no inputs, or after
+/// replay when -runs= was given explicitly (the ctest smoke
+/// configuration: seeds first, then noise), the driver generates `runs`
+/// deterministic pseudo-random inputs (splitmix64 keyed by -seed),
+/// biased toward digits, separators, comments, and sign characters so
+/// the text-parser targets actually reach their deep paths instead of
+/// bailing on the first byte.  Replaying files without an explicit
+/// -runs= stays replay-only — the crash-reproduction workflow.  Any
+/// contract violation aborts, which is the failure signal ctest sees.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -46,10 +52,10 @@ uint8_t BiasedByte(uint64_t* state) {
   return static_cast<uint8_t>(r >> 8);
 }
 
-bool ReplayFile(const char* path) {
-  FILE* f = std::fopen(path, "rb");
+bool ReplayFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    std::fprintf(stderr, "fuzzer_driver: cannot open %s\n", path);
+    std::fprintf(stderr, "fuzzer_driver: cannot open %s\n", path.c_str());
     return false;
   }
   std::vector<uint8_t> bytes;
@@ -61,6 +67,23 @@ bool ReplayFile(const char* path) {
   std::fclose(f);
   LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
   return true;
+}
+
+// Expands a corpus directory to its regular files, sorted by name so a
+// replay run is deterministic regardless of readdir order.  Non-existent
+// paths fall through as plain file names (ReplayFile reports them).
+void ExpandArg(const char* arg, std::vector<std::string>* inputs) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(arg, ec)) {
+    std::vector<std::string> found;
+    for (const auto& entry : std::filesystem::directory_iterator(arg, ec)) {
+      if (entry.is_regular_file()) found.push_back(entry.path().string());
+    }
+    std::sort(found.begin(), found.end());
+    inputs->insert(inputs->end(), found.begin(), found.end());
+    return;
+  }
+  inputs->push_back(arg);
 }
 
 bool ParseFlag(const char* arg, const char* name, uint64_t* out) {
@@ -76,9 +99,13 @@ int main(int argc, char** argv) {
   uint64_t runs = 10000;
   uint64_t max_len = 4096;
   uint64_t seed = 1;
-  std::vector<const char*> files;
+  bool explicit_runs = false;
+  std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
-    if (ParseFlag(argv[i], "-runs=", &runs)) continue;
+    if (ParseFlag(argv[i], "-runs=", &runs)) {
+      explicit_runs = true;
+      continue;
+    }
     if (ParseFlag(argv[i], "-max_len=", &max_len)) continue;
     if (ParseFlag(argv[i], "-seed=", &seed)) continue;
     if (argv[i][0] == '-') {
@@ -86,14 +113,20 @@ int main(int argc, char** argv) {
                    argv[i]);
       continue;
     }
-    files.push_back(argv[i]);
+    ExpandArg(argv[i], &files);
   }
 
   if (!files.empty()) {
     bool all_ok = true;
-    for (const char* path : files) all_ok = ReplayFile(path) && all_ok;
+    for (const std::string& path : files) {
+      all_ok = ReplayFile(path) && all_ok;
+    }
     std::printf("fuzzer_driver: replayed %zu file(s)\n", files.size());
-    return all_ok ? 0 : 1;
+    if (!all_ok) return 1;
+    // Replay-only unless the caller also asked for random runs — the
+    // smoke tests pass both a corpus and -runs=, reproduction passes
+    // just the crash file.
+    if (!explicit_runs) return 0;
   }
 
   uint64_t state = seed * 0x2545f4914f6cdd1dull + 0x9e3779b97f4a7c15ull;

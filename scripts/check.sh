@@ -16,13 +16,21 @@
 #                             1.2x the single-thread Apriori wall clock)
 #   7. audited build          -DHGMINE_AUDIT=ON, full ctest with every
 #                             paper-contract auditor live
-#   8. ASan+UBSan build       HGMINE_SANITIZE=address
-#   9. TSan build             HGMINE_SANITIZE=thread (parallel batch
+#   8. thread-safety          clang -Wthread-safety -Werror=thread-safety
+#                             build (the `analyze` preset's configuration;
+#                             compile-only).  Skipped when clang is not
+#                             installed, like the lint stages.
+#   9. invariant queries      clang-query rule selftest + the rules over
+#                             src/ (scripts/lint_query_selftest.sh; also
+#                             part of stage 1's lint.sh).  Skipped when
+#                             clang-query is not installed.
+#  10. ASan+UBSan build       HGMINE_SANITIZE=address
+#  11. TSan build             HGMINE_SANITIZE=thread (parallel batch
 #                             layer; full ctest includes the chaos suite,
 #                             so fault injection runs under TSan too)
 #
-# Stages 8 and 9 are skipped with --fast.  Build dirs are check-* so they
-# never collide with a developer's build/.
+# Stages 10 and 11 are skipped with --fast.  Build dirs are check-* so
+# they never collide with a developer's build/.
 #
 # Usage: scripts/check.sh [--fast]
 
@@ -77,6 +85,32 @@ echo "==== check: perf smoke ===="
 (cd check-plain && ctest -L perf --output-on-failure)
 
 run_matrix_entry audit -DHGMINE_WERROR=ON -DHGMINE_AUDIT=ON
+
+echo "==== check: thread-safety analysis ===="
+if command -v clang++ > /dev/null 2>&1; then
+  # Compile-only: the analysis is the product; the binaries are already
+  # exercised by the other stages.
+  cmake -B check-analyze -S . \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DHGMINE_THREAD_SAFETY=ON -DHGMINE_WERROR=ON > /dev/null
+  cmake --build check-analyze -j "$JOBS" > /dev/null
+  echo "thread-safety: clean"
+else
+  echo "thread-safety: skipped (clang not installed)"
+fi
+
+echo "==== check: invariant queries ===="
+if scripts/lint_query_selftest.sh; then
+  echo "invariant queries: rules fire and src/ is clean (see lint stage)"
+else
+  code=$?
+  if [ "$code" -eq 77 ]; then
+    echo "invariant queries: skipped (clang-query not installed)"
+  else
+    echo "invariant queries: FAILED" >&2
+    exit "$code"
+  fi
+fi
 
 if [ "$FAST" -eq 0 ]; then
   run_matrix_entry asan -DHGMINE_SANITIZE=address

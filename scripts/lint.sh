@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Lint wall: clang-format (style drift) + clang-tidy (bugprone/performance/
 # concurrency/modernize) over the library (including the src/obs telemetry
-# layer), tests, benches, and examples.
+# layer), tests, benches, and examples — plus the repo-invariant
+# clang-query rules in scripts/lint_queries/ (oracle-seam accounting,
+# mutex annotation discipline, no naked Result::value()), which generic
+# tools cannot express.
 #
 # Wired into CTest as the `lint` label (see the root CMakeLists.txt).
-# Exits 77 — which CTest maps to SKIP via SKIP_RETURN_CODE — when neither
+# Exits 77 — which CTest maps to SKIP via SKIP_RETURN_CODE — when no
 # clang tool is installed, so plain tier-1 runs stay green on gcc-only
 # machines while clang-equipped CI enforces the wall.
 #
@@ -17,11 +20,14 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 have_format=0
 have_tidy=0
+have_query=0
 command -v clang-format > /dev/null 2>&1 && have_format=1
 command -v clang-tidy > /dev/null 2>&1 && have_tidy=1
+command -v clang-query > /dev/null 2>&1 && have_query=1
 
-if [ "$have_format" -eq 0 ] && [ "$have_tidy" -eq 0 ]; then
-  echo "lint: clang-format and clang-tidy not installed; skipping" >&2
+if [ "$have_format" -eq 0 ] && [ "$have_tidy" -eq 0 ] &&
+  [ "$have_query" -eq 0 ]; then
+  echo "lint: clang-format/clang-tidy/clang-query not installed; skipping" >&2
   exit 77
 fi
 
@@ -57,6 +63,31 @@ if [ "$have_tidy" -eq 1 ]; then
   fi
 else
   echo "lint: clang-tidy not installed; tidy check skipped" >&2
+fi
+
+if [ "$have_query" -eq 1 ]; then
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "lint: $BUILD_DIR/compile_commands.json missing;" \
+      "configure with cmake -B $BUILD_DIR -S . first" >&2
+    exit 1
+  fi
+  # Repo-invariant rules over the library sources (headers are reached
+  # through the TUs; each rule path-scopes itself to src/).  clang-query
+  # exits 0 even when matches are found, so the gate counts them.
+  mapfile -t QUERY_SRCS < <(find src -name '*.cc' | sort)
+  for query in scripts/lint_queries/*.query; do
+    out="$(clang-query -p "$BUILD_DIR" -f "$query" "${QUERY_SRCS[@]}" 2>&1)"
+    matches="$(grep -c '^Match #' <<< "$out" || true)"
+    if [ "$matches" -gt 0 ]; then
+      echo "lint: $query flagged $matches violation(s):" >&2
+      echo "$out" >&2
+      status=1
+    else
+      echo "lint: $query clean over ${#QUERY_SRCS[@]} sources"
+    fi
+  done
+else
+  echo "lint: clang-query not installed; invariant rules skipped" >&2
 fi
 
 exit "$status"

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Proves every clang-query lint rule still fires: runs each rule in
+# scripts/lint_queries/ against its deliberately-broken fixture in
+# tests/lint_fixtures/ and fails unless the expected number of matches
+# comes back.  Without this, a matcher that rots (AST drift, renamed
+# class, bad regex) degrades into matching nothing and the lint wall
+# silently disarms.
+#
+# Wired into CTest as `lint_query_selftest` (label `lint`).  Exits 77 —
+# CTest SKIP — when clang-query is not installed, mirroring lint.sh, so
+# gcc-only machines stay green while clang-equipped CI enforces it.
+#
+# The fixtures are compiled standalone (-std=c++20 -Isrc), not through
+# the build's compile_commands.json: they are never part of any target.
+#
+# Usage: scripts/lint_query_selftest.sh
+
+set -u
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-query > /dev/null 2>&1; then
+  echo "lint_query_selftest: clang-query not installed; skipping" >&2
+  exit 77
+fi
+
+FIXTURE_FLAGS=(-- -std=c++20 -Isrc)
+
+# run_rule <query-file> <fixture> <min-matches>
+run_rule() {
+  local query="$1" fixture="$2" want="$3"
+  local out matches
+  out="$(clang-query -f "$query" "$fixture" "${FIXTURE_FLAGS[@]}" 2>&1)"
+  matches="$(grep -c '^Match #' <<< "$out" || true)"
+  if [ "$matches" -lt "$want" ]; then
+    echo "lint_query_selftest: $query found $matches match(es) in $fixture," \
+      "expected >= $want — the rule no longer fires:" >&2
+    echo "$out" >&2
+    return 1
+  fi
+  echo "lint_query_selftest: $query -> $matches match(es) in $fixture (ok)"
+}
+
+status=0
+# bad_mutex_member.cc trips both matchers (raw std::mutex member + an
+# hgm::Mutex class with no HGM_GUARDED_BY field), hence >= 2.
+run_rule scripts/lint_queries/oracle_seam.query \
+  tests/lint_fixtures/bad_oracle_seam.cc 2 || status=1
+run_rule scripts/lint_queries/mutex_discipline.query \
+  tests/lint_fixtures/bad_mutex_member.cc 2 || status=1
+run_rule scripts/lint_queries/naked_result_value.query \
+  tests/lint_fixtures/bad_naked_value.cc 1 || status=1
+
+if [ "$status" -eq 0 ]; then
+  echo "lint_query_selftest: all rules fire"
+fi
+exit "$status"

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+#include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace hgm {
 namespace audit {
@@ -41,14 +43,16 @@ std::atomic<uint64_t>& slot(Contract c) {
   return t.antichain;  // unreachable
 }
 
-std::mutex& handler_mu() {
-  static std::mutex mu;
-  return mu;
-}
+/// The installable failure handler and its guard, bundled so the
+/// guarded-by relation is expressible (and lint-visible).
+struct HandlerState {
+  Mutex mu;
+  FailureHandler handler HGM_GUARDED_BY(mu);
+};
 
-FailureHandler& handler_slot() {
-  static FailureHandler h;
-  return h;
+HandlerState& handler_state() {
+  static HandlerState* state = new HandlerState();  // never dies
+  return *state;
 }
 
 }  // namespace
@@ -97,10 +101,13 @@ void ChargeChecks(Contract c, uint64_t n) {
 
 void ReportViolation(Contract c, const std::string& detail) {
   tallies().violations.fetch_add(1, std::memory_order_relaxed);
+  // Copy the handler out under the lock, invoke outside it: a handler
+  // that itself calls SetAuditFailureHandler must not deadlock.
   FailureHandler h;
   {
-    std::lock_guard<std::mutex> lock(handler_mu());
-    h = handler_slot();
+    HandlerState& state = handler_state();
+    MutexLock lock(state.mu);
+    h = state.handler;
   }
   if (h) {
     h(ContractName(c), detail);
@@ -112,8 +119,9 @@ void ReportViolation(Contract c, const std::string& detail) {
 }
 
 void SetAuditFailureHandler(FailureHandler handler) {
-  std::lock_guard<std::mutex> lock(handler_mu());
-  handler_slot() = std::move(handler);
+  HandlerState& state = handler_state();
+  MutexLock lock(state.mu);
+  state.handler = std::move(handler);
 }
 
 }  // namespace audit

@@ -27,7 +27,12 @@
 namespace hgm {
 
 /// Why a run stopped where it did.
-enum class StopReason {
+///
+/// [[nodiscard]]: every boundary check returns a StopReason, and ignoring
+/// one would silently run past a tripped budget — the exact accounting
+/// bug the Theorem-10 meter exists to prevent.  Probe-only calls (e.g.
+/// forcing the trip counter for telemetry) must spell the drop `(void)`.
+enum class [[nodiscard]] StopReason {
   kCompleted = 0,   ///< ran to the natural end; result is total
   kDeadline,        ///< wall-clock deadline reached
   kQueryBudget,     ///< next step would exceed the Is-interesting cap
@@ -85,6 +90,14 @@ struct RunBudget {
 /// Per-run budget state: owns the resolved deadline and answers "may I
 /// start the next step?" at checkpointable boundaries.  Records each trip
 /// once under the robustness.* counters.
+///
+/// Threading contract: a BudgetTracker is confined to the run's driver
+/// thread — engines consult it only at phase/level boundaries, never from
+/// worker lambdas (workers observe budgets through the shard caps and the
+/// CancellationToken, both of which are internally synchronized).  It
+/// therefore carries no mutex and no HGM_GUARDED_BY members by design;
+/// sharing one across threads is a contract violation, not a supported
+/// mode.
 class BudgetTracker {
  public:
   explicit BudgetTracker(const RunBudget& budget, uint64_t queries_so_far = 0)

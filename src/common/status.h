@@ -35,7 +35,12 @@ enum class StatusCode {
 ///   Status s = db.LoadBasketFile(path);
 ///   if (!s.ok()) return s;
 /// \endcode
-class Status {
+///
+/// The class-level [[nodiscard]] makes every by-value Status return
+/// unignorable: a dropped IO error or budget trip is a compile error
+/// under -DHGMINE_WERROR=ON.  The rare intentional drop (best-effort
+/// cleanup) is spelled `(void)op();` with a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -114,9 +119,12 @@ class Status {
 /// \brief Either a value of type T or an error Status.
 ///
 /// Accessing value() on an error Result aborts in debug builds; callers
-/// must check ok() first.
+/// must check ok() first — the `naked_result_value` clang-query lint
+/// (scripts/lint_queries/) rejects .value() calls in src/ outside an
+/// ok()-checked or HGMINE_CHECK'd context.  [[nodiscard]] as on Status:
+/// discarding a Result discards the error too.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)

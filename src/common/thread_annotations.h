@@ -1,0 +1,223 @@
+#pragma once
+
+/// \file thread_annotations.h
+/// \brief Clang thread-safety annotations and the annotated lock types
+/// every mutex in this codebase must use.
+///
+/// PRs 4-6 made the miner genuinely concurrent (parallel batch oracles,
+/// sharded stores with failover, streamed candidate unions); until now the
+/// only race defense was runtime TSan replays.  This header adds the
+/// compile-time half: with clang and `-Wthread-safety` (the `analyze`
+/// CMake preset, or -DHGMINE_THREAD_SAFETY=ON), the compiler *proves* that
+/// every access to an HGM_GUARDED_BY member happens under its mutex and
+/// that HGM_REQUIRES/HGM_EXCLUDES contracts hold at every call site.  On
+/// gcc (the default container) every macro expands to nothing and the lock
+/// types are zero-cost transparent wrappers, so runtime behavior is
+/// identical everywhere.
+///
+/// The analysis only understands capability-annotated types — libstdc++'s
+/// std::mutex carries no annotations — so first-party code must use the
+/// wrappers below instead of raw std types:
+///
+///   * hgm::Mutex / hgm::MutexLock       for std::mutex + lock_guard
+///   * hgm::SharedMutex with ReaderMutexLock / WriterMutexLock
+///                                       for std::shared_mutex + the
+///                                       shared/unique lock pair
+///   * hgm::CondVar                      for std::condition_variable
+///                                       (waits against a held hgm::Mutex)
+///
+/// The `mutex_discipline` clang-query lint (scripts/lint_queries/) rejects
+/// raw std::mutex / std::shared_mutex / std::condition_variable members in
+/// src/ and any class holding an hgm mutex without at least one
+/// HGM_GUARDED_BY field, so the discipline cannot silently erode.
+///
+/// Annotation conventions (see DESIGN.md "Concurrency contracts"):
+///   * every member a mutex protects is HGM_GUARDED_BY(mu_);
+///   * private helpers called under the lock are HGM_REQUIRES(mu_);
+///   * public entry points that take the lock are HGM_EXCLUDES(mu_);
+///   * condition-variable wait predicates run with the mutex held by
+///     construction but are opaque lambdas to the analysis — they carry
+///     HGM_NO_THREAD_SAFETY_ANALYSIS with a comment, the one sanctioned
+///     escape hatch.
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+// The attributes exist on clang only; gcc would warn -Wattributes on every
+// use, so they compile away entirely elsewhere.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define HGM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef HGM_THREAD_ANNOTATION
+#define HGM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex", "shared_mutex").
+#define HGM_CAPABILITY(x) HGM_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires in its constructor and releases in
+/// its destructor.
+#define HGM_SCOPED_CAPABILITY HGM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define HGM_GUARDED_BY(x) HGM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define HGM_PT_GUARDED_BY(x) HGM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called while holding the mutex(es) exclusively.
+#define HGM_REQUIRES(...) \
+  HGM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function may only be called while holding the mutex(es) at least shared.
+#define HGM_REQUIRES_SHARED(...) \
+  HGM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) exclusively and does not release them.
+#define HGM_ACQUIRE(...) \
+  HGM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of HGM_ACQUIRE.
+#define HGM_ACQUIRE_SHARED(...) \
+  HGM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es).
+#define HGM_RELEASE(...) \
+  HGM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of HGM_RELEASE.
+#define HGM_RELEASE_SHARED(...) \
+  HGM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function returns true iff the mutex was acquired.
+#define HGM_TRY_ACQUIRE(...) \
+  HGM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the mutex(es) — the
+/// non-reentrancy half of the contract (deadlock prevention).
+#define HGM_EXCLUDES(...) HGM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function.  Every use must
+/// carry a comment explaining why the contract holds anyway (the only
+/// sanctioned cases are condition-variable wait predicates and
+/// phase-barrier reads documented at the definition).
+#define HGM_NO_THREAD_SAFETY_ANALYSIS \
+  HGM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hgm {
+
+/// std::mutex with capability annotations.  Lowercase lock()/unlock() keep
+/// it a BasicLockable, so std::lock_guard<hgm::Mutex> also works where the
+/// scoped type below is inconvenient.
+class HGM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HGM_ACQUIRE() { mu_.lock(); }
+  void unlock() HGM_RELEASE() { mu_.unlock(); }
+  bool try_lock() HGM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII exclusive lock over hgm::Mutex (the std::lock_guard shape).
+class HGM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HGM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() HGM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::shared_mutex with capability annotations (readers/writer).
+class HGM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() HGM_ACQUIRE() { mu_.lock(); }
+  void unlock() HGM_RELEASE() { mu_.unlock(); }
+  void lock_shared() HGM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() HGM_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII shared (reader) lock over hgm::SharedMutex.
+class HGM_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) HGM_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() HGM_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over hgm::SharedMutex.
+class HGM_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) HGM_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() HGM_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// std::condition_variable adapted to waits against a held hgm::Mutex.
+///
+/// Wait() adopts the externally held lock into a std::unique_lock for the
+/// wait (so the fast std::condition_variable is usable, not the slower
+/// _any variant) and releases the adoption before returning — ownership
+/// stays with the caller's MutexLock throughout, exactly like the
+/// std::unique_lock + wait(pred) idiom it replaces.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Blocks until \p pred returns true; \p mu must be held and is held
+  /// again when Wait returns.  The predicate is always evaluated with
+  /// \p mu held (the standard wait contract), but as a lambda it is
+  /// opaque to the thread-safety analysis — predicates reading guarded
+  /// state carry HGM_NO_THREAD_SAFETY_ANALYSIS at the lambda.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) HGM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    cv_.wait(relock, std::move(pred));
+    relock.release();  // ownership returns to the caller's MutexLock
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hgm

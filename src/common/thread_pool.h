@@ -15,17 +15,16 @@
 
 #include <atomic>
 #include <cassert>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/cancellation.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -95,10 +94,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (auto& w : workers_) w.join();
   }
 
@@ -144,11 +143,11 @@ class ThreadPool {
     batch.cancel = &cancel;
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       current_ = &batch;
       ++epoch_;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
 
     // Caller runs chunk 0, then steals whatever the workers have not
     // claimed yet.
@@ -161,8 +160,10 @@ class ThreadPool {
     // has left it: `batch` lives on this stack frame, so returning while
     // a worker still holds the pointer would be a use-after-free.
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait(lock, [&] {
+      MutexLock lock(mu_);
+      // The predicate reads only the batch's atomics, so it needs no
+      // guarded-state exemption.
+      done_cv_.Wait(mu_, [&] {
         return batch.done.load() == chunks && batch.refs.load() == 0;
       });
       current_ = nullptr;
@@ -222,15 +223,15 @@ class ThreadPool {
         try {
           RunTimed(*batch->fn, begin, end, c);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           if (!batch->error) batch->error = std::current_exception();
           batch->abandoned.store(true, std::memory_order_release);
         }
       }
     }
     if (batch->done.fetch_add(1) + 1 == batch->chunks) {
-      std::lock_guard<std::mutex> lock(mu_);
-      done_cv_.notify_all();
+      MutexLock lock(mu_);
+      done_cv_.NotifyAll();
     }
   }
 
@@ -240,8 +241,10 @@ class ThreadPool {
     while (true) {
       Batch* batch = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_cv_.wait(lock, [&] {
+        MutexLock lock(mu_);
+        // The predicate reads guarded members; CondVar::Wait always runs
+        // it with mu_ held, but the lambda is opaque to the analysis.
+        work_cv_.Wait(mu_, [&]() HGM_NO_THREAD_SAFETY_ANALYSIS {
           return stop_ || (current_ != nullptr && epoch_ != seen_epoch);
         });
         if (stop_) return;
@@ -255,21 +258,26 @@ class ThreadPool {
         RunChunk(batch, c);
       }
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         batch->refs.fetch_sub(1);
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
       }
     }
   }
 
   static thread_local bool in_worker_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  Batch* current_ = nullptr;
-  uint64_t epoch_ = 0;
-  bool stop_ = false;
+  /// Guards the batch hand-off state below.  The Batch object itself
+  /// lives on the calling thread's stack; its atomics (next/done/refs/
+  /// abandoned) synchronize on their own, while Batch::error is written
+  /// under mu_ and read by the caller only after the done-wait's
+  /// refs==0 condition, which the same mutex orders.
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  Batch* current_ HGM_GUARDED_BY(mu_) = nullptr;
+  uint64_t epoch_ HGM_GUARDED_BY(mu_) = 0;
+  bool stop_ HGM_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -12,8 +12,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,6 +20,7 @@
 
 #include "common/audit_stats.h"
 #include "common/bitset.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/audit.h"
 #include "obs/metrics.h"
@@ -102,7 +101,7 @@ class CountingOracle : public InterestingnessOracle {
     HGM_OBS_COUNT("oracle.raw_queries", 1);
     if (memoize_) {
       {
-        std::shared_lock<std::shared_mutex> lock(mu_);
+        ReaderMutexLock lock(mu_);
         auto it = cache_.find(x);
         if (it != cache_.end()) {
           HGM_OBS_COUNT("oracle.cache_hits", 1);
@@ -110,7 +109,7 @@ class CountingOracle : public InterestingnessOracle {
         }
       }
       bool v = inner_->IsInteresting(x);
-      std::unique_lock<std::shared_mutex> lock(mu_);
+      WriterMutexLock lock(mu_);
       if (cache_.emplace(x, v).second) {
         ++distinct_queries_;
         HGM_OBS_COUNT("oracle.distinct_queries", 1);
@@ -118,7 +117,7 @@ class CountingOracle : public InterestingnessOracle {
       return v;
     }
     {
-      std::unique_lock<std::shared_mutex> lock(mu_);
+      WriterMutexLock lock(mu_);
       if (seen_.insert(x).second) {
         ++distinct_queries_;
         HGM_OBS_COUNT("oracle.distinct_queries", 1);
@@ -142,7 +141,7 @@ class CountingOracle : public InterestingnessOracle {
       std::vector<size_t> miss_idx;
       std::vector<Bitset> misses;
       {
-        std::shared_lock<std::shared_mutex> lock(mu_);
+        ReaderMutexLock lock(mu_);
         for (size_t i = 0; i < batch.size(); ++i) {
           auto it = cache_.find(batch[i]);
           if (it != cache_.end()) {
@@ -156,7 +155,7 @@ class CountingOracle : public InterestingnessOracle {
       HGM_OBS_COUNT("oracle.cache_hits", batch.size() - misses.size());
       if (!misses.empty()) {
         std::vector<uint8_t> answers = inner_->EvaluateBatch(misses);
-        std::unique_lock<std::shared_mutex> lock(mu_);
+        WriterMutexLock lock(mu_);
         for (size_t j = 0; j < misses.size(); ++j) {
           out[miss_idx[j]] = answers[j];
           if (cache_.emplace(std::move(misses[j]), answers[j] != 0)
@@ -169,7 +168,7 @@ class CountingOracle : public InterestingnessOracle {
       return out;
     }
     {
-      std::unique_lock<std::shared_mutex> lock(mu_);
+      WriterMutexLock lock(mu_);
       for (const Bitset& x : batch) {
         if (seen_.insert(x).second) {
           ++distinct_queries_;
@@ -192,7 +191,7 @@ class CountingOracle : public InterestingnessOracle {
   void ResetCounters() {
     raw_queries_ = 0;
     distinct_queries_ = 0;
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
     cache_.clear();
     seen_.clear();
   }
@@ -202,9 +201,9 @@ class CountingOracle : public InterestingnessOracle {
   bool memoize_;
   AtomicCounter raw_queries_;
   AtomicCounter distinct_queries_;
-  std::shared_mutex mu_;
-  std::unordered_map<Bitset, bool, BitsetHash> cache_;
-  std::unordered_set<Bitset, BitsetHash> seen_;
+  SharedMutex mu_;
+  std::unordered_map<Bitset, bool, BitsetHash> cache_ HGM_GUARDED_BY(mu_);
+  std::unordered_set<Bitset, BitsetHash> seen_ HGM_GUARDED_BY(mu_);
 };
 
 /// \brief Thread-safe memoizing oracle wrapper.
@@ -226,7 +225,7 @@ class CachedOracle : public InterestingnessOracle {
     ++raw_queries_;
     HGM_OBS_COUNT("oracle.raw_queries", 1);
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
+      ReaderMutexLock lock(mu_);
       auto it = cache_.find(x);
       if (it != cache_.end()) {
         HGM_OBS_COUNT("oracle.cache_hits", 1);
@@ -238,7 +237,7 @@ class CachedOracle : public InterestingnessOracle {
     bool v = inner_->IsInteresting(x);
     ++inner_evaluations_;
     HGM_OBS_COUNT("oracle.inner_evaluations", 1);
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
     if (audit::kEnabled) AuditSpotCheck(x, v);
     cache_.emplace(x, v);
     return v;
@@ -254,7 +253,7 @@ class CachedOracle : public InterestingnessOracle {
     std::vector<size_t> miss_idx;
     std::vector<Bitset> misses;
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
+      ReaderMutexLock lock(mu_);
       for (size_t i = 0; i < batch.size(); ++i) {
         auto it = cache_.find(batch[i]);
         if (it != cache_.end()) {
@@ -270,7 +269,7 @@ class CachedOracle : public InterestingnessOracle {
       std::vector<uint8_t> answers = inner_->EvaluateBatch(misses);
       inner_evaluations_ += misses.size();
       HGM_OBS_COUNT("oracle.inner_evaluations", misses.size());
-      std::unique_lock<std::shared_mutex> lock(mu_);
+      WriterMutexLock lock(mu_);
       for (size_t j = 0; j < misses.size(); ++j) {
         out[miss_idx[j]] = answers[j];
         if (audit::kEnabled) AuditSpotCheck(misses[j], answers[j] != 0);
@@ -290,7 +289,7 @@ class CachedOracle : public InterestingnessOracle {
 
   /// Number of memoized sentences.
   size_t cache_size() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     return cache_.size();
   }
 
@@ -298,8 +297,9 @@ class CachedOracle : public InterestingnessOracle {
   /// Audit-mode monotonicity spot check (Section 2 precondition): the new
   /// answer is cross-checked against a ring of recent inner evaluations.
   /// Never queries the inner oracle, so Theorem 21 accounting is
-  /// unchanged.  Caller must hold the unique lock.
-  void AuditSpotCheck(const Bitset& x, bool v) {
+  /// unchanged.  HGM_REQUIRES makes "caller holds the writer lock" a
+  /// compile-checked contract rather than a comment.
+  void AuditSpotCheck(const Bitset& x, bool v) HGM_REQUIRES(mu_) {
     for (const auto& [y, y_answer] : audit_ring_) {
       audit::AuditMonotonePair(x, v, y, y_answer, "CachedOracle");
     }
@@ -316,10 +316,10 @@ class CachedOracle : public InterestingnessOracle {
   InterestingnessOracle* inner_;
   AtomicCounter raw_queries_;
   AtomicCounter inner_evaluations_;
-  mutable std::shared_mutex mu_;
-  std::unordered_map<Bitset, bool, BitsetHash> cache_;
-  std::vector<std::pair<Bitset, bool>> audit_ring_;
-  size_t audit_ring_next_ = 0;
+  mutable SharedMutex mu_;
+  std::unordered_map<Bitset, bool, BitsetHash> cache_ HGM_GUARDED_BY(mu_);
+  std::vector<std::pair<Bitset, bool>> audit_ring_ HGM_GUARDED_BY(mu_);
+  size_t audit_ring_next_ HGM_GUARDED_BY(mu_) = 0;
 };
 
 /// \brief Debug wrapper that checks the monotonicity precondition.

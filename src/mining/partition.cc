@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -12,6 +11,7 @@
 
 #include "common/cancellation.h"
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "core/audit.h"
 #include "core/theory.h"
 #include "hypergraph/hypergraph.h"
@@ -38,6 +38,41 @@ struct CandAgg {
 /// mask; beyond it phase 2 falls back to counting every candidate in
 /// every shard (still exact, just without the reuse shortcut).
 constexpr size_t kMaxReuseShards = 64;
+
+/// The phase-1 streaming union: shard tasks merge their local theories in
+/// as they finish, and the accumulated map is moved out exactly once
+/// after the phase-1 join.  Wrapping map + mutex in one class makes the
+/// phase discipline static — concurrent code can only reach the map
+/// through the locked Merge(), and phase 2 only through Take(), so an
+/// unlocked mid-phase read (the append-vs-read race this layer is meant
+/// to rule out) no longer typechecks under -Wthread-safety.
+class StreamingUnion {
+ public:
+  /// Streams one shard's local theory in.  Sums and presence masks are
+  /// order-independent, so the merged result is bit-identical regardless
+  /// of shard completion order.
+  void Merge(size_t shard, const std::vector<FrequentItemset>& frequent)
+      HGM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    for (const FrequentItemset& f : frequent) {
+      CandAgg& a = agg_[f.items];
+      a.sum += f.support;
+      if (shard < kMaxReuseShards) a.mask |= uint64_t{1} << shard;
+    }
+  }
+
+  /// Moves the accumulated union out.  Called once, after every shard
+  /// task has joined; the lock is taken anyway so the hand-off is safe
+  /// even if a caller ever misuses it.
+  std::unordered_map<Bitset, CandAgg, BitsetHash> Take() HGM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return std::move(agg_);
+  }
+
+ private:
+  Mutex mu_;
+  std::unordered_map<Bitset, CandAgg, BitsetHash> agg_ HGM_GUARDED_BY(mu_);
+};
 
 /// Everything a partition run carries across the phase-1 / phase-2 split —
 /// and everything a "partition" checkpoint must capture.
@@ -194,8 +229,8 @@ bool MineShardsWithFailover(ShardedTransactionDatabase* db,
   std::vector<size_t> attempts(num_shards, 0);
   std::vector<size_t> pending(num_shards);
   for (size_t k = 0; k < num_shards; ++k) pending[k] = k;
-  std::mutex merge_mu;
-  // Mines shard k and streams its local theory into state->agg; returns
+  StreamingUnion streamed;
+  // Mines shard k and streams its local theory into the union; returns
   // false when the task threw (a shard fault).  CancelledError escapes.
   auto mine_one = [&](size_t k, const AprioriOptions& local_options) {
     obs::TraceSpan shard_span("partition.shard", "mining",
@@ -216,14 +251,7 @@ bool MineShardsWithFailover(ShardedTransactionDatabase* db,
       shard_span.AddArg("failed", 1);
       return false;
     }
-    {
-      std::lock_guard<std::mutex> lock(merge_mu);
-      for (const FrequentItemset& f : local.frequent) {
-        CandAgg& a = state->agg[f.items];
-        a.sum += f.support;
-        if (k < kMaxReuseShards) a.mask |= uint64_t{1} << k;
-      }
-    }
+    streamed.Merge(k, local.frequent);
     result.local_frequent_per_shard[k] = local.frequent.size();
     HGM_OBS_COUNT("partition.local_frequent", local.frequent.size());
     shard_span.AddArg("frequent", local.frequent.size());
@@ -280,6 +308,9 @@ bool MineShardsWithFailover(ShardedTransactionDatabase* db,
       pending.push_back(k);
     }
   }
+  // Phase-1 join: every shard task has finished (ParallelFor blocked on
+  // them), so the union hand-off is single-threaded from here on.
+  state->agg = streamed.Take();
   if (!result.failed_shards.empty()) {
     std::string dropped;
     for (size_t k : result.failed_shards) {
@@ -337,7 +368,7 @@ PartitionResult RunPartition(ShardedTransactionDatabase* db,
         result.local_thresholds.clear();
         result.local_frequent_per_shard.clear();
         state.agg.clear();
-        tracker.CheckBoundary();  // records the trip counter
+        (void)tracker.CheckBoundary();  // probe only: records the trip counter
         return FinishPartial(&state, StopReason::kCancelled);
       }
     }

@@ -43,6 +43,15 @@ struct ShardManifestEntry {
 };
 
 /// A 0/1 relation stored as K contiguous row shards.
+///
+/// Threading contract (checked by the annotation pass, which is why no
+/// member here carries HGM_GUARDED_BY): the store is mutex-free by
+/// construction.  Mutation (Split, EnsureVerticalIndexes, the non-const
+/// SupportAtLeast's lazy index build) is single-threaded setup; the
+/// concurrent paths are the *Prebuilt/CountSupports const readers, whose
+/// parallel writes land in distinct index-addressed slots joined by
+/// ParallelFor (the join's mutex publishes them).  Concurrent mutation
+/// is a caller bug, not a supported mode.
 class ShardedTransactionDatabase {
  public:
   /// Splits \p db into \p num_shards contiguous row ranges.  Boundaries

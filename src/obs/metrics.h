@@ -30,10 +30,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace hgm {
 namespace obs {
@@ -210,11 +211,17 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
+  /// Guards the name->metric maps (registration and iteration) only; the
+  /// metric *values* are atomics mutated lock-free through the stable
+  /// references Get* hands out, so Snapshot() under mu_ sees each value
+  /// at-or-after the snapshot point without stalling writers.
+  mutable Mutex mu_;
   // std::map: deterministic export order; unique_ptr: stable addresses.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      HGM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ HGM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      HGM_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

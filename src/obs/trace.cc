@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <chrono>
 #include <cstdio>
 
 namespace hgm {
@@ -58,12 +59,26 @@ Tracer& Tracer::Global() {
   return *tracer;
 }
 
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 void Tracer::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     events_.clear();
-    origin_.Reset();
   }
+  // The origin is atomic, not mutex-guarded: spans still draining from a
+  // previous session may call NowMicros() concurrently with this store.
+  // They timestamp against whichever origin they observe — harmless —
+  // where a non-atomic reset here was a data race.
+  origin_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
   internal::g_trace_enabled.store(true, std::memory_order_relaxed);
 }
 
@@ -72,7 +87,10 @@ void Tracer::Stop() {
 }
 
 uint64_t Tracer::NowMicros() const {
-  return static_cast<uint64_t>(origin_.Micros());
+  int64_t delta_ns =
+      SteadyNowNs() - origin_ns_.load(std::memory_order_relaxed);
+  if (delta_ns < 0) delta_ns = 0;  // span straddling a Start() reset
+  return static_cast<uint64_t>(delta_ns) / 1000;
 }
 
 void Tracer::Emit(char phase, const std::string& name, const char* category,
@@ -84,22 +102,22 @@ void Tracer::Emit(char phase, const std::string& name, const char* category,
   e.ts_us = ts_us;
   e.tid = internal::ThisThreadTraceId();
   e.args_json = args_json;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(e));
 }
 
 size_t Tracer::num_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
 }
 
 void Tracer::WriteJson(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   os << "{\"traceEvents\": [\n";
   for (size_t i = 0; i < events_.size(); ++i) {
     const Event& e = events_[i];

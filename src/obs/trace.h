@@ -17,13 +17,12 @@
 #include <atomic>
 #include <cstdint>
 #include <initializer_list>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 
 namespace hgm {
 namespace obs {
@@ -82,9 +81,14 @@ class Tracer {
     std::string args_json;
   };
 
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
-  StopWatch origin_;  // Start() resets it; NowMicros() reads it
+  mutable Mutex mu_;
+  std::vector<Event> events_ HGM_GUARDED_BY(mu_);
+  /// Time origin as steady-clock nanoseconds-since-clock-epoch.  Atomic,
+  /// not guarded: NowMicros() runs on every span emission and must not
+  /// take mu_, but a plain time_point here raced with Start() re-zeroing
+  /// the origin while spans were emitting on other threads (caught by the
+  /// annotation pass; regression-tested in obs_test).
+  std::atomic<int64_t> origin_ns_{0};
 };
 
 /// RAII duration span.  Construction emits "B", destruction emits "E";

@@ -74,6 +74,9 @@ double FaultUniform(uint64_t seed, uint64_t stream, uint64_t index);
 /// Thread-compatible the way the engines use oracles: ask indexes come
 /// from an atomic counter and each EvaluateBatch reserves its whole range
 /// before deciding faults, so concurrent batches get disjoint schedules.
+/// Deliberately mutex-free (hence no HGM_GUARDED_BY members): all shared
+/// state is the three atomics below, spec_ is immutable after
+/// construction, and set_sleeper is test setup before any concurrency.
 class FaultInjectingOracle : public InterestingnessOracle {
  public:
   /// \param inner the clean oracle (not owned; must outlive this).

@@ -13,9 +13,11 @@
 #include "common/bitset.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "core/checkpoint.h"
 #include "core/theory.h"
 #include "hypergraph/transversal_berge.h"
 #include "mining/generators.h"
+#include "mining/partition.h"
 #include "mining/sharded_db.h"
 #include "mining/transaction_db.h"
 
@@ -129,6 +131,70 @@ TEST(CountingKernelTest, PrefixCacheFallbackAndPruneStayExact) {
     EXPECT_GE(cache.CountPrefixCached(x, support - 1), support - 1);
   }
   EXPECT_EQ(cache.CountPrefixCached(x, support + 1), support);
+}
+
+// Mirrors partition phase 2's cache lifecycle: as the level advances to
+// k the miner calls PruneBelow(k - 2), so every level's counts run
+// against a cache that just evicted the prefixes the previous level
+// built.  Exactness must not depend on what survived the eviction.
+TEST(CountingKernelTest, ProgressivePruneMirrorsLevelAdvance) {
+  TransactionDatabase db = RandomDatabase(71, 200, 14, 0.4);
+  db.EnsureVerticalIndex();
+  PrefixCoverCache cache(&db);
+  Rng rng(72);
+  for (size_t k = 1; k <= 5; ++k) {
+    cache.PruneBelow(k >= 2 ? k - 2 : 0);  // same schedule as partition.cc
+    for (int probe = 0; probe < 40; ++probe) {
+      Bitset x = Bitset::FromIndices(14, rng.SampleWithoutReplacement(14, k));
+      EXPECT_EQ(cache.CountPrefixCached(x), db.Support(x))
+          << "level " << k << " probe " << x.ToString();
+    }
+  }
+}
+
+// PruneBelow eviction interacting with checkpoint resume: the original
+// run's phase-2 caches were warm (and progressively pruned); the resumed
+// process starts with cold caches, so every count it replays goes through
+// the cold-miss fallback.  The combined run must still be bit-identical
+// to a never-interrupted one — through the serialized text format, the
+// way the CLI's --checkpoint/--resume path round-trips it.
+TEST(CountingKernelTest, ColdCacheResumeAfterPruneIsBitIdentical) {
+  TransactionDatabase db = RandomDatabase(81, 160, 12, 0.5);
+  ShardedTransactionDatabase sharded =
+      ShardedTransactionDatabase::Split(db, 3);
+  const size_t min_support = 40;
+  PartitionResult clean = MinePartitioned(&sharded, min_support);
+  ASSERT_EQ(clean.stop_reason, StopReason::kCompleted);
+  ASSERT_TRUE(clean.status.ok());
+  // The run must go deep enough that PruneBelow actually evicted entries
+  // before the trip points below — otherwise this test decays into the
+  // plain resume test.
+  ASSERT_GE(clean.phase2_levels, 3u)
+      << "database too sparse to exercise level-advance pruning";
+
+  for (uint64_t q = 1; q <= clean.phase2_evaluations; ++q) {
+    PartitionOptions opts;
+    opts.budget.max_queries = q;
+    PartitionResult part = MinePartitioned(&sharded, min_support, opts);
+    if (part.stop_reason == StopReason::kCompleted) continue;
+    ASSERT_TRUE(part.checkpoint.has_value()) << "cap " << q;
+
+    auto reparsed = ParseCheckpoint(SerializeCheckpoint(*part.checkpoint));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+    auto resumed = ResumePartition(&sharded, *reparsed);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+    EXPECT_EQ(resumed->stop_reason, StopReason::kCompleted);
+    ASSERT_EQ(resumed->frequent.size(), clean.frequent.size()) << "cap " << q;
+    for (size_t i = 0; i < clean.frequent.size(); ++i) {
+      EXPECT_EQ(resumed->frequent[i].items, clean.frequent[i].items);
+      EXPECT_EQ(resumed->frequent[i].support, clean.frequent[i].support);
+    }
+    EXPECT_EQ(resumed->negative_border, clean.negative_border);
+    EXPECT_EQ(resumed->maximal, clean.maximal);
+    EXPECT_EQ(resumed->phase2_levels, clean.phase2_levels);
+    EXPECT_EQ(resumed->phase2_evaluations, clean.phase2_evaluations);
+    EXPECT_EQ(resumed->phase2_reused, clean.phase2_reused);
+  }
 }
 
 // The distributed-cap parallel threshold test answers exactly like the

@@ -1,0 +1,39 @@
+// Negative fixture for scripts/lint_queries/mutex_discipline.query.
+// Trips both matchers: a raw std::mutex member (invisible to
+// -Wthread-safety) and an hgm::Mutex member whose class declares no
+// HGM_GUARDED_BY data (synchronization with undeclared protected state).
+
+#include <mutex>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace hgm_lint_fixture {
+
+class RawMutexHolder {
+ public:
+  void Add(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_.push_back(v);
+  }
+
+ private:
+  std::mutex mu_;  // VIOLATION: raw std::mutex member in first-party code
+  std::vector<int> values_;
+};
+
+class UnguardedAnnotatedMutex {
+ public:
+  void Add(int v) {
+    hgm::MutexLock lock(mu_);
+    values_.push_back(v);
+  }
+
+ private:
+  hgm::Mutex mu_;
+  // VIOLATION: no field carries HGM_GUARDED_BY(mu_), so the analysis
+  // has nothing to check and the mutex protects nothing on paper.
+  std::vector<int> values_;
+};
+
+}  // namespace hgm_lint_fixture

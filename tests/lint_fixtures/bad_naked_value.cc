@@ -1,0 +1,22 @@
+// Negative fixture for scripts/lint_queries/naked_result_value.query:
+// calls Result<T>::value() without an ok() check — undefined behavior in
+// release builds when the Result holds an error.
+
+#include <string>
+
+#include "common/status.h"
+
+namespace hgm_lint_fixture {
+
+hgm::Result<int> MightFail(bool fail) {
+  if (fail) return hgm::Status::InvalidArgument("asked to fail");
+  return 42;
+}
+
+int UncheckedUse(bool fail) {
+  hgm::Result<int> r = MightFail(fail);
+  // VIOLATION: .value() with no ok() branch and no HGMINE_CHECK.
+  return r.value();
+}
+
+}  // namespace hgm_lint_fixture

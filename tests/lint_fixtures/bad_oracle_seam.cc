@@ -1,0 +1,24 @@
+// Negative fixture for scripts/lint_queries/oracle_seam.query: calls
+// TransactionDatabase support primitives directly from outside the
+// counting-kernel seam, bypassing the FrequencyOracle/BudgetTracker
+// query accounting.  The selftest expects the rule to flag both calls.
+
+#include <cstddef>
+
+#include "common/bitset.h"
+#include "mining/transaction_db.h"
+
+namespace hgm_lint_fixture {
+
+size_t UnmeteredSupport(hgm::TransactionDatabase& db, const hgm::Bitset& x) {
+  // VIOLATION: raw support count outside the seam — never metered.
+  return db.Support(x);
+}
+
+bool UnmeteredThreshold(hgm::TransactionDatabase& db, const hgm::Bitset& x,
+                        size_t threshold) {
+  // VIOLATION: raw threshold test outside the seam.
+  return db.SupportAtLeast(x, threshold);
+}
+
+}  // namespace hgm_lint_fixture

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <functional>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -299,6 +302,57 @@ TEST(ParallelDeterminismTest, PartitionMinerMatchesAprioriAtAnyShardCount) {
             << "transversal border differs at K=" << shards;
       }
     }
+  }
+}
+
+// Regression (PR 7 annotation pass): each shard's local theory streams
+// into the shared phase-1 union the moment the shard finishes
+// (StreamingUnion in partition.cc — merge under a mutex, read only after
+// the ParallelFor join).  The merged sums and shard-presence masks must
+// be independent of the order shards complete in, or the phase-2 reuse
+// accounting would wobble with scheduling.  Stagger completion three
+// ways — shard 0 last, shard 0 first, unperturbed — and demand
+// bit-identical everything.
+TEST(ParallelDeterminismTest, StreamedUnionIsCompletionOrderIndependent) {
+  Rng rng(77);
+  QuestParams params;
+  params.num_transactions = 600;
+  params.num_items = 40;
+  params.avg_transaction_size = 6;
+  TransactionDatabase db = GenerateQuest(params, &rng);
+  const size_t minsup = 15;
+  const size_t shards = 4;
+
+  auto run = [&](std::function<void(size_t, size_t)> stagger) {
+    ShardedTransactionDatabase sharded =
+        ShardedTransactionDatabase::Split(db, shards);
+    ThreadPool pool(4);
+    PartitionOptions opts;
+    opts.pool = &pool;
+    opts.shard_fault_hook = std::move(stagger);
+    return MinePartitioned(&sharded, minsup, opts);
+  };
+
+  PartitionResult plain = run({});
+  ASSERT_TRUE(plain.status.ok());
+  const auto sleep_ms = [](size_t ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+  PartitionResult reversed =
+      run([&](size_t k, size_t) { sleep_ms(3 * (shards - k)); });
+  PartitionResult forward = run([&](size_t k, size_t) { sleep_ms(3 * k); });
+
+  for (const PartitionResult* r : {&reversed, &forward}) {
+    ASSERT_TRUE(r->status.ok());
+    EXPECT_TRUE(SameItemsets(plain.frequent, r->frequent));
+    EXPECT_EQ(plain.maximal, r->maximal);
+    EXPECT_EQ(plain.negative_border, r->negative_border);
+    EXPECT_EQ(plain.candidate_union_size, r->candidate_union_size);
+    EXPECT_EQ(plain.phase2_evaluations, r->phase2_evaluations);
+    EXPECT_EQ(plain.phase2_reused, r->phase2_reused);
+    EXPECT_EQ(plain.phase2_levels, r->phase2_levels);
+    EXPECT_EQ(plain.phase2_rejected, r->phase2_rejected);
+    EXPECT_EQ(plain.local_frequent_per_shard, r->local_frequent_per_shard);
   }
 }
 
