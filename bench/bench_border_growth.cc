@@ -13,6 +13,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/table_printer.h"
 #include "core/levelwise.h"
@@ -20,7 +22,8 @@
 #include "mining/frequency_oracle.h"
 #include "mining/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_border_growth", argc, argv);
   using namespace hgm;
   std::cout << "=== E4: |Bd-| growth at k = O(log n) (Corollary 14) ===\n";
   TablePrinter t({"n", "k=ceil(lg n)", "|MTh|", "|Bd-|", "n^k*|MTh|",
@@ -55,5 +58,5 @@ int main() {
   std::cout << (failures == 0
                     ? "\nALL RATIOS <= 1: FEASIBLE REGIME CONFIRMED\n"
                     : "\nBOUND VIOLATED\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

@@ -21,10 +21,12 @@
 // machine-readable BENCH_counting.json so future revisions have a perf
 // trajectory to diff against.
 
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "bench_harness.h"
 
 #include "common/random.h"
 #include "common/stopwatch.h"
@@ -33,7 +35,6 @@
 #include "core/theory.h"
 #include "mining/apriori.h"
 #include "mining/generators.h"
-#include "obs/export.h"
 #include "obs/metrics.h"
 
 namespace {
@@ -68,14 +69,15 @@ struct RunRecord {
   double pool_utilization = 0.0;  // busy time / (wall time * lanes)
 };
 
-void WriteJson(const std::vector<RunRecord>& records,
-               const hgm::obs::MetricsSnapshot& final_snapshot,
-               const char* path) {
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"bench_counting\",\n  \"runs\": [\n";
+/// Renders the run table as one raw-JSON array for the harness payload;
+/// the final metrics snapshot now rides in the envelope's own "metrics"
+/// section instead of a bespoke "telemetry" key.
+std::string RunsJson(const std::vector<RunRecord>& records) {
+  std::ostringstream out;
+  out << "[\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const RunRecord& r = records[i];
-    out << "    {\"section\": \"" << r.section << "\", \"backend\": \""
+    out << "      {\"section\": \"" << r.section << "\", \"backend\": \""
         << r.backend << "\", \"rows\": " << r.rows << ", \"items\": "
         << r.items << ", \"minsup\": " << r.minsup << ", \"threads\": "
         << r.threads << ", \"frequent\": " << r.frequent
@@ -89,9 +91,8 @@ void WriteJson(const std::vector<RunRecord>& records,
     }
     out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"telemetry\": ";
-  hgm::obs::WriteJsonSnapshot(final_snapshot, out, 2);
-  out << "\n}\n";
+  out << "    ]";
+  return out.str();
 }
 
 bool SameFrequent(const AprioriResult& a, const AprioriResult& b) {
@@ -109,7 +110,8 @@ bool SameFrequent(const AprioriResult& a, const AprioriResult& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_counting", argc, argv);
   std::vector<RunRecord> records;
   int failures = 0;
   StopWatch watch;  // one shared watch; every timing below is a Lap pair
@@ -266,10 +268,7 @@ int main() {
                "thread\ncount (asserted above).  Speedup tracks the "
                "machine's core count.\n";
 
-  WriteJson(records, obs::MetricsRegistry::Global().Snapshot(),
-            "BENCH_counting.json");
-  std::cout << "\nwrote BENCH_counting.json (" << records.size()
-            << " runs)\n";
+  harness.AddPayload("runs", RunsJson(records));
   std::cout << (failures == 0 ? "ALL RUNS AGREE\n" : "MISMATCH\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

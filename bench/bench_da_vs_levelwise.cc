@@ -13,13 +13,16 @@
 
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "mining/generators.h"
 #include "mining/max_miner.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_da_vs_levelwise", argc, argv);
   using namespace hgm;
   std::cout << "=== E7: levelwise vs Dualize and Advance across pattern "
                "size k ===\n";
@@ -66,5 +69,5 @@ int main() {
                "k, and the gap at k=16\nis several orders of magnitude "
                "(Corollary 22's regime).\n";
   std::cout << (failures == 0 ? "ALL CHECKS PASS\n" : "MISMATCH\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

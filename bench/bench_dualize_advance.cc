@@ -11,6 +11,8 @@
 
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/table_printer.h"
 #include "core/dualize_advance.h"
@@ -18,7 +20,8 @@
 #include "mining/frequency_oracle.h"
 #include "mining/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_dualize_advance", argc, argv);
   using namespace hgm;
   std::cout << "=== E6: Dualize and Advance bounds "
                "(Lemma 20, Theorem 21) ===\n";
@@ -72,5 +75,5 @@ int main() {
   t.Print();
   std::cout << (failures == 0 ? "\nALL BOUNDS HOLD\n"
                               : "\nBOUND VIOLATED\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

@@ -18,6 +18,8 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -29,7 +31,8 @@
 #include "mining/frequency_oracle.h"
 #include "mining/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_enumerator_ablation", argc, argv);
   using namespace hgm;
   std::cout << "=== ablation: D&A transversal subroutine "
                "(fk / mmcs / berge-batch) ===\n";
@@ -83,5 +86,5 @@ int main() {
                "berge-batch materializes, and mmcs's\nDFS early-abandon "
                "makes it the fastest subroutine.\n";
   std::cout << (failures == 0 ? "ALL CHECKS PASS\n" : "MISMATCH\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

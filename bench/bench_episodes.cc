@@ -10,13 +10,16 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "episodes/event_sequence.h"
 #include "episodes/winepi.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_episodes", argc, argv);
   using namespace hgm;
   std::cout << "=== E13: WINEPI levelwise episode mining ===\n";
   Rng rng(13);
@@ -99,5 +102,5 @@ int main() {
   s.Print();
   std::cout << (failures == 0 ? "\nALL CHECKS PASS\n"
                               : "\nPATTERN NOT RECOVERED\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

@@ -13,13 +13,16 @@
 
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/table_printer.h"
 #include "core/dualize_advance.h"
 #include "core/oracle.h"
 #include "hypergraph/generators.h"
 #include "hypergraph/transversal_berge.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_example19_blowup", argc, argv);
   using namespace hgm;
   std::cout << "=== E8 part 1: the adversarial C_i of Example 19 ===\n";
   TablePrinter t1({"n", "|C_i| (matching pairs)", "|Tr(D_i)| measured",
@@ -68,5 +71,5 @@ int main() {
                "the final border\nhas only n sets; part 2 shows the "
                "greedy discovery order's actual peak.\n";
   std::cout << (failures == 0 ? "ALL CHECKS PASS\n" : "MISMATCH\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

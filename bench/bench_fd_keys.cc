@@ -14,6 +14,8 @@
 
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -22,7 +24,8 @@
 #include "fd/key_miner.h"
 #include "fd/partitions.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_fd_keys", argc, argv);
   using namespace hgm;
   std::cout << "=== E12: keys via agree sets + HTR vs Is-interesting "
                "queries ===\n";
@@ -99,5 +102,5 @@ int main() {
   }
   f.Print();
   std::cout << (failures == 0 ? "\nALL ROUTES AGREE\n" : "\nMISMATCH\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

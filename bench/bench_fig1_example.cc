@@ -11,6 +11,8 @@
 
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/table_printer.h"
 #include "core/dualize_advance.h"
 #include "core/levelwise.h"
@@ -23,7 +25,8 @@
 #include "mining/frequency_oracle.h"
 #include "mining/transaction_db.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_fig1_example", argc, argv);
   using namespace hgm;
   SetLanguage lang(4);
   TransactionDatabase db = TransactionDatabase::FromRows(
@@ -85,5 +88,5 @@ int main() {
   table.Print();
   std::cout << (failures == 0 ? "\nALL CHECKS PASS\n"
                               : "\nSOME CHECKS FAILED\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

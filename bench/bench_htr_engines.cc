@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "hypergraph/generators.h"
 #include "hypergraph/transversal_berge.h"
@@ -111,4 +113,14 @@ BENCHMARK(BM_Mmcs_CoSmall)->Arg(16)->Arg(32)->Arg(64);
 }  // namespace
 }  // namespace hgm
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run still emits the shared
+// hgm.run_report envelope (BENCH_htr_engines.json) around the google-
+// benchmark tables; --bench-out is consumed by the harness before
+// benchmark::Initialize sees the remaining flags.
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_htr_engines", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return harness.Finish(0);
+}

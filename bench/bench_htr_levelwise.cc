@@ -13,6 +13,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -21,7 +23,8 @@
 #include "hypergraph/transversal_fk.h"
 #include "hypergraph/transversal_levelwise.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_htr_levelwise", argc, argv);
   using namespace hgm;
   std::cout << "=== E5: HTR with edges >= n-k, k = ceil(lg n) "
                "(Corollary 15) ===\n";
@@ -68,5 +71,5 @@ int main() {
                "2^n brute-force\nenumeration the previous result needed); "
                "all engines agree on Tr.\n";
   std::cout << (failures == 0 ? "ALL CHECKS PASS\n" : "DISAGREEMENT\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

@@ -10,6 +10,8 @@
 
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -17,7 +19,8 @@
 #include "learning/membership_oracle.h"
 #include "learning/monotone_function.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_learn_dualize", argc, argv);
   using namespace hgm;
   std::cout << "=== E11: D&A learner vs Corollary 27 lower / Corollary 28 "
                "upper bound ===\n";
@@ -63,5 +66,5 @@ int main() {
                "budget; the learned DNF is exactly the\nhidden prime-"
                "implicant set on every row.\n";
   std::cout << (failures == 0 ? "ALL BOUNDS HOLD\n" : "BOUND VIOLATED\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

@@ -14,6 +14,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -33,7 +35,8 @@ double Choose(size_t n, size_t k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_learn_levelwise", argc, argv);
   using namespace hgm;
   std::cout << "=== E10: levelwise learning of co-small monotone CNF "
                "(Corollary 26) ===\n";
@@ -79,5 +82,5 @@ int main() {
   std::cout << (failures == 0
                     ? "\nPOLYNOMIAL REGIME CONFIRMED, ALL TARGETS EXACT\n"
                     : "\nCHECK FAILED\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

@@ -10,6 +10,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/table_printer.h"
 #include "core/levelwise.h"
@@ -17,7 +19,8 @@
 #include "mining/frequency_oracle.h"
 #include "mining/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_levelwise_bound", argc, argv);
   using namespace hgm;
   std::cout << "=== E3: levelwise queries <= 2^k * n * |MTh| "
                "(Corollary 13) ===\n";
@@ -51,5 +54,5 @@ int main() {
   t.Print();
   std::cout << (failures == 0 ? "\nALL RATIOS <= 1: BOUND HOLDS\n"
                               : "\nBOUND VIOLATED\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

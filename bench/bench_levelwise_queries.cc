@@ -9,6 +9,8 @@
 
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/table_printer.h"
 #include "core/levelwise.h"
@@ -16,7 +18,8 @@
 #include "mining/frequency_oracle.h"
 #include "mining/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_levelwise_queries", argc, argv);
   using namespace hgm;
   std::cout << "=== E2: levelwise queries = |Th| + |Bd-| (Theorem 10) ===\n";
   TablePrinter t({"workload", "n", "|D|", "minsup", "|Th|", "|Bd-|",
@@ -84,5 +87,5 @@ int main() {
   v.Print();
   std::cout << (failures == 0 ? "\nALL CHECKS PASS\n"
                               : "\nSOME CHECKS FAILED\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

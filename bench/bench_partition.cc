@@ -18,10 +18,12 @@
 // single-thread Apriori baseline.
 
 #include <cstring>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "bench_harness.h"
 
 #include "common/random.h"
 #include "common/stopwatch.h"
@@ -31,7 +33,6 @@
 #include "mining/generators.h"
 #include "mining/partition.h"
 #include "mining/sharded_db.h"
-#include "obs/export.h"
 #include "obs/metrics.h"
 
 namespace {
@@ -58,21 +59,27 @@ struct BaselineRecord {
   double ms = 0.0;
 };
 
-void WriteJson(const std::vector<RunRecord>& records,
-               const std::vector<BaselineRecord>& baselines,
-               const hgm::obs::MetricsSnapshot& final_snapshot,
-               const char* path) {
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"bench_partition\",\n  \"baselines\": [\n";
+/// Renders the baseline / run tables as raw-JSON payload members; the
+/// envelope (bench_harness.h) supplies host, build, wall clock, memory,
+/// and the final metrics snapshot.
+std::string BaselinesJson(const std::vector<BaselineRecord>& baselines) {
+  std::ostringstream out;
+  out << "[\n";
   for (size_t i = 0; i < baselines.size(); ++i) {
-    out << "    {\"rows\": " << baselines[i].rows
+    out << "      {\"rows\": " << baselines[i].rows
         << ", \"apriori_1thread_ms\": " << baselines[i].ms << "}"
         << (i + 1 < baselines.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"runs\": [\n";
+  out << "    ]";
+  return out.str();
+}
+
+std::string RunsJson(const std::vector<RunRecord>& records) {
+  std::ostringstream out;
+  out << "[\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const RunRecord& r = records[i];
-    out << "    {\"shards\": " << r.shards << ", \"threads\": " << r.threads
+    out << "      {\"shards\": " << r.shards << ", \"threads\": " << r.threads
         << ", \"rows\": " << r.rows << ", \"items\": " << r.items
         << ", \"minsup\": " << r.minsup << ", \"frequent\": " << r.frequent
         << ", \"negative_border\": " << r.negative_border
@@ -85,9 +92,8 @@ void WriteJson(const std::vector<RunRecord>& records,
         << ", \"agree\": " << (r.agree ? "true" : "false") << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"telemetry\": ";
-  hgm::obs::WriteJsonSnapshot(final_snapshot, out, 2);
-  out << "\n}\n";
+  out << "    ]";
+  return out.str();
 }
 
 bool SameAsBaseline(const AprioriResult& base, const PartitionResult& r) {
@@ -113,8 +119,10 @@ TransactionDatabase MakeWorkload(size_t rows, uint64_t seed) {
 
 /// CI perf smoke: one small workload, K=4 x T=4 against the 1-thread
 /// Apriori baseline.  Exit 1 on an output mismatch or when the partition
-/// run exceeds 1.2x the baseline wall clock.
-int RunQuick() {
+/// run exceeds 1.2x the baseline wall clock.  Emits
+/// BENCH_partition_quick.json — the envelope scripts/bench_gate.sh diffs
+/// against the committed bench/baselines/ copy.
+int RunQuick(hgm::bench::BenchHarness& harness) {
   const size_t rows = 10000;
   const size_t minsup = rows / 40;  // 2.5%
   TransactionDatabase db = MakeWorkload(rows, 1995);
@@ -140,23 +148,39 @@ int RunQuick() {
   std::cout << "perf smoke: apriori(T=1) " << baseline_ms
             << " ms, partition(K=4,T=4) " << partition_ms << " ms, ratio "
             << ratio << " (budget 1.2)\n";
+  std::ostringstream quick;
+  quick << "{\"rows\": " << rows << ", \"minsup\": " << minsup
+        << ", \"apriori_1thread_ms\": " << baseline_ms
+        << ", \"partition_k4_t4_ms\": " << partition_ms
+        << ", \"ratio\": " << ratio
+        << ", \"frequent\": " << r.frequent.size()
+        << ", \"negative_border\": " << r.negative_border.size()
+        << ", \"candidate_union\": " << r.candidate_union_size
+        << ", \"phase2_evaluations\": " << r.phase2_evaluations
+        << ", \"phase2_reused\": " << r.phase2_reused << "}";
+  harness.AddPayload("quick", quick.str());
+  int failures = 0;
   if (!SameAsBaseline(base, r)) {
     std::cout << "FAIL: partition output differs from Apriori\n";
-    return 1;
-  }
-  if (ratio > 1.2) {
+    failures = 1;
+  } else if (ratio > 1.2) {
     std::cout << "FAIL: partition(K=4,T=4) exceeded 1.2x the "
                  "single-thread Apriori baseline\n";
-    return 1;
+    failures = 1;
+  } else {
+    std::cout << "OK\n";
   }
-  std::cout << "OK\n";
-  return 0;
+  return harness.Finish(failures);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) return RunQuick();
+  hgm::bench::BenchHarness harness("bench_partition", argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {
+    harness.SetDefaultOutPath("BENCH_partition_quick.json");
+    return RunQuick(harness);
+  }
 
   std::vector<RunRecord> records;
   std::vector<BaselineRecord> baselines;
@@ -235,10 +259,8 @@ int main(int argc, char** argv) {
                "that keeps per-node memory bounded when the\nfull "
                "database cannot fit.\n";
 
-  WriteJson(records, baselines, obs::MetricsRegistry::Global().Snapshot(),
-            "BENCH_partition.json");
-  std::cout << "\nwrote BENCH_partition.json (" << records.size()
-            << " runs)\n";
+  harness.AddPayload("baselines", BaselinesJson(baselines));
+  harness.AddPayload("runs", RunsJson(records));
   std::cout << (failures == 0 ? "ALL RUNS AGREE\n" : "MISMATCH\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

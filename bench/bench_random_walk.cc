@@ -10,6 +10,8 @@
 
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -19,7 +21,8 @@
 #include "mining/frequency_oracle.h"
 #include "mining/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_random_walk", argc, argv);
   using namespace hgm;
   std::cout << "=== ablation: deterministic vs randomized ([11]) "
                "Dualize and Advance ===\n";
@@ -63,5 +66,5 @@ int main() {
                "walks harvest most maximal sets\nbetween dualizations — "
                "at the price of extra (cheap) walk queries.\n";
   std::cout << (failures == 0 ? "ALL CHECKS PASS\n" : "MISMATCH\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

@@ -18,12 +18,15 @@
 //     healed by the partition miner's failover across K = 8 shards.
 //     Every healed run must match the fault-free answer bit for bit.
 //
-// Writes BENCH_robustness.json so future revisions have a trajectory.
+// Emits BENCH_robustness.json (hgm.run_report envelope, tables under
+// "payload") so future revisions have a trajectory.
 
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "bench_harness.h"
 
 #include "common/random.h"
 #include "common/run_budget.h"
@@ -71,34 +74,42 @@ bool SameApriori(const AprioriResult& a, const AprioriResult& b) {
          a.support_counts.load() == b.support_counts.load();
 }
 
-void WriteJson(double clean_ms, const std::vector<ResumeRecord>& resumes,
-               const std::vector<ChaosRecord>& chaos, const char* path) {
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"bench_robustness\",\n  \"clean_apriori_ms\": "
-      << clean_ms << ",\n  \"resume_runs\": [\n";
+/// Renders the resume/chaos tables as raw-JSON payload members for the
+/// harness envelope.
+std::string ResumeRunsJson(const std::vector<ResumeRecord>& resumes) {
+  std::ostringstream out;
+  out << "[\n";
   for (size_t i = 0; i < resumes.size(); ++i) {
     const ResumeRecord& r = resumes[i];
-    out << "    {\"trip_fraction\": " << r.trip_fraction
+    out << "      {\"trip_fraction\": " << r.trip_fraction
         << ", \"budget\": " << r.budget << ", \"partial_ms\": "
         << r.partial_ms << ", \"resume_ms\": " << r.resume_ms
         << ", \"checkpoint_bytes\": " << r.checkpoint_bytes
         << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
         << (i + 1 < resumes.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"chaos_runs\": [\n";
+  out << "    ]";
+  return out.str();
+}
+
+std::string ChaosRunsJson(const std::vector<ChaosRecord>& chaos) {
+  std::ostringstream out;
+  out << "[\n";
   for (size_t i = 0; i < chaos.size(); ++i) {
     const ChaosRecord& c = chaos[i];
-    out << "    {\"engine\": \"" << c.engine << "\", \"rate\": " << c.rate
+    out << "      {\"engine\": \"" << c.engine << "\", \"rate\": " << c.rate
         << ", \"retries\": " << c.retries << ", \"ms\": " << c.ms
         << ", \"identical\": " << (c.identical ? "true" : "false") << "}"
         << (i + 1 < chaos.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "    ]";
+  return out.str();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_robustness", argc, argv);
   int failures = 0;
   StopWatch watch;
 
@@ -250,11 +261,15 @@ int main() {
   }
   chaos_table.Print(std::cout);
 
-  WriteJson(clean_ms, resumes, chaos, "BENCH_robustness.json");
-  std::cout << "\nwrote BENCH_robustness.json\n";
+  {
+    std::ostringstream ms;
+    ms << clean_ms;
+    harness.AddPayload("clean_apriori_ms", ms.str());
+  }
+  harness.AddPayload("resume_runs", ResumeRunsJson(resumes));
+  harness.AddPayload("chaos_runs", ChaosRunsJson(chaos));
   if (failures != 0) {
     std::cerr << failures << " run(s) diverged from the clean answer\n";
-    return 1;
   }
-  return 0;
+  return harness.Finish(failures);
 }

@@ -10,13 +10,16 @@
 
 #include <iostream>
 
+#include "bench_harness.h"
+
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "mining/generators.h"
 #include "mining/sampling.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_sampling", argc, argv);
   using namespace hgm;
   std::cout << "=== sampling with negative-border verification "
                "(Toivonen'96 on this paper's borders) ===\n";
@@ -74,5 +77,5 @@ int main() {
                "|Th|+|Bd-| ballpark — the border\ncheck is what makes the "
                "one-pass guarantee possible.\n";
   std::cout << (failures == 0 ? "ALL RESULTS EXACT\n" : "INEXACT RESULT\n");
-  return failures == 0 ? 0 : 1;
+  return harness.Finish(failures);
 }

@@ -4,6 +4,7 @@
 //   hgmine_cli mine <basket-file> <min-support> [--rules <min-conf>]
 //                   [--maximal] [--closed] [--algo levelwise|dualize|dfs]
 //                   [--shards=K] [--metrics=<path|->] [--trace=<path>]
+//                   [--report=<path|->] [--flight=<path>]
 //                   [--deadline-ms=N] [--max-queries=N]
 //                   [--checkpoint=<path>] [--resume=<path>]
 //                   [--chaos-seed=N] [--exact-border]
@@ -22,6 +23,17 @@
 // --metrics=<path> writes the same data as JSON;
 // --trace=<path>   writes Chrome/Perfetto trace-event JSON (load it in
 //                  chrome://tracing or ui.perfetto.dev);
+// --report=<path|-> emits the schema-versioned hgm.run_report envelope
+//                  (host/build/dataset fingerprints, effective config,
+//                  per-phase wall times, metrics, bound reports, budget
+//                  outcome, checkpoint lineage, memory telemetry, and
+//                  the flight ring); implies metrics + tracing.  Written
+//                  for completed AND budget-tripped runs;
+// --flight=<path>  arms crash forensics: installs the HGMINE_CHECK and
+//                  fatal-signal (SIGSEGV/SIGABRT) handlers and dumps the
+//                  flight-recorder ring to <path> on a crash or budget
+//                  trip — the always-on ring means the events leading up
+//                  to the failure are already buffered;
 // --deadline-ms=N  wall-clock budget: the miner stops at the next level
 //                  boundary after N ms and reports its certified prefix;
 // --max-queries=N  support-count budget, same anytime semantics;
@@ -39,6 +51,7 @@
 // Exit codes: 0 complete, 1 I/O or internal error, 2 usage error,
 // 3 budget tripped (partial result; checkpoint written if requested).
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -58,7 +71,10 @@
 #include "mining/transaction_db.h"
 #include "obs/bound_report.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
+#include "obs/run_report.h"
 #include "obs/trace.h"
 #include "testing/fault_injection.h"
 
@@ -70,6 +86,7 @@ int Usage() {
          "                  [--rules <min-conf>] [--maximal] [--closed]\n"
          "                  [--algo levelwise|dualize|dfs] [--shards=K]\n"
          "                  [--metrics=<path|->] [--trace=<path>]\n"
+         "                  [--report=<path|->] [--flight=<path>]\n"
          "                  [--deadline-ms=N] [--max-queries=N]\n"
          "                  [--checkpoint=<path>] [--resume=<path>]\n"
          "                  [--chaos-seed=N] [--exact-border]\n"
@@ -182,6 +199,8 @@ int main(int argc, char** argv) {
   bool have_chaos = false;
   uint64_t chaos_seed = 0;
   bool exact_border = false;  // partition Bd- via Theorem-7 transversals
+  std::string report_path;    // run-report envelope destination; "-" = stdout
+  std::string flight_path;    // crash-forensics dump destination
   MaxMinerAlgorithm algo = MaxMinerAlgorithm::kDualizeAdvance;
   for (size_t i = 3; i < args.size(); ++i) {
     if (args[i] == "--maximal") {
@@ -231,6 +250,12 @@ int main(int argc, char** argv) {
     } else if (args[i].rfind("--trace=", 0) == 0) {
       trace_path = args[i].substr(8);
       if (trace_path.empty()) return Usage();
+    } else if (args[i].rfind("--report=", 0) == 0) {
+      report_path = args[i].substr(9);
+      if (report_path.empty()) return Usage();
+    } else if (args[i].rfind("--flight=", 0) == 0) {
+      flight_path = args[i].substr(9);
+      if (flight_path.empty()) return Usage();
     } else if (args[i] == "--rules" && i + 1 < args.size()) {
       want_rules = true;
       char* end = nullptr;
@@ -269,8 +294,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (!metrics_dest.empty()) obs::EnableMetrics(true);
-  if (!trace_path.empty()) obs::Tracer::Global().Start();
+  // A run report needs the metrics snapshot and the tracer's phase
+  // totals, so --report implies both collectors.
+  const bool want_report = !report_path.empty();
+  if (!metrics_dest.empty() || want_report) obs::EnableMetrics(true);
+  if (!trace_path.empty() || want_report) obs::Tracer::Global().Start();
+  if (!flight_path.empty()) {
+    obs::FlightRecorder::Global().SetDumpPath(flight_path.c_str());
+    obs::FlightRecorder::Global().EnableDumpOnTrip(true);
+    obs::InstallCrashHandlers();
+  }
+  const auto run_start = std::chrono::steady_clock::now();
 
   auto loaded = TransactionDatabase::LoadBasketFile(path);
   if (!loaded.ok()) {
@@ -280,6 +314,36 @@ int main(int argc, char** argv) {
   TransactionDatabase db = std::move(loaded.value());
   std::cout << "loaded " << db.num_transactions() << " transactions over "
             << db.num_items() << " items from " << path << "\n";
+
+  obs::RunReport report;
+  if (want_report) {
+    report.kind = "cli";
+    report.name = "hgmine_cli";
+    report.host = obs::CollectHostInfo();
+    report.build = obs::CollectBuildInfo();
+    report.args = args;
+    report.AddConfig("min_support", static_cast<uint64_t>(min_support));
+    report.AddConfig("shards", static_cast<uint64_t>(num_shards));
+    report.AddConfig("maximal", want_maximal);
+    report.AddConfig("closed", want_closed);
+    report.AddConfig("rules", want_rules);
+    report.AddConfig("exact_border", exact_border);
+    report.AddConfig("deadline_ms", deadline_ms);
+    report.AddConfig("max_queries", max_queries);
+    // Fingerprint the transaction contents so two envelopes are known to
+    // have mined the same data before anyone diffs their timings.
+    obs::DatasetInfo ds;
+    ds.path = path;
+    ds.rows = db.num_transactions();
+    ds.items = db.num_items();
+    obs::Fnv1a64 hash;
+    hash.UpdateU64(db.num_items());
+    for (const Bitset& row : db.rows()) {
+      for (uint64_t w : row.words()) hash.UpdateU64(w);
+    }
+    ds.fingerprint = hash.HexDigest();
+    report.dataset = ds;
+  }
 
   RunBudget budget;
   budget.max_duration = std::chrono::milliseconds(deadline_ms);
@@ -302,10 +366,71 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fills the run-dependent envelope sections and writes the report.
+  // Called from both exits — the completed path and the budget-tripped
+  // partial path — so a tripped run still leaves its full artifact.
+  std::string checkpoint_written;  // set by finish_partial on save
+  auto write_report = [&](const char* stop_reason,
+                          uint64_t queries) -> int {
+    if (!want_report) return 0;
+    const auto elapsed = std::chrono::steady_clock::now() - run_start;
+    report.wall_ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+    obs::BudgetOutcome outcome;
+    outcome.stop_reason = stop_reason;
+    outcome.queries = queries;
+    outcome.deadline_ms = deadline_ms;
+    outcome.max_queries = max_queries;
+    report.budget = outcome;
+    if (!resume_path.empty() || !checkpoint_written.empty()) {
+      obs::CheckpointLineage lineage;
+      lineage.resumed_from = resume_path;
+      lineage.written_to = checkpoint_written;
+      lineage.kind = num_shards > 0 ? "partition" : "apriori";
+      report.checkpoint = lineage;
+    }
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+    if (snap.GaugeValue("levelwise.last_width") != 0) {
+      report.bounds.emplace_back(
+          "levelwise", obs::LevelwiseBoundReportFromRegistry(snap));
+    }
+    if (snap.GaugeValue("da.last_width") != 0) {
+      report.bounds.emplace_back(
+          "dualize_advance", obs::DualizeAdvanceBoundReportFromRegistry(snap));
+    }
+    if (snap.GaugeValue("partition.last_shards") != 0) {
+      report.bounds.emplace_back(
+          "partition", obs::PartitionBoundReportFromRegistry(snap));
+    }
+    report.metrics = std::move(snap);
+    report.phases = obs::Tracer::Global().PhaseTotals();
+    report.memory = obs::ReadMemory();
+    if (obs::AllocationCountingAvailable()) {
+      report.alloc = obs::GlobalAllocStats();
+    }
+    report.flight = obs::FlightRecorder::Global().Snapshot();
+    if (report_path == "-") {
+      report.WriteJson(std::cout);
+      return 0;
+    }
+    std::ofstream out(report_path);
+    if (!out) {
+      std::cerr << "error: cannot write run report to " << report_path
+                << "\n";
+      return 1;
+    }
+    report.WriteJson(out);
+    std::cout << "wrote run report to " << report_path
+              << " (hgm.run_report schema v"
+              << obs::RunReport::kSchemaVersion << ")\n";
+    return 0;
+  };
+
   // Shared partial-run epilogue: report the stop, persist the checkpoint
   // when asked, and exit 3 so scripts can tell "partial" from "failed".
   auto finish_partial = [&](StopReason reason,
-                            const std::optional<Checkpoint>& cp) -> int {
+                            const std::optional<Checkpoint>& cp,
+                            uint64_t queries) -> int {
     std::cout << "stopped early (" << StopReasonName(reason)
               << "); result above is the certified prefix\n";
     if (!checkpoint_path.empty()) {
@@ -318,9 +443,11 @@ int main(int argc, char** argv) {
         std::cerr << "error: " << s.ToString() << "\n";
         return 1;
       }
+      checkpoint_written = checkpoint_path;
       std::cout << "checkpoint written to " << checkpoint_path
                 << " (resume with --resume=" << checkpoint_path << ")\n";
     }
+    if (write_report(StopReasonName(reason), queries) != 0) return 1;
     return 3;
   };
 
@@ -365,7 +492,8 @@ int main(int argc, char** argv) {
     }
     std::cout << ")\n";
     if (part.stop_reason != StopReason::kCompleted) {
-      return finish_partial(part.stop_reason, part.checkpoint);
+      return finish_partial(part.stop_reason, part.checkpoint,
+                            part.phase2_evaluations);
     }
     TablePrinter shards({"shard", "rows", "local minsup", "local frequent"});
     for (size_t k = 0; k < part.num_shards; ++k) {
@@ -394,7 +522,8 @@ int main(int argc, char** argv) {
               << " frequent itemsets at support >= " << min_support << " ("
               << mined.support_counts << " support counts)\n";
     if (mined.stop_reason != StopReason::kCompleted) {
-      return finish_partial(mined.stop_reason, mined.checkpoint);
+      return finish_partial(mined.stop_reason, mined.checkpoint,
+                            mined.support_counts.load());
     }
     TablePrinter levels({"size", "candidates", "frequent"});
     for (size_t k = 0; k < mined.candidates_per_level.size(); ++k) {
@@ -455,5 +584,7 @@ int main(int argc, char** argv) {
     int metrics_rc = ExportMetrics(metrics_dest);
     if (metrics_rc != 0) rc = metrics_rc;
   }
+  int report_rc = write_report("completed", mined.support_counts.load());
+  if (report_rc != 0) rc = report_rc;
   return rc;
 }

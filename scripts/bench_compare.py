@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Diff two hgm.run_report bench envelopes and fail on regressions.
+
+Usage:
+  bench_compare.py <baseline.json> <candidate.json> [--threshold=X]
+  bench_compare.py --self-test
+
+Both inputs must be hgm.run_report envelopes (schema_version <= 1), as
+emitted by every bench binary via bench/bench_harness.h and by
+`hgmine_cli --report`.  The comparison walks the "payload" subtree plus
+the top-level "wall_ms" and applies per-key policy:
+
+  * timing keys ("wall_ms", "ms", anything ending in "_ms") compare as a
+    ratio: candidate / baseline > threshold fails.  Only slowdowns fail;
+    a faster candidate passes (and is reported).  Sub-millisecond
+    baselines are noise-floored: both sides are clamped to 1 ms before
+    the ratio so a 0.2 ms -> 0.7 ms jitter cannot trip the gate.
+  * derived-rate keys ("ratio", "speedup*", "*utilization") are
+    informational only — they are quotients of the timing keys already
+    compared, and double-counting them would double the noise.
+  * every other number is a count (frequent sets, borders, query
+    tallies, checkpoint bytes) and must match EXACTLY — counts are
+    deterministic per seed, so any drift is a behavior change, not noise.
+  * strings inside the payload must match exactly (section/backend names
+    align the arrays being compared).
+  * a key missing from the candidate fails; extra candidate keys are
+    ignored (the schema's forward-compatibility rule).
+
+A host/build fingerprint mismatch (nproc, compiler) is reported as a
+warning, not a failure: the committed baselines come from the CI
+container, and timings from a different machine are still gated, just
+flagged as cross-host.
+
+Exit codes: 0 pass, 1 regression/mismatch, 2 usage or unreadable input.
+The default threshold (2.5x) is deliberately generous — wall-clock noise
+on a loaded 1-CPU container is real; the exact-count policy is what
+catches silent behavioral regressions, while the ratio check catches
+order-of-magnitude perf cliffs.
+
+--self-test proves the gate is armed: a synthetic 2x slowdown must fail
+at threshold 1.5, an identical pair must pass, and a count drift must
+fail.  Run by scripts/bench_gate.sh before every real comparison, so a
+comparator bug that stops flagging regressions turns the gate red
+instead of silently green.
+"""
+
+import json
+import sys
+
+SCHEMA_NAME = "hgm.run_report"
+MAX_SCHEMA_VERSION = 1
+DEFAULT_THRESHOLD = 2.5
+
+# Keys that are quotients of timings: never gated, never exact-matched.
+DERIVED_KEYS = ("ratio", "speedup", "utilization")
+
+
+def is_timing_key(key):
+    return key == "ms" or key.endswith("_ms")
+
+
+def is_derived_key(key):
+    return any(d in key for d in DERIVED_KEYS)
+
+
+def load_envelope(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    check_envelope(doc, path)
+    return doc
+
+
+def check_envelope(doc, label):
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_NAME:
+        print(f"bench_compare: {label} is not an {SCHEMA_NAME} envelope",
+              file=sys.stderr)
+        sys.exit(2)
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or not 1 <= version <= MAX_SCHEMA_VERSION:
+        print(f"bench_compare: {label} has unsupported schema_version "
+              f"{version!r} (this tool understands <= {MAX_SCHEMA_VERSION})",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def compare_value(path, base, cand, threshold, failures, notes):
+    """Recursively compares one payload node; appends failure strings."""
+    if isinstance(base, dict):
+        if not isinstance(cand, dict):
+            failures.append(f"{path}: object became {type(cand).__name__}")
+            return
+        for key, bval in base.items():
+            if key not in cand:
+                failures.append(f"{path}.{key}: missing from candidate")
+                continue
+            compare_value(f"{path}.{key}", bval, cand[key], threshold,
+                          failures, notes)
+        return
+    if isinstance(base, list):
+        if not isinstance(cand, list):
+            failures.append(f"{path}: array became {type(cand).__name__}")
+            return
+        if len(base) != len(cand):
+            failures.append(
+                f"{path}: length {len(base)} -> {len(cand)}")
+            return
+        for i, (bval, cval) in enumerate(zip(base, cand)):
+            compare_value(f"{path}[{i}]", bval, cval, threshold, failures,
+                          notes)
+        return
+    key = path.rsplit(".", 1)[-1].split("[")[0]
+    if isinstance(base, bool) or isinstance(cand, bool):
+        if base != cand:
+            failures.append(f"{path}: {base} -> {cand}")
+        return
+    if isinstance(base, (int, float)) and isinstance(cand, (int, float)):
+        if is_derived_key(key):
+            return
+        if is_timing_key(key):
+            floored_base = max(float(base), 1.0)
+            floored_cand = max(float(cand), 1.0)
+            ratio = floored_cand / floored_base
+            if ratio > threshold:
+                failures.append(
+                    f"{path}: {base} ms -> {cand} ms "
+                    f"({ratio:.2f}x > {threshold}x threshold)")
+            elif ratio < 1.0 / threshold:
+                notes.append(f"{path}: faster ({base} ms -> {cand} ms)")
+            return
+        if base != cand:
+            failures.append(f"{path}: count {base} -> {cand}")
+        return
+    if base != cand:
+        failures.append(f"{path}: {base!r} -> {cand!r}")
+
+
+def compare_envelopes(baseline, candidate, threshold):
+    failures, notes = [], []
+    base_host = baseline.get("host", {})
+    cand_host = candidate.get("host", {})
+    if base_host.get("nproc") != cand_host.get("nproc"):
+        notes.append(
+            f"warning: cross-host comparison (nproc "
+            f"{base_host.get('nproc')} vs {cand_host.get('nproc')}); "
+            f"timing ratios are advisory")
+    base_build = baseline.get("build", {})
+    cand_build = candidate.get("build", {})
+    if base_build.get("compiler") != cand_build.get("compiler"):
+        notes.append(
+            f"warning: compiler changed ({base_build.get('compiler')} -> "
+            f"{cand_build.get('compiler')})")
+    if baseline.get("name") != candidate.get("name"):
+        failures.append(
+            f"name: {baseline.get('name')!r} vs {candidate.get('name')!r} "
+            f"(different benches)")
+        return failures, notes
+    compare_value("wall_ms", baseline.get("wall_ms", 0),
+                  candidate.get("wall_ms", 0), threshold, failures, notes)
+    compare_value("payload", baseline.get("payload", {}),
+                  candidate.get("payload", {}), threshold, failures, notes)
+    return failures, notes
+
+
+def make_synthetic(ms, frequent):
+    return {
+        "schema": SCHEMA_NAME,
+        "schema_version": 1,
+        "kind": "bench",
+        "name": "bench_selftest",
+        "host": {"nproc": 1},
+        "build": {"compiler": "gcc", "git_rev": "0000000"},
+        "wall_ms": ms * 3,
+        "payload": {
+            "quick": {"rows": 1000, "partition_ms": ms,
+                      "frequent": frequent, "ratio": 0.9},
+        },
+    }
+
+
+def self_test():
+    base = make_synthetic(ms=100.0, frequent=42)
+
+    same, _ = compare_envelopes(base, make_synthetic(100.0, 42), 1.5)
+    if same:
+        print("self-test FAIL: identical pair flagged:", same)
+        return 1
+
+    slow, _ = compare_envelopes(base, make_synthetic(200.0, 42), 1.5)
+    if not any("partition_ms" in f for f in slow):
+        print("self-test FAIL: synthetic 2x slowdown not flagged")
+        return 1
+
+    drift, _ = compare_envelopes(base, make_synthetic(100.0, 41), 1.5)
+    if not any("frequent" in f for f in drift):
+        print("self-test FAIL: count drift not flagged")
+        return 1
+
+    print("self-test OK: identical pair passes, 2x slowdown and "
+          "count drift both flagged")
+    return 0
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a]
+    if args == ["--self-test"]:
+        return self_test()
+    threshold = DEFAULT_THRESHOLD
+    paths = []
+    for a in args:
+        if a.startswith("--threshold="):
+            try:
+                threshold = float(a.split("=", 1)[1])
+            except ValueError:
+                print(f"bench_compare: bad {a}", file=sys.stderr)
+                return 2
+        else:
+            paths.append(a)
+    if len(paths) != 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: bench_compare.py <baseline.json> <candidate.json>"
+              " [--threshold=X] | --self-test", file=sys.stderr)
+        return 2
+    baseline = load_envelope(paths[0])
+    candidate = load_envelope(paths[1])
+    failures, notes = compare_envelopes(baseline, candidate, threshold)
+    for n in notes:
+        print(n)
+    if failures:
+        print(f"bench_compare: {len(failures)} regression(s) vs "
+              f"{paths[0]}:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"bench_compare: OK ({paths[1]} within {threshold}x of "
+          f"{paths[0]}, all counts identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The bench-regression gate: re-runs a bench's --quick fixture and diffs
+# its hgm.run_report envelope against the committed baseline with
+# scripts/bench_compare.py (counts exact, timings ratio-thresholded).
+#
+# Usage: bench_gate.sh <bench-binary> <committed-baseline.json>
+#
+# The comparator's --self-test runs first, so a comparator that has
+# stopped flagging regressions fails the gate instead of passing it.
+# Exits 77 (the ctest SKIP convention, same as scripts/lint.sh) when
+# python3 is not installed.
+
+set -eu
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: bench_gate.sh <bench-binary> <baseline.json>" >&2
+  exit 2
+fi
+BENCH="$1"
+BASELINE="$2"
+HERE="$(cd "$(dirname "$0")" && pwd)"
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "bench gate: skipped (python3 not installed)"
+  exit 77
+fi
+if [ ! -f "$BASELINE" ]; then
+  echo "bench gate: missing committed baseline $BASELINE" >&2
+  exit 1
+fi
+
+python3 "$HERE/bench_compare.py" --self-test
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+CANDIDATE="$OUT_DIR/candidate.json"
+
+"$BENCH" --quick "--bench-out=$CANDIDATE"
+
+python3 "$HERE/bench_compare.py" "$BASELINE" "$CANDIDATE"

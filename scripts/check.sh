@@ -14,22 +14,27 @@
 #   6. perf smoke             ctest -L perf on the plain build
 #                             (bench_partition --quick: K=4 x T=4 within
 #                             1.2x the single-thread Apriori wall clock)
-#   7. audited build          -DHGMINE_AUDIT=ON, full ctest with every
+#   7. bench regression gate  scripts/bench_gate.sh: comparator self-test,
+#                             then the --quick hgm.run_report envelope
+#                             diffed against bench/baselines/ (counts
+#                             exact, timings ratio-thresholded).  Skipped
+#                             when python3 is not installed.
+#   8. audited build          -DHGMINE_AUDIT=ON, full ctest with every
 #                             paper-contract auditor live
-#   8. thread-safety          clang -Wthread-safety -Werror=thread-safety
+#   9. thread-safety          clang -Wthread-safety -Werror=thread-safety
 #                             build (the `analyze` preset's configuration;
 #                             compile-only).  Skipped when clang is not
 #                             installed, like the lint stages.
-#   9. invariant queries      clang-query rule selftest + the rules over
+#  10. invariant queries      clang-query rule selftest + the rules over
 #                             src/ (scripts/lint_query_selftest.sh; also
 #                             part of stage 1's lint.sh).  Skipped when
 #                             clang-query is not installed.
-#  10. ASan+UBSan build       HGMINE_SANITIZE=address
-#  11. TSan build             HGMINE_SANITIZE=thread (parallel batch
+#  11. ASan+UBSan build       HGMINE_SANITIZE=address
+#  12. TSan build             HGMINE_SANITIZE=thread (parallel batch
 #                             layer; full ctest includes the chaos suite,
 #                             so fault injection runs under TSan too)
 #
-# Stages 10 and 11 are skipped with --fast.  Build dirs are check-* so
+# Stages 11 and 12 are skipped with --fast.  Build dirs are check-* so
 # they never collide with a developer's build/.
 #
 # Usage: scripts/check.sh [--fast]
@@ -83,6 +88,19 @@ echo "==== check: perf smoke ===="
 # bench_partition --quick: partition(K=4, T=4) must match Apriori's
 # output exactly and finish within 1.2x its single-thread wall clock.
 (cd check-plain && ctest -L perf --output-on-failure)
+
+echo "==== check: bench regression gate ===="
+# bench_compare.py --self-test proves the comparator still flags a
+# synthetic 2x slowdown and passes an identical pair; then the --quick
+# envelope is diffed against the committed baseline (counts exact,
+# timings ratio-thresholded).  Also runs under `ctest -L perf` above;
+# repeated here as a named stage so a gate failure is unmistakable.
+if command -v python3 > /dev/null 2>&1; then
+  scripts/bench_gate.sh check-plain/bench/bench_partition \
+    bench/baselines/BENCH_partition_quick.json
+else
+  echo "bench gate: skipped (python3 not installed)"
+fi
 
 run_matrix_entry audit -DHGMINE_WERROR=ON -DHGMINE_AUDIT=ON
 

@@ -6,7 +6,11 @@
 #     |Th| + |Bd-| meter for the maximal-levelwise pass on Figure 1;
 #   * the bound report prints a Theorem 10 line that holds exactly;
 #   * the trace file is Perfetto-loadable JSON (object form, balanced
-#     B/E events) and contains a span for every levelwise level.
+#     B/E events) and contains a span for every levelwise level;
+#   * a second run with --report emits a schema-versioned hgm.run_report
+#     envelope carrying the dataset fingerprint, per-phase totals, the
+#     budget outcome, and the flight ring — validated key-by-key when
+#     python3 is on the box.
 #
 # Usage: scripts/obs_smoke.sh [path-to-hgmine_cli]
 set -eu
@@ -68,5 +72,38 @@ if command -v python3 > /dev/null 2>&1; then
     fail "trace is not valid JSON"
 fi
 
+# Run report: the same mine with --report must emit the hgm.run_report
+# envelope (DESIGN.md schema) with the sections the comparator and the
+# forensics tooling rely on.
+"$CLI" mine "$TMP/fig1.basket" 2 --maximal --algo levelwise \
+  --report="$TMP/report.json" > "$TMP/out.txt"
+[ -s "$TMP/report.json" ] || fail "--report wrote no envelope"
+grep -q '"schema": "hgm.run_report"' "$TMP/report.json" ||
+  fail "report is missing its schema tag"
+grep -q '"schema_version": 1' "$TMP/report.json" ||
+  fail "report is missing schema_version 1"
+grep -q '"fingerprint": "' "$TMP/report.json" ||
+  fail "report is missing the dataset fingerprint"
+grep -q '"stop_reason": "completed"' "$TMP/report.json" ||
+  fail "report budget outcome is not 'completed'"
+grep -q '"type": "level"' "$TMP/report.json" ||
+  fail "report flight ring recorded no level events"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$TMP/report.json" << 'PY' ||
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "hgm.run_report" and doc["schema_version"] == 1
+for key in ("kind", "name", "host", "build", "wall_ms", "payload"):
+    assert key in doc, f"missing required key {key}"
+assert doc["kind"] == "cli" and doc["host"]["nproc"] > 0
+assert doc["build"]["git_rev"]
+assert any(p["name"] == "levelwise.level" for p in doc.get("phases", []))
+assert doc["dataset"]["rows"] == 5
+PY
+    fail "report envelope failed structural validation"
+fi
+
 echo "obs_smoke: OK ($begins spans, $levels levelwise levels," \
-  "oracle.raw_queries == 12)"
+  "oracle.raw_queries == 12, run report validated)"

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/thread_annotations.h"
+#include "obs/flight_recorder.h"
 
 namespace hgm {
 namespace audit {
@@ -101,6 +102,8 @@ void ChargeChecks(Contract c, uint64_t n) {
 
 void ReportViolation(Contract c, const std::string& detail) {
   tallies().violations.fetch_add(1, std::memory_order_relaxed);
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kAuditViolation,
+                                       ContractName(c));
   // Copy the handler out under the lock, invoke outside it: a handler
   // that itself calls SetAuditFailureHandler must not deadlock.
   FailureHandler h;

@@ -22,12 +22,32 @@
 ///   HGMINE_DCHECK_LE(begin, end);
 /// \endcode
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 
 namespace hgm {
 namespace internal {
+
+/// Observer invoked with the formatted message just before a failed
+/// HGMINE_CHECK aborts.  The observability layer installs the flight
+/// recorder's dump here (obs/flight_recorder.h: InstallCrashHandlers),
+/// so a crashing run leaves its last structural events on disk.  The
+/// hook must be async-termination-safe: no throwing, no relying on the
+/// process surviving.  check.h stays dependency-free — the hook is a
+/// plain function pointer slot, not an obs include.
+using CheckFailureHook = void (*)(const char* message);
+
+inline std::atomic<CheckFailureHook>& CheckFailureHookSlot() {
+  static std::atomic<CheckFailureHook> hook{nullptr};
+  return hook;
+}
+
+/// Installs \p hook (nullptr restores "abort silently, message only").
+inline void SetCheckFailureHook(CheckFailureHook hook) {
+  CheckFailureHookSlot().store(hook, std::memory_order_relaxed);
+}
 
 /// Accumulates the failure message and aborts when destroyed (at the end
 /// of the full check expression, after all streamed context is appended).
@@ -41,7 +61,12 @@ class CheckFailure {
   CheckFailure& operator=(const CheckFailure&) = delete;
 
   [[noreturn]] ~CheckFailure() {
-    std::cerr << os_.str() << std::endl;
+    const std::string message = os_.str();
+    std::cerr << message << std::endl;
+    if (CheckFailureHook hook =
+            CheckFailureHookSlot().load(std::memory_order_relaxed)) {
+      hook(message.c_str());
+    }
     std::abort();
   }
 

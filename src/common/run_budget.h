@@ -22,6 +22,7 @@
 
 #include "common/cancellation.h"
 #include "common/random.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace hgm {
@@ -145,6 +146,10 @@ class BudgetTracker {
   StopReason Trip(StopReason reason) {
     if (!tripped_) {
       tripped_ = true;
+      // The black box records every trip (and, when armed via
+      // FlightRecorder::EnableDumpOnTrip, persists the surrounding ring
+      // while the events leading up to the trip are still in it).
+      obs::RecordBudgetTrip(StopReasonName(reason), queries_);
       switch (reason) {
         case StopReason::kDeadline:
           HGM_OBS_COUNT("robustness.deadline_hits", 1);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/parse.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace hgm {
@@ -237,6 +238,9 @@ Status SaveCheckpointFile(const Checkpoint& cp, const std::string& path) {
   }
   HGM_OBS_COUNT("robustness.checkpoints", 1);
   HGM_OBS_COUNT("robustness.checkpoint_bytes", text.size());
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kCheckpoint, "checkpoint.save",
+      static_cast<int64_t>(text.size()));
   return Status::OK();
 }
 
@@ -247,7 +251,12 @@ Result<Checkpoint> LoadCheckpointFile(const std::string& path) {
   buf << in.rdbuf();
   if (in.bad()) return Status::IOError("read error on " + path);
   Result<Checkpoint> parsed = ParseCheckpoint(buf.str());
-  if (parsed.ok()) HGM_OBS_COUNT("robustness.resumes", 1);
+  if (parsed.ok()) {
+    HGM_OBS_COUNT("robustness.resumes", 1);
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kCheckpoint, "checkpoint.load",
+        static_cast<int64_t>(buf.str().size()));
+  }
   return parsed;
 }
 

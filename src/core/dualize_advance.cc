@@ -8,6 +8,7 @@
 #include "core/theory.h"
 #include "hypergraph/transversal_berge.h"
 #include "hypergraph/transversal_fk.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -148,6 +149,10 @@ DualizeAdvanceResult RunIterations(InterestingnessOracle* oracle,
     obs::TraceSpan iter_span("da.iteration", "core",
                              {{"iteration", result.iterations},
                               {"maximal_so_far", maximal.size()}});
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kLevel, "da.iteration",
+        static_cast<int64_t>(result.iterations),
+        static_cast<int64_t>(maximal.size()));
     // Step 3: complements of C_i; Tr of that hypergraph is Bd-(C_i).
     Hypergraph complements(n);
     for (const auto& m : maximal) complements.AddEdge(~m);

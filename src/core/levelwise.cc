@@ -6,7 +6,9 @@
 #include "common/apriori_gen.h"
 #include "core/audit.h"
 #include "core/theory.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace hgm {
@@ -120,6 +122,11 @@ LevelwiseResult RunLevels(InterestingnessOracle* oracle,
       return FinishPartial(std::move(state), n, boundary);
     }
     obs::TraceSpan level_span("levelwise.level", "core", {{"level", k + 1}});
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kLevel, "levelwise.level",
+        static_cast<int64_t>(k + 1),
+        static_cast<int64_t>(state.level.size()));
+    (void)obs::SampleMemory();
     std::vector<ItemVec> candidates;
     if (k == 0) {
       candidates = SingletonCandidates(n);

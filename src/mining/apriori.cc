@@ -9,7 +9,9 @@
 #include "core/audit.h"
 #include "core/theory.h"
 #include "mining/hash_tree.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace hgm {
@@ -130,6 +132,9 @@ AprioriResult RunAprioriLevels(TransactionDatabase* db,
     }
     obs::TraceSpan level_span("apriori.level", "mining",
                               {{"level", 1}, {"candidates", n}});
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kLevel,
+                                         "apriori.level", 1,
+                                         static_cast<int64_t>(n));
     result.candidates_per_level.push_back(n);
     tracker.ChargeQueries(n);
     size_t kept = 0;
@@ -171,6 +176,10 @@ AprioriResult RunAprioriLevels(TransactionDatabase* db,
     }
     obs::TraceSpan level_span("apriori.level", "mining",
                               {{"level", k + 1}});
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kLevel, "apriori.level",
+        static_cast<int64_t>(k + 1), static_cast<int64_t>(level.size()));
+    (void)obs::SampleMemory();
     // Membership set for the prune step.
     std::unordered_set<Bitset, BitsetHash> level_set;
     for (const auto& e : level) {

@@ -16,7 +16,9 @@
 #include "core/theory.h"
 #include "hypergraph/hypergraph.h"
 #include "hypergraph/transversal_berge.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace hgm {
@@ -294,11 +296,17 @@ bool MineShardsWithFailover(ShardedTransactionDatabase* db,
       if (!failed[k]) continue;
       if (attempts[k] + 1 >= max_attempts) {
         result.failed_shards.push_back(k);
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventType::kShardFailover, "partition.shard",
+            static_cast<int64_t>(k), static_cast<int64_t>(max_attempts));
         continue;
       }
       ++attempts[k];
       ++result.shard_retries;
       HGM_OBS_COUNT("robustness.retries", 1);
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kShardRetry, "partition.shard",
+          static_cast<int64_t>(k), static_cast<int64_t>(attempts[k]));
       const uint64_t delay_us = options.retry.DelayUs(attempts[k] - 1, k);
       if (options.sleeper) {
         options.sleeper(delay_us);
@@ -360,6 +368,9 @@ PartitionResult RunPartition(ShardedTransactionDatabase* db,
     {
       obs::TraceSpan phase1_span("partition.phase1", "mining",
                                  {{"shards", num_shards}});
+      obs::FlightRecorder::Global().Record(obs::FlightEventType::kPhase,
+                                           "partition.phase1",
+                                           static_cast<int64_t>(num_shards));
       try {
         MineShardsWithFailover(db, &state, options, pool);
       } catch (const CancelledError&) {
@@ -390,6 +401,7 @@ PartitionResult RunPartition(ShardedTransactionDatabase* db,
     for (std::vector<Bitset>& level : state.by_size) CanonicalSort(&level);
     state.phase1_done = true;
     state.next_level = 0;
+    (void)obs::SampleMemory();  // phase boundary: the union peaks here
   }
   HGM_OBS_GAUGE_SET("partition.last_candidate_union",
                     static_cast<int64_t>(result.candidate_union_size));
@@ -412,6 +424,9 @@ PartitionResult RunPartition(ShardedTransactionDatabase* db,
   //    in the shards where its contribution is unknown, in parallel over
   //    (candidate, shard) pairs against per-shard prefix-cover caches.
   obs::TraceSpan phase2_span("partition.phase2", "mining");
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kPhase, "partition.phase2",
+      static_cast<int64_t>(result.candidate_union_size));
   // Shards whose contribution must be known before a support is exact:
   // empty shards contribute 0 by construction.  A failed shard is never
   // in any candidate's mask, so its rows are always recounted — phase 2

@@ -1,0 +1,76 @@
+/// \file alloc_hooks.cc
+/// \brief Counting operator new/delete replacements — the opt-in half of
+/// the allocation-telemetry seam (see obs/resource.h).
+///
+/// This TU is only compiled under -DHGMINE_ALLOC_TELEMETRY=ON: replacing
+/// the global allocator taxes every allocation in the process, so plain
+/// builds never pay for it.  Even when compiled in, the counters only
+/// tick while EnableAllocationCounting(true) — three relaxed fetch_adds
+/// per allocation, nothing else changes about allocation behavior.
+
+#include <cstdlib>
+#include <new>
+
+#include "obs/resource.h"
+
+namespace {
+
+void CountAlloc(size_t size) {
+  using namespace hgm::obs::internal;
+  if (!g_alloc_counting.load(std::memory_order_relaxed)) return;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+void CountFree() {
+  using namespace hgm::obs::internal;
+  if (!g_alloc_counting.load(std::memory_order_relaxed)) return;
+  g_free_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct HooksLinkedMarker {
+  HooksLinkedMarker() {
+    hgm::obs::internal::g_alloc_hooks_linked.store(
+        true, std::memory_order_relaxed);
+  }
+};
+HooksLinkedMarker g_marker;
+
+}  // namespace
+
+void* operator new(size_t size) {
+  CountAlloc(size);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](size_t size) { return ::operator new(size); }
+
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  CountAlloc(size);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* operator new[](size_t size, const std::nothrow_t& nt) noexcept {
+  return ::operator new(size, nt);
+}
+
+void operator delete(void* p) noexcept {
+  if (p != nullptr) CountFree();
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, size_t) noexcept { ::operator delete(p); }
+
+void operator delete[](void* p, size_t) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}

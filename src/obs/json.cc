@@ -1,0 +1,303 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace hgm {
+namespace obs {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) found = &v;  // duplicate keys keep the last, like python
+  }
+  return found;
+}
+
+double JsonValue::NumberAt(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->AsNumber() : fallback;
+}
+
+std::string JsonValue::StringAt(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : fallback;
+}
+
+JsonValue JsonValue::Null() { return JsonValue(); }
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> a) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+
+JsonValue JsonValue::Object(
+    std::vector<std::pair<std::string, JsonValue>> o) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(o);
+  return v;
+}
+
+namespace {
+
+/// Nesting cap: run reports nest ~5 deep; 64 leaves headroom while
+/// keeping a corrupt file from recursing off the stack.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    Status st = ParseValue(&v, 0);
+    if (!st.ok()) return st;
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Error("trailing garbage after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWs();
+    if (pos_ >= s_.size()) return Error("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string str;
+        Status st = ParseString(&str);
+        if (!st.ok()) return st;
+        *out = JsonValue::String(std::move(str));
+        return Status::OK();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false), out);
+      case 'n':
+        return ParseLiteral("null", JsonValue::Null(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* word, JsonValue value, JsonValue* out) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!Consume(*p)) return Error("bad literal");
+    }
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    std::string token = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d)) {
+      return Error("malformed number '" + token + "'");
+    }
+    *out = JsonValue::Number(d);
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      char esc = s_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // Our emitters only escape control characters; decode the
+          // basic-multilingual-plane code point as UTF-8.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (Consume(']')) {
+      *out = JsonValue::Array(std::move(items));
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue item;
+      Status st = ParseValue(&item, depth + 1);
+      if (!st.ok()) return st;
+      items.push_back(std::move(item));
+      SkipWs();
+      if (Consume(']')) break;
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+    *out = JsonValue::Array(std::move(items));
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWs();
+    if (Consume('}')) {
+      *out = JsonValue::Object(std::move(members));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      Status st = ParseString(&key);
+      if (!st.ok()) return st;
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      st = ParseValue(&value, depth + 1);
+      if (!st.ok()) return st;
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) break;
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+    *out = JsonValue::Object(std::move(members));
+    return Status::OK();
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace obs
+}  // namespace hgm

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file json.h
+/// \brief A minimal JSON value tree and recursive-descent parser.
+///
+/// The observability layer *emits* JSON everywhere (metric snapshots,
+/// traces, run reports, bench envelopes) and until now nothing in-tree
+/// could read any of it back — round-trip validation lived in optional
+/// python post-processing.  This parser closes the loop: the run-report
+/// tests parse the emitted envelope and compare field by field, and
+/// ValidateRunReportJson (run_report.h) lints required keys at runtime.
+///
+/// Scope is deliberately small: full JSON syntax, materialized into a
+/// tree of JsonValue nodes.  Numbers are held as double (every number we
+/// emit is a count, a ratio, or a millisecond figure — all exact in a
+/// double up to 2^53, far beyond any tally here).  Inputs are trusted
+/// in-process artifacts, but the parser still hard-caps nesting depth so
+/// a corrupt file fails with a Status instead of a stack overflow.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hgm {
+namespace obs {
+
+/// One node of a parsed JSON document.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  /// Object members in document order (duplicate keys keep the last).
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const {
+    return object_;
+  }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience chained lookups for tests: returns fallback when the
+  /// path is absent or the wrong type.
+  double NumberAt(const std::string& key, double fallback = 0) const;
+  std::string StringAt(const std::string& key,
+                       const std::string& fallback = "") const;
+
+  static JsonValue Null();
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> a);
+  static JsonValue Object(std::vector<std::pair<std::string, JsonValue>> o);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses \p text as one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error).  Depth is capped at 64 nested
+/// containers.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace obs
+}  // namespace hgm

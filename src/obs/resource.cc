@@ -1,0 +1,137 @@
+#include "obs/resource.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define HGMINE_HAVE_RUSAGE 1
+#endif
+
+namespace hgm {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_alloc_counting{false};
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_free_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+std::atomic<bool> g_alloc_hooks_linked{false};
+}  // namespace internal
+
+namespace {
+
+/// Reads /proc/self/statm: "size resident shared text lib data dt", in
+/// pages.  Returns false off-Linux or when /proc is unavailable.
+bool ReadStatmPages(int64_t* vm_pages, int64_t* rss_pages) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return false;
+  long long vm = 0, rss = 0;
+  int got = std::fscanf(f, "%lld %lld", &vm, &rss);
+  std::fclose(f);
+  if (got != 2) return false;
+  *vm_pages = vm;
+  *rss_pages = rss;
+  return true;
+#else
+  (void)vm_pages;
+  (void)rss_pages;
+  return false;
+#endif
+}
+
+int64_t PageKb() {
+#if defined(HGMINE_HAVE_RUSAGE)
+  static const int64_t page_kb = ::sysconf(_SC_PAGESIZE) / 1024;
+  return page_kb;
+#else
+  return 4;
+#endif
+}
+
+}  // namespace
+
+int64_t ReadCurrentRssKb() {
+  int64_t vm = 0, rss = 0;
+  if (!ReadStatmPages(&vm, &rss)) return -1;
+  return rss * PageKb();
+}
+
+int64_t ReadVmKb() {
+  int64_t vm = 0, rss = 0;
+  if (!ReadStatmPages(&vm, &rss)) return -1;
+  return vm * PageKb();
+}
+
+int64_t ReadPeakRssKb() {
+#if defined(HGMINE_HAVE_RUSAGE)
+  struct rusage ru;
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return -1;
+#if defined(__APPLE__)
+  return ru.ru_maxrss / 1024;  // bytes on macOS
+#else
+  return ru.ru_maxrss;  // KiB on Linux
+#endif
+#else
+  return -1;
+#endif
+}
+
+MemoryStats ReadMemory() {
+  MemoryStats m;
+  m.rss_kb = ReadCurrentRssKb();
+  m.peak_rss_kb = ReadPeakRssKb();
+  m.vm_kb = ReadVmKb();
+  return m;
+}
+
+MemoryStats SampleMemory() {
+  if (!MetricsOn()) return MemoryStats{};  // one relaxed load when idle
+  MemoryStats m = ReadMemory();
+  static Gauge& rss = MetricsRegistry::Global().GetGauge("obs.mem.rss_kb");
+  static Gauge& peak =
+      MetricsRegistry::Global().GetGauge("obs.mem.peak_rss_kb");
+  static Gauge& high =
+      MetricsRegistry::Global().GetGauge("obs.mem.rss_high_water_kb");
+  static Counter& samples =
+      MetricsRegistry::Global().GetCounter("obs.mem.samples");
+  if (m.rss_kb >= 0) {
+    rss.Set(m.rss_kb);
+    // Last-write-wins is fine for the high water: samples are taken at
+    // phase boundaries on the driver thread, not concurrently.
+    if (m.rss_kb > high.Value()) high.Set(m.rss_kb);
+  }
+  if (m.peak_rss_kb >= 0) peak.Set(m.peak_rss_kb);
+  samples.Increment();
+  return m;
+}
+
+bool AllocationCountingAvailable() {
+  return internal::g_alloc_hooks_linked.load(std::memory_order_relaxed);
+}
+
+void EnableAllocationCounting(bool on) {
+  internal::g_alloc_counting.store(on && AllocationCountingAvailable(),
+                                   std::memory_order_relaxed);
+}
+
+AllocStats GlobalAllocStats() {
+  AllocStats s;
+  s.allocations = internal::g_alloc_count.load(std::memory_order_relaxed);
+  s.deallocations = internal::g_free_count.load(std::memory_order_relaxed);
+  s.bytes = internal::g_alloc_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetAllocStats() {
+  internal::g_alloc_count.store(0, std::memory_order_relaxed);
+  internal::g_free_count.store(0, std::memory_order_relaxed);
+  internal::g_alloc_bytes.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace hgm

@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
+
+#include "obs/metrics.h"
 
 namespace hgm {
 namespace obs {
@@ -73,6 +76,7 @@ void Tracer::Start() {
   {
     MutexLock lock(mu_);
     events_.clear();
+    dropped_ = 0;
   }
   // The origin is atomic, not mutex-guarded: spans still draining from a
   // previous session may call NowMicros() concurrently with this store.
@@ -103,7 +107,60 @@ void Tracer::Emit(char phase, const std::string& name, const char* category,
   e.tid = internal::ThisThreadTraceId();
   e.args_json = args_json;
   MutexLock lock(mu_);
+  if (events_.size() >= capacity_) {
+    // Bounded buffer: drop the newest event (keeps buffered B/E pairs
+    // balanced) and account for it.  The registry counter is charged
+    // unconditionally — a tracing run that drops events must say so even
+    // when the metrics flag is off.
+    ++dropped_;
+    static Counter& dropped_counter =
+        MetricsRegistry::Global().GetCounter("obs.trace.dropped");
+    dropped_counter.Increment();
+    return;
+  }
   events_.push_back(std::move(e));
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  MutexLock lock(mu_);
+  capacity_ = capacity;
+}
+
+size_t Tracer::capacity() const {
+  MutexLock lock(mu_);
+  return capacity_;
+}
+
+uint64_t Tracer::num_dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
+std::vector<PhaseTotal> Tracer::PhaseTotals() const {
+  // Pair each thread's B/E events with a per-(tid) stack — spans nest
+  // properly within a thread, so an "E" always closes that thread's
+  // innermost open "B" of the same name.
+  std::map<uint32_t, std::vector<const Event*>> open_by_tid;
+  std::map<std::string, PhaseTotal> totals;
+  MutexLock lock(mu_);
+  for (const Event& e : events_) {
+    if (e.phase == 'B') {
+      open_by_tid[e.tid].push_back(&e);
+    } else if (e.phase == 'E') {
+      auto& stack = open_by_tid[e.tid];
+      if (stack.empty() || stack.back()->name != e.name) continue;
+      const Event* b = stack.back();
+      stack.pop_back();
+      PhaseTotal& t = totals[e.name];
+      t.name = e.name;
+      t.count += 1;
+      t.total_us += e.ts_us >= b->ts_us ? e.ts_us - b->ts_us : 0;
+    }
+  }
+  std::vector<PhaseTotal> out;
+  out.reserve(totals.size());
+  for (auto& [name, t] : totals) out.push_back(std::move(t));
+  return out;
 }
 
 size_t Tracer::num_events() const {

@@ -39,9 +39,30 @@ inline bool TracingOn() {
 /// One span argument: a named integer (counts, level numbers, sizes).
 using TraceArg = std::pair<const char*, uint64_t>;
 
+/// Aggregated wall time for one span name, computed by pairing each
+/// thread's B/E events (PhaseTotals).  Self-time is not separated: a
+/// nested span's duration also counts inside its parent, mirroring how
+/// the spans render in Perfetto.
+struct PhaseTotal {
+  std::string name;
+  uint64_t count = 0;     ///< completed spans
+  uint64_t total_us = 0;  ///< summed span durations
+};
+
 /// The process-wide trace-event collector.
+///
+/// The buffer is bounded: once `capacity()` events are held, further
+/// emissions are dropped (counted in num_dropped() and the
+/// `obs.trace.dropped` registry counter) instead of growing without
+/// limit — a long-lived service tracing for hours must not convert the
+/// tracer into a memory leak.  Dropping loses the *newest* events, which
+/// keeps every buffered "B" matched with its "E" where evicting old
+/// events would unbalance spans.
 class Tracer {
  public:
+  /// ~100 bytes/event; the default bounds the buffer at tens of MB.
+  static constexpr size_t kDefaultCapacity = 1u << 18;
+
   static Tracer& Global();
 
   /// Clears the buffer, re-zeroes the time origin, and starts collecting.
@@ -49,6 +70,18 @@ class Tracer {
 
   /// Stops collecting; buffered events stay available for WriteJson.
   void Stop();
+
+  /// Sets the buffer bound.  Takes effect for subsequent Emit()s; events
+  /// already buffered are kept even if over the new bound.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+
+  /// Events rejected because the buffer was full (since Start()).
+  uint64_t num_dropped() const;
+
+  /// Aggregates buffered B/E pairs into per-name totals, sorted by name.
+  /// Spans still open (B without E) are excluded.
+  std::vector<PhaseTotal> PhaseTotals() const;
 
   /// Serializes the buffer as Chrome trace-event JSON (JSON-object form,
   /// {"traceEvents": [...]}).  Call after Stop(); spans still open on
@@ -83,6 +116,8 @@ class Tracer {
 
   mutable Mutex mu_;
   std::vector<Event> events_ HGM_GUARDED_BY(mu_);
+  size_t capacity_ HGM_GUARDED_BY(mu_) = kDefaultCapacity;
+  uint64_t dropped_ HGM_GUARDED_BY(mu_) = 0;
   /// Time origin as steady-clock nanoseconds-since-clock-epoch.  Atomic,
   /// not guarded: NowMicros() runs on every span emission and must not
   /// take mu_, but a plain time_point here raced with Start() re-zeroing

@@ -30,6 +30,7 @@ class ObsTest : public ::testing::Test {
     obs::Tracer::Global().Stop();
     obs::MetricsRegistry::Global().Reset();
     obs::Tracer::Global().Clear();
+    obs::Tracer::Global().SetCapacity(obs::Tracer::kDefaultCapacity);
   }
   void TearDown() override { SetUp(); }
 };
@@ -193,6 +194,68 @@ TEST_F(ObsTest, TraceJsonIsWellFormedAndNestingBalanced) {
   for (const auto& [tid, stack] : stacks) {
     EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
   }
+}
+
+TEST_F(ObsTest, TracerBufferBoundDropsNewestAndCounts) {
+  // 3 spans * 2 events fit a capacity-6 buffer exactly; the 4th span's
+  // B and E are both rejected, counted in num_dropped() and charged to
+  // the obs.trace.dropped registry counter.
+  obs::EnableMetrics(true);
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().SetCapacity(6);
+  obs::Tracer::Global().Start();
+  for (int i = 0; i < 4; ++i) {
+    obs::TraceSpan span("bounded.span", "test");
+  }
+  obs::Tracer::Global().Stop();
+  EXPECT_EQ(obs::Tracer::Global().capacity(), 6u);
+  EXPECT_EQ(obs::Tracer::Global().num_events(), 6u);
+  EXPECT_EQ(obs::Tracer::Global().num_dropped(), 2u);
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.CounterValue("obs.trace.dropped"), 2u);
+
+  // Drop-newest keeps every buffered B paired with its E: the JSON is
+  // still balanced and PhaseTotals sees exactly the 3 whole spans.
+  std::vector<obs::PhaseTotal> totals = obs::Tracer::Global().PhaseTotals();
+  ASSERT_EQ(totals.size(), 1u);
+  EXPECT_EQ(totals[0].name, "bounded.span");
+  EXPECT_EQ(totals[0].count, 3u);
+}
+
+TEST_F(ObsTest, TracerDropCounterResetsOnStart) {
+  obs::Tracer::Global().SetCapacity(2);
+  obs::Tracer::Global().Start();
+  for (int i = 0; i < 3; ++i) {
+    obs::TraceSpan span("reset.span", "test");
+  }
+  obs::Tracer::Global().Stop();
+  EXPECT_GT(obs::Tracer::Global().num_dropped(), 0u);
+  obs::Tracer::Global().Start();  // fresh run: dropped tally re-zeroes
+  EXPECT_EQ(obs::Tracer::Global().num_dropped(), 0u);
+  obs::Tracer::Global().Stop();
+}
+
+TEST_F(ObsTest, PhaseTotalsAggregatesNestedSpansPerName) {
+  obs::Tracer::Global().Start();
+  {
+    obs::TraceSpan outer("phase.outer", "test");
+    {
+      obs::TraceSpan inner("phase.inner", "test");
+    }
+    {
+      obs::TraceSpan inner("phase.inner", "test");
+    }
+  }
+  obs::Tracer::Global().Stop();
+  std::vector<obs::PhaseTotal> totals = obs::Tracer::Global().PhaseTotals();
+  ASSERT_EQ(totals.size(), 2u);  // sorted by name: inner before outer
+  EXPECT_EQ(totals[0].name, "phase.inner");
+  EXPECT_EQ(totals[0].count, 2u);
+  EXPECT_EQ(totals[1].name, "phase.outer");
+  EXPECT_EQ(totals[1].count, 1u);
+  // Nested time also counts inside the parent (Perfetto semantics), so
+  // the outer span's total is at least the two inners' combined.
+  EXPECT_GE(totals[1].total_us, totals[0].total_us);
 }
 
 TEST_F(ObsTest, SpanConstructedBeforeStartStaysInert) {

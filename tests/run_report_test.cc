@@ -1,0 +1,324 @@
+/// \file run_report_test.cc
+/// \brief RunReport envelope round-trip, the in-tree JSON parser, and the
+/// structural validator.
+///
+/// The contract under test is the one scripts/bench_compare.py and every
+/// future consumer rely on: `WriteJson` emits one self-contained
+/// `hgm.run_report` object whose required keys `ValidateRunReportJson`
+/// accepts and whose every field survives a parse through obs/json.h.
+/// The negative cases pin the versioning rules from DESIGN.md: wrong
+/// schema name, unknown future version, and missing required keys are
+/// all refused.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/run_report.h"
+
+namespace hgm {
+namespace {
+
+/// A fully-populated envelope exercising every optional section.
+obs::RunReport MakeFullReport() {
+  obs::RunReport report;
+  report.kind = "cli";
+  report.name = "hgmine_cli";
+  report.host = obs::CollectHostInfo();
+  report.build = obs::CollectBuildInfo();
+  report.args = {"--minsup=0.02", "--report=-"};
+  report.AddConfig("min_support", uint64_t{250});
+  report.AddConfig("ratio", 0.5);
+  report.AddConfig("maximal", true);
+  report.AddConfig("engine", std::string("partition"));
+
+  obs::DatasetInfo dataset;
+  dataset.path = "data/demo.basket";
+  dataset.rows = 10000;
+  dataset.items = 60;
+  obs::Fnv1a64 hash;
+  hash.UpdateU64(60);
+  dataset.fingerprint = hash.HexDigest();
+  report.dataset = dataset;
+
+  report.wall_ms = 123.5;
+
+  obs::PhaseTotal phase;
+  phase.name = "partition.phase1";
+  phase.total_us = 42000;
+  phase.count = 1;
+  report.phases.push_back(phase);
+
+  report.memory.rss_kb = 51200;
+  report.memory.peak_rss_kb = 65536;
+  report.memory.vm_kb = 120000;
+
+  obs::BudgetOutcome budget;
+  budget.stop_reason = "query_budget";
+  budget.queries = 777;
+  budget.max_queries = 1000;
+  report.budget = budget;
+
+  obs::CheckpointLineage lineage;
+  lineage.resumed_from = "run1.ckpt";
+  lineage.written_to = "run2.ckpt";
+  lineage.kind = "partition";
+  report.checkpoint = lineage;
+
+  report.payload_members = "\n    \"quick\": {\"rows\": 10000}";
+  return report;
+}
+
+std::string Render(const obs::RunReport& report) {
+  std::ostringstream os;
+  report.WriteJson(os);
+  return os.str();
+}
+
+TEST(RunReportTest, FullEnvelopeValidatesAndRoundTrips) {
+  const std::string json = Render(MakeFullReport());
+  Status lint = obs::ValidateRunReportJson(json);
+  EXPECT_TRUE(lint.ok()) << lint.ToString();
+
+  Result<obs::JsonValue> parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& doc = parsed.value();
+
+  EXPECT_EQ(doc.StringAt("schema"), "hgm.run_report");
+  EXPECT_EQ(doc.NumberAt("schema_version"), obs::RunReport::kSchemaVersion);
+  EXPECT_EQ(doc.StringAt("kind"), "cli");
+  EXPECT_EQ(doc.StringAt("name"), "hgmine_cli");
+  EXPECT_DOUBLE_EQ(doc.NumberAt("wall_ms"), 123.5);
+
+  const obs::JsonValue* host = doc.Find("host");
+  ASSERT_NE(host, nullptr);
+  EXPECT_GT(host->NumberAt("nproc"), 0);
+
+  const obs::JsonValue* build = doc.Find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_FALSE(build->StringAt("git_rev").empty());
+  EXPECT_FALSE(build->StringAt("compiler").empty());
+
+  const obs::JsonValue* args = doc.Find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_EQ(args->AsArray().size(), 2u);
+  EXPECT_EQ(args->AsArray()[0].AsString(), "--minsup=0.02");
+
+  const obs::JsonValue* config = doc.Find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->NumberAt("min_support"), 250);
+  EXPECT_DOUBLE_EQ(config->NumberAt("ratio"), 0.5);
+  ASSERT_NE(config->Find("maximal"), nullptr);
+  EXPECT_TRUE(config->Find("maximal")->AsBool());
+  EXPECT_EQ(config->StringAt("engine"), "partition");
+
+  const obs::JsonValue* dataset = doc.Find("dataset");
+  ASSERT_NE(dataset, nullptr);
+  EXPECT_EQ(dataset->NumberAt("rows"), 10000);
+  EXPECT_EQ(dataset->StringAt("fingerprint").size(), 16u);
+
+  const obs::JsonValue* phases = doc.Find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->AsArray().size(), 1u);
+  EXPECT_EQ(phases->AsArray()[0].StringAt("name"), "partition.phase1");
+
+  const obs::JsonValue* memory = doc.Find("memory");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_EQ(memory->NumberAt("peak_rss_kb"), 65536);
+
+  const obs::JsonValue* budget = doc.Find("budget");
+  ASSERT_NE(budget, nullptr);
+  EXPECT_EQ(budget->StringAt("stop_reason"), "query_budget");
+  EXPECT_EQ(budget->NumberAt("queries"), 777);
+
+  const obs::JsonValue* checkpoint = doc.Find("checkpoint");
+  ASSERT_NE(checkpoint, nullptr);
+  EXPECT_EQ(checkpoint->StringAt("resumed_from"), "run1.ckpt");
+  EXPECT_EQ(checkpoint->StringAt("kind"), "partition");
+
+  const obs::JsonValue* payload = doc.Find("payload");
+  ASSERT_NE(payload, nullptr);
+  ASSERT_TRUE(payload->is_object());
+  ASSERT_NE(payload->Find("quick"), nullptr);
+  EXPECT_EQ(payload->Find("quick")->NumberAt("rows"), 10000);
+}
+
+TEST(RunReportTest, MinimalEnvelopeOmitsOptionalSections) {
+  obs::RunReport report;
+  report.kind = "bench";
+  report.name = "bench_minimal";
+  report.host = obs::CollectHostInfo();
+  report.build = obs::CollectBuildInfo();
+  const std::string json = Render(report);
+  EXPECT_TRUE(obs::ValidateRunReportJson(json).ok());
+
+  Result<obs::JsonValue> parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& doc = parsed.value();
+  // Optional sections render as absent keys, never misleading zeros.
+  EXPECT_EQ(doc.Find("dataset"), nullptr);
+  EXPECT_EQ(doc.Find("budget"), nullptr);
+  EXPECT_EQ(doc.Find("checkpoint"), nullptr);
+  EXPECT_EQ(doc.Find("metrics"), nullptr);
+  // The payload object is always present (it is the comparator's root).
+  ASSERT_NE(doc.Find("payload"), nullptr);
+  EXPECT_TRUE(doc.Find("payload")->AsObject().empty());
+}
+
+TEST(RunReportTest, ValidatorRefusesForeignAndFutureDocuments) {
+  // Not a run report at all.
+  EXPECT_FALSE(obs::ValidateRunReportJson("{\"schema\": \"other\"}").ok());
+  EXPECT_FALSE(obs::ValidateRunReportJson("[1, 2, 3]").ok());
+  EXPECT_FALSE(obs::ValidateRunReportJson("not json").ok());
+
+  obs::RunReport report;
+  report.kind = "cli";
+  report.name = "x";
+  report.host.nproc = 1;
+  report.build.git_rev = "abc";
+  std::string good = Render(report);
+  EXPECT_TRUE(obs::ValidateRunReportJson(good).ok());
+
+  // A future schema_version must be refused, not misread (DESIGN.md rule:
+  // consumers ignore unknown keys but never unknown versions).
+  std::string future = good;
+  const std::string v = "\"schema_version\": 1";
+  size_t at = future.find(v);
+  ASSERT_NE(at, std::string::npos);
+  future.replace(at, v.size(), "\"schema_version\": 99");
+  EXPECT_FALSE(obs::ValidateRunReportJson(future).ok());
+
+  // Dropping a required key is a validation failure.
+  std::string no_wall = good;
+  const std::string w = "\"wall_ms\"";
+  at = no_wall.find(w);
+  ASSERT_NE(at, std::string::npos);
+  no_wall.replace(at, w.size(), "\"not_wall_ms\"");
+  EXPECT_FALSE(obs::ValidateRunReportJson(no_wall).ok());
+}
+
+TEST(RunReportTest, ConfigAndArgsAreEscaped) {
+  obs::RunReport report;
+  report.kind = "cli";
+  report.name = "esc";
+  report.host.nproc = 1;
+  report.build.git_rev = "abc";
+  report.args = {"--path=a\"b\\c\td"};
+  report.AddConfig("note", std::string("line1\nline2"));
+  const std::string json = Render(report);
+  Result<obs::JsonValue> parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("args")->AsArray()[0].AsString(),
+            "--path=a\"b\\c\td");
+  EXPECT_EQ(parsed.value().Find("config")->StringAt("note"), "line1\nline2");
+}
+
+TEST(RunReportTest, CollectorsProduceNonEmptyFingerprints) {
+  obs::HostInfo host = obs::CollectHostInfo();
+  EXPECT_GT(host.nproc, 0u);
+  EXPECT_GT(host.page_kb, 0);
+  EXPECT_FALSE(host.os.empty());
+
+  obs::BuildInfo build = obs::CollectBuildInfo();
+  EXPECT_FALSE(build.compiler.empty());
+  EXPECT_FALSE(build.git_rev.empty());
+  EXPECT_FALSE(build.sanitizer.empty());
+}
+
+TEST(Fnv1a64Test, MatchesReferenceVectors) {
+  // Canonical FNV-1a 64 vectors (Noll's reference tables).
+  obs::Fnv1a64 empty;
+  EXPECT_EQ(empty.Digest(), 0xcbf29ce484222325ull);
+  EXPECT_EQ(empty.HexDigest(), "cbf29ce484222325");
+
+  obs::Fnv1a64 a;
+  a.Update("a", 1);
+  EXPECT_EQ(a.Digest(), 0xaf63dc4c8601ec8cull);
+
+  obs::Fnv1a64 foobar;
+  foobar.Update("foobar", 6);
+  EXPECT_EQ(foobar.Digest(), 0x85944171f73967e8ull);
+
+  // Incremental updates equal one-shot hashing, and UpdateU64 is
+  // little-endian byte order (the on-disk Bitset word order).
+  obs::Fnv1a64 split;
+  split.Update("foo", 3);
+  split.Update("bar", 3);
+  EXPECT_EQ(split.Digest(), foobar.Digest());
+
+  obs::Fnv1a64 word;
+  word.UpdateU64(0x0102030405060708ull);
+  obs::Fnv1a64 bytes;
+  const unsigned char le[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+  bytes.Update(le, 8);
+  EXPECT_EQ(word.Digest(), bytes.Digest());
+}
+
+TEST(JsonParserTest, ParsesScalarsAndStructure) {
+  Result<obs::JsonValue> parsed = obs::ParseJson(
+      "{\"i\": 42, \"f\": -2.5e2, \"t\": true, \"n\": null, "
+      "\"a\": [1, \"two\", {\"three\": 3}]}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& doc = parsed.value();
+  EXPECT_EQ(doc.NumberAt("i"), 42);
+  EXPECT_DOUBLE_EQ(doc.NumberAt("f"), -250.0);
+  EXPECT_TRUE(doc.Find("t")->AsBool());
+  EXPECT_TRUE(doc.Find("n")->is_null());
+  const std::vector<obs::JsonValue>& a = doc.Find("a")->AsArray();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[1].AsString(), "two");
+  EXPECT_EQ(a[2].NumberAt("three"), 3);
+}
+
+TEST(JsonParserTest, DecodesEscapesAndUnicode) {
+  Result<obs::JsonValue> parsed = obs::ParseJson(
+      "{\"s\": \"q\\\"b\\\\s\\/n\\nt\\tu\\u0041\\u00e9\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // A is 'A'; é is e-acute, UTF-8 encoded as 0xC3 0xA9.
+  EXPECT_EQ(parsed.value().StringAt("s"), "q\"b\\s/n\nt\tuA\xc3\xa9");
+}
+
+TEST(JsonParserTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::ParseJson("").ok());
+  EXPECT_FALSE(obs::ParseJson("{").ok());
+  EXPECT_FALSE(obs::ParseJson("{\"a\": 1,}").ok());
+  EXPECT_FALSE(obs::ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(obs::ParseJson("[1, 2") .ok());
+  EXPECT_FALSE(obs::ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(obs::ParseJson("truth").ok());
+  // Trailing garbage after a complete document is an error.
+  EXPECT_FALSE(obs::ParseJson("{} extra").ok());
+  EXPECT_FALSE(obs::ParseJson("1 2").ok());
+}
+
+TEST(JsonParserTest, DepthCapStopsRunawayNesting) {
+  // 63 nested arrays parse; 100 exceed the 64-container cap and must
+  // fail with a Status, not a stack overflow.
+  std::string shallow(63, '[');
+  shallow += std::string(63, ']');
+  EXPECT_TRUE(obs::ParseJson(shallow).ok());
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(obs::ParseJson(deep).ok());
+}
+
+TEST(JsonParserTest, DuplicateKeysKeepTheLastValue) {
+  Result<obs::JsonValue> parsed =
+      obs::ParseJson("{\"k\": 1, \"k\": 2}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().NumberAt("k"), 2);
+}
+
+TEST(JsonEscapeTest, EscapesControlAndStructuralCharacters) {
+  EXPECT_EQ(obs::JsonEscapeString("plain"), "plain");
+  EXPECT_EQ(obs::JsonEscapeString("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::JsonEscapeString("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::JsonEscapeString("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(obs::JsonEscapeString(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+}  // namespace
+}  // namespace hgm
