@@ -1,0 +1,223 @@
+// Incremental border repair vs per-window batch re-mining.
+//
+// The stream engine keeps Th / Bd+ / Bd- and the supports of Th ∪ Bd-
+// resident, and at each window boundary repairs them against the row
+// delta; the alternative a stream consumer actually faces is re-running
+// Apriori on the window rows at every boundary.  The sweep feeds Quest
+// workloads through both paths at several (window, slide) shapes, asserts
+// every boundary's streamed output is bit-identical to the batch re-mine
+// of the same rows, and emits BENCH_stream.json with per-config windows/s
+// and a repair_speedup column (batch ms / repair ms) so future revisions
+// have a trajectory to diff.
+//
+// `bench_stream --quick` is the CI perf smoke: one small fixture, failing
+// on any boundary mismatch or when the summed repair time does not beat
+// the summed batch re-mine time.
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_harness.h"
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "mining/apriori.h"
+#include "mining/generators.h"
+#include "mining/stream.h"
+#include "mining/transaction_db.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace hgm;
+
+/// One measured configuration, serialized into the JSON report.
+struct RunRecord {
+  size_t rows = 0, items = 0, window = 0, slide = 0, minsup = 0;
+  size_t boundaries = 0;
+  uint64_t evaluations = 0;  // fresh full-window counts, summed
+  uint64_t reused = 0;       // answered from maintained supports
+  double repair_ms = 0.0;    // all AdvanceWindow calls
+  double batch_ms = 0.0;     // all snapshot + MineFrequentSets re-mines
+  double windows_per_sec = 0.0;
+  double repair_speedup = 0.0;  // batch_ms / repair_ms
+  bool agree = true;            // bit-identical at every boundary
+};
+
+std::string RunsJson(const std::vector<RunRecord>& records) {
+  std::ostringstream out;
+  out << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    out << "      {\"rows\": " << r.rows << ", \"items\": " << r.items
+        << ", \"window\": " << r.window << ", \"slide\": " << r.slide
+        << ", \"minsup\": " << r.minsup
+        << ", \"boundaries\": " << r.boundaries
+        << ", \"evaluations\": " << r.evaluations
+        << ", \"reused\": " << r.reused << ", \"repair_ms\": " << r.repair_ms
+        << ", \"batch_ms\": " << r.batch_ms
+        << ", \"windows_per_sec\": " << r.windows_per_sec
+        << ", \"repair_speedup\": " << r.repair_speedup
+        << ", \"agree\": " << (r.agree ? "true" : "false") << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "    ]";
+  return out.str();
+}
+
+bool SameWindow(const StreamWindowResult& s, const AprioriResult& b) {
+  if (s.frequent.size() != b.frequent.size()) return false;
+  for (size_t i = 0; i < s.frequent.size(); ++i) {
+    if (s.frequent[i].items != b.frequent[i].items ||
+        s.frequent[i].support != b.frequent[i].support) {
+      return false;
+    }
+  }
+  return s.maximal == b.maximal && s.negative_border == b.negative_border;
+}
+
+TransactionDatabase MakeFeed(size_t rows, size_t items, uint64_t seed) {
+  QuestParams params;
+  params.num_transactions = rows;
+  params.num_items = items;
+  params.avg_transaction_size = 8;
+  Rng rng(seed);
+  return GenerateQuest(params, &rng);
+}
+
+/// Runs one configuration through both paths; the streamed output is
+/// compared against the batch re-mine at every boundary.
+RunRecord RunConfig(const TransactionDatabase& feed, size_t window,
+                    size_t slide, size_t minsup) {
+  RunRecord rec;
+  rec.rows = feed.num_transactions();
+  rec.items = feed.num_items();
+  rec.window = window;
+  rec.slide = slide;
+  rec.minsup = minsup;
+
+  StreamOptions opts;
+  opts.slide_rows = slide;
+  StreamMiner miner(feed.num_items(), minsup, window, opts);
+  StopWatch watch;
+  for (size_t t = 0; t < feed.num_transactions(); ++t) {
+    if (!miner.Push(feed.row(t))) continue;
+    watch.Lap();
+    StreamWindowResult repaired = miner.AdvanceWindow();
+    rec.repair_ms += watch.LapMillis();
+
+    watch.Lap();
+    TransactionDatabase snapshot = miner.WindowSnapshot();
+    AprioriResult batch = MineFrequentSets(&snapshot, minsup);
+    rec.batch_ms += watch.LapMillis();
+
+    ++rec.boundaries;
+    rec.evaluations += repaired.evaluations;
+    rec.reused += repaired.reused;
+    rec.agree = rec.agree && SameWindow(repaired, batch);
+  }
+  rec.windows_per_sec = rec.repair_ms > 0.0
+                            ? 1000.0 * static_cast<double>(rec.boundaries) /
+                                  rec.repair_ms
+                            : 0.0;
+  rec.repair_speedup =
+      rec.repair_ms > 0.0 ? rec.batch_ms / rec.repair_ms : 0.0;
+  return rec;
+}
+
+/// CI perf smoke: one small fixture; exit 1 on any boundary mismatch or
+/// when repair does not beat per-window re-mining end to end.  Emits
+/// BENCH_stream_quick.json — the envelope scripts/bench_gate.sh diffs
+/// against the committed bench/baselines/ copy.
+int RunQuick(hgm::bench::BenchHarness& harness) {
+  TransactionDatabase feed = MakeFeed(6000, 60, 2023);
+  RunRecord rec = RunConfig(feed, 1000, 250, 25);
+  std::cout << "perf smoke: " << rec.boundaries << " boundaries, repair "
+            << rec.repair_ms << " ms vs batch re-mine " << rec.batch_ms
+            << " ms, speedup " << rec.repair_speedup << " (must be > 1), "
+            << rec.evaluations << " fresh / " << rec.reused << " reused\n";
+  std::ostringstream quick;
+  quick << "{\"rows\": " << rec.rows << ", \"window\": " << rec.window
+        << ", \"slide\": " << rec.slide << ", \"minsup\": " << rec.minsup
+        << ", \"boundaries\": " << rec.boundaries
+        << ", \"evaluations\": " << rec.evaluations
+        << ", \"reused\": " << rec.reused
+        << ", \"repair_ms\": " << rec.repair_ms
+        << ", \"batch_ms\": " << rec.batch_ms
+        << ", \"repair_speedup\": " << rec.repair_speedup
+        << ", \"agree\": " << (rec.agree ? "true" : "false") << "}";
+  harness.AddPayload("quick", quick.str());
+  int failures = 0;
+  if (!rec.agree) {
+    std::cout << "FAIL: streamed borders differ from batch re-mining\n";
+    failures = 1;
+  } else if (rec.repair_speedup <= 1.0) {
+    std::cout << "FAIL: incremental repair did not beat per-window "
+                 "batch re-mining\n";
+    failures = 1;
+  } else {
+    std::cout << "OK\n";
+  }
+  return harness.Finish(failures);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hgm::bench::BenchHarness harness("bench_stream", argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {
+    harness.SetDefaultOutPath("BENCH_stream_quick.json");
+    return RunQuick(harness);
+  }
+
+  obs::EnableMetrics(true);
+  std::vector<RunRecord> records;
+  int failures = 0;
+
+  struct Shape {
+    size_t window, slide;
+  };
+  const Shape kShapes[] = {{2000, 2000}, {2000, 500}, {4000, 500}};
+  const size_t kRows = 40000;
+  const size_t kItems = 100;
+  TransactionDatabase feed = MakeFeed(kRows, kItems, 2023);
+
+  std::cout << "=== stream repair vs batch re-mine, |feed| = " << kRows
+            << ", minsup = 2.5% of window ===\n\n";
+  TablePrinter sweep({"window", "slide", "bounds", "fresh", "reused",
+                      "repair ms", "batch ms", "win/s", "speedup",
+                      "identical"});
+  for (const Shape& shape : kShapes) {
+    RunRecord rec =
+        RunConfig(feed, shape.window, shape.slide, shape.window / 40);
+    if (!rec.agree) ++failures;
+    sweep.NewRow()
+        .Add(rec.window)
+        .Add(rec.slide)
+        .Add(rec.boundaries)
+        .Add(rec.evaluations)
+        .Add(rec.reused)
+        .Add(rec.repair_ms, 2)
+        .Add(rec.batch_ms, 2)
+        .Add(rec.windows_per_sec, 1)
+        .Add(rec.repair_speedup, 2)
+        .Add(rec.agree ? "yes" : "NO");
+    records.push_back(rec);
+  }
+  sweep.Print();
+  std::cout << "\nshape: a boundary's repair touches exactly the new "
+               "Th ∪ Bd- (plus ∅);\ncandidates already tracked are "
+               "answered from the incrementally\nmaintained supports "
+               "(`reused`), so only border churn pays full-window\ncounts "
+               "(`fresh`).  Batch re-mining pays the whole Theorem-10 "
+               "population\nevery boundary; the gap between the two ms "
+               "columns is the point.\n";
+
+  harness.AddPayload("runs", RunsJson(records));
+  std::cout << (failures == 0 ? "ALL BOUNDARIES AGREE\n" : "MISMATCH\n");
+  return harness.Finish(failures);
+}

@@ -8,11 +8,27 @@
 //                   [--deadline-ms=N] [--max-queries=N]
 //                   [--checkpoint=<path>] [--resume=<path>]
 //                   [--chaos-seed=N] [--exact-border]
+//   hgmine_cli follow <basket-file|-> <min-support> --window=N [--slide=M]
+//                   [--items=U] [--cross-check] [--metrics=<path|->]
+//                   [--trace=<path>] [--report=<path|->] [--flight=<path>]
+//                   [--deadline-ms=N] [--max-queries=N]
+//                   [--checkpoint=<path>]
 //   hgmine_cli demo
 //
 // Basket format: one transaction per line, whitespace-separated item ids;
 // '#' comments.  `demo` writes a small file and mines it, so the tool is
 // runnable with no inputs.
+//
+// `follow` consumes an append-only basket stream ('-' reads stdin) through
+// the incremental StreamMiner: a sliding window of N rows advancing M rows
+// at a time (default M = N, a tumbling window), the borders repaired at
+// each boundary instead of re-mined.  One summary line is printed per
+// window boundary; --report emits one run-report envelope per boundary
+// ('-' streams them to stdout, a path gets a .w<k>.json suffix per
+// boundary).  --deadline-ms / --max-queries budget each boundary's repair;
+// a trip prints the certified prefix, saves --checkpoint if given, and
+// exits 3.  --cross-check re-derives Bd- from Th via the Theorem-7 Berge
+// dualization at every boundary and aborts on drift.
 //
 // --shards=K       mines through the sharded partition backend (K row
 //                  shards, two-phase confirmation) instead of the
@@ -57,6 +73,7 @@
 #include <iostream>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "common/parse.h"
@@ -68,6 +85,7 @@
 #include "mining/partition.h"
 #include "mining/rules.h"
 #include "mining/sharded_db.h"
+#include "mining/stream.h"
 #include "mining/transaction_db.h"
 #include "obs/bound_report.h"
 #include "obs/export.h"
@@ -90,6 +108,12 @@ int Usage() {
          "                  [--deadline-ms=N] [--max-queries=N]\n"
          "                  [--checkpoint=<path>] [--resume=<path>]\n"
          "                  [--chaos-seed=N] [--exact-border]\n"
+         "       hgmine_cli follow <basket-file|-> <min-support> --window=N\n"
+         "                  [--slide=M] [--items=U] [--cross-check]\n"
+         "                  [--metrics=<path|->] [--trace=<path>]\n"
+         "                  [--report=<path|->] [--flight=<path>]\n"
+         "                  [--deadline-ms=N] [--max-queries=N]\n"
+         "                  [--checkpoint=<path>]\n"
          "       hgmine_cli demo\n";
   return 2;
 }
@@ -114,6 +138,7 @@ int ExportMetrics(const std::string& dest) {
   const bool have_levelwise = snap.GaugeValue("levelwise.last_width") != 0;
   const bool have_da = snap.GaugeValue("da.last_width") != 0;
   const bool have_partition = snap.GaugeValue("partition.last_shards") != 0;
+  const bool have_stream = snap.GaugeValue("stream.last_window_rows") != 0;
   if (dest == "-") {
     std::cout << "\ntelemetry:\n";
     obs::PrintMetricsTable(snap, std::cout);
@@ -128,6 +153,10 @@ int ExportMetrics(const std::string& dest) {
     if (have_partition) {
       std::cout << "\npartition bound report:\n";
       obs::PartitionBoundReportFromRegistry(snap).Print(std::cout);
+    }
+    if (have_stream) {
+      std::cout << "\nstream bound report (last boundary):\n";
+      obs::StreamBoundReportFromRegistry(snap).Print(std::cout);
     }
     return 0;
   }
@@ -150,6 +179,10 @@ int ExportMetrics(const std::string& dest) {
     out << ",\n\"partition_bounds\": ";
     obs::PartitionBoundReportFromRegistry(snap).WriteJson(out, 2);
   }
+  if (have_stream) {
+    out << ",\n\"stream_bounds\": ";
+    obs::StreamBoundReportFromRegistry(snap).WriteJson(out, 2);
+  }
   out << "}\n";
   return 0;
 }
@@ -159,6 +192,292 @@ std::vector<std::string> ItemNames(size_t n) {
   names.reserve(n);
   for (size_t i = 0; i < n; ++i) names.push_back("i" + std::to_string(i));
   return names;
+}
+
+/// Per-boundary report destination: "-" streams envelopes to stdout; a
+/// path (with or without a trailing .json) becomes <base>.w<k>.json.
+std::string BoundaryReportPath(const std::string& base, size_t boundary) {
+  std::string stem = base;
+  const std::string ext = ".json";
+  if (stem.size() > ext.size() &&
+      stem.compare(stem.size() - ext.size(), ext.size(), ext) == 0) {
+    stem.resize(stem.size() - ext.size());
+  }
+  return stem + ".w" + std::to_string(boundary) + ".json";
+}
+
+/// The `follow` subcommand: incremental border maintenance over an
+/// append-only basket stream (see the file comment for semantics).
+int RunFollow(const std::vector<std::string>& args) {
+  using namespace hgm;
+  if (args.size() < 3) return Usage();
+  const std::string path = args[1];
+  uint64_t v = 0;
+  if (!ParseFlagUint("min-support", args[2],
+                     std::numeric_limits<uint32_t>::max(), &v)) {
+    return 2;
+  }
+  const size_t min_support = static_cast<size_t>(v);
+  uint64_t window_rows = 0, slide_rows = 0, num_items = 0;
+  uint64_t deadline_ms = 0, max_queries = 0;
+  bool cross_check = false;
+  std::string metrics_dest, trace_path, report_path, flight_path;
+  std::string checkpoint_path;
+  for (size_t i = 3; i < args.size(); ++i) {
+    if (args[i].rfind("--window=", 0) == 0) {
+      if (!ParseFlagUint("--window", args[i].substr(9), 1u << 30,
+                         &window_rows)) {
+        return 2;
+      }
+    } else if (args[i].rfind("--slide=", 0) == 0) {
+      if (!ParseFlagUint("--slide", args[i].substr(8), 1u << 30,
+                         &slide_rows)) {
+        return 2;
+      }
+    } else if (args[i].rfind("--items=", 0) == 0) {
+      if (!ParseFlagUint("--items", args[i].substr(8), 1u << 20,
+                         &num_items)) {
+        return 2;
+      }
+    } else if (args[i] == "--cross-check") {
+      cross_check = true;
+    } else if (args[i].rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseFlagUint("--deadline-ms", args[i].substr(14),
+                         std::numeric_limits<uint32_t>::max(),
+                         &deadline_ms)) {
+        return 2;
+      }
+    } else if (args[i].rfind("--max-queries=", 0) == 0) {
+      if (!ParseFlagUint("--max-queries", args[i].substr(14),
+                         std::numeric_limits<uint64_t>::max() - 1,
+                         &max_queries)) {
+        return 2;
+      }
+    } else if (args[i].rfind("--checkpoint=", 0) == 0) {
+      checkpoint_path = args[i].substr(13);
+      if (checkpoint_path.empty()) return Usage();
+    } else if (args[i].rfind("--metrics=", 0) == 0) {
+      metrics_dest = args[i].substr(10);
+      if (metrics_dest.empty()) return Usage();
+    } else if (args[i].rfind("--trace=", 0) == 0) {
+      trace_path = args[i].substr(8);
+      if (trace_path.empty()) return Usage();
+    } else if (args[i].rfind("--report=", 0) == 0) {
+      report_path = args[i].substr(9);
+      if (report_path.empty()) return Usage();
+    } else if (args[i].rfind("--flight=", 0) == 0) {
+      flight_path = args[i].substr(9);
+      if (flight_path.empty()) return Usage();
+    } else {
+      std::cerr << "error: unknown argument '" << args[i] << "'\n";
+      return Usage();
+    }
+  }
+  if (window_rows == 0) {
+    std::cerr << "error: follow requires --window=N (rows per window)\n";
+    return 2;
+  }
+  if (slide_rows == 0) slide_rows = window_rows;  // tumbling
+  if (window_rows % slide_rows != 0) {
+    std::cerr << "error: --slide must divide --window (expiry drops whole "
+                 "buckets)\n";
+    return 2;
+  }
+
+  const bool want_report = !report_path.empty();
+  if (!metrics_dest.empty() || want_report) obs::EnableMetrics(true);
+  if (!trace_path.empty() || want_report) obs::Tracer::Global().Start();
+  if (!flight_path.empty()) {
+    obs::FlightRecorder::Global().SetDumpPath(flight_path.c_str());
+    obs::FlightRecorder::Global().EnableDumpOnTrip(true);
+    obs::InstallCrashHandlers();
+  }
+
+  // The append-only stream, replayed in arrival order.  '-' reads stdin
+  // to EOF; a declared --items universe lets rows mention items the
+  // early stream prefix has not shown yet.
+  Result<TransactionDatabase> loaded = [&]() {
+    if (path != "-") {
+      return TransactionDatabase::LoadBasketFile(
+          path, static_cast<size_t>(num_items));
+    }
+    std::ostringstream text;
+    text << std::cin.rdbuf();
+    return TransactionDatabase::ParseBasketText(
+        text.str(), static_cast<size_t>(num_items), "<stdin>");
+  }();
+  if (!loaded.ok()) {
+    std::cerr << "error: " << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  TransactionDatabase feed = std::move(loaded.value());
+  std::cout << "following " << feed.num_transactions() << " rows over "
+            << feed.num_items() << " items from " << path << " (window "
+            << window_rows << ", slide " << slide_rows << ")\n";
+
+  StreamOptions sopts;
+  sopts.slide_rows = static_cast<size_t>(slide_rows);
+  sopts.cross_check_borders = cross_check;
+  sopts.budget.max_duration = std::chrono::milliseconds(deadline_ms);
+  sopts.budget.max_queries = max_queries;
+  StreamMiner miner(feed.num_items(), min_support,
+                    static_cast<size_t>(window_rows), sopts);
+
+  // One envelope per boundary: fingerprint of the window's rows, the
+  // boundary's border/accounting stats, the stream bound report, and the
+  // cumulative telemetry/flight ring at that point.
+  auto write_boundary_report = [&](const StreamWindowResult& r,
+                                   double wall_ms,
+                                   const std::string& cp_written) -> int {
+    if (!want_report) return 0;
+    obs::RunReport report;
+    report.kind = "stream";
+    report.name = "hgmine_cli follow";
+    report.host = obs::CollectHostInfo();
+    report.build = obs::CollectBuildInfo();
+    report.args = args;
+    report.wall_ms = wall_ms;
+    report.AddConfig("min_support", static_cast<uint64_t>(min_support));
+    report.AddConfig("window_rows", window_rows);
+    report.AddConfig("slide_rows", slide_rows);
+    report.AddConfig("window_index", static_cast<uint64_t>(r.window_index));
+    report.AddConfig("frequent", static_cast<uint64_t>(r.frequent.size()));
+    report.AddConfig("maximal", static_cast<uint64_t>(r.maximal.size()));
+    report.AddConfig("negative_border",
+                     static_cast<uint64_t>(r.negative_border.size()));
+    report.AddConfig("evaluations", r.evaluations);
+    report.AddConfig("reused", r.reused);
+    report.AddConfig("promoted", static_cast<uint64_t>(r.promoted));
+    report.AddConfig("demoted", static_cast<uint64_t>(r.demoted));
+    obs::DatasetInfo ds;
+    ds.path = path;
+    ds.rows = r.rows_in_window;
+    ds.items = feed.num_items();
+    obs::Fnv1a64 hash;
+    hash.UpdateU64(feed.num_items());
+    TransactionDatabase window = miner.WindowSnapshot();
+    for (const Bitset& row : window.rows()) {
+      for (uint64_t w : row.words()) hash.UpdateU64(w);
+    }
+    ds.fingerprint = hash.HexDigest();
+    report.dataset = ds;
+    obs::BudgetOutcome outcome;
+    outcome.stop_reason = StopReasonName(r.stop_reason);
+    outcome.queries = r.evaluations;
+    outcome.deadline_ms = deadline_ms;
+    outcome.max_queries = max_queries;
+    report.budget = outcome;
+    if (!cp_written.empty()) {
+      obs::CheckpointLineage lineage;
+      lineage.written_to = cp_written;
+      lineage.kind = "stream";
+      report.checkpoint = lineage;
+    }
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+    if (r.stop_reason == StopReason::kCompleted) {
+      // The stream.last_* gauges belong to this completed boundary; a
+      // tripped boundary never set them.
+      report.bounds.emplace_back("stream",
+                                 obs::StreamBoundReportFromRegistry(snap));
+    }
+    report.metrics = std::move(snap);
+    report.phases = obs::Tracer::Global().PhaseTotals();
+    report.memory = obs::ReadMemory();
+    if (obs::AllocationCountingAvailable()) {
+      report.alloc = obs::GlobalAllocStats();
+    }
+    report.flight = obs::FlightRecorder::Global().Snapshot();
+    if (report_path == "-") {
+      report.WriteJson(std::cout);
+      return 0;
+    }
+    const std::string dest = BoundaryReportPath(report_path, r.window_index);
+    std::ofstream out(dest);
+    if (!out) {
+      std::cerr << "error: cannot write run report to " << dest << "\n";
+      return 1;
+    }
+    report.WriteJson(out);
+    return 0;
+  };
+
+  int rc = 0;
+  size_t boundaries = 0;
+  for (const Bitset& row : feed.rows()) {
+    if (!miner.Push(row)) continue;
+    const auto t0 = std::chrono::steady_clock::now();
+    StreamWindowResult r = miner.AdvanceWindow();
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    if (r.stop_reason != StopReason::kCompleted) {
+      std::cout << "window " << r.window_index << ": stopped early ("
+                << StopReasonName(r.stop_reason)
+                << "); borders above level "
+                << (r.frequent.empty() ? 0
+                                       : r.frequent.back().items.Count())
+                << " are the certified prefix\n";
+      std::string cp_written;
+      if (!checkpoint_path.empty()) {
+        if (!r.checkpoint) {
+          std::cerr << "error: budget tripped but no checkpoint was "
+                       "produced\n";
+          return 1;
+        }
+        Status s = SaveCheckpointFile(*r.checkpoint, checkpoint_path);
+        if (!s.ok()) {
+          std::cerr << "error: " << s.ToString() << "\n";
+          return 1;
+        }
+        cp_written = checkpoint_path;
+        std::cout << "checkpoint written to " << checkpoint_path << "\n";
+      }
+      if (write_boundary_report(r, wall_ms, cp_written) != 0) return 1;
+      return 3;
+    }
+    std::cout << "window " << r.window_index << ": rows="
+              << r.rows_in_window << " frequent=" << r.frequent.size()
+              << " bd+=" << r.maximal.size()
+              << " bd-=" << r.negative_border.size() << " fresh="
+              << r.evaluations << " reused=" << r.reused << " (+"
+              << r.promoted << "/-" << r.demoted << ")\n";
+    if (write_boundary_report(r, wall_ms, "") != 0) rc = 1;
+    ++boundaries;
+  }
+  if (boundaries == 0) {
+    std::cerr << "error: stream ended before the first slide filled ("
+              << feed.num_transactions() << " rows < " << slide_rows
+              << ")\n";
+    return 1;
+  }
+  const size_t buffered =
+      feed.num_transactions() - boundaries * static_cast<size_t>(slide_rows);
+  if (buffered > 0) {
+    std::cout << buffered << " trailing rows buffered (slide not full)\n";
+  }
+  std::vector<TiltedSummary> history = miner.TiltedHistory();
+  if (!history.empty()) {
+    std::cout << "tilted history (oldest first):";
+    for (const TiltedSummary& cell : history) {
+      std::cout << " " << cell.rows << "r/" << cell.buckets << "b";
+    }
+    std::cout << "\n";
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer::Global().Stop();
+    std::ofstream out(trace_path);
+    if (out) {
+      obs::Tracer::Global().WriteJson(out);
+    } else {
+      std::cerr << "error: cannot write trace to " << trace_path << "\n";
+      rc = 1;
+    }
+  }
+  if (!metrics_dest.empty()) {
+    int metrics_rc = ExportMetrics(metrics_dest);
+    if (metrics_rc != 0) rc = metrics_rc;
+  }
+  return rc;
 }
 
 }  // namespace
@@ -177,6 +496,7 @@ int main(int argc, char** argv) {
         << "0 1 2\n0 1 2\n1 3\n1 3\n0 3\n";
     args = {"mine", path, "2", "--rules", "0.6", "--maximal", "--closed"};
   }
+  if (args[0] == "follow" || args[0] == "--follow") return RunFollow(args);
   if (args.size() < 3 || args[0] != "mine") return Usage();
   path = args[1];
   {

@@ -11,30 +11,34 @@
 #   5. robustness             ctest -L robustness on the plain build
 #                             (budget trips, checkpoint/resume identity,
 #                             the seeded chaos matrix, the CLI smoke)
-#   6. perf smoke             ctest -L perf on the plain build
-#                             (bench_partition --quick: K=4 x T=4 within
-#                             1.2x the single-thread Apriori wall clock)
-#   7. bench regression gate  scripts/bench_gate.sh: comparator self-test,
-#                             then the --quick hgm.run_report envelope
+#   6. stream identity        ctest -L stream on the plain build (every
+#                             window boundary's streamed borders equal the
+#                             batch re-mine, incl. trip + resume; repair
+#                             beats re-mining in the perf smoke)
+#   7. perf smoke             ctest -L perf on the plain build
+#                             (bench_partition / bench_stream --quick
+#                             fixtures with their wall-clock budgets)
+#   8. bench regression gate  scripts/bench_gate.sh: comparator self-test,
+#                             then each --quick hgm.run_report envelope
 #                             diffed against bench/baselines/ (counts
 #                             exact, timings ratio-thresholded).  Skipped
 #                             when python3 is not installed.
-#   8. audited build          -DHGMINE_AUDIT=ON, full ctest with every
+#   9. audited build          -DHGMINE_AUDIT=ON, full ctest with every
 #                             paper-contract auditor live
-#   9. thread-safety          clang -Wthread-safety -Werror=thread-safety
+#  10. thread-safety          clang -Wthread-safety -Werror=thread-safety
 #                             build (the `analyze` preset's configuration;
 #                             compile-only).  Skipped when clang is not
 #                             installed, like the lint stages.
-#  10. invariant queries      clang-query rule selftest + the rules over
+#  11. invariant queries      clang-query rule selftest + the rules over
 #                             src/ (scripts/lint_query_selftest.sh; also
 #                             part of stage 1's lint.sh).  Skipped when
 #                             clang-query is not installed.
-#  11. ASan+UBSan build       HGMINE_SANITIZE=address
-#  12. TSan build             HGMINE_SANITIZE=thread (parallel batch
+#  12. ASan+UBSan build       HGMINE_SANITIZE=address
+#  13. TSan build             HGMINE_SANITIZE=thread (parallel batch
 #                             layer; full ctest includes the chaos suite,
 #                             so fault injection runs under TSan too)
 #
-# Stages 11 and 12 are skipped with --fast.  Build dirs are check-* so
+# Stages 12 and 13 are skipped with --fast.  Build dirs are check-* so
 # they never collide with a developer's build/.
 #
 # Usage: scripts/check.sh [--fast]
@@ -84,9 +88,17 @@ echo "==== check: robustness ===="
 # checkpoint parser hardening, and the CLI fault-tolerance smoke.
 (cd check-plain && ctest -L robustness --output-on-failure -j "$JOBS")
 
+echo "==== check: stream identity ===="
+# Streamed Th / Bd+ / Bd- bit-identical to batch re-mining at every
+# window boundary (including budget trip + resume), and the incremental
+# repair beating per-window re-mining in the perf smoke.
+(cd check-plain && ctest -L stream --output-on-failure)
+
 echo "==== check: perf smoke ===="
 # bench_partition --quick: partition(K=4, T=4) must match Apriori's
 # output exactly and finish within 1.2x its single-thread wall clock.
+# bench_stream --quick: streamed borders identical to batch re-mining
+# with the summed repair time beating the summed re-mine time.
 (cd check-plain && ctest -L perf --output-on-failure)
 
 echo "==== check: bench regression gate ===="
@@ -98,6 +110,8 @@ echo "==== check: bench regression gate ===="
 if command -v python3 > /dev/null 2>&1; then
   scripts/bench_gate.sh check-plain/bench/bench_partition \
     bench/baselines/BENCH_partition_quick.json
+  scripts/bench_gate.sh check-plain/bench/bench_stream \
+    bench/baselines/BENCH_stream_quick.json
 else
   echo "bench gate: skipped (python3 not installed)"
 fi

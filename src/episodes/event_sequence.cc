@@ -1,18 +1,25 @@
 #include "episodes/event_sequence.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace hgm {
 
 void EventSequence::AddEvent(int64_t time, size_t type) {
-  assert(type < num_types_);
-  assert(events_.empty() || time >= events_.back().time);
+  // Always-on: episode miners index bitsets by type and binary-search by
+  // time, so an out-of-alphabet type or a time regression would corrupt
+  // results silently in release builds if these were plain asserts.
+  HGMINE_CHECK(type < num_types_)
+      << "event type " << type << " outside alphabet of " << num_types_;
+  HGMINE_CHECK(events_.empty() || time >= events_.back().time)
+      << "event times must be non-decreasing: " << time << " after "
+      << events_.back().time;
   events_.push_back(Event{time, type});
 }
 
 size_t EventSequence::NumWindows(int64_t width) const {
-  assert(width >= 1);
+  HGMINE_CHECK(width >= 1) << "window width " << width;
   if (events_.empty()) return 0;
   // Starts from min_time - width + 1 to max_time inclusive.
   return static_cast<size_t>(max_time() - (min_time() - width + 1) + 1);
@@ -41,7 +48,9 @@ EventSequence RandomSequence(size_t length, size_t num_types, Rng* rng) {
 EventSequence SequenceWithPlantedPattern(size_t length, size_t num_types,
                                          const std::vector<size_t>& pattern,
                                          size_t period, Rng* rng) {
-  assert(period >= pattern.size() && period > 0);
+  HGMINE_CHECK(period >= pattern.size() && period > 0)
+      << "period " << period << " cannot hold a pattern of "
+      << pattern.size();
   EventSequence seq(num_types);
   size_t in_pattern = 0;
   for (size_t t = 0; t < length; ++t) {

@@ -71,10 +71,21 @@ MinepiResult MineMinimalOccurrences(const EventSequence& seq,
                           {{"events", seq.size()},
                            {"types", seq.num_types()}});
   const size_t num_types = seq.num_types();
+  BudgetTracker tracker(params.budget);
 
   auto count = [&](const SerialEpisode& e) {
     ++result.occurrence_scans;
     return FindMinimalOccurrences(seq, e, params.max_width).size();
+  };
+
+  // Certified-prefix rollback: a trip mid-level drops that level's
+  // partial tallies so `frequent` covers exactly the completed levels.
+  auto trip_at_level = [&](StopReason reason, size_t appended) {
+    result.frequent.resize(result.frequent.size() - appended);
+    size_t done = result.candidates_per_level.size() - 1;
+    result.candidates_per_level.resize(done);
+    result.frequent_per_level.resize(done);
+    result.stop_reason = reason;
   };
 
   // Level 1.
@@ -82,14 +93,33 @@ MinepiResult MineMinimalOccurrences(const EventSequence& seq,
   result.candidates_per_level.assign(2, 0);
   result.frequent_per_level.assign(2, 0);
   result.candidates_per_level[1] = num_types;
-  for (size_t type = 0; type < num_types; ++type) {
-    SerialEpisode e{type};
-    size_t occ = count(e);
-    if (occ >= params.min_occurrences) {
-      result.frequent.push_back({e, occ});
-      level.push_back(std::move(e));
+  {
+    StopReason r = tracker.CheckBeforeBatch(num_types, 0);
+    if (r != StopReason::kCompleted) {
+      trip_at_level(r, 0);
+      return result;
     }
   }
+  size_t appended = 0;
+  for (size_t type = 0; type < num_types; ++type) {
+    // Each occurrence scan is O(events); polling between scans keeps the
+    // deadline responsive without touching the scan inner loop.
+    StopReason r = tracker.CheckBoundary();
+    if (r != StopReason::kCompleted) {
+      trip_at_level(r, appended);
+      return result;
+    }
+    SerialEpisode e{type};
+    size_t occ = count(e);
+    // occ > 0: a zero min_occurrences must not admit episodes that never
+    // occur (the WINEPI MinSupportFor clamp, in occurrence-count terms).
+    if (occ >= params.min_occurrences && occ > 0) {
+      result.frequent.push_back({e, occ});
+      level.push_back(std::move(e));
+      ++appended;
+    }
+  }
+  tracker.ChargeQueries(num_types);
   result.frequent_per_level[1] = level.size();
 
   // Levels k -> k+1 via the prefix/suffix join.  Monotonicity of the
@@ -115,14 +145,29 @@ MinepiResult MineMinimalOccurrences(const EventSequence& seq,
                      candidates.end());
     result.candidates_per_level.push_back(candidates.size());
 
-    std::vector<SerialEpisode> next;
-    for (auto& cand : candidates) {
-      size_t occ = count(cand);
-      if (occ >= params.min_occurrences) {
-        result.frequent.push_back({cand, occ});
-        next.push_back(std::move(cand));
+    {
+      StopReason r = tracker.CheckBeforeBatch(candidates.size(), 0);
+      if (r != StopReason::kCompleted) {
+        trip_at_level(r, 0);
+        return result;
       }
     }
+    size_t level_appended = 0;
+    std::vector<SerialEpisode> next;
+    for (auto& cand : candidates) {
+      StopReason r = tracker.CheckBoundary();
+      if (r != StopReason::kCompleted) {
+        trip_at_level(r, level_appended);
+        return result;
+      }
+      size_t occ = count(cand);
+      if (occ >= params.min_occurrences && occ > 0) {
+        result.frequent.push_back({cand, occ});
+        next.push_back(std::move(cand));
+        ++level_appended;
+      }
+    }
+    tracker.ChargeQueries(candidates.size());
     result.frequent_per_level.push_back(next.size());
     level_span.AddArg("candidates", candidates.size());
     level_span.AddArg("frequent", next.size());

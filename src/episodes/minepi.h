@@ -44,6 +44,9 @@ struct MinepiParams {
   size_t min_occurrences = 5;
   /// Stop after episodes of this size.
   size_t max_size = 8;
+  /// Resource envelope, enforced at level boundaries and polled between
+  /// occurrence scans; see WinepiParams::budget for the contract.
+  RunBudget budget;
 };
 
 /// A frequent serial episode with its minimal-occurrence count.
@@ -66,6 +69,10 @@ struct MinepiResult {
   std::vector<size_t> candidates_per_level;
   std::vector<size_t> frequent_per_level;
   uint64_t occurrence_scans = 0;
+  /// kCompleted for a total result; otherwise `frequent` is the certified
+  /// completed-level prefix (a trip mid-level discards that level's
+  /// partial counts).
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
 /// Levelwise MINEPI over serial episodes.

@@ -49,7 +49,39 @@ bool SerialOccursInRange(const EventSequence& seq, size_t lo, size_t hi,
 size_t MinSupportFor(double min_frequency, size_t num_windows) {
   double target = min_frequency * static_cast<double>(num_windows);
   auto support = static_cast<size_t>(std::ceil(target - 1e-9));
-  return support;
+  // Clamp: min_frequency = 0 would otherwise admit episodes occurring in
+  // zero windows (support 0), flooding the result with the whole lattice
+  // up to max_size.  "Frequent" always means "occurs at least once".
+  return support < 1 ? 1 : support;
+}
+
+/// SerialEpisodeFrequency with mid-scan budget polling: a WINEPI serial
+/// scan walks every sliding window, so for long sequences a single
+/// candidate's scan can dwarf the level loop — the deadline and the
+/// cancellation token are polled every kScanPollStride windows.  On a
+/// trip \p stop is set and the returned count is meaningless.
+double SerialFrequencyBudgeted(const EventSequence& seq,
+                               const SerialEpisode& episode,
+                               int64_t window_width, BudgetTracker* tracker,
+                               StopReason* stop) {
+  constexpr size_t kScanPollStride = 4096;
+  if (seq.size() == 0) return 0.0;
+  const int64_t base = seq.min_time() - window_width + 1;
+  const size_t num_windows = seq.NumWindows(window_width);
+  size_t hits = 0;
+  for (size_t w = 0; w < num_windows; ++w) {
+    if (w % kScanPollStride == 0) {
+      StopReason r = tracker->CheckBoundary();
+      if (r != StopReason::kCompleted) {
+        *stop = r;
+        return 0.0;
+      }
+    }
+    int64_t start = base + static_cast<int64_t>(w);
+    auto [lo, hi] = seq.WindowRange(start, window_width);
+    if (SerialOccursInRange(seq, lo, hi, episode)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(num_windows);
 }
 
 }  // namespace
@@ -88,8 +120,13 @@ ParallelWinepiResult MineParallelEpisodes(const EventSequence& seq,
   const size_t num_windows = db.num_transactions();
   AprioriOptions opts;
   opts.max_level = params.max_size;
+  // The window database reduces parallel WINEPI to frequent-set mining,
+  // so budget enforcement rides on Apriori's level-boundary checks; a
+  // trip surfaces as the completed-level prefix with its stop reason.
+  opts.budget = params.budget;
   AprioriResult mined = MineFrequentSets(
       &db, MinSupportFor(params.min_frequency, num_windows), opts);
+  result.stop_reason = mined.stop_reason;
   for (const auto& f : mined.frequent) {
     if (f.items.None()) continue;  // the empty episode is not reported
     result.frequent.push_back(
@@ -114,21 +151,52 @@ SerialWinepiResult MineSerialEpisodes(const EventSequence& seq,
                           {{"events", seq.size()},
                            {"types", seq.num_types()}});
   const size_t num_types = seq.num_types();
+  BudgetTracker tracker(params.budget);
+
+  // A trip mid-level discards that level's partial tallies so the result
+  // is exactly the completed-level prefix: drop the frequents appended at
+  // the aborted level and truncate the per-level vectors to the levels
+  // that finished.
+  auto trip_at_level = [&](StopReason reason, size_t appended) {
+    result.frequent.resize(result.frequent.size() - appended);
+    size_t done = result.candidates_per_level.size() - 1;
+    result.candidates_per_level.resize(done);
+    result.frequent_per_level.resize(done);
+    result.stop_reason = reason;
+  };
 
   // Level 1: single event types.
   std::vector<SerialEpisode> level;
   result.candidates_per_level.assign(2, 0);
   result.frequent_per_level.assign(2, 0);
   result.candidates_per_level[1] = num_types;
-  for (size_t type = 0; type < num_types; ++type) {
-    SerialEpisode e{type};
-    ++result.frequency_evaluations;
-    double freq = SerialEpisodeFrequency(seq, e, params.window_width);
-    if (freq + 1e-12 >= params.min_frequency) {
-      result.frequent.push_back({e, freq});
-      level.push_back(std::move(e));
+  {
+    StopReason r = tracker.CheckBeforeBatch(num_types, 0);
+    if (r != StopReason::kCompleted) {
+      trip_at_level(r, 0);
+      return result;
     }
   }
+  size_t appended = 0;
+  for (size_t type = 0; type < num_types; ++type) {
+    SerialEpisode e{type};
+    StopReason r = StopReason::kCompleted;
+    double freq = SerialFrequencyBudgeted(seq, e, params.window_width,
+                                          &tracker, &r);
+    if (r != StopReason::kCompleted) {
+      trip_at_level(r, appended);
+      return result;
+    }
+    ++result.frequency_evaluations;
+    // freq > 0: the MinSupportFor clamp for the serial path — a zero
+    // min_frequency must not admit episodes occurring in no window.
+    if (freq + 1e-12 >= params.min_frequency && freq > 0) {
+      result.frequent.push_back({e, freq});
+      level.push_back(std::move(e));
+      ++appended;
+    }
+  }
+  tracker.ChargeQueries(num_types);
   result.frequent_per_level[1] = level.size();
 
   for (size_t k = 1; !level.empty() && k < params.max_size; ++k) {
@@ -162,15 +230,31 @@ SerialWinepiResult MineSerialEpisodes(const EventSequence& seq,
                      candidates.end());
     result.candidates_per_level.push_back(candidates.size());
 
-    std::vector<SerialEpisode> next;
-    for (auto& cand : candidates) {
-      ++result.frequency_evaluations;
-      double freq = SerialEpisodeFrequency(seq, cand, params.window_width);
-      if (freq + 1e-12 >= params.min_frequency) {
-        result.frequent.push_back({cand, freq});
-        next.push_back(std::move(cand));
+    {
+      StopReason r = tracker.CheckBeforeBatch(candidates.size(), 0);
+      if (r != StopReason::kCompleted) {
+        trip_at_level(r, 0);
+        return result;
       }
     }
+    size_t level_appended = 0;
+    std::vector<SerialEpisode> next;
+    for (auto& cand : candidates) {
+      StopReason r = StopReason::kCompleted;
+      double freq = SerialFrequencyBudgeted(seq, cand, params.window_width,
+                                            &tracker, &r);
+      if (r != StopReason::kCompleted) {
+        trip_at_level(r, level_appended);
+        return result;
+      }
+      ++result.frequency_evaluations;
+      if (freq + 1e-12 >= params.min_frequency && freq > 0) {
+        result.frequent.push_back({cand, freq});
+        next.push_back(std::move(cand));
+        ++level_appended;
+      }
+    }
+    tracker.ChargeQueries(candidates.size());
     result.frequent_per_level.push_back(next.size());
     level_span.AddArg("candidates", candidates.size());
     level_span.AddArg("frequent", next.size());

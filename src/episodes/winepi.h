@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/run_budget.h"
 #include "episodes/event_sequence.h"
 
 namespace hgm {
@@ -32,10 +33,17 @@ using SerialEpisode = std::vector<size_t>;
 struct WinepiParams {
   /// Sliding-window width (time units).
   int64_t window_width = 10;
-  /// Minimum fraction of windows that must contain the episode.
+  /// Minimum fraction of windows that must contain the episode.  A zero
+  /// (or vanishingly small) threshold is clamped so that episodes never
+  /// occurring in any window are still infrequent.
   double min_frequency = 0.1;
   /// Stop after episodes of this size.
   size_t max_size = 8;
+  /// Resource envelope, enforced at level boundaries (and polled inside
+  /// the serial window scans); a default budget never trips.  A tripped
+  /// run stops with the completed-level prefix and a non-kCompleted
+  /// stop_reason — the same certified-partial contract as the set miners.
+  RunBudget budget;
 };
 
 /// A frequent parallel episode with its window frequency.
@@ -57,6 +65,9 @@ struct ParallelWinepiResult {
   std::vector<size_t> candidates_per_level;
   std::vector<size_t> frequent_per_level;
   uint64_t frequency_evaluations = 0;
+  /// kCompleted for a total result; otherwise `frequent` is the certified
+  /// completed-level prefix at the boundary where the budget tripped.
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
 /// Output of serial-episode mining.
@@ -65,6 +76,10 @@ struct SerialWinepiResult {
   std::vector<size_t> candidates_per_level;
   std::vector<size_t> frequent_per_level;
   uint64_t frequency_evaluations = 0;
+  /// kCompleted for a total result; otherwise the certified prefix, as
+  /// above.  A trip mid-level discards that level's partial counts so
+  /// the prefix is exactly the completed levels.
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
 /// Fraction of windows containing every type of \p types.

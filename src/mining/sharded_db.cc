@@ -26,14 +26,30 @@ ShardedTransactionDatabase ShardedTransactionDatabase::Split(
     out.shards_.push_back(std::move(shard));
     out.manifest_.push_back(ShardManifestEntry{begin, end, 0, 0});
   }
+  out.base_generations_.reserve(out.shards_.size());
+  for (const TransactionDatabase& shard : out.shards_) {
+    out.base_generations_.push_back(shard.generation());
+  }
   return out;
 }
 
+void ShardedTransactionDatabase::CheckShardsFresh() const {
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    HGMINE_CHECK(shards_[k].generation() == base_generations_[k])
+        << "shard " << k << " mutated after Split (generation "
+        << shards_[k].generation() << " vs " << base_generations_[k]
+        << "): the row-range manifest and num_transactions() are stale; "
+           "re-Split instead of appending to shards";
+  }
+}
+
 void ShardedTransactionDatabase::EnsureVerticalIndexes() {
+  CheckShardsFresh();
   for (TransactionDatabase& shard : shards_) shard.EnsureVerticalIndex();
 }
 
 size_t ShardedTransactionDatabase::Support(const Bitset& itemset) const {
+  CheckShardsFresh();
   size_t total = 0;
   for (const TransactionDatabase& shard : shards_) {
     total += shard.Support(itemset);
@@ -49,6 +65,7 @@ bool ShardedTransactionDatabase::SupportAtLeast(const Bitset& itemset,
 
 bool ShardedTransactionDatabase::SupportAtLeastPrebuilt(
     const Bitset& itemset, size_t threshold) const {
+  CheckShardsFresh();
   if (threshold == 0) return true;
   if (threshold > num_rows_) return false;
   size_t count = 0;
@@ -61,6 +78,7 @@ bool ShardedTransactionDatabase::SupportAtLeastPrebuilt(
 
 bool ShardedTransactionDatabase::SupportAtLeastPrebuilt(
     const Bitset& itemset, size_t threshold, ThreadPool* pool) const {
+  CheckShardsFresh();
   if (threshold == 0) return true;
   if (threshold > num_rows_) return false;
   ThreadPool* p = PoolOrGlobal(pool);
@@ -141,6 +159,7 @@ std::vector<size_t> ShardedTransactionDatabase::CountSupports(
 
 std::vector<size_t> ShardedTransactionDatabase::LocalThresholds(
     size_t min_support) const {
+  CheckShardsFresh();
   std::vector<size_t> thresholds;
   thresholds.reserve(shards_.size());
   for (const TransactionDatabase& shard : shards_) {

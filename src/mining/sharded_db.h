@@ -65,6 +65,12 @@ class ShardedTransactionDatabase {
   size_t num_shards() const { return shards_.size(); }
   size_t num_transactions() const { return num_rows_; }
 
+  /// Mutable shard access exists for single-threaded setup only (lazy
+  /// vertical-index builds, PrefixCoverCache construction in the partition
+  /// miner).  Appending rows through it desyncs the shard from the
+  /// row-range manifest and num_transactions(); every counting entry
+  /// point checks the shards against the generations captured at Split
+  /// and aborts on drift.
   TransactionDatabase& shard(size_t k) { return shards_[k]; }
   const TransactionDatabase& shard(size_t k) const { return shards_[k]; }
   const std::vector<ShardManifestEntry>& manifest() const {
@@ -118,10 +124,15 @@ class ShardedTransactionDatabase {
   std::vector<size_t> LocalThresholds(size_t min_support) const;
 
  private:
+  /// Aborts when any shard's rows mutated since Split: the manifest's row
+  /// ranges and the cached num_rows_ would be silently wrong.
+  void CheckShardsFresh() const;
+
   size_t num_items_ = 0;
   size_t num_rows_ = 0;
   std::vector<TransactionDatabase> shards_;
   std::vector<ShardManifestEntry> manifest_;
+  std::vector<uint64_t> base_generations_;  // shard generations at Split
 };
 
 /// Is-interesting oracle "is X sigma-frequent?" answered against a

@@ -23,6 +23,7 @@ void TransactionDatabase::AddTransaction(Bitset row) {
   HGMINE_DCHECK_EQ(row.size(), num_items_);
   rows_.push_back(std::move(row));
   vertical_valid_ = false;
+  ++generation_;
 }
 
 void TransactionDatabase::AddTransactionIndices(
@@ -107,8 +108,11 @@ size_t ChainCountCapped(const std::vector<Bitset>& vertical,
 
 bool TransactionDatabase::SupportAtLeastPrebuilt(const Bitset& itemset,
                                                  size_t threshold) const {
-  HGMINE_DCHECK(vertical_valid_)
-      << "; call EnsureVerticalIndex() before concurrent tidset reads";
+  // Always-on: a stale vertical index silently miscounts in release
+  // builds, and the branch is noise next to the tidset AND chain.
+  HGMINE_CHECK(vertical_valid_)
+      << "vertical index stale or unbuilt; call EnsureVerticalIndex() "
+         "after the last AddTransaction and before concurrent tidset reads";
   if (threshold == 0) return true;
   if (threshold > rows_.size()) return false;
   std::vector<size_t> items = itemset.Indices();
@@ -119,8 +123,9 @@ bool TransactionDatabase::SupportAtLeastPrebuilt(const Bitset& itemset,
 
 size_t TransactionDatabase::SupportVerticalPrebuilt(const Bitset& itemset,
                                                     size_t cap) const {
-  HGMINE_DCHECK(vertical_valid_)
-      << "; call EnsureVerticalIndex() before concurrent tidset reads";
+  HGMINE_CHECK(vertical_valid_)
+      << "vertical index stale or unbuilt; call EnsureVerticalIndex() "
+         "after the last AddTransaction and before concurrent tidset reads";
   if (cap == 0) return 0;
   std::vector<size_t> items = itemset.Indices();
   if (items.empty()) return rows_.size();
@@ -189,12 +194,21 @@ const Bitset& TransactionDatabase::ItemCover(size_t item) {
 }
 
 const Bitset& TransactionDatabase::ItemCoverPrebuilt(size_t item) const {
-  HGMINE_DCHECK(vertical_valid_)
-      << "; call EnsureVerticalIndex() before concurrent tidset reads";
+  HGMINE_CHECK(vertical_valid_)
+      << "vertical index stale or unbuilt; call EnsureVerticalIndex() "
+         "after the last AddTransaction and before concurrent tidset reads";
   return vertical_[item];
 }
 
+void PrefixCoverCache::CheckFresh() const {
+  HGMINE_CHECK(db_->generation() == generation_)
+      << "PrefixCoverCache is stale: database mutated (generation "
+      << db_->generation() << " vs " << generation_
+      << " at cache construction); rebuild the cache";
+}
+
 const Bitset& PrefixCoverCache::EnsureCover(const Bitset& itemset) {
+  CheckFresh();
   auto it = covers_.find(itemset);
   if (it != covers_.end()) return it->second;
   Bitset cover;
@@ -217,6 +231,7 @@ const Bitset& PrefixCoverCache::EnsureCover(const Bitset& itemset) {
 
 size_t PrefixCoverCache::CountPrefixCached(const Bitset& itemset,
                                            size_t cap) const {
+  CheckFresh();
   const size_t k = itemset.Count();
   if (k == 0) return db_->num_transactions();
   const size_t last = itemset.FindLast();

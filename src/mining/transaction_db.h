@@ -43,8 +43,16 @@ class TransactionDatabase {
   const std::vector<Bitset>& rows() const { return rows_; }
   const Bitset& row(size_t i) const { return rows_[i]; }
 
-  /// Appends a transaction; invalidates the vertical index.
+  /// Appends a transaction; invalidates the vertical index and bumps the
+  /// mutation generation.
   void AddTransaction(Bitset row);
+
+  /// Row-mutation counter: incremented by every AddTransaction.  Derived
+  /// read structures (PrefixCoverCache, shard manifests) capture it when
+  /// built and check it on every read, so using them against a database
+  /// that mutated underneath is an immediate HGMINE_CHECK failure rather
+  /// than silently stale counts.
+  uint64_t generation() const { return generation_; }
 
   /// Appends a transaction given as item indices.
   void AddTransactionIndices(std::initializer_list<size_t> items);
@@ -145,6 +153,7 @@ class TransactionDatabase {
   std::vector<Bitset> rows_;
   std::vector<Bitset> vertical_;  // item -> rows containing it
   bool vertical_valid_ = false;
+  uint64_t generation_ = 0;  // bumped by every row mutation
 };
 
 /// Level-to-level prefix-tidset memoization for vertical support counting
@@ -160,6 +169,12 @@ class TransactionDatabase {
 /// by the exact itemset, so pruning with PruneBelow as the level advances
 /// keeps the cache at ~two generations of prefixes.
 ///
+/// Staleness contract: the cache pins the database's mutation generation
+/// at construction.  Memoized covers are row bitmaps, so a row appended
+/// after any cover was built would silently falsify every count; instead,
+/// every cache entry point checks the generation and aborts on drift —
+/// rebuild the cache after mutating the database.
+///
 /// This is the kernel seam a future pattern-growth (FP-growth style)
 /// backend plugs into: anything that can produce a row cover for a prefix
 /// can serve CountPrefixCached's lookups.
@@ -167,7 +182,8 @@ class PrefixCoverCache {
  public:
   /// \param db  the indexed relation (not owned; must outlive the cache).
   /// EnsureVerticalIndex() must have been called on \p db before use.
-  explicit PrefixCoverCache(const TransactionDatabase* db) : db_(db) {}
+  explicit PrefixCoverCache(const TransactionDatabase* db)
+      : db_(db), generation_(db->generation()) {}
 
   /// Builds (memoizing every step of the chain) the row cover of
   /// \p itemset and returns a reference valid until the next mutating
@@ -189,7 +205,11 @@ class PrefixCoverCache {
   size_t entries() const { return covers_.size(); }
 
  private:
+  /// Aborts when \p db_ mutated since this cache was built.
+  void CheckFresh() const;
+
   const TransactionDatabase* db_;
+  uint64_t generation_;  // db_->generation() at construction
   std::unordered_map<Bitset, Bitset, BitsetHash> covers_;
 };
 

@@ -159,5 +159,35 @@ BoundReport PartitionBoundReportFromRegistry(const MetricsSnapshot& snap) {
   return PartitionBoundReport(in);
 }
 
+BoundReport StreamBoundReport(const StreamBoundInputs& in) {
+  BoundReport report;
+  // The repair decides exactly the boundary's Th ∪ Bd- plus ∅ — the same
+  // population Theorem 10 prices for the batch miner — split between
+  // fresh counts and reused maintained supports.
+  report.Add({"Theorem 10 (stream)", "evals + reused == |Th| + |Bd-| + 1",
+              static_cast<double>(in.evaluations + in.reused),
+              static_cast<double>(in.theory_size +
+                                  in.negative_border_size + 1),
+              /*exact=*/true});
+  report.Add({"Stream repair", "fresh evals <= |Th| + |Bd-| + 1",
+              static_cast<double>(in.evaluations),
+              static_cast<double>(in.theory_size +
+                                  in.negative_border_size + 1),
+              /*exact=*/false});
+  return report;
+}
+
+BoundReport StreamBoundReportFromRegistry(const MetricsSnapshot& snap) {
+  StreamBoundInputs in;
+  in.evaluations =
+      static_cast<uint64_t>(snap.GaugeValue("stream.last_evaluations"));
+  in.reused = static_cast<uint64_t>(snap.GaugeValue("stream.last_reused"));
+  in.theory_size =
+      static_cast<uint64_t>(snap.GaugeValue("stream.last_theory_size"));
+  in.negative_border_size = static_cast<uint64_t>(
+      snap.GaugeValue("stream.last_negative_border"));
+  return StreamBoundReport(in);
+}
+
 }  // namespace obs
 }  // namespace hgm

@@ -105,6 +105,21 @@ struct PartitionBoundInputs {
 
 BoundReport PartitionBoundReport(const PartitionBoundInputs& in);
 
+/// Inputs for the streaming-repair bounds.  A window boundary's repair
+/// touches exactly the new Th ∪ Bd- (plus ∅), split between fresh
+/// full-window counts (`evaluations`) and supports answered from the
+/// incrementally maintained state (`reused`) — the split must sum to the
+/// batch miner's Theorem-10 count, and the fresh share is the saving the
+/// incremental engine exists for.
+struct StreamBoundInputs {
+  uint64_t evaluations = 0;
+  uint64_t reused = 0;
+  uint64_t theory_size = 0;
+  uint64_t negative_border_size = 0;
+};
+
+BoundReport StreamBoundReport(const StreamBoundInputs& in);
+
 /// Builds the levelwise report from the `levelwise.last_*` gauges the
 /// instrumented RunLevelwise sets (requires metrics to have been on
 /// during the run).
@@ -118,6 +133,10 @@ BoundReport DualizeAdvanceBoundReportFromRegistry(
 /// Builds the partition report from the `partition.last_*` gauges
 /// MinePartitioned sets.
 BoundReport PartitionBoundReportFromRegistry(const MetricsSnapshot& snap);
+
+/// Builds the streaming report from the `stream.last_*` gauges
+/// StreamMiner sets at each completed window boundary.
+BoundReport StreamBoundReportFromRegistry(const MetricsSnapshot& snap);
 
 }  // namespace obs
 }  // namespace hgm

@@ -250,5 +250,66 @@ TEST(CountingKernelTest, BorderViaGenerationMatchesTransversals) {
   }
 }
 
+// Derived-state staleness is impossible by construction: mutating the
+// database after a cache was built aborts at the next cache read instead
+// of silently counting against covers that miss the new rows.
+TEST(StalenessDeathTest, StalePrefixCoverCacheAborts) {
+  TransactionDatabase db = RandomDatabase(91, 50, 10, 0.3);
+  db.EnsureVerticalIndex();
+  PrefixCoverCache cache(&db);
+  Bitset x(10, {1, 3});
+  cache.EnsureCover(x);
+  db.AddTransactionIndices({1, 3});
+  EXPECT_DEATH(cache.CountPrefixCached(x), "stale");
+  EXPECT_DEATH(cache.EnsureCover(x), "stale");
+}
+
+// The always-on guard on the const tidset accessors: AddTransaction
+// invalidates the vertical index, so a Prebuilt read before the rebuild
+// aborts in release builds too (it used to be a debug-only check).
+TEST(StalenessDeathTest, StalePrebuiltVerticalReadAborts) {
+  TransactionDatabase db = RandomDatabase(92, 50, 10, 0.3);
+  db.EnsureVerticalIndex();
+  Bitset x(10, {0, 2});
+  (void)db.SupportVerticalPrebuilt(x);
+  db.AddTransactionIndices({0, 2});
+  EXPECT_DEATH((void)db.SupportVerticalPrebuilt(x), "EnsureVerticalIndex");
+  EXPECT_DEATH((void)db.SupportAtLeastPrebuilt(x, 1), "EnsureVerticalIndex");
+  EXPECT_DEATH((void)db.ItemCoverPrebuilt(0), "EnsureVerticalIndex");
+}
+
+// Appending rows through the mutable shard accessor desyncs the shard
+// from the Split-time manifest; every counting entry point catches it.
+TEST(StalenessDeathTest, MutatedShardAborts) {
+  TransactionDatabase db = RandomDatabase(93, 60, 10, 0.3);
+  ShardedTransactionDatabase sharded =
+      ShardedTransactionDatabase::Split(db, 3);
+  sharded.EnsureVerticalIndexes();
+  sharded.shard(1).AddTransactionIndices({0, 1});
+  Bitset x(10, {0});
+  EXPECT_DEATH((void)sharded.Support(x), "mutated after Split");
+  EXPECT_DEATH((void)sharded.SupportAtLeastPrebuilt(x, 1),
+               "mutated after Split");
+  EXPECT_DEATH((void)sharded.LocalThresholds(5), "mutated after Split");
+}
+
+// Rebuilding is the supported path after a mutation: re-run
+// EnsureVerticalIndex, construct a fresh cache (which pins the new
+// generation), or re-Split — all of which see the appended rows.
+TEST(CountingKernelTest, RebuildAfterMutationCountsNewRows) {
+  TransactionDatabase db = RandomDatabase(94, 40, 8, 0.4);
+  db.EnsureVerticalIndex();
+  Bitset x(8, {2, 4});
+  const size_t before = db.SupportVerticalPrebuilt(x);
+  db.AddTransactionIndices({2, 4});
+  db.EnsureVerticalIndex();
+  EXPECT_EQ(db.SupportVerticalPrebuilt(x), before + 1);
+  PrefixCoverCache fresh(&db);
+  EXPECT_EQ(fresh.CountPrefixCached(x), before + 1);
+  ShardedTransactionDatabase sharded =
+      ShardedTransactionDatabase::Split(db, 2);
+  EXPECT_EQ(sharded.Support(x), before + 1);
+}
+
 }  // namespace
 }  // namespace hgm

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "common/cancellation.h"
 #include "common/random.h"
 #include "episodes/event_sequence.h"
 #include "episodes/winepi.h"
@@ -229,6 +232,142 @@ TEST(FormatTest, SerialEpisodeString) {
   EXPECT_EQ(FormatSerialEpisode({3, 1, 4}), "3 -> 1 -> 4");
   EXPECT_EQ(FormatSerialEpisode({7}), "7");
   EXPECT_EQ(FormatSerialEpisode({}), "");
+}
+
+// --- Budget enforcement (the set miners got RunBudget wiring earlier;
+// --- these pin the same certified-partial contract onto WINEPI).
+
+TEST(BudgetTest, SerialQueryBudgetStopsAtLevelBoundary) {
+  Rng rng(81);
+  EventSequence seq = RandomSequence(300, 5, &rng);
+  WinepiParams params;
+  params.window_width = 6;
+  params.min_frequency = 0.2;
+  SerialWinepiResult full = MineSerialEpisodes(seq, params);
+  ASSERT_EQ(full.stop_reason, StopReason::kCompleted);
+  ASSERT_GT(full.frequent_per_level.size(), 2u)
+      << "need at least two levels for a boundary trip";
+
+  // Exactly enough queries for level 1: the level-2 pre-batch check must
+  // trip, leaving the singletons as the certified prefix.
+  params.budget.max_queries = seq.num_types();
+  SerialWinepiResult partial = MineSerialEpisodes(seq, params);
+  EXPECT_EQ(partial.stop_reason, StopReason::kQueryBudget);
+  ASSERT_EQ(partial.frequent_per_level.size(), 2u);
+  EXPECT_EQ(partial.frequent.size(), full.frequent_per_level[1]);
+  for (size_t i = 0; i < partial.frequent.size(); ++i) {
+    EXPECT_EQ(partial.frequent[i].types, full.frequent[i].types);
+    EXPECT_DOUBLE_EQ(partial.frequent[i].frequency,
+                     full.frequent[i].frequency);
+  }
+}
+
+TEST(BudgetTest, SerialCancellationIsPromptAndCertified) {
+  Rng rng(82);
+  EventSequence seq = RandomSequence(300, 5, &rng);
+  WinepiParams params;
+  params.window_width = 6;
+  params.min_frequency = 0.2;
+  CancellationSource source;
+  source.RequestCancel();
+  params.budget.cancel = source.token();
+  SerialWinepiResult r = MineSerialEpisodes(seq, params);
+  EXPECT_EQ(r.stop_reason, StopReason::kCancelled);
+  EXPECT_TRUE(r.frequent.empty());
+  // Only the unused level-0 slot survives the rollback: no level ran.
+  EXPECT_LE(r.frequent_per_level.size(), 1u);
+}
+
+TEST(BudgetTest, SerialDeadlineInterruptsLongWindowScans) {
+  // One serial scan over this sequence walks ~200k windows, far more
+  // than a 1 ms deadline allows: the mid-scan poll must trip before the
+  // first level completes, and the rollback leaves no partial level.
+  Rng rng(83);
+  EventSequence seq = RandomSequence(200000, 6, &rng);
+  WinepiParams params;
+  params.window_width = 12;
+  params.min_frequency = 0.2;
+  params.budget.max_duration = std::chrono::milliseconds(1);
+  SerialWinepiResult r = MineSerialEpisodes(seq, params);
+  EXPECT_EQ(r.stop_reason, StopReason::kDeadline);
+  // Whatever prefix is certified, it is whole levels: all reported
+  // episodes come from completed levels, never a half-counted one.
+  for (size_t lvl = 1; lvl < r.frequent_per_level.size(); ++lvl) {
+    size_t at_level = 0;
+    for (const auto& f : r.frequent) {
+      if (f.types.size() == lvl) ++at_level;
+    }
+    EXPECT_EQ(at_level, r.frequent_per_level[lvl]);
+  }
+}
+
+TEST(BudgetTest, ParallelBudgetRidesOnApriori) {
+  Rng rng(84);
+  EventSequence seq = RandomSequence(200, 5, &rng);
+  WinepiParams params;
+  params.window_width = 6;
+  params.min_frequency = 0.2;
+  // One query pays for the empty set only; the level-1 batch trips.
+  params.budget.max_queries = 1;
+  ParallelWinepiResult r = MineParallelEpisodes(seq, params);
+  EXPECT_EQ(r.stop_reason, StopReason::kQueryBudget);
+  EXPECT_TRUE(r.frequent.empty());
+
+  WinepiParams unlimited = params;
+  unlimited.budget = RunBudget{};
+  ParallelWinepiResult full = MineParallelEpisodes(seq, unlimited);
+  EXPECT_EQ(full.stop_reason, StopReason::kCompleted);
+  EXPECT_FALSE(full.frequent.empty());
+}
+
+// --- min_frequency = 0 clamps to "occurs at least once" (MinSupportFor
+// --- would otherwise admit the whole lattice at support 0).
+
+TEST(ClampTest, ZeroMinFrequencyNeverReportsAbsentEpisodes) {
+  // Type 3 exists in the alphabet but never occurs.
+  EventSequence seq(4);
+  seq.AddEvent(0, 0);
+  seq.AddEvent(1, 1);
+  seq.AddEvent(2, 2);
+  seq.AddEvent(3, 0);
+  seq.AddEvent(4, 1);
+  seq.AddEvent(5, 0);
+  WinepiParams params;
+  params.window_width = 3;
+  params.min_frequency = 0.0;
+  ParallelWinepiResult par = MineParallelEpisodes(seq, params);
+  EXPECT_FALSE(par.frequent.empty());
+  for (const auto& f : par.frequent) {
+    EXPECT_GT(f.frequency, 0.0) << f.types.ToString();
+    EXPECT_FALSE(f.types.Test(3)) << "absent type reported frequent";
+  }
+  SerialWinepiResult ser = MineSerialEpisodes(seq, params);
+  EXPECT_FALSE(ser.frequent.empty());
+  for (const auto& f : ser.frequent) {
+    EXPECT_GT(f.frequency, 0.0) << FormatSerialEpisode(f.types);
+    for (size_t t : f.types) EXPECT_NE(t, 3u);
+  }
+}
+
+// --- Malformed input dies loudly in release builds too (these were
+// --- plain asserts, which vanish under NDEBUG).
+
+using EventSequenceDeathTest = ::testing::Test;
+
+TEST(EventSequenceDeathTest, OutOfAlphabetTypeAborts) {
+  EventSequence seq(3);
+  EXPECT_DEATH(seq.AddEvent(0, 3), "outside alphabet");
+}
+
+TEST(EventSequenceDeathTest, TimeRegressionAborts) {
+  EventSequence seq(3);
+  seq.AddEvent(5, 0);
+  EXPECT_DEATH(seq.AddEvent(4, 1), "non-decreasing");
+}
+
+TEST(EventSequenceDeathTest, NonPositiveWindowWidthAborts) {
+  EventSequence seq = TinySequence();
+  EXPECT_DEATH((void)seq.NumWindows(0), "window width");
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "common/cancellation.h"
 #include "common/random.h"
 
 namespace hgm {
@@ -200,6 +201,61 @@ TEST(MinepiTest, EmptySequence) {
   MinepiParams params;
   MinepiResult r = MineMinimalOccurrences(EventSequence(4), params);
   EXPECT_TRUE(r.frequent.empty());
+}
+
+TEST(MinepiBudgetTest, QueryBudgetStopsAtLevelBoundary) {
+  Rng rng(91);
+  EventSequence seq = RandomSequence(300, 5, &rng);
+  MinepiParams params;
+  params.max_width = 6;
+  params.min_occurrences = 8;
+  MinepiResult full = MineMinimalOccurrences(seq, params);
+  ASSERT_EQ(full.stop_reason, StopReason::kCompleted);
+  ASSERT_GT(full.frequent_per_level.size(), 2u)
+      << "need at least two levels for a boundary trip";
+
+  // Exactly enough scans for level 1: the level-2 pre-batch check trips
+  // and the singletons are the certified prefix.
+  params.budget.max_queries = seq.num_types();
+  MinepiResult partial = MineMinimalOccurrences(seq, params);
+  EXPECT_EQ(partial.stop_reason, StopReason::kQueryBudget);
+  ASSERT_EQ(partial.frequent_per_level.size(), 2u);
+  EXPECT_EQ(partial.frequent.size(), full.frequent_per_level[1]);
+  for (size_t i = 0; i < partial.frequent.size(); ++i) {
+    EXPECT_EQ(partial.frequent[i].types, full.frequent[i].types);
+    EXPECT_EQ(partial.frequent[i].occurrences, full.frequent[i].occurrences);
+  }
+}
+
+TEST(MinepiBudgetTest, CancellationIsPromptAndCertified) {
+  Rng rng(92);
+  EventSequence seq = RandomSequence(300, 5, &rng);
+  MinepiParams params;
+  params.max_width = 6;
+  params.min_occurrences = 8;
+  CancellationSource source;
+  source.RequestCancel();
+  params.budget.cancel = source.token();
+  MinepiResult r = MineMinimalOccurrences(seq, params);
+  EXPECT_EQ(r.stop_reason, StopReason::kCancelled);
+  EXPECT_TRUE(r.frequent.empty());
+  // Only the unused level-0 slot survives the rollback: no level ran.
+  EXPECT_LE(r.frequent_per_level.size(), 1u);
+}
+
+TEST(MinepiBudgetTest, ZeroMinOccurrencesNeverReportsAbsentEpisodes) {
+  // Type 3 exists in the alphabet but never occurs.
+  EventSequence seq(4);
+  for (int t = 0; t < 12; ++t) seq.AddEvent(t, t % 3);
+  MinepiParams params;
+  params.max_width = 5;
+  params.min_occurrences = 0;
+  MinepiResult r = MineMinimalOccurrences(seq, params);
+  EXPECT_FALSE(r.frequent.empty());
+  for (const auto& f : r.frequent) {
+    EXPECT_GT(f.occurrences, 0u);
+    for (size_t t : f.types) EXPECT_NE(t, 3u);
+  }
 }
 
 }  // namespace

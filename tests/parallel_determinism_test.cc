@@ -28,6 +28,7 @@
 #include "mining/generators.h"
 #include "mining/partition.h"
 #include "mining/sharded_db.h"
+#include "mining/stream.h"
 #include "testing/fault_injection.h"
 
 namespace hgm {
@@ -414,6 +415,55 @@ TEST(ParallelDeterminismTest, ChaosMatrixIdenticalAcrossSeedsAndThreads) {
       EXPECT_EQ(part.maximal, clean_lw.positive_border)
           << "partition, seed " << seed << ", " << threads << " threads";
       EXPECT_EQ(part.negative_border, clean_lw.negative_border);
+    }
+  }
+}
+
+// Streamed border repair is bit-identical at any thread count: the fresh
+// counting batches fan out over the pool, but every boundary's repaired
+// Th / Bd+ / Bd- — and the evaluation/reuse accounting split — must be a
+// pure function of the rows seen so far.
+TEST(ParallelDeterminismTest, StreamRepairIdenticalAcrossThreadCounts) {
+  Rng rng(83);
+  QuestParams params;
+  params.num_transactions = 480;
+  params.num_items = 30;
+  params.avg_transaction_size = 6;
+  TransactionDatabase feed = GenerateQuest(params, &rng);
+
+  std::vector<StreamWindowResult> base;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    StreamOptions opts;
+    opts.slide_rows = 40;
+    opts.pool = &pool;
+    StreamMiner miner(30, 12, 120, opts);
+    std::vector<StreamWindowResult> results;
+    for (size_t t = 0; t < feed.num_transactions(); ++t) {
+      if (miner.Push(feed.row(t))) {
+        results.push_back(miner.AdvanceWindow());
+      }
+    }
+    if (threads == 1) {
+      ASSERT_GT(results.size(), 2u);
+      base = std::move(results);
+      continue;
+    }
+    ASSERT_EQ(results.size(), base.size());
+    for (size_t w = 0; w < results.size(); ++w) {
+      EXPECT_TRUE(SameItemsets(base[w].frequent, results[w].frequent))
+          << "streamed Th differs at boundary " << w << ", " << threads
+          << " threads";
+      EXPECT_EQ(base[w].maximal, results[w].maximal)
+          << "streamed Bd+ differs at boundary " << w;
+      EXPECT_EQ(base[w].negative_border, results[w].negative_border)
+          << "streamed Bd- differs at boundary " << w;
+      EXPECT_EQ(base[w].evaluations, results[w].evaluations)
+          << "fresh-count tally differs at boundary " << w;
+      EXPECT_EQ(base[w].reused, results[w].reused)
+          << "reuse tally differs at boundary " << w;
+      EXPECT_EQ(base[w].promoted, results[w].promoted);
+      EXPECT_EQ(base[w].demoted, results[w].demoted);
     }
   }
 }

@@ -1,0 +1,313 @@
+// The streaming engine's hard contract: at every window boundary the
+// incrementally repaired Th / Bd+ / Bd- and all supports are
+// bit-identical to batch re-mining the same window from scratch, the
+// repair's query accounting matches the batch miner's Theorem-10 count
+// (evaluations + reused == |Th| + |Bd-| + 1), and a mid-stream budget
+// trip + resume changes nothing — including after a checkpoint
+// serialize/parse round trip.
+
+#include "mining/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/run_budget.h"
+#include "core/checkpoint.h"
+#include "mining/apriori.h"
+#include "mining/generators.h"
+#include "mining/transaction_db.h"
+
+namespace hgm {
+namespace {
+
+/// A row feed with a distribution shift in the middle, so the window's
+/// borders churn (promotions and demotions) instead of settling.
+std::vector<Bitset> ShiftingFeed(size_t num_items, size_t rows_per_phase,
+                                 uint64_t seed) {
+  std::vector<Bitset> feed;
+  for (uint64_t phase = 0; phase < 2; ++phase) {
+    Rng rng(seed + phase * 977);
+    QuestParams params;
+    params.num_transactions = rows_per_phase;
+    params.num_items = num_items;
+    params.avg_transaction_size = 4;
+    TransactionDatabase db = GenerateQuest(params, &rng);
+    for (const Bitset& row : db.rows()) feed.push_back(row);
+  }
+  return feed;
+}
+
+void ExpectSameResult(const StreamWindowResult& streamed,
+                      const AprioriResult& batch, size_t boundary) {
+  SCOPED_TRACE("window boundary " + std::to_string(boundary));
+  ASSERT_EQ(streamed.frequent.size(), batch.frequent.size());
+  for (size_t i = 0; i < batch.frequent.size(); ++i) {
+    EXPECT_EQ(streamed.frequent[i].items, batch.frequent[i].items);
+    EXPECT_EQ(streamed.frequent[i].support, batch.frequent[i].support);
+  }
+  EXPECT_EQ(streamed.maximal, batch.maximal);
+  EXPECT_EQ(streamed.negative_border, batch.negative_border);
+  // Theorem-10 accounting: the repair touches exactly the boundary's
+  // Th ∪ Bd- (plus ∅), split between fresh counts and reused supports;
+  // the split must sum to the batch miner's query count.
+  EXPECT_EQ(streamed.evaluations + streamed.reused,
+            static_cast<uint64_t>(batch.support_counts));
+}
+
+/// Streams `feed` through a miner and batch-verifies every boundary.
+/// Returns the per-boundary (evaluations, reused) pairs for accounting
+/// assertions.
+std::vector<std::pair<uint64_t, uint64_t>> RunVerifiedStream(
+    const std::vector<Bitset>& feed, size_t num_items, size_t min_support,
+    size_t window_rows, StreamOptions options) {
+  StreamMiner miner(num_items, min_support, window_rows, options);
+  std::vector<std::pair<uint64_t, uint64_t>> accounting;
+  size_t boundary = 0;
+  for (const Bitset& row : feed) {
+    if (!miner.Push(row)) continue;
+    StreamWindowResult streamed = miner.AdvanceWindow();
+    EXPECT_EQ(streamed.stop_reason, StopReason::kCompleted);
+    TransactionDatabase window = miner.WindowSnapshot();
+    AprioriResult batch = MineFrequentSets(&window, min_support);
+    ExpectSameResult(streamed, batch, boundary);
+    accounting.emplace_back(streamed.evaluations, streamed.reused);
+    ++boundary;
+  }
+  EXPECT_GT(boundary, 0u);
+  return accounting;
+}
+
+TEST(StreamMinerTest, EveryBoundaryMatchesBatchReMining) {
+  const size_t n = 12, minsup = 6, window = 48;
+  StreamOptions options;
+  options.slide_rows = 12;
+  options.cross_check_borders = true;  // Theorem-7 Berge path each window
+  std::vector<Bitset> feed = ShiftingFeed(n, 144, /*seed=*/42);
+  auto accounting = RunVerifiedStream(feed, n, minsup, window, options);
+  ASSERT_EQ(accounting.size(), feed.size() / options.slide_rows);
+  // Steady state reuses: once the window is full (ramp-up adds rows every
+  // boundary, churning the border), most of Th ∪ Bd- is already tracked,
+  // so fresh counts are a minority in aggregate.
+  const size_t ramp_up = window / options.slide_rows;
+  ASSERT_GT(accounting.size(), ramp_up);
+  uint64_t fresh = 0, reused = 0;
+  for (size_t b = ramp_up; b < accounting.size(); ++b) {
+    fresh += accounting[b].first;
+    reused += accounting[b].second;
+  }
+  EXPECT_LT(fresh, reused);
+  // The first boundary has nothing tracked: everything but ∅ is fresh.
+  EXPECT_EQ(accounting[0].second, 1u);
+}
+
+TEST(StreamMinerTest, TumblingWindowMatchesBatch) {
+  // slide_rows = 0 means slide == window: no overlap, so every boundary
+  // re-decides from tracked supports that were fully delta-updated.
+  const size_t n = 10, minsup = 4, window = 30;
+  std::vector<Bitset> feed = ShiftingFeed(n, 90, /*seed=*/7);
+  RunVerifiedStream(feed, n, minsup, window, StreamOptions{});
+}
+
+TEST(StreamMinerTest, RampUpWindowSmallerThanMinsupYieldsEmptyBorder) {
+  // First boundary holds fewer rows than min_support: Th is empty and
+  // Bd- = {∅}, exactly the batch miner's early return.
+  StreamOptions options;
+  options.slide_rows = 2;
+  StreamMiner miner(4, /*min_support=*/3, /*window_rows=*/8, options);
+  TransactionDatabase rows = TransactionDatabase::FromRows(4, {{0, 1}, {2}});
+  for (const Bitset& row : rows.rows()) miner.Push(row);
+  StreamWindowResult r = miner.AdvanceWindow();
+  EXPECT_TRUE(r.frequent.empty());
+  EXPECT_TRUE(r.maximal.empty());
+  ASSERT_EQ(r.negative_border.size(), 1u);
+  EXPECT_EQ(r.negative_border[0].Count(), 0u);
+  EXPECT_EQ(r.evaluations, 0u);
+  EXPECT_EQ(r.reused, 1u);
+  TransactionDatabase window = miner.WindowSnapshot();
+  AprioriResult batch = MineFrequentSets(&window, 3);
+  ExpectSameResult(r, batch, 0);
+}
+
+TEST(StreamMinerTest, PromotionsAndDemotionsAreCounted) {
+  // Phase shift in the feed forces sets across the border; the counters
+  // must register it (and the batch cross-check inside RunVerifiedStream
+  // shows the repaired state stayed exact while it happened).
+  const size_t n = 12, minsup = 6, window = 36;
+  StreamOptions options;
+  options.slide_rows = 12;
+  StreamMiner miner(n, minsup, window, options);
+  size_t promoted = 0, demoted = 0;
+  for (const Bitset& row : ShiftingFeed(n, 72, /*seed=*/11)) {
+    if (!miner.Push(row)) continue;
+    StreamWindowResult r = miner.AdvanceWindow();
+    promoted += r.promoted;
+    demoted += r.demoted;
+    TransactionDatabase window_db = miner.WindowSnapshot();
+    AprioriResult batch = MineFrequentSets(&window_db, minsup);
+    ExpectSameResult(r, batch, r.window_index);
+  }
+  EXPECT_GT(promoted, 0u);
+  EXPECT_GT(demoted, 0u);
+}
+
+TEST(StreamMinerTest, BudgetTripResumesBitIdentically) {
+  const size_t n = 12, minsup = 6, window = 36;
+  StreamOptions options;
+  options.slide_rows = 12;
+
+  // Reference: the same feed, never interrupted.
+  std::vector<Bitset> feed = ShiftingFeed(n, 108, /*seed=*/23);
+  StreamMiner reference(n, minsup, window, options);
+  std::vector<StreamWindowResult> expected;
+  for (const Bitset& row : feed) {
+    if (reference.Push(row)) expected.push_back(reference.AdvanceWindow());
+  }
+  ASSERT_GE(expected.size(), 3u);
+
+  // Interrupted run: trip the query budget at every boundary after the
+  // first, resume each time from a serialize/parse round-tripped
+  // checkpoint under a fresh budget.
+  StreamMiner miner(n, minsup, window, options);
+  size_t boundary = 0;
+  size_t trips = 0;
+  for (const Bitset& row : feed) {
+    if (!miner.Push(row)) continue;
+    if (boundary > 0) {
+      RunBudget tight;
+      tight.max_queries = 1;  // level 1's fresh batch cannot fit
+      miner.set_budget(tight);
+    }
+    StreamWindowResult r = miner.AdvanceWindow();
+    if (r.stop_reason != StopReason::kCompleted) {
+      ++trips;
+      ASSERT_TRUE(r.checkpoint.has_value());
+      ASSERT_TRUE(miner.repair_pending());
+      // The partial result is a certified completed-level prefix.
+      for (const FrequentItemset& f : r.frequent) {
+        EXPECT_GE(f.support, minsup);
+      }
+      Result<Checkpoint> reparsed =
+          ParseCheckpoint(SerializeCheckpoint(*r.checkpoint));
+      ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+      miner.set_budget(RunBudget{});
+      Result<StreamWindowResult> resumed = miner.ResumeAdvance(*reparsed);
+      ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+      r = *resumed;
+    }
+    ASSERT_EQ(r.stop_reason, StopReason::kCompleted);
+    ASSERT_LT(boundary, expected.size());
+    const StreamWindowResult& want = expected[boundary];
+    SCOPED_TRACE("boundary " + std::to_string(boundary));
+    ASSERT_EQ(r.frequent.size(), want.frequent.size());
+    for (size_t i = 0; i < want.frequent.size(); ++i) {
+      EXPECT_EQ(r.frequent[i].items, want.frequent[i].items);
+      EXPECT_EQ(r.frequent[i].support, want.frequent[i].support);
+    }
+    EXPECT_EQ(r.maximal, want.maximal);
+    EXPECT_EQ(r.negative_border, want.negative_border);
+    EXPECT_EQ(r.evaluations, want.evaluations);
+    EXPECT_EQ(r.reused, want.reused);
+    EXPECT_EQ(r.promoted, want.promoted);
+    EXPECT_EQ(r.demoted, want.demoted);
+    // The boundary's output still matches batch re-mining.
+    TransactionDatabase window_db = miner.WindowSnapshot();
+    AprioriResult batch = MineFrequentSets(&window_db, minsup);
+    ExpectSameResult(r, batch, boundary);
+    ++boundary;
+  }
+  EXPECT_GT(trips, 0u);
+}
+
+TEST(StreamMinerTest, ResumeValidatesCheckpoint) {
+  StreamOptions options;
+  options.slide_rows = 4;
+  StreamMiner miner(6, 2, 8, options);
+  // No repair pending at all.
+  Checkpoint cp;
+  cp.kind = "stream";
+  cp.width = 6;
+  Result<StreamWindowResult> r = miner.ResumeAdvance(cp);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+
+  // Trip a boundary, then feed checkpoints that must be rejected.
+  RunBudget tight;
+  tight.max_queries = 1;
+  miner.set_budget(tight);
+  TransactionDatabase rows = TransactionDatabase::FromRows(
+      6, {{0, 1}, {1, 2}, {0, 1, 2}, {3}});
+  for (const Bitset& row : rows.rows()) miner.Push(row);
+  StreamWindowResult tripped = miner.AdvanceWindow();
+  ASSERT_NE(tripped.stop_reason, StopReason::kCompleted);
+  ASSERT_TRUE(tripped.checkpoint.has_value());
+  miner.set_budget(RunBudget{});
+
+  Checkpoint wrong_kind = *tripped.checkpoint;
+  wrong_kind.kind = "apriori";
+  EXPECT_FALSE(miner.ResumeAdvance(wrong_kind).ok());
+
+  Checkpoint wrong_window = *tripped.checkpoint;
+  wrong_window.SetScalar("window_index", 99);
+  EXPECT_FALSE(miner.ResumeAdvance(wrong_window).ok());
+
+  Result<StreamWindowResult> resumed =
+      miner.ResumeAdvance(*tripped.checkpoint);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_EQ(resumed->stop_reason, StopReason::kCompleted);
+  TransactionDatabase window = miner.WindowSnapshot();
+  AprioriResult batch = MineFrequentSets(&window, 2);
+  ExpectSameResult(*resumed, batch, 0);
+}
+
+TEST(StreamMinerTest, TiltedHistoryCoarsensExpiredBuckets) {
+  StreamOptions options;
+  options.slide_rows = 2;
+  options.tilt_capacity = 2;
+  StreamMiner miner(4, 2, 4, options);
+  TransactionDatabase rows = TransactionDatabase::FromRows(
+      4, {{0}, {0, 1}, {1}, {1, 2}, {2}, {2, 3}, {3}, {0, 3},
+          {0}, {0, 1}, {1}, {1, 2}, {2}, {2, 3}, {3}, {0, 3}});
+  size_t total_rows = rows.num_transactions();
+  for (const Bitset& row : rows.rows()) {
+    if (miner.Push(row)) miner.AdvanceWindow();
+  }
+  std::vector<TiltedSummary> history = miner.TiltedHistory();
+  ASSERT_FALSE(history.empty());
+  size_t history_rows = 0;
+  bool coarsened = false;
+  for (size_t i = 0; i < history.size(); ++i) {
+    history_rows += history[i].rows;
+    if (history[i].buckets > 1) coarsened = true;
+    if (i > 0) {
+      // Oldest-first and never finer than what follows.
+      EXPECT_GE(history[i - 1].buckets, history[i].buckets);
+    }
+    ASSERT_EQ(history[i].item_supports.size(), 4u);
+  }
+  // Expired rows = everything pushed minus what the window still holds;
+  // the history conserves them exactly (coarsening only merges cells).
+  EXPECT_EQ(history_rows, total_rows - miner.rows_in_window());
+  EXPECT_TRUE(coarsened);
+}
+
+TEST(StreamMinerDeathTest, PushPastDueBoundaryAborts) {
+  StreamOptions options;
+  options.slide_rows = 1;
+  StreamMiner miner(3, 1, 2, options);
+  Bitset row(3, {0});
+  EXPECT_TRUE(miner.Push(row));
+  EXPECT_DEATH(miner.Push(row), "boundary is due");
+}
+
+TEST(StreamMinerDeathTest, WrongRowWidthAborts) {
+  StreamOptions options;
+  options.slide_rows = 2;
+  StreamMiner miner(3, 1, 4, options);
+  EXPECT_DEATH(miner.Push(Bitset(5, {0})), "row width");
+}
+
+}  // namespace
+}  // namespace hgm
