@@ -1,0 +1,312 @@
+// hgmine_serve — the long-lived mining daemon.
+//
+// Serves the line-delimited JSON protocol of src/serve/protocol.h over
+// stdin/stdout (default) or a TCP socket (--listen=PORT), keeping mined
+// theories, borders, and session databases resident between requests.
+//
+//   hgmine_serve --state-dir=/var/lib/hgmine [--listen=0 --port-file=p]
+//                [--workers=N] [--max-queue=N] [--max-inflight-ms=MS]
+//                [--default-deadline-ms=MS] [--max-deadline-ms=MS]
+//                [--checkpoint-interval-ms=MS] [--watchdog-grace-ms=MS]
+//                [--recover=name,name,...] [--report=PATH|-]
+//                [--flight=PATH] [--enable-test-ops]
+//
+// Lifecycle: SIGTERM/SIGINT (or a `shutdown` request, or stdin EOF)
+// begins a graceful drain — admissions close, queued work finishes and
+// answers, every session checkpoints, and a final `kind:"serve"` run
+// report is emitted.  `kill -9` skips all of that by definition; the
+// per-append-flushed WALs plus periodic warm checkpoints make the next
+// start with the same --state-dir resume every session bit-identically.
+//
+// Exit codes (the CLI contract, minus the budget code — a serve budget
+// trip is a degraded *response*, not a process exit):
+//   0  clean drain
+//   1  I/O or internal failure
+//   2  usage error
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "obs/flight_recorder.h"
+#include "serve/server.h"
+
+namespace {
+
+using hgm::serve::Server;
+using hgm::serve::ServerConfig;
+
+std::atomic<bool> g_shutdown{false};
+
+void OnSignal(int) { g_shutdown.store(true, std::memory_order_release); }
+
+void InstallSignalHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
+}
+
+int Usage() {
+  std::cerr
+      << "usage: hgmine_serve [--state-dir=DIR] [--listen=PORT] "
+         "[--port-file=PATH]\n"
+         "                    [--workers=N] [--max-queue=N] "
+         "[--max-inflight-ms=MS]\n"
+         "                    [--default-deadline-ms=MS] "
+         "[--max-deadline-ms=MS]\n"
+         "                    [--checkpoint-interval-ms=MS] "
+         "[--watchdog-grace-ms=MS]\n"
+         "                    [--recover=NAME,...] [--report=PATH|-]\n"
+         "                    [--flight=PATH] [--enable-test-ops]\n";
+  return 2;
+}
+
+bool ParseUint(const std::string& flag, const std::string& value,
+               uint64_t max, uint64_t* out) {
+  try {
+    size_t used = 0;
+    const uint64_t v = std::stoull(value, &used);
+    if (used != value.size() || v > max) throw std::out_of_range(flag);
+    *out = v;
+    return true;
+  } catch (...) {
+    std::cerr << "hgmine_serve: bad value for --" << flag << ": '" << value
+              << "'\n";
+    return false;
+  }
+}
+
+/// Serializes response writes: Submit answers from worker threads, and
+/// two interleaved half-lines would corrupt the protocol framing.
+struct ResponseWriter {
+  explicit ResponseWriter(int out_fd) : fd(out_fd) {}
+  void WriteLine(const std::string& line) {
+    hgm::MutexLock lock(mu);
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n =
+          ::write(fd, framed.data() + off, framed.size() - off);
+      if (n <= 0) return;  // client went away; nothing to do
+      off += static_cast<size_t>(n);
+    }
+  }
+  const int fd;
+  hgm::Mutex mu;
+};
+
+/// Reads newline-delimited requests from \p read_fd and feeds the
+/// server, answering on \p write_fd; returns when the peer closes or a
+/// drain begins.
+void ServeConnection(Server* server, int read_fd, int write_fd) {
+  const int fd = read_fd;
+  auto writer = std::make_shared<ResponseWriter>(write_fd);
+  std::string buffer;
+  char chunk[4096];
+  while (!g_shutdown.load(std::memory_order_acquire) &&
+         !server->draining()) {
+    struct pollfd p = {fd, POLLIN, 0};
+    const int ready = ::poll(&p, 1, 200);
+    if (ready < 0) break;
+    if (ready == 0) continue;  // timeout: re-check the drain flags
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF or error
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t nl = 0;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.empty()) continue;
+      server->Submit(std::move(line), [writer](std::string response) {
+        writer->WriteLine(response);
+      });
+    }
+  }
+}
+
+int RunStdio(Server* server) {
+  ServeConnection(server, STDIN_FILENO, STDOUT_FILENO);
+  return 0;
+}
+
+int RunTcp(Server* server, uint16_t port, const std::string& port_file) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::cerr << "hgmine_serve: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    std::cerr << "hgmine_serve: bind/listen: " << std::strerror(errno)
+              << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    std::cerr << "hgmine_serve: getsockname: " << std::strerror(errno)
+              << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  const uint16_t bound = ntohs(addr.sin_port);
+  if (!port_file.empty()) {
+    // Written before the first accept, so a script can wait on the file.
+    std::FILE* f = std::fopen(port_file.c_str(), "wb");
+    if (f == nullptr) {
+      std::cerr << "hgmine_serve: cannot write " << port_file << "\n";
+      ::close(listen_fd);
+      return 1;
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(bound));
+    std::fclose(f);
+  }
+  std::cerr << "hgmine_serve: listening on 127.0.0.1:" << bound << "\n";
+
+  std::vector<std::thread> connections;
+  while (!g_shutdown.load(std::memory_order_acquire) &&
+         !server->draining()) {
+    struct pollfd p = {listen_fd, POLLIN, 0};
+    const int ready = ::poll(&p, 1, 200);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections.emplace_back([server, fd] {
+      ServeConnection(server, fd, fd);
+      ::close(fd);
+    });
+  }
+  ::close(listen_fd);
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig config;
+  config.checkpoint_interval_ms = 1000;
+  bool tcp = false;
+  uint64_t port = 0;
+  std::string port_file;
+  std::string flight_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    uint64_t v = 0;
+    if (arg.rfind("--state-dir=", 0) == 0) {
+      config.state_dir = arg.substr(12);
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      if (!ParseUint("listen", arg.substr(9), 65535, &port)) return 2;
+      tcp = true;
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      port_file = arg.substr(12);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      if (!ParseUint("workers", arg.substr(10), 64, &v)) return 2;
+      config.workers = static_cast<size_t>(v);
+    } else if (arg.rfind("--max-queue=", 0) == 0) {
+      if (!ParseUint("max-queue", arg.substr(12), 1u << 20, &v)) return 2;
+      config.admission.max_queue = static_cast<size_t>(v);
+    } else if (arg.rfind("--max-inflight-ms=", 0) == 0) {
+      if (!ParseUint("max-inflight-ms", arg.substr(18), uint64_t{1} << 32,
+                     &v)) {
+        return 2;
+      }
+      config.admission.max_inflight_ms = v;
+    } else if (arg.rfind("--default-deadline-ms=", 0) == 0) {
+      if (!ParseUint("default-deadline-ms", arg.substr(22),
+                     uint64_t{1} << 32, &v)) {
+        return 2;
+      }
+      config.admission.default_deadline_ms = v;
+    } else if (arg.rfind("--max-deadline-ms=", 0) == 0) {
+      if (!ParseUint("max-deadline-ms", arg.substr(18), uint64_t{1} << 32,
+                     &v)) {
+        return 2;
+      }
+      config.admission.max_deadline_ms = v;
+    } else if (arg.rfind("--checkpoint-interval-ms=", 0) == 0) {
+      if (!ParseUint("checkpoint-interval-ms", arg.substr(25),
+                     uint64_t{1} << 32, &v)) {
+        return 2;
+      }
+      config.checkpoint_interval_ms = v;
+    } else if (arg.rfind("--watchdog-grace-ms=", 0) == 0) {
+      if (!ParseUint("watchdog-grace-ms", arg.substr(20),
+                     uint64_t{1} << 32, &v)) {
+        return 2;
+      }
+      config.watchdog_grace_ms = v;
+    } else if (arg.rfind("--recover=", 0) == 0) {
+      std::istringstream names(arg.substr(10));
+      std::string name;
+      while (std::getline(names, name, ',')) {
+        if (!name.empty()) config.recover_sessions.push_back(name);
+      }
+    } else if (arg.rfind("--report=", 0) == 0) {
+      config.final_report_path = arg.substr(9);
+    } else if (arg.rfind("--flight=", 0) == 0) {
+      flight_path = arg.substr(9);
+    } else if (arg == "--enable-test-ops") {
+      config.enable_test_ops = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::cerr << "hgmine_serve: unknown flag '" << arg << "'\n";
+      return Usage();
+    }
+  }
+
+  InstallSignalHandlers();
+  if (!flight_path.empty()) {
+    // Arm the black box: SIGSEGV/SIGABRT dump the flight ring to the
+    // given path, so even a crash leaves a post-mortem artifact.
+    hgm::obs::FlightRecorder::Global().SetDumpPath(flight_path);
+    hgm::obs::InstallCrashHandlers();
+  }
+
+  Server server(config);
+  hgm::Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "hgmine_serve: " << started.message() << "\n";
+    return 1;
+  }
+
+  const int rc = tcp ? RunTcp(&server, static_cast<uint16_t>(port),
+                              port_file)
+                     : RunStdio(&server);
+
+  // Transport closed (EOF, signal, or shutdown request): drain — finish
+  // admitted work, checkpoint every session, emit the final report.
+  server.Drain();
+  return rc;
+}

@@ -1,0 +1,387 @@
+// hgmine_serve_load — many-client load, chaos, and correctness driver
+// for a running hgmine_serve daemon.
+//
+// Two modes:
+//
+//   --oneshot='{"op":"ping","id":1}'
+//       send one request line, print the response line, exit 0/1 —
+//       the scriptable building block serve_smoke.sh drives.
+//
+//   load mode (default): generate a seeded synthetic dataset, open a
+//       session holding it, then hammer the daemon from --clients
+//       concurrent connections issuing mine/support/border requests
+//       with short deadlines (optionally with seeded shard chaos).
+//       EVERY non-shed, non-degraded answer is verified against a local
+//       batch re-mine of the same rows: mine/border fingerprints must
+//       be bit-identical, supports must match exactly.  Shed responses
+//       must carry the typed `unavailable` code.  Exit 0 iff zero
+//       incorrect answers arrived.
+//
+// The verdict line is machine-readable:
+//   serve_load: requests=80 ok=71 shed=6 degraded=3 incorrect=0
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "mining/apriori.h"
+#include "obs/json.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using hgm::Bitset;
+using hgm::TransactionDatabase;
+using hgm::obs::JsonValue;
+
+/// Pure seeded hash (SplitMix64 advances its state argument).
+uint64_t Mix(uint64_t x) { return hgm::SplitMix64(x); }
+
+int Usage() {
+  std::cerr
+      << "usage: hgmine_serve_load (--port=N | --port-file=PATH)\n"
+         "         [--oneshot=JSON]\n"
+         "         [--clients=4] [--requests=16] [--seed=1]\n"
+         "         [--items=10] [--rows=80] [--minsup=8] [--shards=0]\n"
+         "         [--deadline-ms=5000] [--chaos-rate=0] [--session=load]\n";
+  return 2;
+}
+
+/// One synchronous line-protocol connection to the daemon.
+class Client {
+ public:
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Sends one line and blocks for the one response it produces (the
+  /// driver keeps exactly one request outstanding per connection, so
+  /// out-of-order delivery cannot happen here).
+  bool Roundtrip(const std::string& line, std::string* response) {
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n =
+          ::write(fd_, framed.data() + off, framed.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t nl = buffer_.find('\n');
+    *response = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Seeded synthetic basket rows (the same generator at both ends is the
+/// point: the driver re-mines them locally to verify the daemon).
+std::vector<std::vector<size_t>> MakeRows(size_t rows, size_t items,
+                                          uint64_t seed) {
+  std::vector<std::vector<size_t>> out;
+  out.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<size_t> row;
+    for (size_t i = 0; i < items; ++i) {
+      // Item i appears with probability falling from ~3/4 to ~1/4 as i
+      // grows, giving a lattice with real structure at mid thresholds.
+      const uint64_t h = Mix(seed ^ (r * 1315423911ull) ^
+                                         (i * 2654435761ull));
+      const uint64_t threshold =
+          (3ull << 62) - ((2ull << 62) / (items == 1 ? 1 : items - 1)) * i;
+      if (h < threshold) row.push_back(i);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string RowsJson(const std::vector<std::vector<size_t>>& rows) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) os << ",";
+    os << "[";
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i > 0) os << ",";
+      os << rows[r][i];
+    }
+    os << "]";
+  }
+  os << "]";
+  return os.str();
+}
+
+struct Tally {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> incorrect{0};
+  std::atomic<uint64_t> transport_errors{0};
+};
+
+/// Classifies one response against the locally known truth.
+void CheckResponse(const std::string& response,
+                   const std::string& expected_fingerprint,
+                   int64_t expected_support, Tally* tally) {
+  hgm::Result<JsonValue> parsed = hgm::obs::ParseJson(response);
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    std::cerr << "serve_load: unparseable response: " << response << "\n";
+    tally->incorrect.fetch_add(1);
+    return;
+  }
+  const JsonValue& obj = parsed.value();
+  const JsonValue* ok = obj.Find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    tally->incorrect.fetch_add(1);
+    return;
+  }
+  if (!ok->AsBool()) {
+    // Sheds must be TYPED: code unavailable plus a retry hint (the
+    // draining shed legitimately hints 0 and omits the field).
+    if (obj.StringAt("code") != "unavailable") {
+      std::cerr << "serve_load: non-ok response with code '"
+                << obj.StringAt("code") << "': " << response << "\n";
+      tally->incorrect.fetch_add(1);
+      return;
+    }
+    tally->shed.fetch_add(1);
+    return;
+  }
+  const JsonValue* degraded = obj.Find("degraded");
+  if (degraded != nullptr && degraded->is_bool() && degraded->AsBool()) {
+    // A certified partial: correct by contract but not comparable to the
+    // full batch answer; count it separately.
+    tally->degraded.fetch_add(1);
+    return;
+  }
+  if (!expected_fingerprint.empty()) {
+    if (obj.StringAt("fingerprint") != expected_fingerprint) {
+      std::cerr << "serve_load: fingerprint mismatch: " << response
+                << " (want " << expected_fingerprint << ")\n";
+      tally->incorrect.fetch_add(1);
+      return;
+    }
+  }
+  if (expected_support >= 0) {
+    if (static_cast<int64_t>(obj.NumberAt("support", -1)) !=
+        expected_support) {
+      std::cerr << "serve_load: support mismatch: " << response << "\n";
+      tally->incorrect.fetch_add(1);
+      return;
+    }
+  }
+  tally->ok.fetch_add(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t port = 0;
+  std::string port_file;
+  std::string oneshot;
+  uint64_t clients = 4, requests = 16, seed = 1;
+  uint64_t items = 10, rows = 80, minsup = 8, shards = 0;
+  uint64_t deadline_ms = 5000;
+  double chaos_rate = 0.0;
+  std::string session = "load";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto read_u64 = [&](const char* name, size_t prefix,
+                        uint64_t* out) -> bool {
+      try {
+        *out = std::stoull(arg.substr(prefix));
+        return true;
+      } catch (...) {
+        std::cerr << "serve_load: bad value for --" << name << "\n";
+        return false;
+      }
+    };
+    if (arg.rfind("--port=", 0) == 0) {
+      if (!read_u64("port", 7, &port)) return 2;
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      port_file = arg.substr(12);
+    } else if (arg.rfind("--oneshot=", 0) == 0) {
+      oneshot = arg.substr(10);
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      if (!read_u64("clients", 10, &clients)) return 2;
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      if (!read_u64("requests", 11, &requests)) return 2;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!read_u64("seed", 7, &seed)) return 2;
+    } else if (arg.rfind("--items=", 0) == 0) {
+      if (!read_u64("items", 8, &items)) return 2;
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      if (!read_u64("rows", 7, &rows)) return 2;
+    } else if (arg.rfind("--minsup=", 0) == 0) {
+      if (!read_u64("minsup", 9, &minsup)) return 2;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      if (!read_u64("shards", 9, &shards)) return 2;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!read_u64("deadline-ms", 14, &deadline_ms)) return 2;
+    } else if (arg.rfind("--chaos-rate=", 0) == 0) {
+      try {
+        chaos_rate = std::stod(arg.substr(13));
+      } catch (...) {
+        return Usage();
+      }
+    } else if (arg.rfind("--session=", 0) == 0) {
+      session = arg.substr(10);
+    } else {
+      return Usage();
+    }
+  }
+  if (port == 0 && !port_file.empty()) {
+    std::ifstream pf(port_file);
+    if (!(pf >> port)) {
+      std::cerr << "serve_load: cannot read port from " << port_file
+                << "\n";
+      return 1;
+    }
+  }
+  if (port == 0 || port > 65535) return Usage();
+
+  if (!oneshot.empty()) {
+    Client c;
+    if (!c.Connect(static_cast<uint16_t>(port))) {
+      std::cerr << "serve_load: cannot connect to 127.0.0.1:" << port
+                << "\n";
+      return 1;
+    }
+    std::string response;
+    if (!c.Roundtrip(oneshot, &response)) {
+      std::cerr << "serve_load: connection dropped\n";
+      return 1;
+    }
+    std::cout << response << "\n";
+    return 0;
+  }
+
+  // Local ground truth: the same rows, batch-mined in-process.
+  const std::vector<std::vector<size_t>> data =
+      MakeRows(rows, items, seed);
+  TransactionDatabase db = TransactionDatabase::FromRows(items, data);
+  hgm::AprioriResult truth =
+      hgm::MineFrequentSets(&db, static_cast<size_t>(minsup));
+  const std::string truth_fingerprint = hgm::serve::TheoryFingerprint(
+      truth.frequent, truth.maximal, truth.negative_border);
+
+  Client opener;
+  if (!opener.Connect(static_cast<uint16_t>(port))) {
+    std::cerr << "serve_load: cannot connect to 127.0.0.1:" << port
+              << "\n";
+    return 1;
+  }
+  {
+    std::ostringstream open;
+    open << "{\"op\":\"open\",\"id\":1,\"session\":\"" << session
+         << "\",\"items\":" << items << ",\"rows\":" << RowsJson(data)
+         << "}";
+    std::string response;
+    if (!opener.Roundtrip(open.str(), &response) ||
+        response.find("\"ok\":true") == std::string::npos) {
+      std::cerr << "serve_load: open failed: " << response << "\n";
+      return 1;
+    }
+  }
+
+  Tally tally;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (uint64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect(static_cast<uint16_t>(port))) {
+        tally.transport_errors.fetch_add(1);
+        return;
+      }
+      for (uint64_t r = 0; r < requests; ++r) {
+        const uint64_t kind = Mix(seed ^ (c << 20) ^ r) % 3;
+        std::ostringstream os;
+        std::string expect_fp;
+        int64_t expect_support = -1;
+        const uint64_t id = c * 1000 + r + 10;
+        if (kind == 0) {
+          os << "{\"op\":\"mine\",\"id\":" << id << ",\"session\":\""
+             << session << "\",\"min_support\":" << minsup
+             << ",\"shards\":" << shards
+             << ",\"deadline_ms\":" << deadline_ms;
+          if (chaos_rate > 0 && shards > 0) {
+            os << ",\"chaos_seed\":" << (seed + c * 131 + r)
+               << ",\"chaos_rate\":" << chaos_rate;
+          }
+          os << "}";
+          expect_fp = truth_fingerprint;
+        } else if (kind == 1) {
+          const size_t item = static_cast<size_t>(
+              Mix(seed ^ (c << 12) ^ (r << 3)) % items);
+          os << "{\"op\":\"support\",\"id\":" << id << ",\"session\":\""
+             << session << "\",\"itemset\":[" << item
+             << "],\"deadline_ms\":" << deadline_ms << "}";
+          expect_support = static_cast<int64_t>(
+              db.Support(Bitset::Singleton(items, item)));
+        } else {
+          os << "{\"op\":\"border\",\"id\":" << id << ",\"session\":\""
+             << session << "\",\"min_support\":" << minsup
+             << ",\"deadline_ms\":" << deadline_ms << "}";
+          expect_fp = truth_fingerprint;
+        }
+        std::string response;
+        tally.requests.fetch_add(1);
+        if (!client.Roundtrip(os.str(), &response)) {
+          tally.transport_errors.fetch_add(1);
+          return;
+        }
+        CheckResponse(response, expect_fp, expect_support, &tally);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::cout << "serve_load: requests=" << tally.requests.load()
+            << " ok=" << tally.ok.load() << " shed=" << tally.shed.load()
+            << " degraded=" << tally.degraded.load()
+            << " incorrect=" << tally.incorrect.load()
+            << " transport_errors=" << tally.transport_errors.load()
+            << "\n";
+  return tally.incorrect.load() == 0 ? 0 : 1;
+}

@@ -15,30 +15,38 @@
 #                             window boundary's streamed borders equal the
 #                             batch re-mine, incl. trip + resume; repair
 #                             beats re-mining in the perf smoke)
-#   7. perf smoke             ctest -L perf on the plain build
-#                             (bench_partition / bench_stream --quick
-#                             fixtures with their wall-clock budgets)
-#   8. bench regression gate  scripts/bench_gate.sh: comparator self-test,
+#   7. serving                ctest -L serve on the plain build
+#                             (hgmine_serve daemon smoke: typed sheds,
+#                             kill -9 + restart bit-identity, SIGTERM
+#                             drain report; plus the serve unit and
+#                             chaos suites)
+#   8. perf smoke             ctest -L perf on the plain build
+#                             (bench_partition / bench_stream /
+#                             bench_serve --quick fixtures with their
+#                             wall-clock budgets)
+#   9. bench regression gate  scripts/bench_gate.sh: comparator self-test,
 #                             then each --quick hgm.run_report envelope
 #                             diffed against bench/baselines/ (counts
 #                             exact, timings ratio-thresholded).  Skipped
 #                             when python3 is not installed.
-#   9. audited build          -DHGMINE_AUDIT=ON, full ctest with every
+#  10. audited build          -DHGMINE_AUDIT=ON, full ctest with every
 #                             paper-contract auditor live
-#  10. thread-safety          clang -Wthread-safety -Werror=thread-safety
+#  11. thread-safety          clang -Wthread-safety -Werror=thread-safety
 #                             build (the `analyze` preset's configuration;
 #                             compile-only).  Skipped when clang is not
 #                             installed, like the lint stages.
-#  11. invariant queries      clang-query rule selftest + the rules over
+#  12. invariant queries      clang-query rule selftest + the rules over
 #                             src/ (scripts/lint_query_selftest.sh; also
 #                             part of stage 1's lint.sh).  Skipped when
 #                             clang-query is not installed.
-#  12. ASan+UBSan build       HGMINE_SANITIZE=address
-#  13. TSan build             HGMINE_SANITIZE=thread (parallel batch
-#                             layer; full ctest includes the chaos suite,
-#                             so fault injection runs under TSan too)
+#  13. ASan+UBSan build       HGMINE_SANITIZE=address
+#  14. TSan build             HGMINE_SANITIZE=thread (parallel batch
+#                             layer; full ctest includes the chaos and
+#                             serve suites, so fault injection and the
+#                             daemon's thread choreography run under
+#                             TSan too)
 #
-# Stages 12 and 13 are skipped with --fast.  Build dirs are check-* so
+# Stages 13 and 14 are skipped with --fast.  Build dirs are check-* so
 # they never collide with a developer's build/.
 #
 # Usage: scripts/check.sh [--fast]
@@ -93,6 +101,15 @@ echo "==== check: stream identity ===="
 # window boundary (including budget trip + resume), and the incremental
 # repair beating per-window re-mining in the perf smoke.
 (cd check-plain && ctest -L stream --output-on-failure)
+
+echo "==== check: serving ===="
+# hgmine_serve lifecycle: admission sheds typed, kill -9 + restart
+# resumes sessions bit-identically, SIGTERM drain emits a valid final
+# run report, and the in-process serve/chaos unit suites pass.  The TSan
+# matrix entry below re-runs the same `serve`-labelled tests under
+# -fsanitize=thread, so the worker/watchdog/checkpointer interleavings
+# get a data-race replay too.
+(cd check-plain && ctest -L serve --output-on-failure)
 
 echo "==== check: perf smoke ===="
 # bench_partition --quick: partition(K=4, T=4) must match Apriori's

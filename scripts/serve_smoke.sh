@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Serving smoke: end-to-end lifecycle of the hgmine_serve daemon.
+#
+#   * start with a state dir, answer ping/open/mine/support over TCP;
+#   * kill -9 mid-flight, restart on the same state dir, and insist the
+#     recovered session answers the same mine request with a bit-identical
+#     theory fingerprint (WAL + warm checkpoint recovery);
+#   * run the many-client load/chaos driver: zero incorrect answers, all
+#     sheds typed;
+#   * SIGTERM drain: daemon exits 0 and emits a valid `kind:"serve"`
+#     hgm.run_report envelope.
+#
+# Usage: scripts/serve_smoke.sh [path-to-hgmine_serve] [path-to-hgmine_serve_load]
+set -eu
+cd "$(dirname "$0")/.."
+
+SERVE="${1:-build/examples/hgmine_serve}"
+LOAD="${2:-build/examples/hgmine_serve_load}"
+for bin in "$SERVE" "$LOAD"; do
+  if [ ! -x "$bin" ]; then
+    echo "serve_smoke: $bin is not an executable (build it first)" >&2
+    exit 2
+  fi
+done
+
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2> /dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+start_daemon() { # $1 = port-file name, extra flags follow
+  local port_file="$1"
+  shift
+  "$SERVE" --state-dir="$TMP/state" --listen=0 \
+    --port-file="$TMP/$port_file" --checkpoint-interval-ms=200 \
+    --report="$TMP/report.json" --flight="$TMP/flight.json" "$@" &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$TMP/$port_file" ] && return 0
+    kill -0 "$SERVE_PID" 2> /dev/null || fail "daemon died during startup"
+    sleep 0.1
+  done
+  fail "daemon never wrote $port_file"
+}
+
+ask() { # $1 = port file, $2 = request line; echoes the response
+  "$LOAD" --port-file="$TMP/$1" --oneshot="$2"
+}
+
+mkdir -p "$TMP/state"
+start_daemon port1
+
+# --- basic protocol round-trips -------------------------------------
+ask port1 '{"op":"ping","id":1}' | grep -q '"pong":true' ||
+  fail "ping did not pong"
+ask port1 '{"op":"open","id":2,"session":"smoke","items":6,"rows":[[0,1,2],[0,1],[1,2,3],[0,2,4],[1,2],[0,1,2,5]]}' |
+  grep -q '"ok":true' || fail "open failed"
+MINE1="$(ask port1 '{"op":"mine","id":3,"session":"smoke","min_support":2}')"
+echo "$MINE1" | grep -q '"ok":true' || fail "mine failed: $MINE1"
+FP1="$(echo "$MINE1" | sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p')"
+[ -n "$FP1" ] || fail "mine response carries no fingerprint: $MINE1"
+ask port1 '{"op":"support","id":4,"session":"smoke","itemset":[0,1]}' |
+  grep -q '"support":3' || fail "support {0,1} != 3"
+# Malformed input must answer with a typed error, not kill the daemon.
+ask port1 'this is not json' | grep -q '"code":"invalid_argument"' ||
+  fail "parse error response is untyped"
+ask port1 '{"op":"checkpoint","id":5}' | grep -q '"ok":true' ||
+  fail "checkpoint op failed"
+
+# --- crash: kill -9, restart on the same state dir ------------------
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2> /dev/null || true
+SERVE_PID=""
+start_daemon port2 --recover=smoke
+MINE2="$(ask port2 '{"op":"mine","id":6,"session":"smoke","min_support":2}')"
+FP2="$(echo "$MINE2" | sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p')"
+[ "$FP1" = "$FP2" ] ||
+  fail "recovered mine fingerprint $FP2 != pre-crash $FP1 ($MINE2)"
+ask port2 '{"op":"support","id":7,"session":"smoke","itemset":[0,1]}' |
+  grep -q '"support":3' || fail "recovered support {0,1} != 3"
+
+# --- many-client load + chaos: zero incorrect answers ---------------
+"$LOAD" --port-file="$TMP/port2" --clients=3 --requests=6 --seed=7 \
+  --shards=3 --chaos-rate=0.5 --session=loadsmoke > "$TMP/load.txt" ||
+  { cat "$TMP/load.txt" >&2; fail "load driver reported incorrect answers"; }
+grep -q ' incorrect=0 ' "$TMP/load.txt" ||
+  fail "load verdict line missing incorrect=0: $(cat "$TMP/load.txt")"
+
+# --- graceful drain: SIGTERM -> exit 0 + final serve report ---------
+kill -TERM "$SERVE_PID"
+DRAIN_RC=0
+wait "$SERVE_PID" || DRAIN_RC=$?
+SERVE_PID=""
+[ "$DRAIN_RC" -eq 0 ] || fail "SIGTERM drain exited $DRAIN_RC, want 0"
+[ -s "$TMP/report.json" ] || fail "drain wrote no final report"
+grep -q '"schema": "hgm.run_report"' "$TMP/report.json" ||
+  fail "final report missing schema tag"
+grep -q '"kind": "serve"' "$TMP/report.json" ||
+  fail "final report kind is not serve"
+grep -q '"requests_handled"' "$TMP/report.json" ||
+  fail "final report missing requests_handled"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$TMP/report.json" << 'PY' ||
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "hgm.run_report" and doc["schema_version"] == 1
+assert doc["kind"] == "serve"
+for key in ("host", "build", "wall_ms", "metrics", "payload"):
+    assert key in doc, f"missing required key {key}"
+assert doc["payload"]["requests_handled"] > 0
+assert doc["payload"]["sessions"] >= 1
+counters = doc["metrics"]["counters"]
+assert counters.get("serve.requests", 0) > 0
+PY
+    fail "final report failed structural validation"
+fi
+
+echo "serve_smoke: OK (crash recovery fingerprint $FP1, load verdict:" \
+  "$(grep serve_load "$TMP/load.txt"), drain exit 0, report validated)"

@@ -19,6 +19,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
+#include <utility>
 
 #include "common/cancellation.h"
 #include "common/random.h"
@@ -179,29 +181,60 @@ class BudgetTracker {
 
 /// Seeded exponential backoff with deterministic jitter, for shard
 /// failover and oracle retries.  Delay for attempt a (0-based) is
-/// base_us * 2^a plus up to 100% jitter, capped at max_us; the jitter is
-/// a pure function of (seed, salt, attempt), so a chaos run replays the
-/// exact same schedule from its seed.
+/// base_us * 2^a plus up to 100% jitter; the jitter is a pure function of
+/// (seed, salt, attempt), so a chaos run replays the exact same schedule
+/// from its seed.
+///
+/// Clamp contract (pinned by RetryPolicyClampTest): `max_backoff_us` is a
+/// HARD ceiling on the value DelayUs can return — exponent, jitter, and
+/// their sum are each clamped with saturating arithmetic, so no
+/// combination of a huge base, a huge attempt index, or a pathological
+/// ceiling (including UINT64_MAX) can overflow into an unbounded or
+/// wrapped-to-tiny sleep.  A misconfigured policy sleeps at most
+/// max_backoff_us per attempt, never longer.
 struct RetryPolicy {
   /// Total tries per task, first attempt included.  >= 1.
   size_t max_attempts = 3;
   /// Base backoff; 0 disables sleeping entirely (the test default).
   uint64_t base_backoff_us = 0;
-  /// Backoff ceiling.
+  /// Hard backoff ceiling per attempt, jitter included (default 100 ms).
   uint64_t max_backoff_us = 100000;
   /// Jitter seed.
   uint64_t seed = 0x9e3779b97f4a7c15ull;
 
   uint64_t DelayUs(size_t attempt, uint64_t salt) const {
     if (base_backoff_us == 0) return 0;
-    uint64_t exp = base_backoff_us;
-    for (size_t i = 0; i < attempt && exp < max_backoff_us; ++i) exp *= 2;
-    if (exp > max_backoff_us) exp = max_backoff_us;
+    const uint64_t cap = max_backoff_us;
+    uint64_t exp = base_backoff_us < cap ? base_backoff_us : cap;
+    for (size_t i = 0; i < attempt && exp < cap; ++i) {
+      // Saturating doubling: a base near 2^63 must clamp, not wrap.
+      exp = exp > cap / 2 ? cap : exp * 2;
+    }
     uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ull) ^ attempt;
-    uint64_t jitter = SplitMix64(state) % (exp + 1);
-    uint64_t total = exp + jitter;
-    return total > max_backoff_us ? max_backoff_us : total;
+    // exp <= cap <= UINT64_MAX, so `exp + 1` may only wrap when
+    // exp == UINT64_MAX; the span guard keeps the modulus well-defined.
+    const uint64_t span =
+        exp == std::numeric_limits<uint64_t>::max() ? exp : exp + 1;
+    const uint64_t jitter = SplitMix64(state) % span;
+    // Saturating add, then the final clamp: jitter <= exp <= cap, so
+    // cap - jitter never underflows.
+    return exp > cap - jitter ? cap : exp + jitter;
   }
 };
+
+/// Deadline propagation for service callers (hgmine_serve): the budget
+/// for a request that has \p remaining_ms of client deadline left, with
+/// \p cancel wired so a watchdog can stop a wedged worker.  A zero
+/// remaining_ms yields a 1 ms allowance — the run starts, trips at its
+/// first boundary, and returns a certified (possibly empty) prefix
+/// instead of racing the clock or erroring.
+inline RunBudget DeadlineBudget(uint64_t remaining_ms,
+                                CancellationToken cancel = {}) {
+  RunBudget budget;
+  budget.max_duration =
+      std::chrono::milliseconds(remaining_ms == 0 ? 1 : remaining_ms);
+  budget.cancel = std::move(cancel);
+  return budget;
+}
 
 }  // namespace hgm

@@ -40,6 +40,7 @@
 ///     HGM_NO_THREAD_SAFETY_ANALYSIS with a comment, the one sanctioned
 ///     escape hatch.
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -214,6 +215,19 @@ class CondVar {
     std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
     cv_.wait(relock, std::move(pred));
     relock.release();  // ownership returns to the caller's MutexLock
+  }
+
+  /// Timed variant: waits until \p pred returns true or \p timeout
+  /// elapses, returning the final predicate value.  The periodic serve
+  /// threads (watchdog, checkpointer) sleep through this so a shutdown
+  /// notify wakes them immediately instead of at the next tick.
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
+               Pred pred) HGM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    const bool satisfied = cv_.wait_for(relock, timeout, std::move(pred));
+    relock.release();  // ownership returns to the caller's MutexLock
+    return satisfied;
   }
 
  private:

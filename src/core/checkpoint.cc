@@ -1,5 +1,9 @@
 #include "core/checkpoint.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -226,15 +230,32 @@ Result<Checkpoint> ParseCheckpoint(std::string_view text) {
 
 Status SaveCheckpointFile(const Checkpoint& cp, const std::string& path) {
   std::string text = SerializeCheckpoint(cp);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open checkpoint file for writing: " +
-                           path);
+  // Write-temp-then-rename: a reader (or a crash, or a second thread
+  // checkpointing into the same directory) must never observe a partial
+  // file at `path`.  The temp name is unique per (process, call), so
+  // concurrent saves of distinct sessions in one directory cannot
+  // interleave; rename(2) within a directory is atomic, so concurrent
+  // saves of the SAME path each land whole — last writer wins.
+  static std::atomic<uint64_t> save_seq{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(save_seq.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open checkpoint file for writing: " +
+                             tmp);
+    }
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
+    if (!out) {
+      (void)std::remove(tmp.c_str());  // best-effort temp cleanup
+      return Status::IOError("short write to checkpoint file: " + tmp);
+    }
   }
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  out.flush();
-  if (!out) {
-    return Status::IOError("short write to checkpoint file: " + path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());  // best-effort temp cleanup
+    return Status::IOError("cannot rename checkpoint into place: " + path);
   }
   HGM_OBS_COUNT("robustness.checkpoints", 1);
   HGM_OBS_COUNT("robustness.checkpoint_bytes", text.size());

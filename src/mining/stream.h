@@ -154,6 +154,13 @@ class StreamMiner {
   /// tripped one) — the stream outlives any single resource envelope.
   void set_budget(const RunBudget& budget) { options_.budget = budget; }
 
+  /// Replaces the counting pool for subsequent boundaries.  Long-lived
+  /// engines (hgmine_serve sessions) outlive any single worker's pool,
+  /// and ThreadPool admits only one external batch at a time — so each
+  /// request installs its worker-owned pool before driving the engine.
+  /// Same driver-thread confinement as every other engine call.
+  void set_pool(ThreadPool* pool) { options_.pool = pool; }
+
   /// Pushes one arriving row (width num_items).  Returns true when the
   /// slide filled and AdvanceWindow() must run before further pushes.
   /// It is a checked error to push while a boundary is due or a repair

@@ -299,5 +299,102 @@ Result<JsonValue> ParseJson(const std::string& text) {
   return Parser(text).Parse();
 }
 
+namespace {
+
+void DumpTo(const JsonValue& value, std::string* out) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      out->append("null");
+      return;
+    case JsonValue::Type::kBool:
+      out->append(value.AsBool() ? "true" : "false");
+      return;
+    case JsonValue::Type::kNumber: {
+      const double d = value.AsNumber();
+      // Counts and ids are exact in a double up to 2^53; render them as
+      // the integers they are so round-trips stay textual fixed points.
+      if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) <= 9e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        out->append(buf);
+      } else if (std::isfinite(d)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        out->append(buf);
+      } else {
+        out->append("null");  // JSON has no inf/nan
+      }
+      return;
+    }
+    case JsonValue::Type::kString: {
+      out->push_back('"');
+      for (char c : value.AsString()) {
+        switch (c) {
+          case '"':
+            out->append("\\\"");
+            break;
+          case '\\':
+            out->append("\\\\");
+            break;
+          case '\n':
+            out->append("\\n");
+            break;
+          case '\r':
+            out->append("\\r");
+            break;
+          case '\t':
+            out->append("\\t");
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              char buf[8];
+              std::snprintf(buf, sizeof(buf), "\\u%04x",
+                            static_cast<unsigned>(
+                                static_cast<unsigned char>(c)));
+              out->append(buf);
+            } else {
+              out->push_back(c);
+            }
+        }
+      }
+      out->push_back('"');
+      return;
+    }
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& v : value.AsArray()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpTo(v, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : value.AsObject()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpTo(JsonValue::String(k), out);
+        out->push_back(':');
+        DumpTo(v, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string DumpJson(const JsonValue& value) {
+  std::string out;
+  DumpTo(value, &out);
+  return out;
+}
+
 }  // namespace obs
 }  // namespace hgm

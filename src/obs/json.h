@@ -83,5 +83,12 @@ class JsonValue {
 /// containers.
 Result<JsonValue> ParseJson(const std::string& text);
 
+/// Serializes \p value as compact single-line JSON (no whitespace, keys
+/// in stored order, full string escaping).  Numbers that are exactly
+/// integral within the double-exact range print without a fraction, so
+/// counts round-trip as the integers they are.  The serve protocol's
+/// request/response lines are built through this — one value, one line.
+std::string DumpJson(const JsonValue& value);
+
 }  // namespace obs
 }  // namespace hgm

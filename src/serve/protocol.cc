@@ -1,0 +1,400 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/run_report.h"
+
+namespace hgm {
+namespace serve {
+
+namespace {
+
+using obs::JsonValue;
+
+/// True when the double carried by a JSON number is an exact non-negative
+/// integer no larger than \p max.
+bool AsIndex(const JsonValue& v, uint64_t max, uint64_t* out) {
+  if (!v.is_number()) return false;
+  const double d = v.AsNumber();
+  if (!(d >= 0) || d != std::floor(d) || d > 9e15) return false;
+  const uint64_t u = static_cast<uint64_t>(d);
+  if (u > max) return false;
+  *out = u;
+  return true;
+}
+
+Status BadField(const std::string& field, const std::string& why) {
+  return Status::InvalidArgument("request field '" + field + "': " + why);
+}
+
+/// Reads an optional unsigned field, leaving *out untouched when absent.
+Status ReadU64(const JsonValue& obj, const std::string& key, uint64_t max,
+               uint64_t* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  uint64_t u = 0;
+  if (!AsIndex(*v, max, &u)) {
+    return BadField(key, "expected an integer in [0, " + std::to_string(max) +
+                             "]");
+  }
+  *out = u;
+  return Status::OK();
+}
+
+/// Reads a `"rows":[[i,...],...]` member into \p rows (indices validated
+/// against the caps here; range-vs-universe is the session's job since
+/// `push` does not re-declare the item count).
+Status ReadRows(const JsonValue& obj,
+                std::vector<std::vector<size_t>>* rows) {
+  const JsonValue* v = obj.Find("rows");
+  if (v == nullptr) return Status::OK();
+  if (!v->is_array()) return BadField("rows", "expected an array of arrays");
+  if (v->AsArray().size() > kMaxRowsPerRequest) {
+    return BadField("rows", "more than " +
+                                std::to_string(kMaxRowsPerRequest) +
+                                " rows in one request");
+  }
+  rows->reserve(v->AsArray().size());
+  for (const JsonValue& row : v->AsArray()) {
+    if (!row.is_array()) return BadField("rows", "row is not an array");
+    std::vector<size_t> items;
+    items.reserve(row.AsArray().size());
+    for (const JsonValue& item : row.AsArray()) {
+      uint64_t id = 0;
+      if (!AsIndex(item, kMaxDeclaredItems - 1, &id)) {
+        return BadField("rows", "item id out of range");
+      }
+      items.push_back(static_cast<size_t>(id));
+    }
+    rows->push_back(std::move(items));
+  }
+  return Status::OK();
+}
+
+Status ReadItemset(const JsonValue& obj, std::vector<size_t>* itemset) {
+  const JsonValue* v = obj.Find("itemset");
+  if (v == nullptr) return BadField("itemset", "required for op 'support'");
+  if (!v->is_array()) return BadField("itemset", "expected an array");
+  for (const JsonValue& item : v->AsArray()) {
+    uint64_t id = 0;
+    if (!AsIndex(item, kMaxDeclaredItems - 1, &id)) {
+      return BadField("itemset", "item id out of range");
+    }
+    itemset->push_back(static_cast<size_t>(id));
+  }
+  return Status::OK();
+}
+
+Status ValidSessionName(const std::string& name) {
+  if (name.empty() || name.size() > kMaxSessionNameLength) {
+    return BadField("session", "name must be 1.." +
+                                   std::to_string(kMaxSessionNameLength) +
+                                   " characters");
+  }
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.';
+    if (!ok) {
+      return BadField("session",
+                      "only [A-Za-z0-9._-] allowed (names become "
+                      "state-directory file names)");
+    }
+  }
+  // Forbid names that escape the state directory or collide with the
+  // dot-file namespace.
+  if (name[0] == '.') return BadField("session", "must not start with '.'");
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kPing:
+      return "ping";
+    case Op::kOpen:
+      return "open";
+    case Op::kPush:
+      return "push";
+    case Op::kMine:
+      return "mine";
+    case Op::kSupport:
+      return "support";
+    case Op::kRules:
+      return "rules";
+    case Op::kBorder:
+      return "border";
+    case Op::kStats:
+      return "stats";
+    case Op::kScrape:
+      return "scrape";
+    case Op::kCheckpoint:
+      return "checkpoint";
+    case Op::kClose:
+      return "close";
+    case Op::kShutdown:
+      return "shutdown";
+    case Op::kSleep:
+      return "sleep";
+  }
+  return "unknown";
+}
+
+Result<Request> ParseRequest(const std::string& line) {
+  if (line.size() > kMaxRequestBytes) {
+    return Status::InvalidArgument("request exceeds " +
+                                   std::to_string(kMaxRequestBytes) +
+                                   " bytes");
+  }
+  Result<obs::JsonValue> parsed = obs::ParseJson(line);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& obj = parsed.value();
+  if (!obj.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  Request req;
+  // op ------------------------------------------------------------------
+  const JsonValue* opv = obj.Find("op");
+  if (opv == nullptr || !opv->is_string()) {
+    return BadField("op", "required string");
+  }
+  const std::string& op = opv->AsString();
+  if (op == "ping") {
+    req.op = Op::kPing;
+  } else if (op == "open") {
+    req.op = Op::kOpen;
+  } else if (op == "push") {
+    req.op = Op::kPush;
+  } else if (op == "mine") {
+    req.op = Op::kMine;
+  } else if (op == "support") {
+    req.op = Op::kSupport;
+  } else if (op == "rules") {
+    req.op = Op::kRules;
+  } else if (op == "border") {
+    req.op = Op::kBorder;
+  } else if (op == "stats") {
+    req.op = Op::kStats;
+  } else if (op == "scrape") {
+    req.op = Op::kScrape;
+  } else if (op == "checkpoint") {
+    req.op = Op::kCheckpoint;
+  } else if (op == "close") {
+    req.op = Op::kClose;
+  } else if (op == "shutdown") {
+    req.op = Op::kShutdown;
+  } else if (op == "sleep") {
+    req.op = Op::kSleep;
+  } else {
+    return BadField("op", "unknown operation '" + op + "'");
+  }
+
+  // id -------------------------------------------------------------------
+  Status s = ReadU64(obj, "id", uint64_t{1} << 53, &req.id);
+  if (!s.ok()) return s;
+
+  // session --------------------------------------------------------------
+  const JsonValue* sess = obj.Find("session");
+  if (sess != nullptr) {
+    if (!sess->is_string()) return BadField("session", "expected a string");
+    req.session = sess->AsString();
+  }
+  const bool needs_session =
+      req.op == Op::kOpen || req.op == Op::kPush || req.op == Op::kMine ||
+      req.op == Op::kSupport || req.op == Op::kRules ||
+      req.op == Op::kBorder || req.op == Op::kClose;
+  if (needs_session) {
+    s = ValidSessionName(req.session);
+    if (!s.ok()) return s;
+  }
+
+  // open payloads ----------------------------------------------------------
+  const JsonValue* path = obj.Find("path");
+  if (path != nullptr) {
+    if (!path->is_string()) return BadField("path", "expected a string");
+    req.path = path->AsString();
+  }
+  uint64_t items = 0;
+  s = ReadU64(obj, "items", kMaxDeclaredItems, &items);
+  if (!s.ok()) return s;
+  req.num_items = static_cast<size_t>(items);
+  s = ReadRows(obj, &req.rows);
+  if (!s.ok()) return s;
+  const JsonValue* stream = obj.Find("stream");
+  if (stream != nullptr) {
+    if (!stream->is_object()) {
+      return BadField("stream", "expected an object");
+    }
+    StreamSpec spec;
+    uint64_t u = 0;
+    s = ReadU64(*stream, "min_support", uint64_t{1} << 32, &u);
+    if (!s.ok()) return s;
+    spec.min_support = static_cast<size_t>(u);
+    u = 0;
+    s = ReadU64(*stream, "window", uint64_t{1} << 32, &u);
+    if (!s.ok()) return s;
+    spec.window_rows = static_cast<size_t>(u);
+    u = 0;
+    s = ReadU64(*stream, "slide", uint64_t{1} << 32, &u);
+    if (!s.ok()) return s;
+    spec.slide_rows = static_cast<size_t>(u);
+    if (spec.window_rows == 0) {
+      return BadField("stream.window", "must be positive");
+    }
+    if (spec.slide_rows > spec.window_rows) {
+      return BadField("stream.slide", "must not exceed the window");
+    }
+    req.stream = spec;
+  }
+  if (req.op == Op::kOpen && req.stream.has_value() && !req.path.empty()) {
+    return BadField("stream", "stream sessions take inline rows, not a path");
+  }
+
+  // query knobs ------------------------------------------------------------
+  uint64_t u = 0;
+  s = ReadU64(obj, "min_support", uint64_t{1} << 32, &u);
+  if (!s.ok()) return s;
+  req.min_support = static_cast<size_t>(u);
+  u = 0;
+  s = ReadU64(obj, "shards", 64, &u);
+  if (!s.ok()) return s;
+  req.shards = static_cast<size_t>(u);
+  const JsonValue* conf = obj.Find("min_conf");
+  if (conf != nullptr) {
+    if (!conf->is_number() || !(conf->AsNumber() >= 0.0) ||
+        conf->AsNumber() > 1.0) {
+      return BadField("min_conf", "expected a number in [0, 1]");
+    }
+    req.min_conf = conf->AsNumber();
+  }
+  if (req.op == Op::kSupport) {
+    s = ReadItemset(obj, &req.itemset);
+    if (!s.ok()) return s;
+  }
+  s = ReadU64(obj, "deadline_ms", uint64_t{1} << 32, &req.deadline_ms);
+  if (!s.ok()) return s;
+  const JsonValue* full = obj.Find("full");
+  if (full != nullptr) {
+    if (!full->is_bool()) return BadField("full", "expected a bool");
+    req.full = full->AsBool();
+  }
+  s = ReadU64(obj, "ms", uint64_t{1} << 32, &req.sleep_ms);
+  if (!s.ok()) return s;
+
+  // chaos knobs (test surface) ---------------------------------------------
+  const JsonValue* chaos = obj.Find("chaos_seed");
+  if (chaos != nullptr) {
+    uint64_t seed = 0;
+    if (!AsIndex(*chaos, uint64_t{1} << 53, &seed)) {
+      return BadField("chaos_seed", "expected an integer");
+    }
+    req.chaos_seed = seed;
+    const JsonValue* rate = obj.Find("chaos_rate");
+    if (rate != nullptr) {
+      if (!rate->is_number() || !(rate->AsNumber() >= 0.0) ||
+          rate->AsNumber() > 1.0) {
+        return BadField("chaos_rate", "expected a number in [0, 1]");
+      }
+      req.chaos_rate = rate->AsNumber();
+    }
+    const JsonValue* perm = obj.Find("chaos_permanent_rate");
+    if (perm != nullptr) {
+      if (!perm->is_number() || !(perm->AsNumber() >= 0.0) ||
+          perm->AsNumber() > 1.0) {
+        return BadField("chaos_permanent_rate",
+                        "expected a number in [0, 1]");
+      }
+      req.chaos_permanent_rate = perm->AsNumber();
+    }
+  }
+  return req;
+}
+
+obs::JsonValue ItemsetToJson(const Bitset& set) {
+  std::vector<JsonValue> items;
+  items.reserve(set.Count());
+  set.ForEach([&](size_t i) {
+    items.push_back(JsonValue::Number(static_cast<double>(i)));
+  });
+  return JsonValue::Array(std::move(items));
+}
+
+std::string OkResponse(
+    uint64_t id,
+    std::vector<std::pair<std::string, obs::JsonValue>> fields) {
+  std::vector<std::pair<std::string, JsonValue>> members;
+  members.reserve(fields.size() + 2);
+  members.emplace_back("id", JsonValue::Number(static_cast<double>(id)));
+  members.emplace_back("ok", JsonValue::Bool(true));
+  for (auto& [k, v] : fields) members.emplace_back(std::move(k), std::move(v));
+  return obs::DumpJson(JsonValue::Object(std::move(members)));
+}
+
+std::string ErrorResponse(uint64_t id, const Status& status,
+                          uint64_t retry_after_ms) {
+  std::vector<std::pair<std::string, JsonValue>> members;
+  members.emplace_back("id", JsonValue::Number(static_cast<double>(id)));
+  members.emplace_back("ok", JsonValue::Bool(false));
+  members.emplace_back("code",
+                       JsonValue::String(StatusCodeToken(status.code())));
+  members.emplace_back("error", JsonValue::String(status.message()));
+  if (retry_after_ms > 0) {
+    members.emplace_back(
+        "retry_after_ms",
+        JsonValue::Number(static_cast<double>(retry_after_ms)));
+  }
+  return obs::DumpJson(JsonValue::Object(std::move(members)));
+}
+
+const char* StatusCodeToken(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kIOError:
+      return "io_error";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void HashSet(obs::Fnv1a64* h, const Bitset& set) {
+  h->UpdateU64(set.Count());
+  for (uint64_t w : set.words()) h->UpdateU64(w);
+}
+
+}  // namespace
+
+std::string TheoryFingerprint(const std::vector<FrequentItemset>& frequent,
+                              const std::vector<Bitset>& maximal,
+                              const std::vector<Bitset>& negative_border) {
+  obs::Fnv1a64 h;
+  h.UpdateU64(frequent.size());
+  for (const FrequentItemset& f : frequent) {
+    HashSet(&h, f.items);
+    h.UpdateU64(f.support);
+  }
+  h.UpdateU64(maximal.size());
+  for (const Bitset& m : maximal) HashSet(&h, m);
+  h.UpdateU64(negative_border.size());
+  for (const Bitset& b : negative_border) HashSet(&h, b);
+  return h.HexDigest();
+}
+
+}  // namespace serve
+}  // namespace hgm

@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file protocol.h
+/// \brief The hgmine_serve wire protocol: line-delimited JSON.
+///
+/// The paper's query-bounded mining model (Theorems 10/12/21) assumes a
+/// caller issuing many Is-interesting-style queries against warm state —
+/// the shape of a resident service.  The protocol is deliberately dumb:
+/// one JSON object per line in, one JSON object per line out, matched by
+/// a client-chosen `id` (responses may come back out of order — workers
+/// drain a shared queue).  The same framing runs over a stdin/stdout
+/// pair or a TCP connection; nothing here touches a socket.
+///
+/// Requests (fields beyond `op`/`id` per operation):
+///
+///   {"op":"ping","id":1}
+///   {"op":"open","id":2,"session":"s","rows":[[0,1],[1,2]],"items":3}
+///   {"op":"open","id":2,"session":"s","path":"/data/t.basket"}
+///   {"op":"open","id":2,"session":"s","items":4,
+///    "stream":{"min_support":2,"window":4,"slide":2}}
+///   {"op":"push","id":3,"session":"s","rows":[[0,1],[2,3]]}
+///   {"op":"mine","id":4,"session":"s","min_support":2,
+///    "shards":2,"deadline_ms":50,"full":true}
+///   {"op":"support","id":5,"session":"s","itemset":[0,2]}
+///   {"op":"rules","id":6,"session":"s","min_support":2,"min_conf":0.6}
+///   {"op":"border","id":7,"session":"s","min_support":2}
+///   {"op":"stats","id":8}            (control op: never queued or shed)
+///   {"op":"scrape","id":9}           (Prometheus text over the socket)
+///   {"op":"checkpoint","id":10}      (force-checkpoint every session)
+///   {"op":"close","id":11,"session":"s"}
+///   {"op":"shutdown","id":12}        (graceful drain)
+///   {"op":"sleep","id":13,"ms":500}  (test-only; --enable-test-ops)
+///
+/// Responses: `{"id":N,"ok":true,...}` on success.  A degraded success —
+/// a budget trip or shard failure turned into a certified partial answer
+/// per the PartialTheory contract — adds `"degraded":true` and a
+/// `"stop_reason"`.  Failures are `{"id":N,"ok":false,"code":"...",
+/// "error":"..."}`; a load-shed adds `"retry_after_ms"` so clients can
+/// back off instead of hammering an overloaded server (the typed
+/// Unavailable the admission controller promises).
+///
+/// Parsing is hardened like every other external surface: byte/row/item
+/// caps,
+/// strict types, unknown ops rejected — arbitrary bytes yield a Status,
+/// never UB.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/status.h"
+#include "mining/apriori.h"
+#include "obs/json.h"
+
+namespace hgm {
+namespace serve {
+
+/// Parser ceilings for one request line.
+inline constexpr size_t kMaxRequestBytes = size_t{1} << 20;
+inline constexpr size_t kMaxRowsPerRequest = size_t{1} << 16;
+inline constexpr size_t kMaxDeclaredItems = size_t{1} << 20;
+inline constexpr size_t kMaxSessionNameLength = 64;
+
+/// Every operation the server understands.
+enum class Op {
+  kPing,
+  kOpen,
+  kPush,
+  kMine,
+  kSupport,
+  kRules,
+  kBorder,
+  kStats,
+  kScrape,
+  kCheckpoint,
+  kClose,
+  kShutdown,
+  kSleep,  // test-only, gated by ServerConfig::enable_test_ops
+};
+
+const char* OpName(Op op);
+
+/// Stream-session parameters carried by an `open` request.
+struct StreamSpec {
+  size_t min_support = 0;
+  size_t window_rows = 0;
+  size_t slide_rows = 0;  // 0 = tumbling (slide == window)
+};
+
+/// One parsed request line.
+struct Request {
+  Op op = Op::kPing;
+  uint64_t id = 0;
+  std::string session;
+  std::string path;                      // open: dataset file
+  size_t num_items = 0;                  // open: declared universe
+  std::vector<std::vector<size_t>> rows; // open/push: inline rows
+  std::optional<StreamSpec> stream;      // open: engaged = stream session
+  size_t min_support = 0;                // mine/rules/border
+  size_t shards = 0;                     // mine: 0 = single-db Apriori
+  double min_conf = 0.5;                 // rules
+  std::vector<size_t> itemset;           // support
+  uint64_t deadline_ms = 0;              // client deadline (0 = none)
+  bool full = false;                     // mine/border: include full sets
+  uint64_t sleep_ms = 0;                 // sleep
+  /// Seeded transient shard faults for mine (test/chaos surface, mirrors
+  /// hgmine_cli --chaos-seed); engaged only when the request set it.
+  std::optional<uint64_t> chaos_seed;
+  double chaos_rate = 0.4;
+  double chaos_permanent_rate = 0.0;
+};
+
+/// Parses one request line with full validation; every failure names the
+/// offending field.
+Result<Request> ParseRequest(const std::string& line);
+
+// ---- Response building -------------------------------------------------
+
+/// `[i0,i1,...]` — an itemset as a JSON array of item indices.
+obs::JsonValue ItemsetToJson(const Bitset& set);
+
+/// `{"id":N,"ok":true,<fields...>}` as one line (no trailing newline).
+std::string OkResponse(uint64_t id,
+                       std::vector<std::pair<std::string, obs::JsonValue>>
+                           fields);
+
+/// `{"id":N,"ok":false,"code":...,"error":...[,"retry_after_ms":M]}`.
+/// retry_after_ms renders only when nonzero (sheds carry it, plain
+/// errors do not).
+std::string ErrorResponse(uint64_t id, const Status& status,
+                          uint64_t retry_after_ms = 0);
+
+/// Machine-readable token for a StatusCode ("unavailable", "not_found",
+/// ...) — the `code` field of error responses.
+const char* StatusCodeToken(StatusCode code);
+
+/// FNV-1a-64 fingerprint (16 hex digits) of a mined answer in canonical
+/// order: every frequent set's (size, words, support), then the maximal
+/// family, then Bd-.  Two answers are bit-identical iff their
+/// fingerprints match — the chaos drivers verify non-shed responses
+/// against batch re-mining through this without shipping whole theories
+/// over the wire.
+std::string TheoryFingerprint(const std::vector<FrequentItemset>& frequent,
+                              const std::vector<Bitset>& maximal,
+                              const std::vector<Bitset>& negative_border);
+
+}  // namespace serve
+}  // namespace hgm

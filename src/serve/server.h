@@ -1,0 +1,177 @@
+#pragma once
+
+/// \file server.h
+/// \brief The long-lived mining server: request queue, workers, watchdog,
+/// checkpointer, graceful drain.
+///
+/// Transport-agnostic core of `hgmine_serve`: callers feed it request
+/// lines (Submit for async with a completion callback, Handle for the
+/// synchronous test/CLI shape) and it runs them through four cooperating
+/// pieces:
+///
+///   * **admission** (serve/admission.h): data ops pass the bounded
+///     queue + in-flight-budget gate or are shed with a typed
+///     Unavailable; control ops (ping/stats/scrape/checkpoint/shutdown)
+///     bypass the queue entirely, so health checks and metric scrapes
+///     stay responsive under overload;
+///   * **workers**: N threads drain the queue.  Each owns a
+///     ThreadPool(1) handed into the miners (ThreadPool admits only one
+///     external batch at a time, so workers must not share one), and
+///     each request runs under a DeadlineBudget derived from its
+///     remaining admission deadline — deadline propagation reaches every
+///     miner loop through the PR5 budget seam;
+///   * **watchdog**: a periodic thread that flips the CancellationSource
+///     of any request running past deadline + grace.  A wedged worker is
+///     cancelled at the next budget boundary and answers with a
+///     certified partial — the service never loses a worker to one bad
+///     request;
+///   * **checkpointer**: a periodic thread calling SaveWarm on dirty
+///     sessions (WALs are already durable per-append), so `kill -9`
+///     loses at most the warm accelerator state, never rows.
+///
+/// Drain (SIGTERM path): BeginDrain closes admissions — new data ops
+/// shed with "draining" — then Drain() joins the workers after the queue
+/// empties, force-checkpoints every session, and emits a final
+/// `kind:"serve"` RunReport.  CrashForTest() is the opposite: stop
+/// everything *without* checkpointing, simulating `kill -9` for
+/// in-process recovery tests (recovery itself is Start() on a fresh
+/// Server over the same state_dir).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/run_budget.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+
+namespace hgm {
+namespace serve {
+
+/// Everything a server instance needs to know.
+struct ServerConfig {
+  size_t workers = 2;
+  AdmissionConfig admission;
+  /// Session WALs + warm checkpoints live here; empty = ephemeral.
+  std::string state_dir;
+  /// Warm-checkpoint cadence; 0 = only on drain / explicit `checkpoint`.
+  uint64_t checkpoint_interval_ms = 0;
+  /// Watchdog scan cadence and the grace past a request's deadline
+  /// before its cancellation token is flipped.
+  uint64_t watchdog_interval_ms = 50;
+  uint64_t watchdog_grace_ms = 250;
+  /// Failover policy for sharded mines.
+  RetryPolicy shard_retry;
+  /// Allow the `sleep` test op (watchdog tests need a wedgeable worker).
+  bool enable_test_ops = false;
+  /// Final drain report path; empty = skip, "-" = stdout.
+  std::string final_report_path;
+  /// Sessions to recover eagerly at Start (names without extension);
+  /// empty = recover lazily on first reference.
+  std::vector<std::string> recover_sessions;
+};
+
+/// See file comment.  Thread-safe: Submit/Handle may be called from any
+/// number of transport threads.
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  /// Recovers sessions named in config.recover_sessions and spawns the
+  /// worker/watchdog/checkpointer threads.  Must be called once before
+  /// Submit/Handle.
+  Status Start();
+
+  /// Feeds one request line; \p done receives the response line exactly
+  /// once (inline for control ops, sheds, and parse errors; from a
+  /// worker for admitted data ops).
+  void Submit(std::string line, std::function<void(std::string)> done);
+
+  /// Synchronous Submit — blocks until the response is ready.
+  std::string Handle(const std::string& line);
+
+  /// True once a shutdown request or BeginDrain closed admissions.
+  bool draining() const;
+
+  /// Closes admissions (new data ops shed with "draining").
+  void BeginDrain();
+
+  /// Finishes queued work, joins every thread, force-checkpoints all
+  /// sessions, emits the final run report.  Idempotent.
+  void Drain();
+
+  /// Stops threads WITHOUT checkpointing or draining the queue —
+  /// simulated kill -9 for in-process recovery tests.  The object is
+  /// dead afterwards; recover by constructing a fresh Server on the same
+  /// state_dir.
+  void CrashForTest();
+
+  /// Requests served (for tests / the drain report).
+  uint64_t requests_handled() const;
+
+ private:
+  struct QueueItem {
+    Request request;
+    std::function<void(std::string)> done;
+    uint64_t budget_ms = 0;
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<CancellationSource> cancel;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  void WatchdogLoop();
+  void CheckpointerLoop();
+
+  /// Executes one admitted data op under its budget; returns the
+  /// response line.
+  std::string Execute(const Request& req, const RunBudget& budget,
+                      ThreadPool* pool);
+
+  /// Control ops answered inline on the submitting thread.
+  std::string HandleControl(const Request& req);
+
+  /// Looks up (or lazily recovers) a session by name.
+  Result<std::shared_ptr<Session>> FindSession(const std::string& name,
+                                               bool recover_missing)
+      HGM_EXCLUDES(mu_);
+
+  Status CheckpointAll();
+  void WriteFinalReport(uint64_t wall_ms);
+  void JoinThreads();
+
+  const ServerConfig config_;
+  SessionOptions session_options_;
+  AdmissionController admission_;
+
+  mutable Mutex mu_;
+  CondVar queue_cv_;
+  CondVar idle_cv_;
+  std::deque<QueueItem> queue_ HGM_GUARDED_BY(mu_);
+  /// In-flight items indexed by a ticket, for the watchdog scan.
+  std::map<uint64_t, QueueItem> inflight_ HGM_GUARDED_BY(mu_);
+  uint64_t next_ticket_ HGM_GUARDED_BY(mu_) = 0;
+  bool stopping_ HGM_GUARDED_BY(mu_) = false;
+  bool started_ HGM_GUARDED_BY(mu_) = false;
+  uint64_t handled_ HGM_GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::shared_ptr<Session>> sessions_
+      HGM_GUARDED_BY(mu_);
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  std::thread checkpointer_;
+  std::chrono::steady_clock::time_point start_time_;
+  bool drained_ = false;  // main-thread lifecycle flag (Drain idempotence)
+};
+
+}  // namespace serve
+}  // namespace hgm

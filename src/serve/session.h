@@ -1,0 +1,221 @@
+#pragma once
+
+/// \file session.h
+/// \brief One resident mining session: warm state, queries, persistence.
+///
+/// A session is the unit the service keeps resident between requests —
+/// the theory-and-borders state the paper's query model assumes a caller
+/// maintains across many Is-interesting questions.  Two shapes:
+///
+///   * **batch**: a TransactionDatabase plus a small LRU of completed
+///     mining results keyed by min_support, so repeated mine/rules/border
+///     queries at the same threshold answer from memory;
+///   * **stream**: a StreamMiner whose window advances as rows are
+///     pushed, with budget-tripped boundary repairs parked as a pending
+///     checkpoint and resumed by the next push (certified-prefix
+///     semantics end to end).
+///
+/// Persistence is write-ahead: every accepted row is appended to
+/// `<state_dir>/<name>.wal` (basket text behind a metadata comment
+/// header) and flushed before the request is acknowledged, so the WAL
+/// alone rebuilds the session bit-identically after `kill -9` — batch
+/// sessions reload it as a database, stream sessions *replay* it through
+/// the same Push/AdvanceWindow path (deterministic, so the rebuilt
+/// borders and tilted history match exactly).  Warm state rides along as
+/// an optional PR5-format checkpoint (`<name>.session` + one
+/// `<name>.mine.<minsup>.ckpt` per interrupted mine) written by the
+/// periodic checkpointer: it spares the restarted server re-mining, and
+/// a budget-tripped mine resumes mid-lattice instead of restarting.  A
+/// stale or missing warm file is never an error — the WAL is the truth,
+/// warm state just an accelerator (adopted only when its logged row
+/// count matches the WAL).
+///
+/// Threading: every public method locks the session's own mutex, so
+/// workers, the watchdog-cancelled retries, and the checkpointer can hit
+/// one session concurrently; long mining calls run *under* the lock and
+/// rely on the request budget's CancellationToken (flipped by the
+/// watchdog) to bound how long they hold it.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/run_budget.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "core/checkpoint.h"
+#include "mining/apriori.h"
+#include "mining/rules.h"
+#include "mining/stream.h"
+#include "obs/json.h"
+#include "serve/protocol.h"
+
+namespace hgm {
+namespace serve {
+
+/// Per-session knobs inherited from the server config.
+struct SessionOptions {
+  /// Directory for WAL + warm checkpoints; empty = ephemeral session.
+  std::string state_dir;
+  /// Completed mining results kept per session (LRU by min_support).
+  size_t mine_cache_capacity = 4;
+  /// Failover policy for sharded mines.
+  RetryPolicy shard_retry;
+};
+
+/// Outcome of a mine/border query (rules go through the same path).
+struct MineAnswer {
+  std::vector<FrequentItemset> frequent;
+  std::vector<Bitset> maximal;
+  std::vector<Bitset> negative_border;
+  /// True when the answer is a certified partial theory: a budget
+  /// tripped (stop_reason) or shards failed past retry (failed_shards).
+  bool degraded = false;
+  StopReason stop_reason = StopReason::kCompleted;
+  std::vector<size_t> failed_shards;
+  uint64_t shard_retries = 0;
+  bool from_cache = false;
+  bool resumed = false;  ///< continued from a parked partial-mine checkpoint
+  uint64_t evaluations = 0;
+};
+
+/// Outcome of appending rows (stream boundaries included).
+struct PushOutcome {
+  /// Rows accepted and WAL-logged; on a degraded outcome the client
+  /// re-sends rows[consumed:].
+  size_t consumed = 0;
+  /// Window boundaries completed during this append (batch: 0).
+  std::vector<StreamWindowResult> boundaries;
+  /// True when a boundary repair tripped its budget mid-append: the
+  /// repair is parked (resumed by the next push) and unconsumed rows
+  /// were not touched.
+  bool degraded = false;
+  StopReason stop_reason = StopReason::kCompleted;
+};
+
+/// Seeded shard-fault injection carried by a mine request (chaos tests).
+struct ChaosSpec {
+  uint64_t seed = 0;
+  double transient_rate = 0.4;
+  double permanent_rate = 0.0;
+};
+
+class Session {
+ public:
+  /// Opens a fresh session from an `open` request (inline rows, a basket
+  /// file, or a stream spec) and writes the WAL when persistent.
+  static Result<std::unique_ptr<Session>> Open(const Request& req,
+                                               const SessionOptions& options);
+
+  /// Rebuilds a session from `<state_dir>/<name>.wal`, adopting warm
+  /// checkpoints when they match the log.
+  static Result<std::unique_ptr<Session>> Recover(
+      const std::string& name, const SessionOptions& options);
+
+  const std::string& name() const { return name_; }
+  bool is_stream() const { return miner_ != nullptr; }
+  size_t num_items() const { return num_items_; }
+
+  /// Appends rows; stream sessions advance (or resume) window boundaries
+  /// under \p budget.  Rows are validated against the declared universe.
+  Result<PushOutcome> Append(const std::vector<std::vector<size_t>>& rows,
+                             const RunBudget& budget, ThreadPool* pool)
+      HGM_EXCLUDES(mu_);
+
+  /// Mines at \p min_support (shards > 0 = partitioned with failover).
+  /// Serves from cache when a completed result is resident; resumes a
+  /// parked partial mine when one matches (min_support, shards, rows).
+  Result<MineAnswer> Mine(size_t min_support, size_t shards,
+                          const RunBudget& budget, ThreadPool* pool,
+                          const std::optional<ChaosSpec>& chaos)
+      HGM_EXCLUDES(mu_);
+
+  /// Exact support of one itemset in the current rows/window.
+  Result<size_t> SupportOf(const std::vector<size_t>& itemset)
+      HGM_EXCLUDES(mu_);
+
+  /// Association rules from the theory at (min_support, min_conf); mines
+  /// (or resumes/caches) through the Mine path first.  \p answer_out
+  /// receives the underlying mine answer (degradation flags).
+  Result<std::vector<AssociationRule>> Rules(
+      size_t min_support, double min_conf, const RunBudget& budget,
+      ThreadPool* pool, MineAnswer* answer_out) HGM_EXCLUDES(mu_);
+
+  /// Writes the warm checkpoint(s) when persistent and dirty; the WAL is
+  /// already on disk (flushed per append).  Safe to call concurrently
+  /// with queries — takes the session lock.
+  Status SaveWarm() HGM_EXCLUDES(mu_);
+
+  /// Key/value stats for the `stats` response.
+  std::vector<std::pair<std::string, obs::JsonValue>> StatsFields()
+      HGM_EXCLUDES(mu_);
+
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+ private:
+  Session() = default;
+
+  std::string WalPath() const { return state_dir_ + "/" + name_ + ".wal"; }
+  std::string WarmPath() const {
+    return state_dir_ + "/" + name_ + ".session";
+  }
+  std::string PendingMinePath(size_t min_support) const {
+    return state_dir_ + "/" + name_ + ".mine." +
+           std::to_string(min_support) + ".ckpt";
+  }
+
+  /// Opens the WAL for appending, writing the metadata header when the
+  /// file is fresh.
+  Status OpenWal(bool fresh) HGM_REQUIRES(mu_);
+  /// Appends one row to the WAL and flushes (the pre-ack durability
+  /// point).
+  Status LogRow(const Bitset& row) HGM_REQUIRES(mu_);
+
+  Result<MineAnswer> MineLocked(size_t min_support, size_t shards,
+                                const RunBudget& budget, ThreadPool* pool,
+                                const std::optional<ChaosSpec>& chaos)
+      HGM_REQUIRES(mu_);
+
+  /// Parks a tripped mine's checkpoint for later resume (and for the
+  /// warm checkpointer to persist).
+  void ParkMine(size_t min_support, size_t shards, Checkpoint checkpoint)
+      HGM_REQUIRES(mu_);
+  /// Caches a completed clean mine and maintains the LRU cap.
+  void CacheMine(size_t min_support, AprioriResult result)
+      HGM_REQUIRES(mu_);
+  void InvalidateDerivedState() HGM_REQUIRES(mu_);
+
+  std::string name_;
+  std::string state_dir_;  // empty = ephemeral
+  SessionOptions options_;
+  size_t num_items_ = 0;
+
+  mutable Mutex mu_;
+  /// Batch state (null for stream sessions).
+  std::unique_ptr<TransactionDatabase> db_ HGM_GUARDED_BY(mu_);
+  /// Stream state (null for batch sessions).
+  std::unique_ptr<StreamMiner> miner_ HGM_GUARDED_BY(mu_);
+  /// Parked budget-tripped boundary repair (stream).
+  std::optional<Checkpoint> pending_repair_ HGM_GUARDED_BY(mu_);
+  /// Completed clean results by min_support, LRU order in cache_order_.
+  std::map<size_t, AprioriResult> cache_ HGM_GUARDED_BY(mu_);
+  std::vector<size_t> cache_order_ HGM_GUARDED_BY(mu_);
+  /// Parked budget-tripped mines by min_support (checkpoint carries
+  /// serve_rows/serve_shards scalars for staleness checks).
+  std::map<size_t, Checkpoint> pending_mines_ HGM_GUARDED_BY(mu_);
+  /// Rows durably logged (== rows accepted since open).
+  uint64_t rows_logged_ HGM_GUARDED_BY(mu_) = 0;
+  /// Warm state diverged from the last SaveWarm.
+  bool dirty_ HGM_GUARDED_BY(mu_) = false;
+  std::FILE* wal_ HGM_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace serve
+}  // namespace hgm

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/bitset.h"
@@ -187,6 +189,62 @@ TEST(CheckpointParseTest, EnforcesAllocationCeilings) {
       ParseCheckpoint("hgmine-checkpoint v1\nkind x\nwidth 4\nscalar " + name +
                       " 1\nend\n")
           .ok());
+}
+
+// SaveCheckpointFile writes a unique temp file and renames it into
+// place, so concurrent savers against ONE path (the serve checkpointer
+// racing a drain, two sessions flushing the same warm state) can never
+// leave a torn or interleaved file: a reader at any moment sees one
+// complete checkpoint from one of the writers, never a mix.
+TEST(CheckpointConcurrencyTest, ConcurrentSaversNeverTearTheFile) {
+  const std::string path = "/tmp/hgmine_ckpt_race_test.ckpt";
+  std::remove(path.c_str());
+
+  // Two distinguishable checkpoints: same shape, different seed scalar.
+  Checkpoint a = RandomCheckpoint(101);
+  Checkpoint b = RandomCheckpoint(202);
+  a.SetScalar("writer", 1);
+  b.SetScalar("writer", 2);
+  const std::string text_a = SerializeCheckpoint(a);
+  const std::string text_b = SerializeCheckpoint(b);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread saver_a([&] {
+    for (int i = 0; i < 60; ++i) {
+      if (!SaveCheckpointFile(a, path).ok()) failures.fetch_add(1);
+    }
+  });
+  std::thread saver_b([&] {
+    for (int i = 0; i < 60; ++i) {
+      if (!SaveCheckpointFile(b, path).ok()) failures.fetch_add(1);
+    }
+  });
+  std::thread loader([&] {
+    size_t seen = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      auto loaded = LoadCheckpointFile(path);
+      if (!loaded.ok()) continue;  // not yet renamed into place
+      ++seen;
+      // Atomicity: the loaded file is byte-identical to one writer's
+      // serialization — never a prefix, suffix, or interleaving.
+      const std::string text = SerializeCheckpoint(loaded.value());
+      if (text != text_a && text != text_b) failures.fetch_add(1);
+    }
+    EXPECT_GT(seen, 0u) << "loader never observed a complete file";
+  });
+  saver_a.join();
+  saver_b.join();
+  stop.store(true, std::memory_order_release);
+  loader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  auto final_load = LoadCheckpointFile(path);
+  ASSERT_TRUE(final_load.ok()) << final_load.status().message();
+  uint64_t writer = 0;
+  EXPECT_TRUE(final_load.value().GetScalar("writer", &writer));
+  EXPECT_TRUE(writer == 1 || writer == 2);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -348,5 +348,62 @@ TEST(RobustnessResumeTest, CheckpointSurvivesSerializeParseRoundTrip) {
   ExpectSameLevelwise(RunLevelwise(&clean_oracle), *resumed);
 }
 
+// Pins the clamp contract documented on RetryPolicy: max_backoff_us is a
+// hard per-attempt ceiling on DelayUs under ANY configuration — no
+// exponent growth, jitter draw, or saturating sum may exceed it, wrap
+// past it, or turn into a surprise tiny sleep.
+TEST(RetryPolicyClampTest, DelayNeverExceedsMaxBackoff) {
+  const uint64_t bases[] = {1, 1000, uint64_t{1} << 40, uint64_t{1} << 62,
+                            std::numeric_limits<uint64_t>::max()};
+  const uint64_t caps[] = {1, 999, 100000, uint64_t{1} << 63,
+                           std::numeric_limits<uint64_t>::max()};
+  for (uint64_t base : bases) {
+    for (uint64_t cap : caps) {
+      RetryPolicy policy;
+      policy.base_backoff_us = base;
+      policy.max_backoff_us = cap;
+      for (size_t attempt = 0; attempt < 130; attempt += 13) {
+        for (uint64_t salt = 0; salt < 3; ++salt) {
+          const uint64_t delay = policy.DelayUs(attempt, salt);
+          EXPECT_LE(delay, cap)
+              << "base=" << base << " cap=" << cap
+              << " attempt=" << attempt << " salt=" << salt;
+        }
+      }
+    }
+  }
+}
+
+TEST(RetryPolicyClampTest, ZeroBaseDisablesSleeping) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 0;
+  policy.max_backoff_us = 100000;
+  for (size_t attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(policy.DelayUs(attempt, 7), 0u);
+  }
+}
+
+TEST(RetryPolicyClampTest, ScheduleIsSeedDeterministicAndGrows) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 100;
+  policy.max_backoff_us = 1u << 20;
+  RetryPolicy replay = policy;
+  uint64_t prev_floor = 0;
+  for (size_t attempt = 0; attempt < 8; ++attempt) {
+    const uint64_t delay = policy.DelayUs(attempt, 42);
+    // Same (seed, salt, attempt) replays the same schedule — the chaos
+    // suite's reproducibility hinges on this.
+    EXPECT_EQ(delay, replay.DelayUs(attempt, 42));
+    // Exponential floor: attempt a waits at least base * 2^a (pre-cap),
+    // and jitter adds at most 100% on top.
+    const uint64_t floor = std::min<uint64_t>(100u << attempt,
+                                              policy.max_backoff_us);
+    EXPECT_GE(delay, floor);
+    EXPECT_LE(delay, std::min<uint64_t>(2 * floor, policy.max_backoff_us));
+    EXPECT_GE(floor, prev_floor);
+    prev_floor = floor;
+  }
+}
+
 }  // namespace
 }  // namespace hgm
